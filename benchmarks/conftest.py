@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper over the
+canonical 195-project corpus, times the computation, asserts the
+paper's *shape* (orderings, rough magnitudes, crossovers — not exact
+counts, per EXPERIMENTS.md), and writes the rendered artifact under
+``benchmarks/output/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study():
+    from repro.analysis import canonical_study
+
+    return canonical_study()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered figure to benchmarks/output/ and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit

@@ -1,0 +1,84 @@
+"""SUPPLEMENTARY — the cost of schema evolution to surrounding code.
+
+The paper's closing conjecture (§9): developers avoid schema change
+because of "the effect schema evolution has to the surrounding code
+(i.e., crashes and semantic inconsistencies) and the resulting effort".
+This bench makes the cost term measurable: a realistic embedded-SQL
+workload is generated per project and the project's *real* schema
+history is replayed against it (with developer-style repair after each
+hit).  Related anchors: [28] reports ~19 code changes per table
+addition; [24] estimates 10–100 lines per atomic change.
+"""
+
+import pytest
+
+from repro.analysis import replay_burden
+from repro.corpus import generate_corpus
+from repro.mining import mine_project
+from repro.stats import median
+from repro.taxa import Taxon, classify
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus()
+
+
+def test_burden_replay(benchmark, corpus, emit):
+    def replay_all():
+        rows = []
+        for project in corpus:
+            history = mine_project(project.repository)
+            summary = replay_burden(
+                history.schema_history,
+                name=project.name,
+                n_queries=20,
+                seed=13,
+            )
+            taxon = classify(history.schema_heartbeat)
+            rows.append((taxon, summary))
+        return rows
+
+    rows = benchmark.pedantic(replay_all, rounds=1, iterations=1)
+
+    evolving = [
+        (taxon, summary)
+        for taxon, summary in rows
+        if summary.total_activity > 0
+    ]
+    lines = [
+        "Maintenance burden of real schema histories on a 20-query "
+        f"workload (n={len(evolving)} evolving projects):"
+    ]
+    per_taxon: dict[Taxon, list[float]] = {}
+    for taxon, summary in evolving:
+        per_taxon.setdefault(taxon, []).append(
+            summary.affected_per_change
+        )
+    for taxon, values in per_taxon.items():
+        lines.append(
+            f"  {taxon.display_name}: median "
+            f"{median(values):.2f} affected queries per atomic change "
+            f"(n={len(values)})"
+        )
+    total_breaks = sum(s.total_breaks for _, s in evolving)
+    total_affected = sum(s.total_affected for _, s in evolving)
+    total_activity = sum(s.total_activity for _, s in evolving)
+    lines.append(
+        f"  corpus-wide: {total_breaks} breaks / {total_affected} "
+        f"affected over {total_activity} atomic changes "
+        f"({total_affected / total_activity:.2f} per change)"
+    )
+    emit("burden_replay", "\n".join(lines))
+
+    # the conjecture's premise: schema change has a real, nonzero cost
+    assert total_breaks > 0
+    assert total_affected / total_activity > 0.02
+    # evolution-heavy projects pay in absolute terms: the total number
+    # of affected queries grows with total activity
+    heavy = [s for _, s in evolving if s.total_activity >= 50]
+    light = [s for _, s in evolving if 0 < s.total_activity <= 10]
+    assert heavy and light
+    assert median([s.total_affected for s in heavy]) > median(
+        [s.total_affected for s in light]
+    )

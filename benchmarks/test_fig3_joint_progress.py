@@ -1,0 +1,66 @@
+"""FIG1/FIG3 — joint progress diagrams, one example per taxon.
+
+The paper's Fig. 1 shows one project's joint cumulative progress; Fig. 3
+shows six examples, one per taxon, with the frozen-side taxa in sync and
+the active-side taxa out of sync.  This bench regenerates a per-taxon
+gallery from the canonical corpus and checks the sync/out-of-sync
+contrast the figure illustrates.
+"""
+
+from repro.report import render_joint_progress
+from repro.stats import median
+from repro.taxa import TAXA_ORDER, Taxon
+
+
+def _gallery(study):
+    blocks = []
+    for taxon in TAXA_ORDER:
+        group = study.by_taxon(taxon)
+        if not group:
+            continue
+        # the figure shows a representative project: take the median-sync
+        # member so the gallery is stable and characteristic
+        group = sorted(group, key=lambda p: p.sync10)
+        example = group[len(group) // 2]
+        blocks.append(
+            render_joint_progress(
+                example.joint,
+                title=(
+                    f"[{taxon.display_name}] {example.name} — "
+                    f"{example.duration_months} months, "
+                    f"10%-sync {example.sync10:.0%}"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def test_fig3_gallery(benchmark, study, emit):
+    gallery = benchmark(_gallery, study)
+    emit("fig3_joint_progress", gallery)
+    # one diagram per taxon present in the classified corpus
+    present = sum(1 for t in TAXA_ORDER if study.by_taxon(t))
+    assert gallery.count("S=schema") == present
+
+
+def test_fig3_frozen_side_more_synchronous(study):
+    """Fig. 3's contrast: shot-taxa exemplars sit above the most
+    out-of-sync taxa (the paper's (a)-(c) vs (d)-(f) split)."""
+    sync_by_taxon = {
+        taxon: median([p.sync10 for p in study.by_taxon(taxon)])
+        for taxon in TAXA_ORDER
+        if study.by_taxon(taxon)
+    }
+    frozen_side = [
+        sync_by_taxon[t]
+        for t in (Taxon.FROZEN, Taxon.ALMOST_FROZEN,
+                  Taxon.FOCUSED_SHOT_AND_FROZEN)
+        if t in sync_by_taxon
+    ]
+    out_side = [
+        sync_by_taxon[t]
+        for t in (Taxon.MODERATE, Taxon.FOCUSED_SHOT_AND_LOW)
+        if t in sync_by_taxon
+    ]
+    assert min(frozen_side) >= max(out_side) - 0.15
+    assert max(frozen_side) > min(out_side)

@@ -1,0 +1,30 @@
+"""FIG5 — scatter of duration vs 10%-synchronicity per taxon.
+
+Paper: "a box of durations up to 60 months where all behaviors are
+present (synchronicities of up to 100%)", and past the 5-year mark a
+gravitation toward lower/mid-range synchronicity — long-lived projects
+stop co-evolving their schema as actively.
+"""
+
+from repro.analysis import fig5_duration_scatter
+from repro.report import render_fig5
+from repro.stats import median
+
+
+def test_fig5_scatter(benchmark, study, emit):
+    points = benchmark(fig5_duration_scatter, study.projects, theta=0.10)
+    emit("fig5_duration_scatter", render_fig5(points))
+
+    assert len(points) == 195
+    young = [p.synchronicity for p in points if p.duration_months <= 60]
+    old = [p.synchronicity for p in points if p.duration_months > 60]
+    # the <=60-month box contains (nearly) the full range of behaviours
+    assert min(young) <= 0.15
+    assert max(young) >= 0.85
+    # long-lived projects exist and skew away from the synchronous top
+    assert len(old) >= 10
+    high_sync_rate_old = sum(1 for s in old if s >= 0.8) / len(old)
+    high_sync_rate_young = sum(1 for s in young if s >= 0.8) / len(young)
+    assert high_sync_rate_old <= high_sync_rate_young + 0.05
+    # ... and gravitate to mid-range values
+    assert 0.15 <= median(old) <= 0.65

@@ -1,0 +1,55 @@
+"""FIG7 — schema always in advance of time / source / both, per taxon.
+
+Paper (§5.2): 80 projects (41%) always ahead of time, 57 (29%) of
+source, 55 (28%) of both; "both" nearly coincides with "source"; and
+"the more frozen a taxon is, the higher its probability to demonstrate
+an early advance of schema over both time and source code".
+"""
+
+from repro.analysis import fig7_always_advance
+from repro.report import render_fig7
+from repro.taxa import Taxon
+
+
+def test_fig7_counts(benchmark, study, emit):
+    always = benchmark(fig7_always_advance, study.projects)
+    emit("fig7_always_advance", render_fig7(always))
+
+    n = always.total
+    assert n == 195
+    time_share = always.total_over_time / n
+    source_share = always.total_over_source / n
+    both_share = always.total_over_both / n
+    # paper: 41% / 29% / 28% — generous bands preserving the ordering
+    assert 0.30 <= time_share <= 0.60
+    assert 0.20 <= source_share <= 0.48
+    assert time_share > source_share
+    # "both" is almost identical to "source" (gap of a few projects)
+    assert always.total_over_source - always.total_over_both <= 8
+    assert both_share >= 0.18
+
+
+def test_fig7_frozen_gradient(study):
+    """Frozen-side taxa are always-ahead far more often than Active."""
+    always = fig7_always_advance(study.projects)
+
+    def both_rate(taxon):
+        row = always.row(taxon)
+        return row.over_both / row.total if row.total else 0.0
+
+    frozen_rate = both_rate(Taxon.FROZEN)
+    active_rate = both_rate(Taxon.ACTIVE)
+    assert frozen_rate > active_rate
+    assert frozen_rate >= 0.4
+    assert active_rate <= 0.25
+    # the frozen triple dominates the active triple in aggregate
+    frozen_side = sum(
+        always.row(t).over_both
+        for t in (Taxon.FROZEN, Taxon.ALMOST_FROZEN,
+                  Taxon.FOCUSED_SHOT_AND_FROZEN)
+    )
+    active_side = sum(
+        always.row(t).over_both
+        for t in (Taxon.MODERATE, Taxon.FOCUSED_SHOT_AND_LOW, Taxon.ACTIVE)
+    )
+    assert frozen_side > active_side

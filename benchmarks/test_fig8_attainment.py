@@ -1,0 +1,43 @@
+"""FIG8 — attainment of α% of schema activity per project-life range.
+
+Paper: 98/195 attain 75% of evolution within the first 20% of life and
+27 only after 80%; 94 attain 80% early and 130 within half the life
+(the schema-specific Pareto reading); for 100%, 60 complete within the
+first 20%, 93 within half, and 62 resist past 80% of their life.
+"""
+
+from repro.analysis import fig8_attainment
+from repro.report import render_fig8
+
+
+def test_fig8_breakdown(benchmark, study, emit):
+    breakdown = benchmark(fig8_attainment, study.projects)
+    emit("fig8_attainment", render_fig8(breakdown))
+
+    n = len(study.projects)
+    for alpha in breakdown.alphas:
+        assert sum(breakdown.counts[alpha]) == n
+
+    # 75%-attainment: the early range dominates (paper: 98/195 = 50%)
+    early75 = breakdown.early_count(0.75)
+    assert early75 == max(breakdown.counts[0.75])
+    assert early75 / n >= 0.30
+    # the resistance tail exists (paper: 27 late attainers)
+    assert 5 <= breakdown.late_count(0.75) <= 50
+
+    # 80%-attainment within half the life: paper 130/195 = 2/3
+    within_half = breakdown.count(0.80, 0) + breakdown.count(0.80, 1)
+    assert 0.50 <= within_half / n <= 0.80
+
+    # 100%-attainment: half-ish complete within half the life (paper 48%)
+    att100_half = breakdown.count(1.00, 0) + breakdown.count(1.00, 1)
+    assert 0.35 <= att100_half / n <= 0.70
+    # and a large resistant block finishes only after 80% (paper 31%)
+    assert 0.20 <= breakdown.late_count(1.00) / n <= 0.45
+
+
+def test_fig8_early_attainment_decreases_with_alpha(study):
+    """Reaching a higher completion level early is strictly harder."""
+    breakdown = fig8_attainment(study.projects)
+    early = [breakdown.early_count(a) for a in (0.50, 0.75, 0.80, 1.00)]
+    assert early == sorted(early, reverse=True)

@@ -1,0 +1,90 @@
+"""HEADLINE — the abstract's and §4–§6's quoted numbers, side by side.
+
+Regenerates every headline number the paper quotes and prints it next
+to the paper's value.  Assertions encode the *claims*, with bands wide
+enough to hold across generator seeds (exact counts are seed-dependent;
+see EXPERIMENTS.md).
+"""
+
+from repro.report import render_table
+
+PAPER = {
+    "blanks": 2,
+    "always_over_time": 80,
+    "always_over_source": 57,
+    "always_over_both": 55,
+    "attain75_first20": 98,
+    "attain75_after80": 27,
+    "attain80_first20": 94,
+    "attain80_first50": 130,
+    "attain100_first20": 60,
+    "attain100_first50": 93,
+    "attain100_after80": 62,
+    "advance_src_ge_half": 138,
+    "advance_time_ge_half": 152,
+}
+
+
+def test_headline_numbers(benchmark, study, emit):
+    headline = benchmark(study.headline)
+
+    rows = []
+    for key, measured in headline.items():
+        paper_value = PAPER.get(key, "")
+        rows.append([key, measured, paper_value])
+    emit(
+        "headline_numbers",
+        render_table(
+            ["measure", "measured", "paper"],
+            rows,
+            title="Headline numbers — measured vs paper (n=195)",
+        ),
+    )
+
+    # bootstrap intervals for the always-in-advance shares, so the
+    # paper's point values can be compared against a sampling band
+    from repro.stats import share_interval
+
+    interval_lines = ["Bootstrap 95% intervals (always-in-advance shares):"]
+    for name, flag in (
+        ("time", lambda p: p.coevolution.always_over_time),
+        ("source", lambda p: p.coevolution.always_over_source),
+        ("both", lambda p: p.coevolution.always_over_both),
+    ):
+        interval = share_interval([flag(p) for p in study.projects])
+        paper_share = {"time": 80, "source": 57, "both": 55}[name] / 195
+        interval_lines.append(
+            f"  {name}: {interval}   paper: {paper_share:.3f}"
+        )
+    emit("headline_bootstrap", "\n".join(interval_lines))
+
+    n = headline["projects"]
+    assert n == 195
+    assert headline["blanks"] == 2
+
+    # §5.2: always-advance ordering and magnitudes
+    assert headline["always_over_time"] > headline["always_over_source"]
+    assert (
+        headline["always_over_source"] - headline["always_over_both"] <= 8
+    )
+    assert 0.30 * n <= headline["always_over_time"] <= 0.60 * n
+
+    # abstract: "98 of the 195 projects attained 75% of the evolution in
+    # just the first 20%" — a strong early majority
+    assert headline["attain75_first20"] >= 0.30 * n
+    # §6.2: 2/3 reach 80% of evolution within half their life
+    assert 0.50 * n <= headline["attain80_first50"] <= 0.80 * n
+    # resistance to rigidity exists at every level
+    assert headline["attain75_after80"] >= 5
+    assert headline["attain100_after80"] >= 0.20 * n
+
+    # §5.1: 71% / 78% ahead for at least half their life
+    assert headline["advance_src_ge_half"] >= 0.60 * n
+    assert headline["advance_time_ge_half"] >= 0.70 * n
+    assert (
+        headline["advance_time_ge_half"]
+        >= headline["advance_src_ge_half"]
+    )
+
+    # §9: only ~20% co-evolve hand-in-hand
+    assert headline["hand_in_hand"] <= 0.35 * n

@@ -1,0 +1,69 @@
+"""PERF — throughput of the extraction pipeline components.
+
+Not a paper artifact: harness-health benchmarks for the SQL parser, the
+diff engine, the git-log parser and a full single-project mine, so
+regressions in the substrate are visible.
+"""
+
+import pytest
+
+from repro.corpus import ProjectSpec, generate_project, profile_for
+from repro.diff import diff_schemas
+from repro.heartbeat import Month
+from repro.mining import mine_project
+from repro.sqlparser import parse_schema
+from repro.taxa import Taxon
+from repro.vcs import parse_git_log
+
+
+@pytest.fixture(scope="module")
+def big_project():
+    spec = ProjectSpec(
+        name="perf/big",
+        taxon=Taxon.ACTIVE,
+        seed=99,
+        vendor="mysql",
+        duration_months=120,
+        start=Month(2010, 1),
+    )
+    return generate_project(spec, profile_for(Taxon.ACTIVE))
+
+
+def test_perf_parse_schema(benchmark, big_project):
+    ddl = big_project.ddl_versions[-1]
+    result = benchmark(parse_schema, ddl)
+    assert len(result.schema) >= 1
+
+
+def test_perf_diff_schemas(benchmark, big_project):
+    old = parse_schema(big_project.ddl_versions[0]).schema
+    new = parse_schema(big_project.ddl_versions[-1]).schema
+    delta = benchmark(diff_schemas, old, new)
+    assert delta.total_activity >= 0
+
+
+def test_perf_parse_git_log(benchmark, big_project):
+    commits = benchmark(parse_git_log, big_project.git_log_text)
+    assert len(commits) == len(big_project.repository.commits)
+
+
+def test_perf_mine_project(benchmark, big_project):
+    history = benchmark(mine_project, big_project.repository)
+    assert history.schema_heartbeat.total > 0
+
+
+def test_perf_generate_project(benchmark):
+    spec = ProjectSpec(
+        name="perf/gen",
+        taxon=Taxon.MODERATE,
+        seed=7,
+        vendor="postgres",
+        duration_months=48,
+        start=Month(2012, 1),
+    )
+
+    def generate():
+        return generate_project(spec, profile_for(Taxon.MODERATE))
+
+    project = benchmark(generate)
+    assert len(project.ddl_versions) >= 2

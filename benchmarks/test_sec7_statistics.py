@@ -1,0 +1,58 @@
+"""SEC7 — the statistical analysis battery.
+
+Paper: Shapiro–Wilk p < 0.007 for every attribute; Kruskal–Wallis taxon
+-> 10%-synchronicity p ≈ 0.003 and taxon -> 75%-attainment p ≈ 0.006
+(frozen taxa attain 75% before 20% of life, Active's median 0.47);
+source-lag and both-lag χ²/Fisher significant at α = 0.05; Kendall
+τ(5%-sync, 10%-sync) ≈ 0.67 and τ(advance-time, advance-source) ≈ 0.75.
+"""
+
+from repro.analysis import sec7_statistics
+from repro.report import render_statistics
+from repro.taxa import Taxon
+
+
+def test_sec7_battery(benchmark, study, emit):
+    report = benchmark(sec7_statistics, study.projects)
+    emit("sec7_statistics", render_statistics(report))
+
+    # normality: nothing is normal at the 0.05 level (paper: all
+    # p < 0.007 on the real corpus; here at most one attribute sits
+    # between 0.007 and 0.05 — see EXPERIMENTS.md)
+    for name, result in report.normality.items():
+        assert result.p_value < 0.05, name
+    strict = sum(
+        1 for r in report.normality.values() if r.p_value < 0.007
+    )
+    assert strict >= len(report.normality) - 1
+
+    # taxon effects significant at the paper's alpha level
+    assert report.sync_effect.test.p_value < 0.05
+    assert report.attainment_effect.test.p_value < 0.05
+
+    # frozen taxa attain 75% early; Active attains late (paper: 0.47)
+    medians = report.attainment_effect.medians
+    assert medians[Taxon.FROZEN] <= 0.25
+    assert medians[Taxon.ALMOST_FROZEN] <= 0.35
+    assert medians[Taxon.ACTIVE] >= 0.35
+    assert medians[Taxon.ACTIVE] > medians[Taxon.FROZEN]
+
+    # lag tests: source and both significant (paper: p = 0.02 / 0.01)
+    assert report.lag_tests["source"].chi2.p_value < 0.05
+    assert report.lag_tests["both"].chi2.p_value < 0.05
+    assert report.lag_tests["source"].fisher.p_value < 0.05
+    assert report.lag_tests["both"].fisher.p_value < 0.05
+
+    # Kendall correlations in the paper's neighbourhood
+    assert 0.5 <= report.tau_sync.statistic <= 0.9       # paper 0.67
+    assert 0.5 <= report.tau_advance.statistic <= 0.9    # paper 0.75
+
+
+def test_sec7_chi2_and_fisher_agree_on_significance(study):
+    report = sec7_statistics(study.projects)
+    for lag in report.lag_tests.values():
+        chi_significant = lag.chi2.p_value < 0.05
+        fisher_significant = lag.fisher.p_value < 0.05
+        # the two tests may differ near the boundary, but not wildly
+        if lag.chi2.p_value < 0.01 or lag.chi2.p_value > 0.25:
+            assert chi_significant == fisher_significant

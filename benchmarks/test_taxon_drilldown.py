@@ -1,0 +1,83 @@
+"""SUPPLEMENTARY — the per-taxon and per-duration drill-down tables.
+
+§7 discusses per-taxon medians and §4 reads Fig. 5 through duration
+bands; this bench regenerates both drill-down tables as artifacts and
+pins the gradients they show.
+"""
+
+from repro.analysis import duration_band_summaries, taxon_summaries
+from repro.report import render_table
+from repro.taxa import Taxon
+
+
+def test_taxon_drilldown(benchmark, study, emit):
+    rows = benchmark(taxon_summaries, study.projects)
+    emit(
+        "taxon_drilldown",
+        render_table(
+            ["taxon", "n", "sync10", "attain75", "duration",
+             "schema act.", "always-both"],
+            [
+                [
+                    row.taxon.display_name,
+                    row.count,
+                    f"{row.median_sync10:.2f}",
+                    f"{row.median_attainment75:.2f}",
+                    f"{row.median_duration:.0f}",
+                    f"{row.median_schema_activity:.0f}",
+                    f"{row.always_both_rate:.0%}",
+                ]
+                for row in rows
+            ],
+            title="Per-taxon medians (the §7 drill-down)",
+        ),
+    )
+
+    by_taxon = {row.taxon: row for row in rows}
+    # activity gradient: the frozen side sits far below Active (frozen
+    # and almost-frozen are both dominated by the initial birth, so
+    # their medians are interchangeable)
+    frozen_side = max(
+        by_taxon[Taxon.FROZEN].median_schema_activity,
+        by_taxon[Taxon.ALMOST_FROZEN].median_schema_activity,
+    )
+    assert by_taxon[Taxon.ACTIVE].median_schema_activity >= 3 * frozen_side
+    # attainment gradient: frozen early, active late
+    assert (
+        by_taxon[Taxon.FROZEN].median_attainment75
+        < by_taxon[Taxon.ACTIVE].median_attainment75
+    )
+    # always-both gradient: frozen far above active
+    assert (
+        by_taxon[Taxon.FROZEN].always_both_rate
+        > by_taxon[Taxon.ACTIVE].always_both_rate
+    )
+
+
+def test_duration_bands(benchmark, study, emit):
+    rows = benchmark(duration_band_summaries, study.projects)
+    emit(
+        "duration_bands",
+        render_table(
+            ["band", "n", "median sync", "min", "max", "sync>=0.8"],
+            [
+                [
+                    row.label,
+                    row.count,
+                    f"{row.median_sync10:.2f}",
+                    f"{row.min_sync10:.2f}",
+                    f"{row.max_sync10:.2f}",
+                    f"{row.high_sync_rate:.0%}",
+                ]
+                for row in rows
+            ],
+            title="Synchronicity per duration band (the Fig. 5 reading)",
+        ),
+    )
+
+    assert sum(row.count for row in rows) == len(study)
+    long_band = rows[-1]
+    assert long_band.count >= 10
+    # §4: the long-lived band gravitates away from the synchronous top
+    assert long_band.high_sync_rate <= 0.35
+    assert 0.15 <= long_band.median_sync10 <= 0.70

@@ -1,0 +1,68 @@
+"""A single-project case study, mirroring §3.3 of the paper.
+
+The paper walks through mapbox/osm-comments-parser: a 22-month
+JavaScript project with a Postgres schema, 48% of schema change at
+start-up and two flat-line periods.  Here we generate a synthetic
+analogue with the same envelope (22 months, Postgres, moderate change),
+run the full extraction pipeline on its textual artifacts, and print
+the same per-project narrative the paper gives.
+
+Run:  python examples/case_study.py
+"""
+
+from repro.analysis import analyze_project
+from repro.corpus import ProjectSpec, generate_project, profile_for
+from repro.heartbeat import Month
+from repro.mining import mine_project
+from repro.report import render_joint_progress
+from repro.taxa import Taxon
+
+
+def main() -> None:
+    spec = ProjectSpec(
+        name="mapbox/osm-comments-parser-analogue",
+        taxon=Taxon.MODERATE,
+        seed=4815162342,
+        vendor="postgres",
+        duration_months=22,
+        start=Month(2015, 6),
+    )
+    project = generate_project(spec, profile_for(Taxon.MODERATE))
+    history = mine_project(project.repository)
+    measures = analyze_project(history, true_taxon=spec.taxon)
+
+    print(f"Project:  {history.name}")
+    print(f"Duration: {measures.duration_months} months")
+    print(
+        f"Commits:  {len(project.repository.commits)} total, "
+        f"{history.schema_history.commit_count} touching the schema "
+        f"({history.schema_history.active_commit_count} active)"
+    )
+    print(
+        f"Activity: schema={measures.schema_total_activity:g} "
+        f"attribute-level changes, "
+        f"project={measures.project_total_updates:g} file updates"
+    )
+    print(f"Taxon:    {measures.taxon.display_name} (classified)")
+    print()
+    print(render_joint_progress(measures.joint, title="Joint progress"))
+    print()
+
+    schema_cum = measures.joint.schema
+    print(
+        f"Schema change at start-up: {schema_cum[0]:.0%} "
+        "(the paper's project: 48%)"
+    )
+    for alpha in (0.50, 0.80):
+        print(
+            f"{alpha:.0%} of schema change attained at "
+            f"{measures.attainment(alpha):.0%} of project life"
+        )
+    print(
+        f"Cumulative schema and source within 10% of each other for "
+        f"{measures.sync10:.0%} of the months"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quantify the cost of schema evolution to application code.
+
+The paper's closing conjecture is that developers freeze schemata
+*because* schema change breaks the surrounding source.  This example
+makes the cost concrete for one actively-evolving project: a 20-query
+embedded-SQL workload is generated against the initial schema, the
+project's real schema history is replayed transition by transition, and
+every break / at-risk / drift event is tallied — with the workload
+"repaired" after each hit, the way a maintainer would.
+
+Run:  python examples/maintenance_burden.py
+"""
+
+from repro.analysis import replay_burden
+from repro.corpus import ProjectSpec, generate_project, profile_for
+from repro.heartbeat import Month
+from repro.mining import mine_project
+from repro.taxa import Taxon
+
+
+def main() -> None:
+    spec = ProjectSpec(
+        name="acme/billing-active",
+        taxon=Taxon.ACTIVE,
+        seed=20230707,
+        vendor="mysql",
+        duration_months=72,
+        start=Month(2011, 3),
+    )
+    project = generate_project(spec, profile_for(Taxon.ACTIVE))
+    history = mine_project(project.repository).schema_history
+
+    summary = replay_burden(
+        history, name=project.name, n_queries=20, seed=99
+    )
+
+    print(f"Project: {summary.name}")
+    print(
+        f"Schema history: {history.commit_count} versions, "
+        f"{summary.total_activity} atomic changes"
+    )
+    print(f"Workload: {summary.workload_size} embedded queries\n")
+
+    print("Transition-by-transition impact (active transitions only):")
+    print(f"{'ver':>4} {'activity':>9} {'breaks':>7} "
+          f"{'at-risk':>8} {'drifts':>7}")
+    for burden in summary.transitions:
+        if burden.activity == 0 and burden.affected == 0:
+            continue
+        print(
+            f"{burden.index:>4} {burden.activity:>9} "
+            f"{burden.breaks:>7} {burden.at_risk:>8} {burden.drifts:>7}"
+        )
+
+    print(
+        f"\nTotals: {summary.total_breaks} breaks, "
+        f"{summary.total_affected} affected query-events"
+    )
+    print(
+        f"Cost factor: {summary.affected_per_change:.2f} affected "
+        "queries per atomic schema change"
+    )
+    print(
+        "(compare [28]: ~19 code changes per table addition; "
+        "[24]: 10-100 LoC per atomic change)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: parse two versions of a schema and measure the change.
+
+This is the paper's atomic step: given two subsequent versions of a
+project's DDL file, decompose the transition into attribute-level atomic
+changes and sum them into Total Activity.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.diff import diff_ddl
+from repro.sqlparser import parse_schema
+
+VERSION_1 = """
+-- version 1 of the schema, as committed to git
+CREATE TABLE users (
+  id INT NOT NULL AUTO_INCREMENT,
+  name VARCHAR(40) NOT NULL,
+  email VARCHAR(100),
+  PRIMARY KEY (id)
+) ENGINE=InnoDB;
+
+CREATE TABLE posts (
+  pid INT NOT NULL,
+  body TEXT,
+  PRIMARY KEY (pid)
+);
+"""
+
+VERSION_2 = """
+-- version 2: a type widened, a column dropped, a table added
+CREATE TABLE users (
+  id BIGINT NOT NULL AUTO_INCREMENT,
+  name VARCHAR(40) NOT NULL,
+  PRIMARY KEY (id)
+) ENGINE=InnoDB;
+
+CREATE TABLE posts (
+  pid INT NOT NULL,
+  body TEXT,
+  PRIMARY KEY (pid)
+);
+
+CREATE TABLE tags (
+  tid INT NOT NULL,
+  label VARCHAR(30),
+  PRIMARY KEY (tid)
+);
+"""
+
+
+def main() -> None:
+    schema_v1 = parse_schema(VERSION_1).schema
+    schema_v2 = parse_schema(VERSION_2).schema
+    print(
+        f"v1: {len(schema_v1)} tables, "
+        f"{schema_v1.attribute_count} attributes "
+        f"({schema_v1.dialect} dialect)"
+    )
+    print(
+        f"v2: {len(schema_v2)} tables, "
+        f"{schema_v2.attribute_count} attributes"
+    )
+
+    delta = diff_ddl(VERSION_1, VERSION_2)
+    print("\nAtomic changes of the transition:")
+    for change in delta:
+        print(f"  {change}")
+
+    breakdown = delta.breakdown
+    print(f"\nTotal Activity of this transition: {breakdown.total}")
+    for key, value in breakdown.as_dict().items():
+        if key != "total" and value:
+            print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — joint source and schema co-evolution study toolkit.
+
+A from-scratch reproduction of "Joint Source and Schema Evolution:
+Insights from a Study of 195 FOSS Projects" (EDBT 2023): SQL DDL
+parsing, Hecate-style schema diffing, git-log mining, monthly
+heartbeats, the paper's co-evolution measures (θ-synchronicity, schema
+advance, α-attainment), the taxa of [33], a calibrated synthetic corpus
+generator, and the statistics of §7 — plus change-impact and
+co-evolution-patching extensions.
+
+Typical entry points::
+
+    from repro.analysis import canonical_study
+    study = canonical_study()          # the 195-project study
+    print(study.headline())
+
+    from repro.diff import diff_ddl
+    delta = diff_ddl(old_sql, new_sql)  # attribute-level atomic changes
+"""
+
+from .coevolution import (
+    CoevolutionMeasures,
+    JointProgress,
+    attainment_fraction,
+    theta_synchronicity,
+)
+from .diff import ActivityBreakdown, ChangeKind, SchemaDelta, diff_ddl
+from .heartbeat import Heartbeat, Month
+from .schema import Attribute, Schema, Table, normalize_type
+from .sqlparser import parse_schema, parse_table
+from .taxa import Taxon, classify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActivityBreakdown",
+    "Attribute",
+    "ChangeKind",
+    "CoevolutionMeasures",
+    "Heartbeat",
+    "JointProgress",
+    "Month",
+    "Schema",
+    "SchemaDelta",
+    "Table",
+    "Taxon",
+    "attainment_fraction",
+    "classify",
+    "diff_ddl",
+    "normalize_type",
+    "parse_schema",
+    "parse_table",
+    "theta_synchronicity",
+    "__version__",
+]

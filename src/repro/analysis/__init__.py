@@ -1,0 +1,108 @@
+"""The study driver and the computations behind every figure/table."""
+
+from .authors import AuthorStats, author_stats
+from .burden import BurdenSummary, TransitionBurden, replay_burden
+from .cochange import (
+    CoChangeStats,
+    CorpusCoChange,
+    cochange_stats,
+    corpus_cochange,
+)
+from .compare import (
+    COMPARED_MEASURES,
+    MeasureComparison,
+    StudyComparison,
+    compare_studies,
+)
+from .drilldown import (
+    DEFAULT_DURATION_BANDS,
+    DurationBandSummary,
+    TaxonSummary,
+    duration_band_summaries,
+    taxon_summaries,
+)
+from .figures import (
+    LIFE_RANGE_EDGES,
+    LIFE_RANGE_LABELS,
+    AdvanceTable,
+    AdvanceTableRow,
+    AlwaysAdvance,
+    AlwaysAdvanceRow,
+    AttainmentBreakdown,
+    ScatterPoint,
+    SyncHistogram,
+    fig4_sync_histogram,
+    fig5_duration_scatter,
+    fig6_advance_table,
+    fig7_always_advance,
+    fig8_attainment,
+    long_life_sync_band,
+)
+from .measures import ProjectMeasures, analyze_project
+from .sensitivity import (
+    ChrononComparison,
+    SeedSpread,
+    chronon_sensitivity,
+    coarse_joint,
+    seed_sensitivity,
+)
+from .statistics import (
+    LagTest,
+    StatisticsReport,
+    TaxonEffect,
+    sec7_statistics,
+)
+from .study import StudyResult, canonical_study, run_study
+from .survival import SchemaSurvival, schema_survival
+
+__all__ = [
+    "AuthorStats",
+    "author_stats",
+    "BurdenSummary",
+    "TransitionBurden",
+    "replay_burden",
+    "CoChangeStats",
+    "CorpusCoChange",
+    "LIFE_RANGE_EDGES",
+    "cochange_stats",
+    "corpus_cochange",
+    "DEFAULT_DURATION_BANDS",
+    "DurationBandSummary",
+    "TaxonSummary",
+    "duration_band_summaries",
+    "taxon_summaries",
+    "ChrononComparison",
+    "SeedSpread",
+    "chronon_sensitivity",
+    "coarse_joint",
+    "seed_sensitivity",
+    "LIFE_RANGE_LABELS",
+    "AdvanceTable",
+    "AdvanceTableRow",
+    "AlwaysAdvance",
+    "AlwaysAdvanceRow",
+    "AttainmentBreakdown",
+    "LagTest",
+    "ProjectMeasures",
+    "ScatterPoint",
+    "StatisticsReport",
+    "StudyResult",
+    "SyncHistogram",
+    "TaxonEffect",
+    "analyze_project",
+    "canonical_study",
+    "fig4_sync_histogram",
+    "fig5_duration_scatter",
+    "fig6_advance_table",
+    "fig7_always_advance",
+    "fig8_attainment",
+    "long_life_sync_band",
+    "run_study",
+    "SchemaSurvival",
+    "schema_survival",
+    "COMPARED_MEASURES",
+    "MeasureComparison",
+    "StudyComparison",
+    "compare_studies",
+    "sec7_statistics",
+]

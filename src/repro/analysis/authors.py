@@ -1,0 +1,66 @@
+"""Author-concentration analysis.
+
+§3.3's case study observes that "90% of the studied updates were
+performed by the same developer".  This module measures developer
+concentration per project from the commit log: the top author's share
+of commits and of file updates, and whether schema commits are more
+concentrated than source commits (the "schema owner" phenomenon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vcs import Repository
+
+
+@dataclass(frozen=True)
+class AuthorStats:
+    """Developer concentration of one project."""
+
+    authors: int
+    top_author: str
+    top_commit_share: float
+    top_update_share: float
+    schema_top_share: float | None  # None when no schema commits
+
+    @property
+    def single_maintainer(self) -> bool:
+        """The §3.3 pattern: one developer dominates (≥ 80%)."""
+        return self.top_commit_share >= 0.8
+
+
+def author_stats(repo: Repository, ddl_path: str | None = None) -> AuthorStats:
+    """Measure author concentration from a repository's commits."""
+    if not repo.commits:
+        raise ValueError(f"{repo.name}: no commits")
+    commits_by_author: dict[str, int] = {}
+    updates_by_author: dict[str, int] = {}
+    schema_by_author: dict[str, int] = {}
+    for commit in repo.commits:
+        author = commit.author or "unknown"
+        commits_by_author[author] = commits_by_author.get(author, 0) + 1
+        updates_by_author[author] = (
+            updates_by_author.get(author, 0) + commit.files_updated
+        )
+        if ddl_path is not None and commit.touches(ddl_path):
+            schema_by_author[author] = schema_by_author.get(author, 0) + 1
+
+    total_commits = sum(commits_by_author.values())
+    total_updates = sum(updates_by_author.values()) or 1
+    top_author = max(commits_by_author, key=commits_by_author.get)
+
+    schema_top_share = None
+    if schema_by_author:
+        schema_total = sum(schema_by_author.values())
+        schema_top_share = max(schema_by_author.values()) / schema_total
+
+    return AuthorStats(
+        authors=len(commits_by_author),
+        top_author=top_author,
+        top_commit_share=commits_by_author[top_author] / total_commits,
+        top_update_share=(
+            updates_by_author.get(top_author, 0) / total_updates
+        ),
+        schema_top_share=schema_top_share,
+    )

@@ -1,0 +1,121 @@
+"""Co-change analysis: do schema commits carry source changes?
+
+§3.3 of the paper studies "the commits to the source code in a small
+window of changes before and after" schema commits, and [24] reports
+that "only half of the software changes accompanied the schema change in
+the same revision and only 16% of the cases showed an adaptation of the
+code in prior or subsequent versions".  This module measures exactly
+that on a repository: for every *active* schema commit, whether source
+files changed in the same commit, and whether source-only commits exist
+within a ±k-commit window around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vcs import Repository
+
+
+@dataclass(frozen=True)
+class CoChangeStats:
+    """Co-change behaviour of one project's schema commits."""
+
+    schema_commits: int
+    same_commit: int
+    in_window: int
+    window: int
+
+    @property
+    def same_commit_rate(self) -> float:
+        if self.schema_commits == 0:
+            raise ValueError("no schema commits to rate")
+        return self.same_commit / self.schema_commits
+
+    @property
+    def window_rate(self) -> float:
+        """Rate of schema commits with *any* nearby source adaptation
+        (same commit or within the window)."""
+        if self.schema_commits == 0:
+            raise ValueError("no schema commits to rate")
+        return self.in_window / self.schema_commits
+
+
+def cochange_stats(
+    repo: Repository,
+    ddl_path: str,
+    *,
+    window: int = 2,
+    active_shas: set[str] | None = None,
+) -> CoChangeStats:
+    """Measure source co-change around the DDL file's commits.
+
+    Args:
+        repo: the project history.
+        ddl_path: the schema file path.
+        window: how many commits before/after count as "nearby".
+        active_shas: restrict to these commits (e.g. the logically
+            active schema commits); all touching commits by default.
+    """
+    commits = repo.commits
+    schema_indices = [
+        i for i, commit in enumerate(commits)
+        if commit.touches(ddl_path)
+        and (active_shas is None or commit.sha in active_shas)
+    ]
+
+    def has_source_changes(index: int) -> bool:
+        return any(
+            change.path != ddl_path for change in commits[index].changes
+        )
+
+    same = 0
+    nearby = 0
+    for index in schema_indices:
+        in_same = has_source_changes(index)
+        if in_same:
+            same += 1
+        lo = max(0, index - window)
+        hi = min(len(commits) - 1, index + window)
+        if in_same or any(
+            has_source_changes(j) for j in range(lo, hi + 1) if j != index
+        ):
+            nearby += 1
+    return CoChangeStats(
+        schema_commits=len(schema_indices),
+        same_commit=same,
+        in_window=nearby,
+        window=window,
+    )
+
+
+@dataclass(frozen=True)
+class CorpusCoChange:
+    """Co-change aggregates over a whole corpus."""
+
+    projects: int
+    mean_same_commit_rate: float
+    mean_window_rate: float
+    window: int
+
+
+def corpus_cochange(
+    repos: list[tuple[Repository, str]], *, window: int = 2
+) -> CorpusCoChange:
+    """Aggregate co-change rates over (repository, ddl_path) pairs."""
+    same_rates = []
+    window_rates = []
+    for repo, ddl_path in repos:
+        stats = cochange_stats(repo, ddl_path, window=window)
+        if stats.schema_commits == 0:
+            continue
+        same_rates.append(stats.same_commit_rate)
+        window_rates.append(stats.window_rate)
+    if not same_rates:
+        raise ValueError("no projects with schema commits")
+    return CorpusCoChange(
+        projects=len(same_rates),
+        mean_same_commit_rate=sum(same_rates) / len(same_rates),
+        mean_window_rate=sum(window_rates) / len(window_rates),
+        window=window,
+    )

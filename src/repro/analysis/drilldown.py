@@ -1,0 +1,110 @@
+"""Per-taxon and per-duration-band drill-downs.
+
+§4's Fig. 5 reading (long-lived projects gravitate to mid-range
+synchronicity), §5.2's taxon breakdown and §7's median tables all slice
+the measures by taxon or duration.  This module computes those slices
+as reusable summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..stats import median
+from ..taxa import TAXA_ORDER, Taxon
+from .measures import ProjectMeasures
+
+
+@dataclass(frozen=True)
+class TaxonSummary:
+    """The per-taxon medians the paper discusses."""
+
+    taxon: Taxon
+    count: int
+    median_sync10: float
+    median_attainment75: float
+    median_duration: float
+    median_schema_activity: float
+    always_both_rate: float
+
+
+def taxon_summaries(
+    projects: list[ProjectMeasures],
+) -> list[TaxonSummary]:
+    """One summary row per (populated) taxon, in canonical order."""
+    rows: list[TaxonSummary] = []
+    for taxon in TAXA_ORDER:
+        group = [p for p in projects if p.taxon is taxon]
+        if not group:
+            continue
+        rows.append(
+            TaxonSummary(
+                taxon=taxon,
+                count=len(group),
+                median_sync10=median([p.sync10 for p in group]),
+                median_attainment75=median(
+                    [p.attainment(0.75) for p in group]
+                ),
+                median_duration=median(
+                    [p.duration_months for p in group]
+                ),
+                median_schema_activity=median(
+                    [p.schema_total_activity for p in group]
+                ),
+                always_both_rate=sum(
+                    p.coevolution.always_over_both for p in group
+                ) / len(group),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class DurationBandSummary:
+    """Synchronicity behaviour within one duration band (Fig. 5)."""
+
+    label: str
+    low_months: int
+    high_months: int | None  # None = open-ended
+    count: int
+    median_sync10: float
+    min_sync10: float
+    max_sync10: float
+    high_sync_rate: float  # share with sync >= 0.8
+
+
+#: The paper's reading bands: the all-behaviours box and the 5-year tail.
+DEFAULT_DURATION_BANDS = ((0, 24), (24, 60), (60, None))
+
+
+def duration_band_summaries(
+    projects: list[ProjectMeasures],
+    *,
+    bands: tuple = DEFAULT_DURATION_BANDS,
+) -> list[DurationBandSummary]:
+    """Synchronicity summaries per duration band."""
+    rows: list[DurationBandSummary] = []
+    for low, high in bands:
+        group = [
+            p for p in projects
+            if p.duration_months > low
+            and (high is None or p.duration_months <= high)
+        ]
+        if not group:
+            continue
+        syncs = [p.sync10 for p in group]
+        label = f"{low}-{high}mo" if high is not None else f">{low}mo"
+        rows.append(
+            DurationBandSummary(
+                label=label,
+                low_months=low,
+                high_months=high,
+                count=len(group),
+                median_sync10=median(syncs),
+                min_sync10=min(syncs),
+                max_sync10=max(syncs),
+                high_sync_rate=sum(1 for s in syncs if s >= 0.8)
+                / len(syncs),
+            )
+        )
+    return rows

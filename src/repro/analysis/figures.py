@@ -1,0 +1,292 @@
+"""Computations behind every figure and table of the paper.
+
+Each function takes the list of per-project measures and returns a plain
+result object that the report renderers (and the benchmarks) print.
+Figure/table numbering follows the paper:
+
+* Fig. 4 — histogram of projects per 10%-synchronicity bucket;
+* Fig. 5 — scatter of duration vs synchronicity per taxon;
+* Fig. 6 — table of life percentage of schema advance over source/time;
+* Fig. 7 — per-taxon counts of schema always in advance;
+* Fig. 8 — attainment of α of schema activity per life range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..stats import Bucket, bucket_counts, buckets_from_edges, equal_buckets
+from ..taxa import TAXA_ORDER, Taxon
+from .measures import ProjectMeasures
+
+#: Life ranges of Fig. 8 (fractions of project lifetime).
+LIFE_RANGE_EDGES = (0.0, 0.2, 0.5, 0.8, 1.0)
+LIFE_RANGE_LABELS = ("0-20%", "20%-50%", "50%-80%", "80%-100%")
+
+
+# ------------------------------------------------------------------ Fig 4
+
+
+@dataclass(frozen=True)
+class SyncHistogram:
+    """Fig. 4: breakdown of projects per θ-synchronicity value range."""
+
+    theta: float
+    buckets: tuple[Bucket, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def hand_in_hand_count(self) -> int:
+        """Projects in the top bucket — 'hand-in-hand' co-evolution."""
+        return self.counts[-1]
+
+
+def fig4_sync_histogram(
+    projects: list[ProjectMeasures], *, theta: float = 0.10
+) -> SyncHistogram:
+    """Fig. 4: bucket the corpus by θ-synchronicity (five 20% buckets)."""
+    from ..coevolution import theta_synchronicity
+
+    buckets = tuple(equal_buckets(5))
+    values = [
+        p.coevolution.sync.get(theta)
+        if theta in p.coevolution.sync
+        else theta_synchronicity(p.joint, theta)
+        for p in projects
+    ]
+    counts, blanks = bucket_counts(values, buckets)
+    assert blanks == 0  # synchronicity is defined for every project
+    return SyncHistogram(
+        theta=theta, buckets=buckets, counts=tuple(counts)
+    )
+
+
+# ------------------------------------------------------------------ Fig 5
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    duration_months: int
+    synchronicity: float
+    taxon: Taxon
+
+
+def fig5_duration_scatter(
+    projects: list[ProjectMeasures], *, theta: float = 0.10
+) -> list[ScatterPoint]:
+    """Fig. 5: (duration, θ-synchronicity, taxon) per project."""
+    from ..coevolution import theta_synchronicity
+
+    return [
+        ScatterPoint(
+            p.duration_months,
+            p.coevolution.sync[theta]
+            if theta in p.coevolution.sync
+            else theta_synchronicity(p.joint, theta),
+            p.taxon,
+        )
+        for p in projects
+    ]
+
+
+def long_life_sync_band(
+    points: list[ScatterPoint], *, duration_threshold: int = 60
+) -> tuple[float, float]:
+    """Sync range of the long-lived projects (the §4 empty-space claim).
+
+    Returns ``(min, max)`` synchronicity among projects older than the
+    threshold; the paper observes this band avoids the extremes.
+    """
+    old = [p.synchronicity for p in points
+           if p.duration_months > duration_threshold]
+    if not old:
+        raise ValueError("no projects above the duration threshold")
+    return min(old), max(old)
+
+
+# ------------------------------------------------------------------ Fig 6
+
+
+@dataclass(frozen=True)
+class AdvanceTableRow:
+    """One value-range row of Fig. 6."""
+
+    label: str
+    source_count: int
+    source_pct: float
+    source_cum_pct: float
+    time_count: int
+    time_pct: float
+    time_cum_pct: float
+
+
+@dataclass
+class AdvanceTable:
+    """Fig. 6: life percentage of schema advance over source and time."""
+
+    rows: list[AdvanceTableRow] = field(default_factory=list)
+    blank_source: int = 0
+    blank_time: int = 0
+    total: int = 0
+
+    def row(self, label: str) -> AdvanceTableRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(label)
+
+
+def fig6_advance_table(projects: list[ProjectMeasures]) -> AdvanceTable:
+    """Ten 10%-wide ranges, high to low, plus the "(blank)" row."""
+    buckets = buckets_from_edges([i / 10 for i in range(11)])
+    source_values = [p.coevolution.advance_over_source for p in projects]
+    time_values = [p.coevolution.advance_over_time for p in projects]
+    source_counts, source_blanks = bucket_counts(source_values, buckets)
+    time_counts, time_blanks = bucket_counts(time_values, buckets)
+
+    table = AdvanceTable(
+        blank_source=source_blanks,
+        blank_time=time_blanks,
+        total=len(projects),
+    )
+    n = len(projects)
+    source_cum = 0
+    time_cum = 0
+    for i in reversed(range(len(buckets))):  # 0.9-1.0 first
+        source_cum += source_counts[i]
+        time_cum += time_counts[i]
+        table.rows.append(
+            AdvanceTableRow(
+                label=buckets[i].label,
+                source_count=source_counts[i],
+                source_pct=source_counts[i] / n,
+                source_cum_pct=source_cum / n,
+                time_count=time_counts[i],
+                time_pct=time_counts[i] / n,
+                time_cum_pct=time_cum / n,
+            )
+        )
+    return table
+
+
+# ------------------------------------------------------------------ Fig 7
+
+
+@dataclass(frozen=True)
+class AlwaysAdvanceRow:
+    taxon: Taxon
+    total: int
+    over_time: int
+    over_source: int
+    over_both: int
+
+
+@dataclass(frozen=True)
+class AlwaysAdvance:
+    """Fig. 7 (and the §5.2 totals): schema always in advance."""
+
+    rows: tuple[AlwaysAdvanceRow, ...]
+
+    @property
+    def total_over_time(self) -> int:
+        return sum(r.over_time for r in self.rows)
+
+    @property
+    def total_over_source(self) -> int:
+        return sum(r.over_source for r in self.rows)
+
+    @property
+    def total_over_both(self) -> int:
+        return sum(r.over_both for r in self.rows)
+
+    @property
+    def total(self) -> int:
+        return sum(r.total for r in self.rows)
+
+    def row(self, taxon: Taxon) -> AlwaysAdvanceRow:
+        for r in self.rows:
+            if r.taxon is taxon:
+                return r
+        raise KeyError(taxon)
+
+
+def fig7_always_advance(projects: list[ProjectMeasures]) -> AlwaysAdvance:
+    """Fig. 7: per-taxon counts of schema always in advance."""
+    rows = []
+    for taxon in TAXA_ORDER:
+        group = [p for p in projects if p.taxon is taxon]
+        rows.append(
+            AlwaysAdvanceRow(
+                taxon=taxon,
+                total=len(group),
+                over_time=sum(
+                    p.coevolution.always_over_time for p in group
+                ),
+                over_source=sum(
+                    p.coevolution.always_over_source for p in group
+                ),
+                over_both=sum(
+                    p.coevolution.always_over_both for p in group
+                ),
+            )
+        )
+    return AlwaysAdvance(rows=tuple(rows))
+
+
+# ------------------------------------------------------------------ Fig 8
+
+
+@dataclass(frozen=True)
+class AttainmentBreakdown:
+    """Fig. 8: projects per (α completion level, life range) cell."""
+
+    alphas: tuple[float, ...]
+    range_labels: tuple[str, ...]
+    counts: dict[float, tuple[int, ...]]
+
+    def count(self, alpha: float, range_index: int) -> int:
+        return self.counts[alpha][range_index]
+
+    def early_count(self, alpha: float) -> int:
+        """Projects attaining α within the first 20% of life."""
+        return self.counts[alpha][0]
+
+    def late_count(self, alpha: float) -> int:
+        """Projects attaining α only after 80% of life."""
+        return self.counts[alpha][-1]
+
+
+def fig8_attainment(
+    projects: list[ProjectMeasures],
+    *,
+    alphas: tuple[float, ...] = (0.50, 0.75, 0.80, 1.00),
+) -> AttainmentBreakdown:
+    """Fig. 8: count projects per (α completion level, life range)."""
+    buckets = buckets_from_edges(list(LIFE_RANGE_EDGES))
+    # attainment fractions lie in (0, 1]; make every non-final bucket
+    # closed on the right so "within the first 20%" includes 0.2 exactly
+    closed = [
+        Bucket(b.low, b.high, closed_high=True) for b in buckets[:-1]
+    ]
+
+    def locate(value: float) -> int:
+        for i, bucket in enumerate(closed):
+            if value in bucket:
+                return i
+        return len(closed)  # the last, open-ended range
+
+    counts: dict[float, tuple[int, ...]] = {}
+    for alpha in alphas:
+        cells = [0] * (len(closed) + 1)
+        for p in projects:
+            cells[locate(p.attainment(alpha))] += 1
+        counts[alpha] = tuple(cells)
+    return AttainmentBreakdown(
+        alphas=tuple(alphas),
+        range_labels=LIFE_RANGE_LABELS,
+        counts=counts,
+    )

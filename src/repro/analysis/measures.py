@@ -1,0 +1,73 @@
+"""Per-project study measures.
+
+One :class:`ProjectMeasures` row per project: identity, classified taxon,
+heartbeat aggregates and the full set of co-evolution measures.  This is
+the study's unit of analysis; figure computations aggregate over lists of
+these rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..coevolution import CoevolutionMeasures, JointProgress
+from ..heartbeat import ZeroTotalError
+from ..mining import ProjectHistory
+from ..taxa import Taxon, TaxonThresholds, classify
+
+
+@dataclass
+class ProjectMeasures:
+    """Everything the study records about one project."""
+
+    name: str
+    taxon: Taxon
+    duration_months: int
+    schema_total_activity: float
+    project_total_updates: float
+    schema_commits: int
+    active_schema_commits: int
+    coevolution: CoevolutionMeasures
+    joint: JointProgress
+    true_taxon: Taxon | None = None
+
+    @property
+    def sync10(self) -> float:
+        return self.coevolution.sync[0.10]
+
+    @property
+    def sync5(self) -> float:
+        return self.coevolution.sync[0.05]
+
+    def attainment(self, alpha: float) -> float:
+        return self.coevolution.attainment[alpha]
+
+
+def analyze_project(
+    history: ProjectHistory,
+    *,
+    true_taxon: Taxon | None = None,
+    thresholds: TaxonThresholds = TaxonThresholds(),
+) -> ProjectMeasures:
+    """Compute the full measure row for one mined project.
+
+    Raises:
+        ZeroTotalError: for histories with no activity on either
+            heartbeat (these cannot enter the study at all; the dataset's
+            elicitation rules exclude them up front).
+    """
+    joint = history.joint_progress()
+    coevolution = CoevolutionMeasures.of(joint)
+    taxon = classify(history.schema_heartbeat, thresholds=thresholds)
+    return ProjectMeasures(
+        name=history.name,
+        taxon=taxon,
+        duration_months=joint.n_points,
+        schema_total_activity=history.schema_heartbeat.total,
+        project_total_updates=history.project_heartbeat.total,
+        schema_commits=history.schema_history.commit_count,
+        active_schema_commits=history.schema_history.active_commit_count,
+        coevolution=coevolution,
+        joint=joint,
+        true_taxon=true_taxon,
+    )

@@ -1,0 +1,124 @@
+"""The study driver: corpus → measures → every figure and finding.
+
+``run_study`` is the one-call entry point used by the CLI, the examples
+and every benchmark: it mines each repository, computes the per-project
+measures and exposes the figure computations plus the headline numbers
+quoted in §4–§6 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable
+
+from ..corpus import DEFAULT_SEED, GeneratedProject, generate_corpus
+from ..heartbeat import ZeroTotalError
+from ..mining import mine_project
+from ..taxa import Taxon
+from .figures import (
+    AdvanceTable,
+    AlwaysAdvance,
+    AttainmentBreakdown,
+    SyncHistogram,
+    fig4_sync_histogram,
+    fig5_duration_scatter,
+    fig6_advance_table,
+    fig7_always_advance,
+    fig8_attainment,
+)
+from .measures import ProjectMeasures, analyze_project
+from .statistics import StatisticsReport, sec7_statistics
+
+
+@dataclass
+class StudyResult:
+    """All per-project rows plus lazy access to figures and statistics."""
+
+    projects: list[ProjectMeasures]
+    skipped: list[str]
+
+    def __len__(self) -> int:
+        return len(self.projects)
+
+    # figures -----------------------------------------------------------
+    def fig4(self, *, theta: float = 0.10) -> SyncHistogram:
+        return fig4_sync_histogram(self.projects, theta=theta)
+
+    def fig5(self, *, theta: float = 0.10):
+        return fig5_duration_scatter(self.projects, theta=theta)
+
+    def fig6(self) -> AdvanceTable:
+        return fig6_advance_table(self.projects)
+
+    def fig7(self) -> AlwaysAdvance:
+        return fig7_always_advance(self.projects)
+
+    def fig8(self, **kwargs) -> AttainmentBreakdown:
+        return fig8_attainment(self.projects, **kwargs)
+
+    def statistics(self) -> StatisticsReport:
+        return sec7_statistics(self.projects)
+
+    # headline numbers ---------------------------------------------------
+    def headline(self) -> dict[str, float]:
+        """The headline findings quoted in the abstract and §4–§6."""
+        n = len(self.projects)
+        fig8 = self.fig8()
+        fig7 = self.fig7()
+        fig4 = self.fig4()
+        att100 = fig8.counts[1.00]
+        return {
+            "projects": n,
+            "blanks": sum(
+                1 for p in self.projects
+                if p.coevolution.advance_over_source is None
+            ),
+            "hand_in_hand": fig4.hand_in_hand_count,
+            "always_over_time": fig7.total_over_time,
+            "always_over_source": fig7.total_over_source,
+            "always_over_both": fig7.total_over_both,
+            "attain75_first20": fig8.early_count(0.75),
+            "attain75_after80": fig8.late_count(0.75),
+            "attain80_first20": fig8.early_count(0.80),
+            "attain80_first50": (
+                fig8.count(0.80, 0) + fig8.count(0.80, 1)
+            ),
+            "attain100_first20": att100[0],
+            "attain100_first50": att100[0] + att100[1],
+            "attain100_after80": att100[-1],
+            "advance_src_ge_half": sum(
+                1 for p in self.projects
+                if p.coevolution.advance_over_source is not None
+                and p.coevolution.advance_over_source >= 0.5
+            ),
+            "advance_time_ge_half": sum(
+                1 for p in self.projects
+                if p.coevolution.advance_over_time is not None
+                and p.coevolution.advance_over_time >= 0.5
+            ),
+        }
+
+    def by_taxon(self, taxon: Taxon) -> list[ProjectMeasures]:
+        return [p for p in self.projects if p.taxon is taxon]
+
+
+def run_study(corpus: Iterable[GeneratedProject]) -> StudyResult:
+    """Mine and measure every project of a (generated) corpus."""
+    rows: list[ProjectMeasures] = []
+    skipped: list[str] = []
+    for project in corpus:
+        history = mine_project(project.repository)
+        try:
+            rows.append(
+                analyze_project(history, true_taxon=project.true_taxon)
+            )
+        except ZeroTotalError:
+            skipped.append(project.name)
+    return StudyResult(projects=rows, skipped=skipped)
+
+
+@lru_cache(maxsize=4)
+def canonical_study(seed: int = DEFAULT_SEED) -> StudyResult:
+    """The study over the canonical 195-project corpus (memoised)."""
+    return run_study(generate_corpus(seed=seed))

@@ -1,0 +1,71 @@
+"""Survival analysis of schema evolution: when do schemata go quiet?
+
+"Gravitation to rigidity" says schemata stop evolving early.  Framed as
+survival: the *event* is the last post-initial logical change of the
+schema; the survival time is the fraction of the project's life at
+which it occurs.  Projects whose schema was still changing inside the
+final observation window are right-censored (we cannot know when —  or
+whether — they would have stopped).  The Kaplan–Meier curve over the
+corpus gives the cleanest single picture of rigidity: S(t) = the share
+of schemata still evolving after life-fraction t.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..stats.survival import Observation, SurvivalCurve, kaplan_meier
+from .measures import ProjectMeasures
+
+
+@dataclass(frozen=True)
+class SchemaSurvival:
+    """The corpus-level survival picture of schema activity."""
+
+    curve: SurvivalCurve
+    censored: int
+    never_evolved: int
+
+    def share_quiet_by(self, life_fraction: float) -> float:
+        """Share of schemata whose evolution had ended by this point."""
+        return 1 - self.curve.survival_at(life_fraction)
+
+
+def schema_survival(
+    projects: list[ProjectMeasures],
+    *,
+    censor_window: float = 0.9,
+) -> SchemaSurvival:
+    """Kaplan–Meier over the last-change timepoints of the corpus.
+
+    Args:
+        projects: the study's measure rows.
+        censor_window: a schema whose last change falls after this
+            fraction of life is treated as right-censored at that point
+            (it was still evolving when observation effectively ended).
+
+    Projects with no post-initial evolution at all (the 100%-attainment
+    happens at the initiating commit) are excluded from the curve and
+    reported separately — they never entered the "evolving" state.
+    """
+    observations = []
+    never = 0
+    censored = 0
+    for project in projects:
+        last_change = project.attainment(1.0)
+        first_possible = 1 / project.duration_months
+        if last_change <= first_possible:
+            never += 1
+            continue
+        if last_change >= censor_window:
+            observations.append(Observation(last_change, event=False))
+            censored += 1
+        else:
+            observations.append(Observation(last_change, event=True))
+    if not observations:
+        raise ValueError("no evolving projects to analyse")
+    return SchemaSurvival(
+        curve=kaplan_meier(observations),
+        censored=censored,
+        never_evolved=never,
+    )

@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-study generate --out DIR [--seed N]     # build + save a corpus
+    repro-study study [--seed N | --corpus DIR]   # run the full study
+               [--figure all|4|5|6|7|8|stats] [--csv PATH]
+    repro-study report --out report.md            # Markdown study report
+    repro-study case NAME [--seed N]              # one project's diagram
+    repro-study diff OLD.sql NEW.sql              # atomic changes
+    repro-study impact OLD.sql NEW.sql SRC...     # change impact
+    repro-study validate SCHEMA.sql SRC...        # query validation
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Joint source and schema co-evolution study toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a corpus and save it to disk"
+    )
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--seed", type=int, default=None)
+
+    study = sub.add_parser("study", help="run the full study")
+    study.add_argument("--seed", type=int, default=None)
+    study.add_argument(
+        "--corpus", default=None, help="load a saved corpus instead"
+    )
+    study.add_argument(
+        "--figure",
+        default="all",
+        choices=["all", "4", "5", "6", "7", "8", "stats", "headline"],
+    )
+    study.add_argument("--csv", default=None, help="export measures CSV")
+
+    report = sub.add_parser(
+        "report", help="write a full Markdown study report"
+    )
+    report.add_argument("--out", required=True, help="output path")
+    report.add_argument(
+        "--format",
+        default="markdown",
+        choices=["markdown", "html"],
+        help="report format (default: markdown)",
+    )
+    report.add_argument("--seed", type=int, default=None)
+    report.add_argument(
+        "--corpus", default=None, help="load a saved corpus instead"
+    )
+
+    case = sub.add_parser("case", help="show one project's joint progress")
+    case.add_argument("name", help="project name (or a unique substring)")
+    case.add_argument("--seed", type=int, default=None)
+
+    diff = sub.add_parser("diff", help="diff two DDL files")
+    diff.add_argument("old")
+    diff.add_argument("new")
+
+    impact = sub.add_parser(
+        "impact", help="impact of a schema change on source files"
+    )
+    impact.add_argument("old")
+    impact.add_argument("new")
+    impact.add_argument("sources", nargs="+")
+
+    validate = sub.add_parser(
+        "validate", help="validate embedded queries against a schema"
+    )
+    validate.add_argument("schema")
+    validate.add_argument("sources", nargs="+")
+
+    return parser
+
+
+def _get_study(args):
+    from .analysis import canonical_study, run_study
+    from .corpus import DEFAULT_SEED
+
+    if getattr(args, "corpus", None):
+        from .analysis import analyze_project
+        from .analysis.study import StudyResult
+        from .heartbeat import ZeroTotalError
+        from .io import load_corpus
+        from .mining import mine_project
+
+        rows, skipped = [], []
+        for loaded in load_corpus(args.corpus):
+            history = mine_project(loaded.repository)
+            try:
+                rows.append(
+                    analyze_project(history, true_taxon=loaded.true_taxon)
+                )
+            except ZeroTotalError:
+                skipped.append(loaded.name)
+        return StudyResult(projects=rows, skipped=skipped)
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    return canonical_study(seed)
+
+
+def _cmd_generate(args) -> int:
+    from .corpus import DEFAULT_SEED, generate_corpus
+    from .io import save_corpus
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    corpus = generate_corpus(seed=seed)
+    root = save_corpus(corpus, args.out)
+    print(f"wrote {len(corpus)} projects to {root}")
+    return 0
+
+
+def _cmd_study(args) -> int:
+    from .io import export_measures_csv
+    from .report import (
+        render_fig4,
+        render_fig5,
+        render_fig6,
+        render_fig7,
+        render_fig8,
+        render_statistics,
+    )
+
+    study = _get_study(args)
+    want = args.figure
+    blocks: list[str] = []
+    if want in ("all", "headline"):
+        headline = study.headline()
+        blocks.append(
+            "Headline numbers:\n" + "\n".join(
+                f"  {key}: {value}" for key, value in headline.items()
+            )
+        )
+    if want in ("all", "4"):
+        blocks.append(render_fig4(study.fig4()))
+    if want in ("all", "5"):
+        blocks.append(render_fig5(study.fig5()))
+    if want in ("all", "6"):
+        blocks.append(render_fig6(study.fig6()))
+    if want in ("all", "7"):
+        blocks.append(render_fig7(study.fig7()))
+    if want in ("all", "8"):
+        blocks.append(render_fig8(study.fig8()))
+    if want in ("all", "stats"):
+        blocks.append(render_statistics(study.statistics()))
+    print("\n\n".join(blocks))
+    if args.csv:
+        path = export_measures_csv(study, args.csv)
+        print(f"\nmeasures CSV written to {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .report import build_html_report, build_study_report
+
+    study = _get_study(args)
+    if args.format == "html":
+        text = build_html_report(study)
+    else:
+        text = build_study_report(study)
+    path = Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(f"report written to {path} ({len(text)} chars)")
+    return 0
+
+
+def _cmd_case(args) -> int:
+    from .report import render_joint_progress
+
+    study = _get_study(args)
+    matches = [p for p in study.projects if args.name in p.name]
+    if not matches:
+        print(f"no project matching {args.name!r}", file=sys.stderr)
+        return 1
+    project = matches[0]
+    print(
+        render_joint_progress(
+            project.joint,
+            title=(
+                f"{project.name} — taxon {project.taxon.display_name}, "
+                f"{project.duration_months} months"
+            ),
+        )
+    )
+    measures = project.coevolution
+    print(f"\n10%-synchronicity: {project.sync10:.0%}")
+    for alpha in sorted(measures.attainment):
+        print(
+            f"{alpha:.0%}-attainment at "
+            f"{measures.attainment[alpha]:.0%} of life"
+        )
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .diff import diff_ddl
+
+    delta = diff_ddl(Path(args.old).read_text(), Path(args.new).read_text())
+    for change in delta:
+        print(change)
+    breakdown = delta.breakdown
+    print(f"\ntotal activity: {breakdown.total}")
+    for key, value in breakdown.as_dict().items():
+        if key != "total":
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_impact(args) -> int:
+    from .diff import diff_ddl
+    from .querydep import Impact, analyze_impact, extract_from_files
+
+    delta = diff_ddl(Path(args.old).read_text(), Path(args.new).read_text())
+    files = {src: Path(src).read_text() for src in args.sources}
+    queries = extract_from_files(files)
+    report = analyze_impact(queries, delta)
+    print(
+        f"{len(report)} queries, {report.affected_count} affected "
+        f"by {delta.total_activity} atomic changes"
+    )
+    for query_impact in report:
+        if query_impact.impact is Impact.UNAFFECTED:
+            continue
+        query = query_impact.query
+        print(f"\n{query.file}:{query.line} [{query_impact.impact.value}]")
+        print(f"  {query.text.splitlines()[0][:70]}")
+        for reason in query_impact.reasons:
+            print(f"  - {reason}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .querydep import extract_from_files, validate_queries
+    from .sqlparser import parse_schema
+
+    schema = parse_schema(Path(args.schema).read_text()).schema
+    files = {src: Path(src).read_text() for src in args.sources}
+    queries = extract_from_files(files)
+    report = validate_queries(queries, schema)
+    if report.ok:
+        print(f"{len(queries)} queries validate cleanly")
+        return 0
+    for issue in report:
+        print(issue)
+    print(f"\n{len(report)} issues in {len(queries)} queries")
+    return 1
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "study": _cmd_study,
+    "report": _cmd_report,
+    "case": _cmd_case,
+    "diff": _cmd_diff,
+    "impact": _cmd_impact,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Core co-evolution metrics: synchronicity, advance, attainment."""
+
+from .joint import JointProgress
+from .lag import LagProfile, cross_correlation, schema_leads
+from .metrics import (
+    DEFAULT_ALPHAS,
+    DEFAULT_THETAS,
+    CoevolutionMeasures,
+    advance_over_source,
+    advance_over_time,
+    always_in_advance,
+    attainment_fraction,
+    attainment_index,
+    theta_synchronicity,
+)
+
+__all__ = [
+    "DEFAULT_ALPHAS",
+    "DEFAULT_THETAS",
+    "CoevolutionMeasures",
+    "JointProgress",
+    "LagProfile",
+    "cross_correlation",
+    "schema_leads",
+    "advance_over_source",
+    "advance_over_time",
+    "always_in_advance",
+    "attainment_fraction",
+    "attainment_index",
+    "theta_synchronicity",
+]

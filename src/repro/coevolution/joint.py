@@ -1,0 +1,83 @@
+"""Joint cumulative progress of a project, its schema, and time.
+
+A :class:`JointProgress` aligns three monotone series on the project's
+monthly timeline (paper §3.2 and Fig. 1): the cumulative fractional
+project activity, the cumulative fractional schema activity, and the
+cumulative fractional time progress.  All three end at 1.0; the schema
+series is zero before the DDL file exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..heartbeat import Heartbeat, Month, ZeroTotalError, time_progress
+
+
+@dataclass(frozen=True)
+class JointProgress:
+    """The three aligned cumulative fractional series of one project."""
+
+    start: Month
+    project: tuple[float, ...]
+    schema: tuple[float, ...]
+    time: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.project) == len(self.schema) == len(self.time)
+        ):
+            raise ValueError("misaligned joint progress series")
+        if not self.project:
+            raise ValueError("empty joint progress")
+
+    @property
+    def n_points(self) -> int:
+        """Monthly time-points, the project's duration in months."""
+        return len(self.project)
+
+    @property
+    def months(self) -> list[Month]:
+        return [self.start.shift(i) for i in range(self.n_points)]
+
+    @classmethod
+    def from_heartbeats(
+        cls, project: Heartbeat, schema: Heartbeat
+    ) -> "JointProgress":
+        """Align the two heartbeats on their union window and normalise.
+
+        Raises:
+            ZeroTotalError: if either heartbeat has zero total activity
+                (its cumulative fraction is undefined).
+        """
+        start = min(project.start, schema.start)
+        end = max(project.end, schema.end)
+        project_aligned = project.aligned(start, end)
+        schema_aligned = schema.aligned(start, end)
+        n_points = len(project_aligned)
+        return cls(
+            start=start,
+            project=tuple(project_aligned.cumulative_fraction()),
+            schema=tuple(schema_aligned.cumulative_fraction()),
+            time=tuple(time_progress(n_points)),
+        )
+
+    @classmethod
+    def from_series(
+        cls,
+        project: list[float],
+        schema: list[float],
+        *,
+        start: Month = Month(2015, 1),
+    ) -> "JointProgress":
+        """Build directly from cumulative fractional series (for tests)."""
+        return cls(
+            start=start,
+            project=tuple(project),
+            schema=tuple(schema),
+            time=tuple(time_progress(len(project))),
+        )
+
+    def gap(self, index: int) -> float:
+        """Schema-minus-project gap at a time-point (signed)."""
+        return self.schema[index] - self.project[index]

@@ -1,0 +1,146 @@
+"""The co-evolution measures of the paper.
+
+* θ-synchronicity (§4): the fraction of monthly time-points where the
+  cumulative fractional schema and project activities differ by at most θ.
+* life percentage of schema advance over time / source (§5.1): the
+  fraction of the months *after project creation* where the schema's
+  cumulative progression is not behind time / source progression.
+* "always in advance" (§5.2): the above equals 1.0.
+* α-attainment fractional timepoints (§6.1): the fraction of project life
+  at which cumulative schema activity first reaches α.
+
+Measures that are undefined for a project — a life of a single monthly
+time-point leaves no months after creation — are ``None``, the "(blank)"
+rows of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..heartbeat import fraction_of_life
+from .joint import JointProgress
+
+#: The two acceptance bands used in the paper.
+DEFAULT_THETAS = (0.05, 0.10)
+
+#: The completion levels studied in §6.2.
+DEFAULT_ALPHAS = (0.50, 0.75, 0.80, 1.00)
+
+
+def theta_synchronicity(joint: JointProgress, theta: float) -> float:
+    """Fraction of time-points with |project − schema| ≤ θ.
+
+    θ is an acceptance band for "hand-in-hand" co-evolution, not a lag
+    measure; the returned fraction is what quantifies how often the two
+    progressions were close.
+    """
+    if not 0 <= theta <= 1:
+        raise ValueError(f"theta out of [0, 1]: {theta}")
+    close = sum(
+        1
+        for p, s in zip(joint.project, joint.schema)
+        if abs(p - s) <= theta + 1e-12
+    )
+    return close / joint.n_points
+
+
+def advance_over_source(joint: JointProgress) -> float | None:
+    """Life percentage of schema advance over source progression.
+
+    Counts the months after the initiating one where
+    ``schema − project ≥ 0`` and divides by the number of such months.
+    ``None`` when the project's life has no months after creation.
+    """
+    return _advance(joint.schema, joint.project)
+
+
+def advance_over_time(joint: JointProgress) -> float | None:
+    """Life percentage of schema advance over time progression."""
+    return _advance(joint.schema, joint.time)
+
+
+def _advance(
+    schema: tuple[float, ...], other: tuple[float, ...]
+) -> float | None:
+    n_after_creation = len(schema) - 1
+    if n_after_creation <= 0:
+        return None
+    ahead = sum(
+        1
+        for s, o in zip(schema[1:], other[1:])
+        if s - o >= -1e-12
+    )
+    return ahead / n_after_creation
+
+
+def always_in_advance(joint: JointProgress) -> tuple[bool, bool, bool]:
+    """(over time, over source, over both) — each for *all* months.
+
+    Projects with an undefined life percentage are never "always".
+    """
+    over_time = advance_over_time(joint)
+    over_source = advance_over_source(joint)
+    time_always = over_time is not None and over_time >= 1.0
+    source_always = over_source is not None and over_source >= 1.0
+    return time_always, source_always, time_always and source_always
+
+
+def attainment_index(joint: JointProgress, alpha: float) -> int:
+    """First monthly time-point where cumulative schema activity ≥ α."""
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha out of (0, 1]: {alpha}")
+    for index, value in enumerate(joint.schema):
+        if value >= alpha - 1e-12:
+            return index
+    # cumulative fractions end at 1.0, so alpha <= 1 is always reached
+    return joint.n_points - 1
+
+
+def attainment_fraction(joint: JointProgress, alpha: float) -> float:
+    """α-attainment fractional timepoint: fraction of life at attainment."""
+    index = attainment_index(joint, alpha)
+    return fraction_of_life(index, joint.n_points)
+
+
+@dataclass(frozen=True)
+class CoevolutionMeasures:
+    """All per-project measures the study reports.
+
+    ``sync`` maps θ to θ-synchronicity; ``attainment`` maps α to the
+    α-attainment fractional timepoint.  ``advance_over_*`` are ``None``
+    for "(blank)" projects (single-month lives).
+    """
+
+    duration_months: int
+    sync: dict[float, float] = field(default_factory=dict)
+    advance_over_source: float | None = None
+    advance_over_time: float | None = None
+    always_over_time: bool = False
+    always_over_source: bool = False
+    always_over_both: bool = False
+    attainment: dict[float, float] = field(default_factory=dict)
+
+    @classmethod
+    def of(
+        cls,
+        joint: JointProgress,
+        *,
+        thetas: tuple[float, ...] = DEFAULT_THETAS,
+        alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    ) -> "CoevolutionMeasures":
+        over_time, over_source, over_both = always_in_advance(joint)
+        return cls(
+            duration_months=joint.n_points,
+            sync={
+                theta: theta_synchronicity(joint, theta) for theta in thetas
+            },
+            advance_over_source=advance_over_source(joint),
+            advance_over_time=advance_over_time(joint),
+            always_over_time=over_time,
+            always_over_source=over_source,
+            always_over_both=over_both,
+            attainment={
+                alpha: attainment_fraction(joint, alpha) for alpha in alphas
+            },
+        )

@@ -1,0 +1,65 @@
+"""Synthetic corpus: generative models, elicitation, canonical corpus."""
+
+from .calibration import (
+    CALIBRATION_TARGETS,
+    CalibrationOutcome,
+    CalibrationReport,
+    CalibrationTarget,
+    calibration_report,
+)
+from .ddlgen import TableSelector, emit_ddl, random_schema, sample_change_smos
+from .noise import inject_noise, table_names_in
+from .elicitation import (
+    EXCLUDED_PATH_TERMS,
+    ElicitationReport,
+    RepoMetadata,
+    choose_ddl_path,
+    path_is_excluded,
+    screen,
+)
+from .generator import (
+    DEFAULT_SEED,
+    GeneratedProject,
+    ProjectSpec,
+    generate_corpus,
+    generate_project,
+)
+from .scenarios import SCENARIOS, generate_scenario, scenario_profiles
+from .profiles import (
+    CANONICAL_PROFILES,
+    CANONICAL_SIZE,
+    TaxonProfile,
+    profile_for,
+)
+
+__all__ = [
+    "CALIBRATION_TARGETS",
+    "CANONICAL_PROFILES",
+    "CalibrationOutcome",
+    "CalibrationReport",
+    "CalibrationTarget",
+    "calibration_report",
+    "inject_noise",
+    "table_names_in",
+    "CANONICAL_SIZE",
+    "DEFAULT_SEED",
+    "EXCLUDED_PATH_TERMS",
+    "ElicitationReport",
+    "GeneratedProject",
+    "ProjectSpec",
+    "RepoMetadata",
+    "TableSelector",
+    "TaxonProfile",
+    "choose_ddl_path",
+    "emit_ddl",
+    "generate_corpus",
+    "generate_project",
+    "path_is_excluded",
+    "profile_for",
+    "random_schema",
+    "sample_change_smos",
+    "screen",
+    "SCENARIOS",
+    "generate_scenario",
+    "scenario_profiles",
+]

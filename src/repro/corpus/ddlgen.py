@@ -1,0 +1,276 @@
+"""Synthesis and vendor-flavoured emission of schemas.
+
+Two jobs: (a) build a plausible random initial schema; (b) sample SMO
+sequences of a target activity magnitude to evolve it; (c) serialise a
+schema to MySQL- or Postgres-flavoured DDL text, so the downstream
+pipeline exercises the real lexer/parser paths (backticks, ENGINE
+options, SERIAL columns) rather than only the generic emitter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..schema import Attribute, Schema, Table, normalize_type
+from ..smo import (
+    SMO,
+    AddAttribute,
+    ChangeType,
+    CreateTable,
+    DropAttribute,
+    DropTable,
+    SetPrimaryKey,
+)
+from . import names
+
+
+def random_table(
+    rng: random.Random,
+    taken_tables: set[str],
+    *,
+    attrs_lo: int = 3,
+    attrs_hi: int = 10,
+) -> Table:
+    """A fresh table with an ``id`` primary key and random attributes."""
+    name = names.table_name(rng, taken_tables)
+    table = Table(name=name)
+    table.add_attribute(
+        Attribute("id", normalize_type("INT"), nullable=False)
+    )
+    taken_attrs = {"id"}
+    for _ in range(rng.randint(attrs_lo - 1, attrs_hi - 1)):
+        attr_name = names.attribute_name(rng, taken_attrs)
+        taken_attrs.add(attr_name)
+        table.add_attribute(
+            Attribute(
+                attr_name,
+                normalize_type(names.attribute_type(rng)),
+                nullable=rng.random() < 0.7,
+            )
+        )
+    table.primary_key = ("id",)
+    return table
+
+
+def random_schema(
+    rng: random.Random,
+    *,
+    tables_lo: int = 3,
+    tables_hi: int = 12,
+    attrs_lo: int = 3,
+    attrs_hi: int = 10,
+) -> Schema:
+    """A plausible initial schema."""
+    schema = Schema()
+    taken: set[str] = set()
+    for _ in range(rng.randint(tables_lo, tables_hi)):
+        table = random_table(
+            rng, taken, attrs_lo=attrs_lo, attrs_hi=attrs_hi
+        )
+        taken.add(table.name.lower())
+        schema.add_table(table)
+    return schema
+
+
+class TableSelector:
+    """Persistent hot/cold table weighting for a project's lifetime.
+
+    Real schemata concentrate change on a few hot tables ([24]: 60–90%
+    of changes touch 20% of the tables, ~40% never change).  Each table
+    gets a Pareto-distributed weight on first sight; weighted sampling
+    then reproduces that locality across all of a project's commits.
+    """
+
+    def __init__(self, rng: random.Random, *, alpha: float = 0.6):
+        self._rng = rng
+        self._alpha = alpha
+        self._weights: dict[str, float] = {}
+
+    def weight(self, name: str) -> float:
+        key = name.lower()
+        if key not in self._weights:
+            self._weights[key] = self._rng.paretovariate(self._alpha)
+        return self._weights[key]
+
+    def choose(self, names: list[str]) -> str:
+        weights = [self.weight(n) for n in names]
+        return self._rng.choices(names, weights=weights, k=1)[0]
+
+
+def sample_change_smos(
+    schema: Schema,
+    target_activity: int,
+    rng: random.Random,
+    *,
+    table_ops: bool = True,
+    selector: TableSelector | None = None,
+) -> list[SMO]:
+    """SMOs whose measured diff activity is approximately ``target``.
+
+    Operations pick *distinct* targets within one batch so that the
+    per-commit diff activity matches the sum of the operators' intended
+    weights (adding a column and then retyping it in the same commit
+    would be measured as a single injection).  A ``selector`` makes
+    table choice hot/cold-skewed across the project's whole life.
+    """
+    smos: list[SMO] = []
+    state = schema.copy()
+    budget = target_activity
+    touched: set[tuple[str, str]] = set()
+
+    while budget > 0:
+        roll = rng.random()
+        table_names = state.table_names
+        if table_ops and budget >= 4 and roll < 0.22 and table_names:
+            # born table: activity = its attribute count
+            attrs_hi = min(10, max(3, budget))
+            table = random_table(
+                rng,
+                {t.lower() for t in table_names},
+                attrs_lo=min(3, attrs_hi),
+                attrs_hi=attrs_hi,
+            )
+            smo: SMO = CreateTable(table)
+            cost = len(table)
+        elif (
+            table_ops
+            and budget >= 3
+            and roll < 0.32
+            and len(table_names) > 2
+        ):
+            victim = rng.choice(table_names)
+            cost = len(state.table(victim))
+            if cost > budget + 2:
+                continue
+            smo = DropTable(victim)
+        else:
+            smo, cost = _intra_table_op(state, rng, touched, selector)
+            if smo is None:
+                break
+        try:
+            smo.apply(state)
+        except Exception:
+            continue
+        smos.append(smo)
+        budget -= cost
+    return smos
+
+
+def _intra_table_op(
+    state: Schema,
+    rng: random.Random,
+    touched: set[tuple[str, str]],
+    selector: TableSelector | None = None,
+) -> tuple[SMO | None, int]:
+    """One attribute-level operation on a not-yet-touched target."""
+    table_names = state.table_names
+    if not table_names:
+        return None, 0
+    for _ in range(30):
+        if selector is not None:
+            table = state.table(selector.choose(table_names))
+        else:
+            table = state.table(rng.choice(table_names))
+        kind = rng.random()
+        if kind < 0.45:
+            taken = {a.lower() for a in table.attribute_names}
+            attr_name = names.attribute_name(rng, taken)
+            key = (table.key, attr_name.lower())
+            if key in touched:
+                continue
+            touched.add(key)
+            return (
+                AddAttribute(
+                    table.name,
+                    Attribute(
+                        attr_name,
+                        normalize_type(names.attribute_type(rng)),
+                        nullable=rng.random() < 0.7,
+                    ),
+                ),
+                1,
+            )
+        if kind < 0.65 and len(table) > 2:
+            candidates = [
+                a for a in table.attributes
+                if a.key not in table.pk_keys()
+                and (table.key, a.key) not in touched
+            ]
+            if not candidates:
+                continue
+            victim = rng.choice(candidates)
+            touched.add((table.key, victim.key))
+            return DropAttribute(table.name, victim.name), 1
+        if kind < 0.92:
+            candidates = [
+                a for a in table.attributes
+                if (table.key, a.key) not in touched
+            ]
+            if not candidates:
+                continue
+            attr = rng.choice(candidates)
+            touched.add((table.key, attr.key))
+            new_type = names.different_type(rng, str(attr.data_type))
+            return ChangeType(table.name, attr.name, new_type), 1
+        # PK change: move the PK to another column (2 participations);
+        # at most one re-keying per table per commit, and neither the
+        # old nor the new PK column may have been touched already —
+        # otherwise the per-commit diff no longer sees 2 changes
+        non_pk = [
+            a for a in table.attributes if a.key not in table.pk_keys()
+        ]
+        if not non_pk or len(table.primary_key) != 1:
+            continue
+        old_pk_key = next(iter(table.pk_keys()))
+        new_pk = rng.choice(non_pk)
+        pk_marker = (table.key, "__pk__")
+        if (
+            pk_marker in touched
+            or (table.key, new_pk.key) in touched
+            or (table.key, old_pk_key) in touched
+        ):
+            continue
+        touched.add(pk_marker)
+        touched.add((table.key, new_pk.key))
+        touched.add((table.key, old_pk_key))
+        return SetPrimaryKey(table.name, (new_pk.name,)), 2
+    return None, 0
+
+
+def emit_ddl(schema: Schema, vendor: str) -> str:
+    """Serialise a schema with vendor-specific surface syntax.
+
+    MySQL flavour: backtick-quoted identifiers and an ENGINE clause.
+    Postgres flavour: a SET header and unquoted lower-case identifiers.
+    Both re-parse to the same logical schema — the vendor noise exists
+    to exercise the mining pipeline the way real dumps do.
+    """
+    statements: list[str] = []
+    if vendor == "postgres":
+        statements.append("SET client_encoding = 'UTF8';")
+    for table in schema.tables:
+        lines: list[str] = []
+        for attr in table.attributes:
+            name = _ident(attr.name, vendor)
+            line = f"  {name} {attr.data_type.render_sql()}"
+            if not attr.nullable:
+                line += " NOT NULL"
+            if attr.default is not None:
+                line += f" DEFAULT {attr.default}"
+            lines.append(line)
+        if table.primary_key:
+            cols = ", ".join(_ident(c, vendor) for c in table.primary_key)
+            lines.append(f"  PRIMARY KEY ({cols})")
+        body = ",\n".join(lines)
+        suffix = " ENGINE=InnoDB DEFAULT CHARSET=utf8" if vendor == "mysql" else ""
+        statements.append(
+            f"CREATE TABLE {_ident(table.name, vendor)} (\n{body}\n){suffix};"
+        )
+    header = f"-- generated schema ({vendor} dialect)\n\n"
+    return header + "\n\n".join(statements) + "\n"
+
+
+def _ident(name: str, vendor: str) -> str:
+    if vendor == "mysql":
+        return f"`{name}`"
+    return name

@@ -1,0 +1,114 @@
+"""The dataset's project elicitation rules (§3.1 of the paper).
+
+The Schema_Evo_2019 corpus was built in three phases: collection from
+BigQuery (original repos, > 0 stars, > 1 contributor), elicitation
+(single-DDL-file projects, no ``example/demo/test/migrate`` path terms,
+MySQL before Postgres when both exist), and post-processing (at least
+two versions, at least one CREATE TABLE).  This module implements the
+same inclusion logic so candidate repositories — synthetic or real —
+are screened identically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..vcs import Repository
+
+#: Path terms that mark toy or non-primary schemata.
+EXCLUDED_PATH_TERMS = ("example", "demo", "test", "migrate")
+
+#: Vendor preference when a project ships DDL for several (§3.1 phase 2c).
+VENDOR_PREFERENCE = ("mysql", "postgres")
+
+_TERM_RES = [
+    re.compile(rf"(^|[/_\-.]){term}", re.IGNORECASE)
+    for term in EXCLUDED_PATH_TERMS
+]
+
+
+@dataclass(frozen=True)
+class RepoMetadata:
+    """Hosting metadata used by the collection phase."""
+
+    stars: int = 1
+    contributors: int = 2
+    is_fork: bool = False
+
+
+@dataclass
+class ElicitationReport:
+    """Outcome of screening one candidate repository."""
+
+    name: str
+    accepted: bool
+    reasons: list[str] = field(default_factory=list)
+
+
+def path_is_excluded(path: str) -> bool:
+    """True when the path carries an excluded term (``test/x.sql``...)."""
+    return any(pattern.search(path) for pattern in _TERM_RES)
+
+
+def choose_ddl_path(sql_paths: list[str]) -> str | None:
+    """Pick the project's DDL file among candidate .sql paths.
+
+    Excluded-term paths are dropped first; if several remain, a vendor
+    hint in the filename decides by preference order, otherwise the
+    project is not a single-DDL-file project and ``None`` is returned.
+    """
+    candidates = [p for p in sql_paths if not path_is_excluded(p)]
+    if not candidates:
+        return None
+    if len(candidates) == 1:
+        return candidates[0]
+    for vendor in VENDOR_PREFERENCE:
+        hinted = [p for p in candidates if vendor in p.lower()]
+        if len(hinted) == 1:
+            return hinted[0]
+    return None
+
+
+def screen(
+    repo: Repository,
+    metadata: RepoMetadata = RepoMetadata(),
+) -> ElicitationReport:
+    """Apply all three phases' rules to one candidate repository."""
+    report = ElicitationReport(name=repo.name, accepted=True)
+
+    def reject(reason: str) -> None:
+        report.accepted = False
+        report.reasons.append(reason)
+
+    # phase 1: collection criteria
+    if metadata.is_fork:
+        reject("not an original repository")
+    if metadata.stars <= 0:
+        reject("zero stars")
+    if metadata.contributors <= 1:
+        reject("single contributor")
+
+    # phase 2: elicitation
+    sql_paths = sorted(
+        path for path in repo.paths() if path.lower().endswith(".sql")
+    )
+    if not sql_paths:
+        reject("no .sql file")
+        return report
+    ddl_path = choose_ddl_path(sql_paths)
+    if ddl_path is None:
+        reject(f"no single DDL file among {sql_paths}")
+        return report
+
+    # phase 3: post-processing
+    versions = repo.versions_of(ddl_path)
+    if len(versions) < 2:
+        reject(f"fewer than two versions of {ddl_path}")
+    if versions:
+        from ..mining import SchemaHistory
+
+        history = SchemaHistory.from_file_versions(versions)
+        if not history.has_create_table:
+            reject("no CREATE TABLE statement in any version")
+    return report

@@ -1,0 +1,535 @@
+"""The synthetic FOSS-project generator.
+
+For each project, the generator produces the two textual artifacts that
+a real clone yields — ``git log --name-status`` output and the sequence
+of DDL file versions — and then runs them back through the *real*
+parsers to build the :class:`~repro.vcs.Repository`.  Nothing downstream
+can tell a generated project from a mined one; provenance is the only
+difference (see DESIGN.md §2).
+
+The generative story per project:
+
+1. a duration, a change-timing regime, an initial-import share and an
+   optional DDL-file delay are drawn from the taxon profile;
+2. an initial schema is synthesised; schema-changing commits are
+   scheduled over the post-DDL life and realised as SMO batches whose
+   DDL text is re-emitted after every change;
+3. source activity is allocated month-by-month from a Beta-shaped
+   profile, with the initial import taking its share up front and spike
+   months receiving coupled source work;
+4. everything is serialised to git-log text and re-parsed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from ..heartbeat import Month
+from ..taxa import Taxon
+from ..vcs import (
+    Commit,
+    FileChange,
+    FileVersion,
+    Repository,
+    format_git_log,
+    parse_repository,
+    synthetic_sha,
+)
+from . import names
+from .ddlgen import TableSelector, emit_ddl, random_schema, sample_change_smos
+from .noise import inject_noise
+from .profiles import CANONICAL_PROFILES, TaxonProfile
+
+#: Minutes in a generator month (a flat 28-day month keeps dates valid).
+_MINUTES_PER_MONTH = 28 * 24 * 60
+
+_SCHEMA_MESSAGES = (
+    "update schema",
+    "add new tables",
+    "schema: adjust column types",
+    "migrate database structure",
+    "db: drop unused columns",
+)
+_SOURCE_MESSAGES = (
+    "fix bug",
+    "add feature",
+    "refactor module",
+    "update docs and code",
+    "performance tweaks",
+    "cleanup",
+)
+
+
+@dataclass(frozen=True)
+class ProjectSpec:
+    """The sampled identity of one synthetic project."""
+
+    name: str
+    taxon: Taxon
+    seed: int
+    vendor: str
+    duration_months: int
+    start: Month
+    ddl_path: str = "schema.sql"
+
+
+@dataclass
+class GeneratedProject:
+    """A generated project: repository plus generation ground truth."""
+
+    spec: ProjectSpec
+    repository: Repository
+    git_log_text: str
+    ddl_versions: list[str]
+
+    @property
+    def true_taxon(self) -> Taxon:
+        return self.spec.taxon
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+@dataclass
+class _SchemaEvent:
+    month: int
+    magnitude: int  # 0 marks a cosmetic (null) commit
+    is_spike: bool = False
+
+
+@dataclass
+class _PlannedCommit:
+    minute: int  # absolute minutes since project start
+    files: list[FileChange]
+    message: str
+    ddl_text: str | None = None  # set when the commit touches the DDL file
+
+
+class _FilePool:
+    """Tracks the synthetic source files of a project."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._files: list[str] = []
+        self._counter = 0
+
+    def new_file(self) -> str:
+        path = names.source_file(self._rng, self._counter)
+        self._counter += 1
+        self._files.append(path)
+        return path
+
+    def pick_changes(
+        self, count: int, *, new_ratio: float = 0.2
+    ) -> list[FileChange]:
+        """``count`` file changes, mixing modifications and additions."""
+        changes: list[FileChange] = []
+        used: set[str] = set()
+        for _ in range(count):
+            create_new = not self._files or self._rng.random() < new_ratio
+            if create_new:
+                changes.append(FileChange("A", self.new_file()))
+                continue
+            for _ in range(10):
+                path = self._rng.choice(self._files)
+                if path not in used:
+                    break
+            used.add(path)
+            changes.append(FileChange("M", path))
+        return changes
+
+
+class _MinuteAllocator:
+    """Unique commit timestamps within the project's month grid."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._used: set[int] = set()
+
+    def reserve(self, minute: int) -> int:
+        self._used.add(minute)
+        return minute
+
+    def in_month(self, month: int) -> int:
+        for _ in range(1000):
+            minute = month * _MINUTES_PER_MONTH + self._rng.randrange(
+                1, _MINUTES_PER_MONTH
+            )
+            if minute not in self._used:
+                self._used.add(minute)
+                return minute
+        raise RuntimeError("minute space exhausted")
+
+
+def generate_project(
+    spec: ProjectSpec, profile: TaxonProfile
+) -> GeneratedProject:
+    """Generate one project according to its spec and taxon profile."""
+    rng = random.Random(spec.seed)
+    duration = spec.duration_months
+    pool = _FilePool(rng)
+    minutes = _MinuteAllocator(rng)
+
+    schema = random_schema(
+        rng,
+        tables_lo=profile.tables[0],
+        tables_hi=profile.tables[1],
+        attrs_lo=profile.attrs[0],
+        attrs_hi=profile.attrs[1],
+    )
+    selector = TableSelector(rng)
+    # ~40% of projects keep dump-style noise in their schema file, so
+    # the tolerant-parsing path is exercised across the corpus
+    noisy = rng.random() < 0.4
+
+    def render_ddl(current_schema) -> str:
+        text = emit_ddl(current_schema, spec.vendor)
+        if noisy:
+            text = inject_noise(text, rng, spec.vendor)
+        return text
+
+    regime = profile.sample_regime(rng)
+    ddl_month = _sample_ddl_delay(rng, profile, duration)
+    events = _plan_schema_events(rng, profile, duration, ddl_month, regime)
+
+    # --- source activity budget
+    mean_updates = rng.randint(*profile.monthly_updates)
+    total_updates = mean_updates * duration
+    import_share = profile.sample_import_share(rng)
+    # couple the source import share to the schema's own initial share
+    planned_activity = sum(e.magnitude for e in events)
+    initial_attrs = schema.attribute_count
+    if initial_attrs + planned_activity > 0:
+        schema_share = initial_attrs / (initial_attrs + planned_activity)
+        w = profile.source_schema_alignment
+        import_share = max(0.02, min(0.97, (
+            w * schema_share
+            + (1 - w) * import_share
+            + rng.uniform(-0.06, 0.06)
+        )))
+    initial_file_count = max(3, round(total_updates * import_share))
+    monthly_updates = _shape_source_activity(
+        rng, profile, duration, total_updates - initial_file_count
+    )
+    lo_couple, hi_couple = profile.spike_source_coupling
+    if hi_couple > 0:
+        for event in events:
+            if event.is_spike:
+                monthly_updates[event.month] += round(
+                    event.magnitude * rng.uniform(lo_couple, hi_couple)
+                )
+    # second import: a large early source drop (vendored deps etc.)
+    surge_prob, surge_lo, surge_hi = profile.second_import
+    if duration >= 6 and rng.random() < surge_prob:
+        surge_month = rng.randint(1, max(1, duration // 5))
+        monthly_updates[surge_month] += round(
+            total_updates * rng.uniform(surge_lo, surge_hi)
+        )
+
+    planned: list[_PlannedCommit] = []
+    ddl_versions = [render_ddl(schema)]
+
+    # --- initial commit (project skeleton; DDL included when not delayed)
+    initial_files = []
+    if ddl_month == 0:
+        initial_files.append(FileChange("A", spec.ddl_path))
+    for _ in range(initial_file_count):
+        initial_files.append(FileChange("A", pool.new_file()))
+    planned.append(
+        _PlannedCommit(
+            minute=minutes.reserve(0),
+            files=initial_files,
+            message="initial import",
+            ddl_text=ddl_versions[0] if ddl_month == 0 else None,
+        )
+    )
+
+    # --- delayed DDL introduction
+    if ddl_month > 0:
+        files = [FileChange("A", spec.ddl_path)]
+        files.extend(pool.pick_changes(rng.randint(0, 2)))
+        planned.append(
+            _PlannedCommit(
+                minute=ddl_month * _MINUTES_PER_MONTH,
+                files=files,
+                message="add database schema",
+                ddl_text=ddl_versions[0],
+            )
+        )
+        minutes.reserve(ddl_month * _MINUTES_PER_MONTH)
+
+    # --- schema-changing commits; minutes pre-assigned in event order so
+    # commit timestamps agree with DDL content order within a month
+    events.sort(key=lambda e: (e.month, -e.magnitude))
+    minute_queue = _monotone_minutes(minutes, [e.month for e in events])
+    for event, commit_minute in zip(events, minute_queue):
+        if event.magnitude > 0:
+            smos = sample_change_smos(
+                schema,
+                event.magnitude,
+                rng,
+                table_ops=profile.table_ops,
+                selector=selector,
+            )
+            if not smos:
+                continue
+            for smo in smos:
+                smo.apply(schema)
+            ddl_text = render_ddl(schema)
+        else:  # null commit: cosmetic edit only
+            ddl_text = (
+                f"-- cosmetic revision {rng.randint(100, 999)}\n"
+                + ddl_versions[-1]
+            )
+        ddl_versions.append(ddl_text)
+        files = [FileChange("M", spec.ddl_path)]
+        files.extend(pool.pick_changes(rng.randint(0, 3)))
+        planned.append(
+            _PlannedCommit(
+                minute=commit_minute,
+                files=files,
+                message=rng.choice(_SCHEMA_MESSAGES),
+                ddl_text=ddl_text,
+            )
+        )
+
+    # --- source commits from the monthly activity plan
+    for month, updates in enumerate(monthly_updates):
+        remaining = updates
+        while remaining > 0:
+            batch = min(remaining, rng.randint(1, 8))
+            remaining -= batch
+            planned.append(
+                _PlannedCommit(
+                    minute=minutes.in_month(month),
+                    files=pool.pick_changes(batch),
+                    message=rng.choice(_SOURCE_MESSAGES),
+                )
+            )
+
+    # --- pin the project's last month so the duration is exact
+    last_month = duration - 1
+    if not any(
+        c.minute // _MINUTES_PER_MONTH == last_month for c in planned
+    ):
+        planned.append(
+            _PlannedCommit(
+                minute=minutes.in_month(last_month),
+                files=pool.pick_changes(rng.randint(1, 3)),
+                message="final touches",
+            )
+        )
+
+    return _materialise(spec, planned)
+
+
+def _sample_ddl_delay(
+    rng: random.Random, profile: TaxonProfile, duration: int
+) -> int:
+    """Month at which the DDL file first appears (0 = with the project)."""
+    if duration < 4 or rng.random() >= profile.ddl_delay_prob:
+        return 0
+    a, b = profile.ddl_delay_beta
+    month = round(rng.betavariate(a, b) * (duration - 1))
+    return max(1, min(duration - 2, month))
+
+
+def _plan_schema_events(
+    rng: random.Random,
+    profile: TaxonProfile,
+    duration: int,
+    ddl_month: int,
+    regime: tuple[float, float],
+) -> list[_SchemaEvent]:
+    events: list[_SchemaEvent] = []
+    lo = ddl_month + 1
+    hi = duration - 1
+    if lo <= hi:
+        for _ in range(rng.randint(*profile.n_changes)):
+            month = _beta_month(rng, regime, lo, hi)
+            events.append(
+                _SchemaEvent(month, rng.randint(*profile.change_magnitude))
+            )
+        for _ in range(rng.randint(*profile.n_spikes)):
+            month = _beta_month(rng, regime, lo, hi)
+            events.append(
+                _SchemaEvent(
+                    month,
+                    rng.randint(*profile.spike_magnitude),
+                    is_spike=True,
+                )
+            )
+    # null (cosmetic) DDL commits keep even one-month projects above the
+    # dataset's two-version elicitation threshold
+    null_commits = rng.randint(*profile.n_null_commits)
+    if duration == 1:
+        null_commits = max(1, null_commits)
+    for _ in range(null_commits):
+        month = ddl_month if lo > hi else _beta_month(
+            rng, (1.0, 1.0), lo, hi
+        )
+        events.append(_SchemaEvent(month, 0))
+    return events
+
+
+def _beta_month(
+    rng: random.Random, ab: tuple[float, float], lo: int, hi: int
+) -> int:
+    """A month in [lo, hi] sampled from Beta(a, b) over that span."""
+    a, b = ab
+    fraction = rng.betavariate(a, b)
+    return min(hi, max(lo, lo + int(fraction * (hi - lo + 1))))
+
+
+def _shape_source_activity(
+    rng: random.Random,
+    profile: TaxonProfile,
+    duration: int,
+    budget: int,
+) -> list[int]:
+    """Allocate the post-import source budget over months (Beta shape)."""
+    if budget <= 0:
+        return [0] * duration
+    a, b = profile.project_shape_beta
+    weights = []
+    for month in range(duration):
+        t = (month + 0.5) / duration
+        weights.append(
+            (t ** (a - 1)) * ((1 - t) ** (b - 1))
+            * rng.gammavariate(2.0, 0.5)
+        )
+    weight_sum = sum(weights) or 1.0
+    return [round(budget * w / weight_sum) for w in weights]
+
+
+def _monotone_minutes(
+    minutes: _MinuteAllocator, months: list[int]
+) -> list[int]:
+    """Minutes matching a month-sorted event list, increasing overall."""
+    by_month: dict[int, int] = {}
+    for month in months:
+        by_month[month] = by_month.get(month, 0) + 1
+    queue: list[int] = []
+    for month in sorted(by_month):
+        queue.extend(
+            sorted(minutes.in_month(month) for _ in range(by_month[month]))
+        )
+    return queue
+
+
+def _materialise(
+    spec: ProjectSpec, planned: list[_PlannedCommit]
+) -> GeneratedProject:
+    """Turn planned commits into git-log text, reparse, attach contents."""
+    planned.sort(key=lambda c: c.minute)
+    rng = random.Random(spec.seed ^ 0x5F3759DF)
+
+    # a small contributor pool with one dominant maintainer (the
+    # paper's case study: 90% of updates by the same developer)
+    pool = names.developer_pool(rng, rng.randint(1, 4))
+    main_share = rng.uniform(0.55, 0.95)
+    if len(pool) == 1:
+        weights = [1.0]
+    else:
+        rest = (1.0 - main_share) / (len(pool) - 1)
+        weights = [main_share] + [rest] * (len(pool) - 1)
+
+    def minute_to_date(minute: int) -> datetime:
+        # minutes index a flat 28-day month grid; map each grid month
+        # onto its real calendar month so Month.of(date) agrees with the
+        # generator's month arithmetic for arbitrarily long projects
+        month = spec.start.shift(minute // _MINUTES_PER_MONTH)
+        offset = minute % _MINUTES_PER_MONTH
+        return datetime(
+            month.year,
+            month.month,
+            1 + offset // (24 * 60),
+            (offset % (24 * 60)) // 60,
+            offset % 60,
+            tzinfo=timezone.utc,
+        )
+
+    commits: list[Commit] = []
+    ddl_sequence: list[tuple[str, _PlannedCommit]] = []
+    for index, plan in enumerate(planned):
+        author, email = rng.choices(pool, weights=weights, k=1)[0]
+        sha = synthetic_sha(spec.name, index, plan.minute)
+        date = minute_to_date(plan.minute)
+        commits.append(
+            Commit(
+                sha=sha,
+                author=author,
+                email=email,
+                date=date,
+                message=plan.message,
+                changes=plan.files,
+            )
+        )
+        if plan.ddl_text is not None:
+            ddl_sequence.append((sha, plan))
+
+    git_log_text = format_git_log(commits, newest_first=True)
+    repo = parse_repository(spec.name, git_log_text)
+
+    sha_to_date = {c.sha: c.date for c in repo.commits}
+    for sha, plan in ddl_sequence:
+        repo.record_version(
+            spec.ddl_path,
+            FileVersion(
+                sha=sha, date=sha_to_date[sha], content=plan.ddl_text or ""
+            ),
+        )
+    return GeneratedProject(
+        spec=spec,
+        repository=repo,
+        git_log_text=git_log_text,
+        ddl_versions=[plan.ddl_text or "" for _, plan in ddl_sequence],
+    )
+
+
+DEFAULT_SEED = 195_2023
+
+
+def generate_corpus(
+    *,
+    seed: int = DEFAULT_SEED,
+    profiles: tuple[TaxonProfile, ...] = CANONICAL_PROFILES,
+    blank_projects: int = 2,
+) -> list[GeneratedProject]:
+    """Generate the canonical corpus (195 projects by default).
+
+    ``blank_projects`` of the frozen-taxa projects are forced to a
+    single-month life, reproducing the "(blank)" rows of Fig. 6.
+    """
+    rng = random.Random(seed)
+    specs: list[ProjectSpec] = []
+    index = 0
+    blanks_left = blank_projects
+    for profile in profiles:
+        for _ in range(profile.count):
+            duration = profile.sample_duration(rng)
+            if blanks_left > 0 and profile.taxon in (
+                Taxon.FROZEN, Taxon.ALMOST_FROZEN
+            ):
+                duration = 1
+                blanks_left -= 1
+            start = Month(2008 + rng.randint(0, 9), rng.randint(1, 12))
+            specs.append(
+                ProjectSpec(
+                    name=names.project_name(rng, index),
+                    taxon=profile.taxon,
+                    seed=rng.randrange(2 ** 62),
+                    vendor=rng.choice(("mysql", "mysql", "postgres")),
+                    duration_months=duration,
+                    start=start,
+                )
+            )
+            index += 1
+    projects = []
+    for spec in specs:
+        profile = next(p for p in profiles if p.taxon is spec.taxon)
+        projects.append(generate_project(spec, profile))
+    return projects

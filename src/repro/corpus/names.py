@@ -1,0 +1,130 @@
+"""Deterministic name pools for synthetic projects and schemas.
+
+The generator needs plausible identifiers (project slugs, table and
+attribute names, file paths) that are unique within their scope and
+reproducible from a seed.  All sampling goes through the caller's
+``random.Random`` instance so corpora are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+_ORGS = (
+    "acme", "geodata", "cloudwork", "openshop", "mediakit", "nightowl",
+    "redleaf", "bitforge", "quietriver", "stackware", "lamplight",
+    "greenfield", "ironbird", "softcircuit", "dataplane", "northpine",
+)
+
+_PROJECT_WORDS = (
+    "parser", "tracker", "gateway", "monitor", "billing", "catalog",
+    "scheduler", "inventory", "forum", "wiki", "metrics", "notes",
+    "ledger", "courier", "archive", "directory", "survey", "pipeline",
+    "dashboard", "registry", "planner", "crawler", "store", "chat",
+)
+
+_TABLE_WORDS = (
+    "users", "accounts", "orders", "items", "products", "sessions",
+    "comments", "posts", "tags", "categories", "events", "messages",
+    "invoices", "payments", "tickets", "projects", "tasks", "files",
+    "logs", "settings", "groups", "roles", "devices", "locations",
+    "subscriptions", "reports", "notes", "audits", "tokens", "jobs",
+)
+
+_ATTRIBUTE_WORDS = (
+    "name", "title", "description", "status", "kind", "email", "url",
+    "body", "amount", "price", "quantity", "code", "label", "owner_id",
+    "parent_id", "position", "score", "phone", "address", "city",
+    "country", "notes", "slug", "token", "size", "weight", "priority",
+    "color", "source", "target",
+)
+
+_ATTRIBUTE_TYPES = (
+    "INT",
+    "BIGINT",
+    "SMALLINT",
+    "VARCHAR(40)",
+    "VARCHAR(100)",
+    "VARCHAR(255)",
+    "TEXT",
+    "BOOLEAN",
+    "DATE",
+    "TIMESTAMP",
+    "DECIMAL(10, 2)",
+    "DOUBLE",
+)
+
+_SOURCE_DIRS = ("src", "lib", "app", "core", "web", "api", "util", "cli")
+_SOURCE_EXTS = (".js", ".py", ".java", ".php", ".rb", ".go", ".c", ".ts")
+
+_DEVELOPERS = (
+    ("Alice Muller", "alice@example.org"),
+    ("Bob Chen", "bob@example.org"),
+    ("Carla Diaz", "carla@example.org"),
+    ("Deniz Arslan", "deniz@example.org"),
+    ("Erik Larsen", "erik@example.org"),
+    ("Fatima Khan", "fatima@example.org"),
+    ("Giorgos Pappas", "giorgos@example.org"),
+)
+
+
+def project_name(rng: random.Random, index: int) -> str:
+    """A GitHub-style ``org/repo`` slug, unique via the index."""
+    org = rng.choice(_ORGS)
+    word = rng.choice(_PROJECT_WORDS)
+    return f"{org}/{word}-{index:03d}"
+
+
+def table_name(rng: random.Random, taken: set[str]) -> str:
+    """A fresh table name not colliding with ``taken`` (lower-case keys)."""
+    base = rng.choice(_TABLE_WORDS)
+    if base not in taken:
+        return base
+    for _ in range(100):
+        candidate = f"{base}_{rng.randint(2, 999)}"
+        if candidate not in taken:
+            return candidate
+    raise RuntimeError("table name pool exhausted")
+
+
+def attribute_name(rng: random.Random, taken: set[str]) -> str:
+    """A fresh attribute name not colliding with ``taken``."""
+    base = rng.choice(_ATTRIBUTE_WORDS)
+    if base not in taken:
+        return base
+    for _ in range(100):
+        candidate = f"{base}_{rng.randint(2, 999)}"
+        if candidate not in taken:
+            return candidate
+    raise RuntimeError("attribute name pool exhausted")
+
+
+def attribute_type(rng: random.Random) -> str:
+    return rng.choice(_ATTRIBUTE_TYPES)
+
+
+def different_type(rng: random.Random, current: str) -> str:
+    """A type spelling that differs from ``current`` (for type changes)."""
+    for _ in range(20):
+        candidate = rng.choice(_ATTRIBUTE_TYPES)
+        if candidate.lower() != current.lower():
+            return candidate
+    return "TEXT" if current.lower() != "text" else "VARCHAR(255)"
+
+
+def source_file(rng: random.Random, index: int) -> str:
+    directory = rng.choice(_SOURCE_DIRS)
+    ext = rng.choice(_SOURCE_EXTS)
+    return f"{directory}/module_{index:03d}{ext}"
+
+
+def developer(rng: random.Random) -> tuple[str, str]:
+    return rng.choice(_DEVELOPERS)
+
+
+def developer_pool(
+    rng: random.Random, count: int
+) -> list[tuple[str, str]]:
+    """A project's contributor pool (distinct developers)."""
+    count = max(1, min(count, len(_DEVELOPERS)))
+    return rng.sample(_DEVELOPERS, count)

@@ -1,0 +1,246 @@
+"""Per-taxon generative profiles.
+
+Each profile parameterises how a project of that taxon behaves: how long
+it lives, how big its initial schema is, how many schema-changing commits
+it receives and when in its life they land, whether the DDL file appears
+together with the project or later (the paper notes "several projects
+where the DDL file appeared later in the life of a project"), and how its
+surrounding source code evolves — including how much of the source lands
+in the initial import (abandoned-after-import projects are common in
+FOSS and produce the high-synchronicity frozen histories of Fig. 3a).
+
+The canonical counts follow the taxa distribution reported for the
+Schema_Evo_2019 dataset ([33] and §2.2 of the paper): of the 327
+harvested histories, 40% were single-commit (excluded from the 195),
+about 10% had versions but no logical change (FROZEN), about 20% were
+ALMOST FROZEN, and the rest spread over the more active taxa.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..taxa import Taxon
+
+#: Change-timing regimes: Beta(a, b) over the (post-DDL) life span.
+TIMING_REGIMES: dict[str, tuple[float, float]] = {
+    "early": (1.2, 10.0),
+    "spread": (1.1, 1.1),
+    "late": (4.0, 1.5),
+}
+
+
+@dataclass(frozen=True)
+class TaxonProfile:
+    """Generative parameters for one taxon.
+
+    ``timing_mix`` gives the probabilities of the early/spread/late
+    change-timing regimes; one regime is drawn per project so each
+    history is temporally coherent.  ``initial_import_share`` is the
+    fraction of all source file-updates landing in the initial commit,
+    sampled U-shaped so both import-and-abandon and slow-start projects
+    exist.  ``second_import`` is ``(probability, lo, hi)`` for a second
+    large source drop (vendored dependencies, generated code) early in
+    the life, sized as a share of the total source budget.
+    ``source_schema_alignment`` couples the source import share to the
+    schema's own initial share (a project that starts with most of its
+    schema usually starts with most of its code); 0 keeps them
+    independent, 1 makes them equal up to jitter.
+    ``ddl_delay_prob``/``ddl_delay_beta`` control DDL files that appear
+    only after the project has lived for a while.
+    """
+
+    taxon: Taxon
+    count: int
+    duration: tuple[int, int]
+    tables: tuple[int, int]
+    attrs: tuple[int, int]
+    n_changes: tuple[int, int]
+    change_magnitude: tuple[int, int]
+    n_spikes: tuple[int, int]
+    spike_magnitude: tuple[int, int]
+    n_null_commits: tuple[int, int]
+    timing_mix: tuple[float, float, float]
+    ddl_delay_prob: float
+    ddl_delay_beta: tuple[float, float]
+    monthly_updates: tuple[int, int]
+    project_shape_beta: tuple[float, float]
+    initial_import_share: tuple[float, float]
+    source_schema_alignment: float
+    second_import: tuple[float, float, float]
+    spike_source_coupling: tuple[float, float]
+    table_ops: bool
+
+    def sample_duration(self, rng: random.Random) -> int:
+        """Log-uniform duration in months (long lives are rarer)."""
+        lo, hi = self.duration
+        if lo == hi:
+            return lo
+        value = math.exp(rng.uniform(math.log(lo), math.log(hi)))
+        return max(lo, min(hi, round(value)))
+
+    def sample_regime(self, rng: random.Random) -> tuple[float, float]:
+        """Draw the project's change-timing regime."""
+        roll = rng.random()
+        p_early, p_spread, _ = self.timing_mix
+        if roll < p_early:
+            return TIMING_REGIMES["early"]
+        if roll < p_early + p_spread:
+            return TIMING_REGIMES["spread"]
+        return TIMING_REGIMES["late"]
+
+    def sample_import_share(self, rng: random.Random) -> float:
+        """U-shaped draw of the initial import's share of source updates."""
+        lo, hi = self.initial_import_share
+        return lo + (hi - lo) * rng.betavariate(0.45, 0.45)
+
+
+#: The canonical corpus composition: 195 projects.
+CANONICAL_PROFILES: tuple[TaxonProfile, ...] = (
+    TaxonProfile(
+        taxon=Taxon.FROZEN,
+        count=33,
+        duration=(8, 72),
+        tables=(2, 10),
+        attrs=(3, 8),
+        n_changes=(0, 0),
+        change_magnitude=(0, 0),
+        n_spikes=(0, 0),
+        spike_magnitude=(0, 0),
+        n_null_commits=(1, 3),
+        timing_mix=(1.0, 0.0, 0.0),
+        ddl_delay_prob=0.45,
+        ddl_delay_beta=(1.5, 5.0),
+        monthly_updates=(2, 14),
+        project_shape_beta=(1.1, 1.9),
+        initial_import_share=(0.30, 0.98),
+        source_schema_alignment=0.3,
+        second_import=(0.25, 0.15, 0.40),
+        spike_source_coupling=(0.0, 0.0),
+        table_ops=False,
+    ),
+    TaxonProfile(
+        taxon=Taxon.ALMOST_FROZEN,
+        count=62,
+        duration=(10, 85),
+        tables=(1, 8),
+        attrs=(2, 8),
+        n_changes=(1, 2),
+        change_magnitude=(2, 5),
+        n_spikes=(0, 0),
+        spike_magnitude=(0, 0),
+        n_null_commits=(0, 2),
+        timing_mix=(0.74, 0.16, 0.10),
+        ddl_delay_prob=0.50,
+        ddl_delay_beta=(1.5, 5.0),
+        monthly_updates=(2, 18),
+        project_shape_beta=(1.1, 1.7),
+        initial_import_share=(0.20, 0.98),
+        source_schema_alignment=0.3,
+        second_import=(0.40, 0.20, 0.50),
+        spike_source_coupling=(0.0, 0.0),
+        table_ops=False,
+    ),
+    TaxonProfile(
+        taxon=Taxon.FOCUSED_SHOT_AND_FROZEN,
+        count=25,
+        duration=(8, 90),
+        tables=(1, 6),
+        attrs=(3, 8),
+        n_changes=(0, 2),
+        change_magnitude=(1, 2),
+        n_spikes=(1, 1),
+        spike_magnitude=(16, 45),
+        n_null_commits=(0, 2),
+        timing_mix=(0.48, 0.27, 0.25),
+        ddl_delay_prob=0.25,
+        ddl_delay_beta=(1.5, 5.0),
+        monthly_updates=(1, 4),
+        project_shape_beta=(1.1, 1.6),
+        initial_import_share=(0.10, 0.45),
+        source_schema_alignment=0.8,
+        second_import=(0.10, 0.10, 0.25),
+        spike_source_coupling=(3.0, 6.0),
+        table_ops=True,
+    ),
+    TaxonProfile(
+        taxon=Taxon.MODERATE,
+        count=35,
+        duration=(12, 110),
+        tables=(2, 10),
+        attrs=(3, 9),
+        n_changes=(5, 12),
+        change_magnitude=(1, 5),
+        n_spikes=(0, 0),
+        spike_magnitude=(0, 0),
+        n_null_commits=(0, 2),
+        timing_mix=(0.34, 0.48, 0.18),
+        ddl_delay_prob=0.40,
+        ddl_delay_beta=(1.5, 4.0),
+        monthly_updates=(4, 24),
+        project_shape_beta=(1.2, 1.5),
+        initial_import_share=(0.10, 0.55),
+        source_schema_alignment=0.45,
+        second_import=(0.30, 0.15, 0.40),
+        spike_source_coupling=(0.0, 0.0),
+        table_ops=False,
+    ),
+    TaxonProfile(
+        taxon=Taxon.FOCUSED_SHOT_AND_LOW,
+        count=18,
+        duration=(12, 110),
+        tables=(3, 10),
+        attrs=(3, 9),
+        n_changes=(4, 9),
+        change_magnitude=(1, 4),
+        n_spikes=(1, 2),
+        spike_magnitude=(14, 35),
+        n_null_commits=(0, 2),
+        timing_mix=(0.35, 0.42, 0.23),
+        ddl_delay_prob=0.30,
+        ddl_delay_beta=(1.5, 4.0),
+        monthly_updates=(2, 8),
+        project_shape_beta=(1.2, 1.5),
+        initial_import_share=(0.10, 0.40),
+        source_schema_alignment=0.8,
+        second_import=(0.15, 0.10, 0.30),
+        spike_source_coupling=(2.5, 5.0),
+        table_ops=True,
+    ),
+    TaxonProfile(
+        taxon=Taxon.ACTIVE,
+        count=22,
+        duration=(24, 150),
+        tables=(4, 15),
+        attrs=(4, 10),
+        n_changes=(16, 34),
+        change_magnitude=(2, 8),
+        n_spikes=(0, 2),
+        spike_magnitude=(10, 25),
+        n_null_commits=(0, 2),
+        timing_mix=(0.12, 0.60, 0.28),
+        ddl_delay_prob=0.45,
+        ddl_delay_beta=(1.5, 4.0),
+        monthly_updates=(6, 32),
+        project_shape_beta=(1.05, 1.15),
+        initial_import_share=(0.02, 0.15),
+        source_schema_alignment=0.55,
+        second_import=(0.25, 0.10, 0.30),
+        spike_source_coupling=(0.8, 2.0),
+        table_ops=True,
+    ),
+)
+
+
+def profile_for(taxon: Taxon) -> TaxonProfile:
+    """The canonical profile of one taxon (KeyError when unknown)."""
+    for profile in CANONICAL_PROFILES:
+        if profile.taxon is taxon:
+            return profile
+    raise KeyError(taxon)
+
+
+CANONICAL_SIZE = sum(p.count for p in CANONICAL_PROFILES)
+assert CANONICAL_SIZE == 195, CANONICAL_SIZE

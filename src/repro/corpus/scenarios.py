@@ -1,0 +1,91 @@
+"""Counterfactual corpus scenarios.
+
+§9 of the paper discusses what gravitation to rigidity *implies* — and
+conjectures that better tooling would let schemata evolve continuously.
+Scenario corpora make such counterfactuals runnable: the same generative
+machinery with a different population mix, so the study's measures can
+be compared between the observed world and hypothetical ones.
+
+* ``OBSERVED`` — the canonical mix (the paper's world);
+* ``RIGID_WORLD`` — rigidity taken to the extreme: almost everything
+  frozen early;
+* ``AGILE_WORLD`` — the paper's aspiration: schemata actively
+  maintained throughout project life (what the implications section
+  hopes tooling would enable);
+* ``SHOT_WORLD`` — evolution concentrated in focused migrations.
+
+Each scenario keeps the corpus at 195 projects so results are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..taxa import Taxon
+from .profiles import CANONICAL_PROFILES, TaxonProfile
+
+#: taxon -> project count per scenario (each sums to 195)
+_SCENARIO_MIXES: dict[str, dict[Taxon, int]] = {
+    "OBSERVED": {
+        profile.taxon: profile.count for profile in CANONICAL_PROFILES
+    },
+    "RIGID_WORLD": {
+        Taxon.FROZEN: 70,
+        Taxon.ALMOST_FROZEN: 85,
+        Taxon.FOCUSED_SHOT_AND_FROZEN: 25,
+        Taxon.MODERATE: 10,
+        Taxon.FOCUSED_SHOT_AND_LOW: 3,
+        Taxon.ACTIVE: 2,
+    },
+    "AGILE_WORLD": {
+        Taxon.FROZEN: 5,
+        Taxon.ALMOST_FROZEN: 15,
+        Taxon.FOCUSED_SHOT_AND_FROZEN: 10,
+        Taxon.MODERATE: 70,
+        Taxon.FOCUSED_SHOT_AND_LOW: 25,
+        Taxon.ACTIVE: 70,
+    },
+    "SHOT_WORLD": {
+        Taxon.FROZEN: 15,
+        Taxon.ALMOST_FROZEN: 25,
+        Taxon.FOCUSED_SHOT_AND_FROZEN: 75,
+        Taxon.MODERATE: 15,
+        Taxon.FOCUSED_SHOT_AND_LOW: 55,
+        Taxon.ACTIVE: 10,
+    },
+}
+
+SCENARIOS = tuple(_SCENARIO_MIXES)
+
+
+def scenario_profiles(name: str) -> tuple[TaxonProfile, ...]:
+    """The taxon profiles of one scenario (same knobs, new counts)."""
+    try:
+        mix = _SCENARIO_MIXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {SCENARIOS}"
+        ) from None
+    total = sum(mix.values())
+    if total != 195:
+        raise ValueError(f"scenario {name!r} sums to {total}, not 195")
+    return tuple(
+        dataclasses.replace(profile, count=mix[profile.taxon])
+        for profile in CANONICAL_PROFILES
+    )
+
+
+def generate_scenario(name: str, *, seed: int | None = None):
+    """Generate a scenario corpus (blank projects only where plausible)."""
+    from .generator import DEFAULT_SEED, generate_corpus
+
+    profiles = scenario_profiles(name)
+    frozenish = sum(
+        profile.count for profile in profiles if profile.taxon.is_frozenish
+    )
+    return generate_corpus(
+        seed=DEFAULT_SEED if seed is None else seed,
+        profiles=profiles,
+        blank_projects=min(2, frozenish),
+    )

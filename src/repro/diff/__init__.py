@@ -1,0 +1,14 @@
+"""Schema version comparison and the attribute-level change taxonomy."""
+
+from .changes import ActivityBreakdown, AtomicChange, ChangeKind, SchemaDelta
+from .engine import diff_ddl, diff_schemas, initial_delta
+
+__all__ = [
+    "ActivityBreakdown",
+    "AtomicChange",
+    "ChangeKind",
+    "SchemaDelta",
+    "diff_ddl",
+    "diff_schemas",
+    "initial_delta",
+]

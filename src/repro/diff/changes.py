@@ -1,0 +1,163 @@
+"""The change taxonomy of the study.
+
+The Schema_Evo_2019 dataset (and hence this reproduction) measures schema
+evolution in *attributes*: every transition between subsequent versions of
+the DDL file is decomposed into attribute-level atomic changes, and the sum
+of those counts is the *Total Activity* of the transition — the central
+measure traced throughout the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ChangeKind(Enum):
+    """Attribute-level atomic change kinds, as measured by the dataset."""
+
+    #: attribute born together with a newly created table
+    BORN_WITH_TABLE = "born_with_table"
+    #: attribute injected into an already existing table
+    INJECTED = "injected"
+    #: attribute deleted together with a removed table
+    DELETED_WITH_TABLE = "deleted_with_table"
+    #: attribute ejected from a surviving table
+    EJECTED = "ejected"
+    #: attribute whose data type changed
+    TYPE_CHANGED = "type_changed"
+    #: attribute whose participation in the primary key changed
+    PK_CHANGED = "pk_changed"
+
+
+@dataclass(frozen=True)
+class AtomicChange:
+    """One attribute-level change between two schema versions."""
+
+    kind: ChangeKind
+    table: str
+    attribute: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"{self.kind.value}: {self.table}.{self.attribute}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass
+class ActivityBreakdown:
+    """Aggregate counts of atomic changes for one transition (or history).
+
+    ``total`` is the paper's *Total Activity*: the sum of all six
+    attribute-level counts.  Table births/evictions are carried for
+    reporting but do not enter the total (they are already reflected in
+    the born-with / deleted-with attribute counts).
+    """
+
+    born_with_table: int = 0
+    injected: int = 0
+    deleted_with_table: int = 0
+    ejected: int = 0
+    type_changed: int = 0
+    pk_changed: int = 0
+    tables_born: int = 0
+    tables_evicted: int = 0
+
+    _KIND_FIELDS = {
+        ChangeKind.BORN_WITH_TABLE: "born_with_table",
+        ChangeKind.INJECTED: "injected",
+        ChangeKind.DELETED_WITH_TABLE: "deleted_with_table",
+        ChangeKind.EJECTED: "ejected",
+        ChangeKind.TYPE_CHANGED: "type_changed",
+        ChangeKind.PK_CHANGED: "pk_changed",
+    }
+
+    @property
+    def total(self) -> int:
+        """Total Activity: sum of the attribute-level counts."""
+        return (
+            self.born_with_table
+            + self.injected
+            + self.deleted_with_table
+            + self.ejected
+            + self.type_changed
+            + self.pk_changed
+        )
+
+    def count(self, change: AtomicChange) -> None:
+        name = self._KIND_FIELDS[change.kind]
+        setattr(self, name, getattr(self, name) + 1)
+
+    def merge(self, other: "ActivityBreakdown") -> "ActivityBreakdown":
+        """Return the element-wise sum of two breakdowns."""
+        return ActivityBreakdown(
+            born_with_table=self.born_with_table + other.born_with_table,
+            injected=self.injected + other.injected,
+            deleted_with_table=(
+                self.deleted_with_table + other.deleted_with_table
+            ),
+            ejected=self.ejected + other.ejected,
+            type_changed=self.type_changed + other.type_changed,
+            pk_changed=self.pk_changed + other.pk_changed,
+            tables_born=self.tables_born + other.tables_born,
+            tables_evicted=self.tables_evicted + other.tables_evicted,
+        )
+
+    @classmethod
+    def from_changes(cls, changes: list[AtomicChange]) -> "ActivityBreakdown":
+        breakdown = cls()
+        tables_born: set[str] = set()
+        tables_evicted: set[str] = set()
+        for change in changes:
+            breakdown.count(change)
+            if change.kind is ChangeKind.BORN_WITH_TABLE:
+                tables_born.add(change.table.lower())
+            elif change.kind is ChangeKind.DELETED_WITH_TABLE:
+                tables_evicted.add(change.table.lower())
+        breakdown.tables_born = len(tables_born)
+        breakdown.tables_evicted = len(tables_evicted)
+        return breakdown
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "born_with_table": self.born_with_table,
+            "injected": self.injected,
+            "deleted_with_table": self.deleted_with_table,
+            "ejected": self.ejected,
+            "type_changed": self.type_changed,
+            "pk_changed": self.pk_changed,
+            "tables_born": self.tables_born,
+            "tables_evicted": self.tables_evicted,
+            "total": self.total,
+        }
+
+
+@dataclass
+class SchemaDelta:
+    """All atomic changes between two schema versions, with aggregates."""
+
+    changes: list[AtomicChange] = field(default_factory=list)
+
+    @property
+    def breakdown(self) -> ActivityBreakdown:
+        return ActivityBreakdown.from_changes(self.changes)
+
+    @property
+    def total_activity(self) -> int:
+        return self.breakdown.total
+
+    @property
+    def is_identical(self) -> bool:
+        """True when the two versions are logically identical."""
+        return not self.changes
+
+    def by_kind(self, kind: ChangeKind) -> list[AtomicChange]:
+        return [change for change in self.changes if change.kind is kind]
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __iter__(self):
+        return iter(self.changes)

@@ -1,0 +1,36 @@
+"""Monthly heartbeats: bucketing, alignment, cumulative progressions."""
+
+from .analytics import (
+    FlatLine,
+    ShapeSummary,
+    burstiness,
+    flat_lines,
+    gini,
+    longest_flat_line,
+    top_share,
+)
+from .months import Month, month_range
+from .series import (
+    Heartbeat,
+    ZeroTotalError,
+    fraction_of_life,
+    is_monotone,
+    time_progress,
+)
+
+__all__ = [
+    "FlatLine",
+    "Heartbeat",
+    "ShapeSummary",
+    "burstiness",
+    "flat_lines",
+    "gini",
+    "longest_flat_line",
+    "top_share",
+    "Month",
+    "ZeroTotalError",
+    "fraction_of_life",
+    "is_monotone",
+    "month_range",
+    "time_progress",
+]

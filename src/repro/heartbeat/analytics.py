@@ -1,0 +1,131 @@
+"""Shape analytics over heartbeats.
+
+The case study (§3.3) describes histories in terms of *flat-line
+periods* connected by bursts of change; the taxa of [33] are defined by
+how concentrated activity is in time.  This module quantifies those
+shapes: flat-line segments, the Gini coefficient of temporal activity
+concentration, burstiness, and the share of activity inside the densest
+fifth of the months (the temporal Pareto reading of §6.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .series import Heartbeat
+
+
+@dataclass(frozen=True)
+class FlatLine:
+    """A maximal run of months with no activity."""
+
+    start_index: int
+    length: int
+
+    @property
+    def end_index(self) -> int:
+        return self.start_index + self.length - 1
+
+
+def flat_lines(
+    heartbeat: Heartbeat, *, min_length: int = 2
+) -> list[FlatLine]:
+    """Maximal zero-activity runs of at least ``min_length`` months."""
+    runs: list[FlatLine] = []
+    start = None
+    for index, value in enumerate(heartbeat.values):
+        if value == 0:
+            if start is None:
+                start = index
+        elif start is not None:
+            length = index - start
+            if length >= min_length:
+                runs.append(FlatLine(start, length))
+            start = None
+    if start is not None:
+        length = len(heartbeat.values) - start
+        if length >= min_length:
+            runs.append(FlatLine(start, length))
+    return runs
+
+
+def longest_flat_line(heartbeat: Heartbeat) -> int:
+    """Length of the longest zero-activity run (0 when none)."""
+    runs = flat_lines(heartbeat, min_length=1)
+    return max((run.length for run in runs), default=0)
+
+
+def gini(heartbeat: Heartbeat) -> float:
+    """Gini coefficient of the temporal concentration of activity.
+
+    0 means activity is spread perfectly evenly over the months; values
+    toward 1 mean a few months hold almost all of it (the frozen and
+    focused-shot shapes).  Undefined (raises) for all-zero heartbeats.
+    """
+    values = sorted(heartbeat.values)
+    total = sum(values)
+    if total <= 0:
+        raise ValueError("Gini of an all-zero heartbeat is undefined")
+    n = len(values)
+    weighted = sum((i + 1) * v for i, v in enumerate(values))
+    return (2 * weighted) / (n * total) - (n + 1) / n
+
+
+def burstiness(heartbeat: Heartbeat) -> float:
+    """Goh–Barabási burstiness of the monthly activity values.
+
+    ``(σ − μ) / (σ + μ)`` in [−1, 1]: −1 for perfectly periodic
+    (constant) signals, 0 for Poisson-like, toward +1 for heavy bursts.
+    """
+    values = heartbeat.values
+    n = len(values)
+    mean = sum(values) / n
+    if mean == 0:
+        raise ValueError("burstiness of an all-zero heartbeat is undefined")
+    variance = sum((v - mean) ** 2 for v in values) / n
+    sigma = math.sqrt(variance)
+    if sigma + mean == 0:
+        return -1.0
+    return (sigma - mean) / (sigma + mean)
+
+
+def top_share(heartbeat: Heartbeat, *, fraction: float = 0.2) -> float:
+    """Share of total activity inside the densest ``fraction`` of months.
+
+    ``top_share(hb, fraction=0.2)`` is the temporal 80/20 measure: 0.8
+    means the busiest fifth of the months holds 80% of all activity.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction out of (0, 1]: {fraction}")
+    total = heartbeat.total
+    if total <= 0:
+        raise ValueError("top share of an all-zero heartbeat is undefined")
+    k = max(1, round(len(heartbeat.values) * fraction))
+    densest = sorted(heartbeat.values, reverse=True)[:k]
+    return sum(densest) / total
+
+
+@dataclass(frozen=True)
+class ShapeSummary:
+    """All shape analytics of one heartbeat."""
+
+    gini: float
+    burstiness: float
+    top20_share: float
+    longest_flat_line: int
+    flat_line_count: int
+    active_months: int
+    duration_months: int
+
+    @classmethod
+    def of(cls, heartbeat: Heartbeat) -> "ShapeSummary":
+        return cls(
+            gini=gini(heartbeat),
+            burstiness=burstiness(heartbeat),
+            top20_share=top_share(heartbeat, fraction=0.2),
+            longest_flat_line=longest_flat_line(heartbeat),
+            flat_line_count=len(flat_lines(heartbeat)),
+            active_months=heartbeat.active_months,
+            duration_months=heartbeat.duration_months,
+        )

@@ -1,0 +1,54 @@
+"""Calendar-month arithmetic.
+
+The paper quantises all time into months ("a reasonable, common chronon"
+for multi-year projects).  :class:`Month` is a total-ordered value type
+with index arithmetic so heartbeats can be aligned and zero-filled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime
+
+
+@dataclass(frozen=True, order=True)
+class Month:
+    """A calendar month, e.g. ``Month(2015, 3)``."""
+
+    year: int
+    month: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.month <= 12:
+            raise ValueError(f"month out of range: {self.month}")
+
+    @classmethod
+    def of(cls, moment: datetime | date) -> "Month":
+        return cls(moment.year, moment.month)
+
+    @classmethod
+    def from_index(cls, index: int) -> "Month":
+        year, month0 = divmod(index, 12)
+        return cls(year, month0 + 1)
+
+    @property
+    def index(self) -> int:
+        """Months since year 0 — the linearised position of this month."""
+        return self.year * 12 + (self.month - 1)
+
+    def shift(self, months: int) -> "Month":
+        return Month.from_index(self.index + months)
+
+    def __sub__(self, other: "Month") -> int:
+        """Whole months between two Months (self - other)."""
+        return self.index - other.index
+
+    def __str__(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}"
+
+
+def month_range(start: Month, end: Month) -> list[Month]:
+    """All months from ``start`` to ``end`` inclusive."""
+    if end < start:
+        raise ValueError(f"end {end} before start {start}")
+    return [start.shift(i) for i in range(end - start + 1)]

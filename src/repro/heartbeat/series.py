@@ -1,0 +1,202 @@
+"""Monthly heartbeats and cumulative fractional progressions.
+
+A *heartbeat* (paper §3.1) is the zero-filled sequence of monthly activity
+measurements of a project — either Schema Activity (attribute-level atomic
+changes) or Project Activity (files updated).  Its *cumulative fractional
+activity* (§3.2, eq. 1) is the running total of per-month percentages of
+lifetime activity, a monotone series ending at 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime
+from typing import Iterable, Sequence
+
+from .months import Month, month_range
+
+
+class ZeroTotalError(ValueError):
+    """A cumulative fraction was requested for an all-zero heartbeat."""
+
+
+@dataclass
+class Heartbeat:
+    """A zero-filled monthly activity series starting at ``start``."""
+
+    start: Month
+    values: list[float] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a heartbeat needs at least one month")
+        if any(v < 0 for v in self.values):
+            raise ValueError("negative activity")
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[tuple[datetime | date | Month, float]],
+        *,
+        span: tuple[Month, Month] | None = None,
+        label: str = "",
+    ) -> "Heartbeat":
+        """Aggregate timestamped activity amounts into monthly buckets.
+
+        Args:
+            events: ``(moment, amount)`` pairs in any order.
+            span: explicit ``(first, last)`` month window; defaults to the
+                span of the events themselves.  Events outside an explicit
+                span raise ``ValueError`` (they indicate misalignment bugs).
+            label: display label.
+        """
+        buckets: dict[int, float] = {}
+        for moment, amount in events:
+            month = moment if isinstance(moment, Month) else Month.of(moment)
+            buckets[month.index] = buckets.get(month.index, 0.0) + amount
+        if span is None:
+            if not buckets:
+                raise ValueError("no events and no explicit span")
+            first = Month.from_index(min(buckets))
+            last = Month.from_index(max(buckets))
+        else:
+            first, last = span
+            if buckets:
+                if min(buckets) < first.index or max(buckets) > last.index:
+                    raise ValueError("event outside the explicit span")
+        values = [
+            buckets.get(month.index, 0.0) for month in month_range(first, last)
+        ]
+        return cls(start=first, values=values, label=label)
+
+    @property
+    def months(self) -> list[Month]:
+        return [self.start.shift(i) for i in range(len(self.values))]
+
+    @property
+    def end(self) -> Month:
+        return self.start.shift(len(self.values) - 1)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def duration_months(self) -> int:
+        """Number of monthly time-points (paper: project duration)."""
+        return len(self.values)
+
+    @property
+    def active_months(self) -> int:
+        return sum(1 for v in self.values if v > 0)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def aligned(self, start: Month, end: Month) -> "Heartbeat":
+        """Re-window onto ``[start, end]``, zero-filling outside data.
+
+        Activity outside the target window would be silently lost, so it
+        raises instead.
+        """
+        if start > self.start or end < self.end:
+            inside = (
+                self.start >= start
+                and self.end <= end
+            )
+            if not inside:
+                clipped_left = [
+                    v for m, v in zip(self.months, self.values)
+                    if m < start and v > 0
+                ]
+                clipped_right = [
+                    v for m, v in zip(self.months, self.values)
+                    if m > end and v > 0
+                ]
+                if clipped_left or clipped_right:
+                    raise ValueError(
+                        "aligning would clip non-zero activity"
+                    )
+        lead = self.start - start
+        out = [0.0] * (end - start + 1)
+        for i, value in enumerate(self.values):
+            position = lead + i
+            if 0 <= position < len(out):
+                out[position] = value
+        return Heartbeat(start=start, values=out, label=self.label)
+
+    def rebucket(self, chronon_months: int) -> "Heartbeat":
+        """Re-aggregate into coarser buckets of ``chronon_months`` months.
+
+        The paper's unit of time is the month (§8 discusses this as a
+        construct-validity choice); rebucketing lets the sensitivity
+        analysis recompute every measure at quarterly or half-yearly
+        granularity.  The coarse heartbeat keeps the same start month;
+        the last bucket may cover fewer source months.
+        """
+        if chronon_months < 1:
+            raise ValueError("chronon must be at least one month")
+        if chronon_months == 1:
+            return Heartbeat(self.start, list(self.values), self.label)
+        coarse = [
+            sum(self.values[i:i + chronon_months])
+            for i in range(0, len(self.values), chronon_months)
+        ]
+        return Heartbeat(start=self.start, values=coarse, label=self.label)
+
+    def cumulative(self) -> list[float]:
+        """Running totals of the raw activity values."""
+        out: list[float] = []
+        running = 0.0
+        for value in self.values:
+            running += value
+            out.append(running)
+        return out
+
+    def cumulative_fraction(self) -> list[float]:
+        """The paper's cumulative fractional activity (eq. 1), in [0, 1].
+
+        Raises:
+            ZeroTotalError: when the heartbeat has no activity at all
+                (undefined progression — the "(blank)" projects of Fig. 6).
+        """
+        total = self.total
+        if total <= 0:
+            raise ZeroTotalError(
+                f"heartbeat {self.label!r} has zero total activity"
+            )
+        return [value / total for value in self.cumulative()]
+
+
+def time_progress(n_points: int) -> list[float]:
+    """Cumulative fractional *time* over ``n_points`` monthly time-points.
+
+    Time is treated as a uniform heartbeat (one unit per month, including
+    the initiating month), so the progression at month ``i`` is
+    ``(i + 1) / n_points`` and ends at exactly 1.0 — directly comparable
+    with the activity progressions.
+    """
+    if n_points <= 0:
+        raise ValueError("need at least one time-point")
+    return [(i + 1) / n_points for i in range(n_points)]
+
+
+def fraction_of_life(index: int, n_points: int) -> float:
+    """The fraction of project life covered by monthly time-point ``index``.
+
+    Used for attainment timepoints: month 0 of a 1-month project covers
+    100% of its life; month ``i`` of an ``n``-point life covers
+    ``(i + 1) / n``.
+    """
+    if not 0 <= index < n_points:
+        raise ValueError(f"index {index} outside 0..{n_points - 1}")
+    return (index + 1) / n_points
+
+
+def is_monotone(series: Sequence[float], *, tolerance: float = 1e-12) -> bool:
+    """True when ``series`` never decreases (within float tolerance)."""
+    return all(
+        later >= earlier - tolerance
+        for earlier, later in zip(series, series[1:])
+    )

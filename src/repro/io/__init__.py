@@ -1,0 +1,26 @@
+"""Dataset serialisation: corpus save/load and CSV export."""
+
+from .dataset import MANIFEST_NAME, LoadedProject, load_corpus, save_corpus
+from .export import MEASURE_COLUMNS, export_measures_csv, read_measures_csv
+from .studyjson import export_study_json, read_study_json, study_as_dict
+from .schema_evo import (
+    HEARTBEAT_COLUMNS,
+    read_heartbeat_csv,
+    write_schema_evo_dataset,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "HEARTBEAT_COLUMNS",
+    "MEASURE_COLUMNS",
+    "read_heartbeat_csv",
+    "export_study_json",
+    "read_study_json",
+    "study_as_dict",
+    "write_schema_evo_dataset",
+    "LoadedProject",
+    "export_measures_csv",
+    "load_corpus",
+    "read_measures_csv",
+    "save_corpus",
+]

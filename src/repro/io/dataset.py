@@ -1,0 +1,119 @@
+"""On-disk dataset format for corpora.
+
+A saved corpus mirrors what the Schema_Evo_2019 release contains: per
+project, the git-log text of the repository and the sequence of DDL file
+versions, plus a small metadata record.  Layout::
+
+    <root>/
+      manifest.json                 # corpus-level metadata
+      <project-slug>/
+        meta.json                   # name, taxon, vendor, ddl path
+        gitlog.txt                  # `git log --name-status` text
+        versions/
+          0000.sql, 0001.sql, ...   # DDL file versions, chronological
+
+Saving and loading round-trips exactly: the loader re-parses gitlog.txt
+with the same parser used for real clones.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..corpus import GeneratedProject
+from ..taxa import Taxon
+from ..vcs import FileVersion, Repository, parse_repository
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class LoadedProject:
+    """A corpus project read back from disk."""
+
+    name: str
+    repository: Repository
+    true_taxon: Taxon | None
+    vendor: str
+    ddl_path: str
+
+
+def _slug(name: str) -> str:
+    return name.replace("/", "__")
+
+
+def save_corpus(projects: list[GeneratedProject], root: str | Path) -> Path:
+    """Write a corpus to ``root``; returns the root path."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = {"format": "repro-corpus-v1", "projects": []}
+    for project in projects:
+        slug = _slug(project.name)
+        directory = root / slug
+        versions_dir = directory / "versions"
+        versions_dir.mkdir(parents=True, exist_ok=True)
+        (directory / "gitlog.txt").write_text(project.git_log_text)
+        for i, text in enumerate(project.ddl_versions):
+            (versions_dir / f"{i:04d}.sql").write_text(text)
+        meta = {
+            "name": project.name,
+            "taxon": project.true_taxon.value,
+            "vendor": project.spec.vendor,
+            "ddl_path": project.spec.ddl_path,
+            "duration_months": project.spec.duration_months,
+        }
+        (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+        manifest["projects"].append(slug)
+    (root / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return root
+
+
+def load_corpus(root: str | Path) -> list[LoadedProject]:
+    """Read a corpus saved by :func:`save_corpus`."""
+    root = Path(root)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} under {root}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != "repro-corpus-v1":
+        raise ValueError(f"unknown corpus format: {manifest.get('format')}")
+
+    projects: list[LoadedProject] = []
+    for slug in manifest["projects"]:
+        directory = root / slug
+        meta = json.loads((directory / "meta.json").read_text())
+        repo = parse_repository(
+            meta["name"], (directory / "gitlog.txt").read_text()
+        )
+        ddl_path = meta["ddl_path"]
+        ddl_commits = [
+            c for c in repo.commits if c.touches(ddl_path)
+        ]
+        version_files = sorted((directory / "versions").glob("*.sql"))
+        if len(ddl_commits) != len(version_files):
+            raise ValueError(
+                f"{meta['name']}: {len(version_files)} stored versions but "
+                f"{len(ddl_commits)} commits touch {ddl_path!r}"
+            )
+        for commit, version_file in zip(ddl_commits, version_files):
+            repo.record_version(
+                ddl_path,
+                FileVersion(
+                    sha=commit.sha,
+                    date=commit.date,
+                    content=version_file.read_text(),
+                ),
+            )
+        taxon = Taxon(meta["taxon"]) if meta.get("taxon") else None
+        projects.append(
+            LoadedProject(
+                name=meta["name"],
+                repository=repo,
+                true_taxon=taxon,
+                vendor=meta.get("vendor", "generic"),
+                ddl_path=ddl_path,
+            )
+        )
+    return projects

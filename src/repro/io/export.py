@@ -1,0 +1,73 @@
+"""CSV export of study measures (the dataset's aggregate tables)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..analysis import StudyResult
+
+MEASURE_COLUMNS = (
+    "name",
+    "taxon",
+    "true_taxon",
+    "duration_months",
+    "schema_total_activity",
+    "project_total_updates",
+    "schema_commits",
+    "active_schema_commits",
+    "sync_5",
+    "sync_10",
+    "advance_over_source",
+    "advance_over_time",
+    "always_over_time",
+    "always_over_source",
+    "always_over_both",
+    "attainment_50",
+    "attainment_75",
+    "attainment_80",
+    "attainment_100",
+)
+
+
+def export_measures_csv(study: StudyResult, path: str | Path) -> Path:
+    """Write one CSV row of measures per project."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(MEASURE_COLUMNS)
+        for p in study.projects:
+            c = p.coevolution
+            writer.writerow(
+                [
+                    p.name,
+                    p.taxon.value,
+                    p.true_taxon.value if p.true_taxon else "",
+                    p.duration_months,
+                    p.schema_total_activity,
+                    p.project_total_updates,
+                    p.schema_commits,
+                    p.active_schema_commits,
+                    f"{p.sync5:.6f}",
+                    f"{p.sync10:.6f}",
+                    "" if c.advance_over_source is None
+                    else f"{c.advance_over_source:.6f}",
+                    "" if c.advance_over_time is None
+                    else f"{c.advance_over_time:.6f}",
+                    int(c.always_over_time),
+                    int(c.always_over_source),
+                    int(c.always_over_both),
+                    f"{c.attainment[0.50]:.6f}",
+                    f"{c.attainment[0.75]:.6f}",
+                    f"{c.attainment[0.80]:.6f}",
+                    f"{c.attainment[1.00]:.6f}",
+                ]
+            )
+    return path
+
+
+def read_measures_csv(path: str | Path) -> list[dict[str, str]]:
+    """Read an exported measures CSV back as dict rows."""
+    with Path(path).open(newline="") as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,79 @@
+"""Schema_Evo-style dataset export: per-project heartbeat CSVs.
+
+The published Schema_Evolution_Datasets release accompanies the paper
+with, per project, the time series of activity plus aggregate measures.
+This writer reproduces that shape from a study result::
+
+    <root>/
+      projects.csv                  # one row of measures per project
+      heartbeats/
+        <slug>.csv                  # month, schema/project activity,
+                                    # cumulative fractions, time progress
+
+The heartbeat files contain everything needed to recompute the paper's
+measures without re-running the mining pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..analysis import StudyResult
+from ..coevolution import JointProgress
+from .export import export_measures_csv
+
+HEARTBEAT_COLUMNS = (
+    "month",
+    "schema_cum_fraction",
+    "project_cum_fraction",
+    "time_progress",
+)
+
+
+def _slug(name: str) -> str:
+    return name.replace("/", "__")
+
+
+def write_schema_evo_dataset(
+    study: StudyResult, root: str | Path
+) -> Path:
+    """Write the per-project dataset under ``root``."""
+    root = Path(root)
+    heartbeat_dir = root / "heartbeats"
+    heartbeat_dir.mkdir(parents=True, exist_ok=True)
+    export_measures_csv(study, root / "projects.csv")
+    for project in study.projects:
+        path = heartbeat_dir / f"{_slug(project.name)}.csv"
+        _write_heartbeat_csv(project.joint, path)
+    return root
+
+
+def _write_heartbeat_csv(joint: JointProgress, path: Path) -> None:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(HEARTBEAT_COLUMNS)
+        for month, schema, source, time in zip(
+            joint.months, joint.schema, joint.project, joint.time
+        ):
+            writer.writerow(
+                [str(month), f"{schema:.6f}", f"{source:.6f}",
+                 f"{time:.6f}"]
+            )
+
+
+def read_heartbeat_csv(path: str | Path) -> JointProgress:
+    """Rebuild a :class:`JointProgress` from one heartbeat CSV."""
+    from ..heartbeat import Month
+
+    with Path(path).open(newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    if not rows:
+        raise ValueError(f"empty heartbeat file: {path}")
+    year, month = rows[0]["month"].split("-")
+    return JointProgress(
+        start=Month(int(year), int(month)),
+        schema=tuple(float(r["schema_cum_fraction"]) for r in rows),
+        project=tuple(float(r["project_cum_fraction"]) for r in rows),
+        time=tuple(float(r["time_progress"]) for r in rows),
+    )

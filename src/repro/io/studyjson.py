@@ -1,0 +1,124 @@
+"""Machine-readable JSON export of a full study.
+
+Everything the figures show, as one JSON document — for notebooks,
+dashboards or regression diffing between runs.  The schema is stable:
+``format`` names the version, and every figure is keyed by its paper
+number.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..analysis import StudyResult, taxon_summaries
+
+FORMAT = "repro-study-v1"
+
+
+def study_as_dict(study: StudyResult) -> dict:
+    """The study's figures and headline as plain JSON-serialisable data."""
+    fig4 = study.fig4()
+    fig6 = study.fig6()
+    fig7 = study.fig7()
+    fig8 = study.fig8()
+    try:
+        statistics = study.statistics()
+    except ValueError:
+        # corpora too small for the §7 battery export without it
+        statistics = None
+    return {
+        "format": FORMAT,
+        "projects": len(study),
+        "skipped": list(study.skipped),
+        "headline": study.headline(),
+        "fig4": {
+            "theta": fig4.theta,
+            "buckets": [bucket.pct_label() for bucket in fig4.buckets],
+            "counts": list(fig4.counts),
+        },
+        "fig5": [
+            {
+                "duration_months": point.duration_months,
+                "sync": point.synchronicity,
+                "taxon": point.taxon.value,
+            }
+            for point in study.fig5()
+        ],
+        "fig6": {
+            "rows": [
+                {
+                    "range": row.label,
+                    "source": row.source_count,
+                    "source_cum_pct": row.source_cum_pct,
+                    "time": row.time_count,
+                    "time_cum_pct": row.time_cum_pct,
+                }
+                for row in fig6.rows
+            ],
+            "blank_source": fig6.blank_source,
+            "blank_time": fig6.blank_time,
+        },
+        "fig7": [
+            {
+                "taxon": row.taxon.value,
+                "n": row.total,
+                "over_time": row.over_time,
+                "over_source": row.over_source,
+                "over_both": row.over_both,
+            }
+            for row in fig7.rows
+        ],
+        "fig8": {
+            "range_labels": list(fig8.range_labels),
+            "counts": {
+                f"{alpha:g}": list(cells)
+                for alpha, cells in fig8.counts.items()
+            },
+        },
+        "statistics": None if statistics is None else {
+            "normality": {
+                name: result.p_value
+                for name, result in statistics.normality.items()
+            },
+            "kruskal_sync_p": statistics.sync_effect.test.p_value,
+            "kruskal_attainment_p": (
+                statistics.attainment_effect.test.p_value
+            ),
+            "tau_sync": statistics.tau_sync.statistic,
+            "tau_advance": statistics.tau_advance.statistic,
+            "lag_tests": {
+                name: {
+                    "chi2_p": lag.chi2.p_value,
+                    "fisher_p": lag.fisher.p_value,
+                }
+                for name, lag in statistics.lag_tests.items()
+            },
+        },
+        "taxa": [
+            {
+                "taxon": row.taxon.value,
+                "n": row.count,
+                "median_sync10": row.median_sync10,
+                "median_attainment75": row.median_attainment75,
+                "always_both_rate": row.always_both_rate,
+            }
+            for row in taxon_summaries(study.projects)
+        ],
+    }
+
+
+def export_study_json(study: StudyResult, path: str | Path) -> Path:
+    """Write :func:`study_as_dict` to ``path`` (pretty-printed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(study_as_dict(study), indent=2))
+    return path
+
+
+def read_study_json(path: str | Path) -> dict:
+    """Load and validate a study JSON document."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != FORMAT:
+        raise ValueError(f"unknown study format: {data.get('format')}")
+    return data

@@ -1,0 +1,19 @@
+"""Co-evolution patching: joint schema + query adaptation."""
+
+from .patcher import (
+    CoEvolutionPlan,
+    PatchedQuery,
+    migration_script,
+    patch_query,
+    plan_coevolution,
+)
+from .rewrite import replace_identifiers
+
+__all__ = [
+    "CoEvolutionPlan",
+    "PatchedQuery",
+    "migration_script",
+    "patch_query",
+    "plan_coevolution",
+    "replace_identifiers",
+]

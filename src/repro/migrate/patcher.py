@@ -1,0 +1,108 @@
+"""Co-evolution patching: adapt queries to schema modifications.
+
+Inspired by the demo paper [25] the study cites: a schema change is
+described once (as an SMO) and the patcher derives both (a) the DDL to
+apply, per vendor dialect, and (b) rewritten application queries where
+the change is mechanically resolvable (renames).  Non-mechanical changes
+(drops, type changes) are reported for human attention instead of being
+guessed at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..smo import SMO, DropAttribute, DropTable, RenameAttribute, RenameTable
+from ..sqlparser.lexer import TokenType, tokenize
+from .rewrite import replace_identifiers
+
+
+@dataclass(frozen=True)
+class PatchedQuery:
+    """The outcome of patching one query under an SMO sequence."""
+
+    original: str
+    text: str
+    changed: bool
+    warnings: tuple[str, ...] = ()
+
+
+def patch_query(query: str, smos: list[SMO]) -> PatchedQuery:
+    """Rewrite ``query`` under a sequence of SMOs.
+
+    Renames are applied textually (identifier-aware, not string
+    replace); destructive operators produce warnings when the query
+    references the dropped element.
+    """
+    text = query
+    warnings: list[str] = []
+    for smo in smos:
+        if isinstance(smo, RenameTable):
+            text = replace_identifiers(text, {smo.old_name: smo.new_name})
+        elif isinstance(smo, RenameAttribute):
+            text = replace_identifiers(text, {smo.old_name: smo.new_name})
+        elif isinstance(smo, DropTable):
+            if _mentions(text, smo.name):
+                warnings.append(
+                    f"query references dropped table {smo.name!r}; "
+                    "manual adaptation required"
+                )
+        elif isinstance(smo, DropAttribute):
+            if _mentions(text, smo.attribute):
+                warnings.append(
+                    f"query references dropped column "
+                    f"{smo.table}.{smo.attribute}; manual adaptation required"
+                )
+    return PatchedQuery(
+        original=query,
+        text=text,
+        changed=text != query,
+        warnings=tuple(warnings),
+    )
+
+
+def _mentions(query: str, identifier: str) -> bool:
+    wanted = identifier.lower()
+    return any(
+        token.type in (TokenType.WORD, TokenType.QUOTED)
+        and token.value.lower() == wanted
+        for token in tokenize(query)
+    )
+
+
+def migration_script(smos: list[SMO], *, dialect: str = "generic") -> str:
+    """The DDL script realising an SMO sequence for one vendor."""
+    statements = [smo.render_sql(dialect) for smo in smos]
+    header = f"-- migration ({dialect})\n"
+    return header + "\n".join(statements) + "\n"
+
+
+@dataclass
+class CoEvolutionPlan:
+    """A change applied jointly to the schema and the query workload."""
+
+    smos: list[SMO]
+    ddl: str
+    patches: list[PatchedQuery]
+
+    @property
+    def queries_changed(self) -> int:
+        return sum(1 for p in self.patches if p.changed)
+
+    @property
+    def queries_needing_attention(self) -> int:
+        return sum(1 for p in self.patches if p.warnings)
+
+
+def plan_coevolution(
+    smos: list[SMO],
+    queries: list[str],
+    *,
+    dialect: str = "generic",
+) -> CoEvolutionPlan:
+    """Derive the joint schema + query adaptation for one change set."""
+    return CoEvolutionPlan(
+        smos=list(smos),
+        ddl=migration_script(smos, dialect=dialect),
+        patches=[patch_query(q, smos) for q in queries],
+    )

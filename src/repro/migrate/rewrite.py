@@ -1,0 +1,54 @@
+"""Identifier-aware text rewriting for SQL strings.
+
+String replace would corrupt queries (``user`` inside ``user_id``,
+identifiers inside string literals); this rewriter tokenizes with the
+shared SQL lexer and splices replacements back by source position, so
+only genuine identifier tokens change and all surrounding text —
+whitespace, comments, literals — survives byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..sqlparser.lexer import TokenType, tokenize
+
+_WORD_RE = re.compile(r"[A-Za-z_\$][A-Za-z0-9_\$]*")
+
+
+def replace_identifiers(sql: str, renames: dict[str, str]) -> str:
+    """Replace identifier tokens per ``renames`` (case-insensitive keys).
+
+    Quoted identifiers are rewritten inside their quotes; bare words are
+    replaced outright.  Keyword-position words are never renamed because
+    rename maps come from schema element names, which the parsers reject
+    as keywords anyway.
+    """
+    lowered = {old.lower(): new for old, new in renames.items()}
+    out: list[str] = []
+    cursor = 0
+    position = 0
+    for token in tokenize(sql):
+        start = sql.find(token.raw, position)
+        if start == -1:
+            continue  # re-lexed hint bodies have no positions; skip
+        position = start + len(token.raw)
+        replacement = None
+        if token.type is TokenType.WORD:
+            new = lowered.get(token.value.lower())
+            if new is not None:
+                replacement = new
+        elif token.type is TokenType.QUOTED:
+            new = lowered.get(token.value.lower())
+            if new is not None:
+                quote = token.raw[0]
+                if quote == "[":
+                    replacement = f"[{new}]"
+                else:
+                    replacement = f"{quote}{new}{quote}"
+        if replacement is not None:
+            out.append(sql[cursor:start])
+            out.append(replacement)
+            cursor = position
+    out.append(sql[cursor:])
+    return "".join(out)

@@ -1,0 +1,41 @@
+"""Repository mining: heartbeats and schema histories."""
+
+from .aggregates import (
+    HistoryAggregates,
+    SizeSnapshot,
+    growth_vs_restructuring,
+)
+from .gitrepo import (
+    GitCommandError,
+    load_repository,
+    mine_clone,
+    read_git_log,
+)
+from .history import SchemaHistory, SchemaTransition, SchemaVersion
+from .miner import (
+    MiningError,
+    ProjectHistory,
+    find_ddl_path,
+    mine_project,
+    mine_project_activity,
+    mine_schema_history,
+)
+
+__all__ = [
+    "GitCommandError",
+    "HistoryAggregates",
+    "SizeSnapshot",
+    "growth_vs_restructuring",
+    "MiningError",
+    "ProjectHistory",
+    "SchemaHistory",
+    "SchemaTransition",
+    "SchemaVersion",
+    "find_ddl_path",
+    "load_repository",
+    "mine_clone",
+    "read_git_log",
+    "mine_project",
+    "mine_project_activity",
+    "mine_schema_history",
+]

@@ -1,0 +1,127 @@
+"""Schema histories: parsed versions of a DDL file and their transitions.
+
+Mirrors the structure of the Schema_Evo_2019 dataset: for each project,
+the list of versions of the schema file, the pairwise deltas between
+subsequent versions (the *heartbeat* source), and aggregate activity
+measures.  The initiating version contributes its full content as
+born-with-table activity (see DESIGN.md, "Activity convention").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from ..diff import SchemaDelta, diff_schemas, initial_delta
+from ..schema import Schema
+from ..sqlparser import ParseIssue, parse_schema
+from ..vcs import FileVersion
+
+
+@dataclass
+class SchemaVersion:
+    """One parsed version of the DDL file."""
+
+    sha: str
+    date: datetime
+    schema: Schema
+    issues: list[ParseIssue] = field(default_factory=list)
+
+    @property
+    def table_count(self) -> int:
+        return len(self.schema)
+
+    @property
+    def attribute_count(self) -> int:
+        return self.schema.attribute_count
+
+
+@dataclass
+class SchemaTransition:
+    """The delta between two subsequent versions (or birth, for index 0)."""
+
+    index: int
+    date: datetime
+    delta: SchemaDelta
+
+    @property
+    def activity(self) -> int:
+        return self.delta.total_activity
+
+    @property
+    def is_active(self) -> bool:
+        """An 'active' commit actually changed the schema logically."""
+        return self.activity > 0
+
+
+@dataclass
+class SchemaHistory:
+    """A project's full schema history with per-transition activity."""
+
+    versions: list[SchemaVersion]
+    transitions: list[SchemaTransition]
+
+    @classmethod
+    def from_file_versions(
+        cls,
+        file_versions: list[FileVersion],
+        *,
+        dialect: str | None = None,
+    ) -> "SchemaHistory":
+        """Parse and diff a chronological sequence of DDL file versions."""
+        if not file_versions:
+            raise ValueError("a schema history needs at least one version")
+        versions: list[SchemaVersion] = []
+        for fv in file_versions:
+            result = parse_schema(fv.content, dialect=dialect)
+            versions.append(
+                SchemaVersion(
+                    sha=fv.sha,
+                    date=fv.date,
+                    schema=result.schema,
+                    issues=result.issues,
+                )
+            )
+        transitions: list[SchemaTransition] = [
+            SchemaTransition(
+                index=0,
+                date=versions[0].date,
+                delta=initial_delta(versions[0].schema),
+            )
+        ]
+        for i in range(1, len(versions)):
+            transitions.append(
+                SchemaTransition(
+                    index=i,
+                    date=versions[i].date,
+                    delta=diff_schemas(
+                        versions[i - 1].schema, versions[i].schema
+                    ),
+                )
+            )
+        return cls(versions=versions, transitions=transitions)
+
+    @property
+    def total_activity(self) -> int:
+        return sum(t.activity for t in self.transitions)
+
+    @property
+    def commit_count(self) -> int:
+        return len(self.versions)
+
+    @property
+    def active_commit_count(self) -> int:
+        return sum(1 for t in self.transitions if t.is_active)
+
+    def activity_events(self) -> list[tuple[datetime, float]]:
+        """(date, activity) pairs feeding the schema heartbeat."""
+        return [(t.date, float(t.activity)) for t in self.transitions]
+
+    @property
+    def final_schema(self) -> Schema:
+        return self.versions[-1].schema
+
+    @property
+    def has_create_table(self) -> bool:
+        """Dataset elicitation rule: some version must define a table."""
+        return any(len(v.schema) > 0 for v in self.versions)

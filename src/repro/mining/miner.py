@@ -1,0 +1,124 @@
+"""Mining a repository into the paper's two heartbeats.
+
+Project Activity is the number of files updated per month, exactly what
+``git log --name-status --no-merges`` exposes; Schema Activity is the
+attribute-level diff activity of the DDL file's version sequence.  The
+output is a :class:`ProjectHistory` carrying both heartbeats plus the
+parsed schema history, ready for the co-evolution metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..coevolution import JointProgress
+from ..heartbeat import Heartbeat, Month
+from ..vcs import Repository
+from .history import SchemaHistory
+
+
+class MiningError(Exception):
+    """Raised when a repository cannot be mined into a project history."""
+
+
+def find_ddl_path(repo: Repository) -> str:
+    """Locate the project's schema-DDL file.
+
+    Preference order: a path with recorded file contents (the corpus
+    loader always records the DDL file), otherwise the most-touched
+    ``.sql`` path in the commit history.
+    """
+    recorded = [
+        path for path in repo.file_contents if path.lower().endswith(".sql")
+    ]
+    if len(recorded) == 1:
+        return recorded[0]
+    if len(recorded) > 1:
+        raise MiningError(
+            f"{repo.name}: multiple recorded .sql files {sorted(recorded)}; "
+            "the study keeps single-DDL-file projects only"
+        )
+    sql_touches: dict[str, int] = {}
+    for commit in repo.commits:
+        for change in commit.changes:
+            if change.path.lower().endswith(".sql"):
+                sql_touches[change.path] = sql_touches.get(change.path, 0) + 1
+    if not sql_touches:
+        raise MiningError(f"{repo.name}: no .sql file in history")
+    return max(sql_touches, key=lambda path: (sql_touches[path], path))
+
+
+def mine_project_activity(repo: Repository) -> Heartbeat:
+    """Monthly file-update counts over the whole project life."""
+    if not repo.commits:
+        raise MiningError(f"{repo.name}: empty repository")
+    span = (Month.of(repo.start_date), Month.of(repo.end_date))
+    events = [
+        (commit.date, float(commit.files_updated)) for commit in repo.commits
+    ]
+    return Heartbeat.from_events(events, span=span, label="project")
+
+
+def mine_schema_history(
+    repo: Repository, ddl_path: str | None = None
+) -> tuple[str, SchemaHistory]:
+    """Parse and diff the version sequence of the project's DDL file."""
+    path = ddl_path or find_ddl_path(repo)
+    versions = repo.versions_of(path)
+    if not versions:
+        raise MiningError(
+            f"{repo.name}: no recorded contents for {path!r} "
+            "(real clones need `git show` extraction first)"
+        )
+    return path, SchemaHistory.from_file_versions(versions)
+
+
+@dataclass
+class ProjectHistory:
+    """Everything the study needs to know about one project."""
+
+    name: str
+    ddl_path: str
+    project_heartbeat: Heartbeat
+    schema_heartbeat: Heartbeat
+    schema_history: SchemaHistory
+
+    @property
+    def duration_months(self) -> int:
+        """Project duration in monthly time-points (union of heartbeats)."""
+        start = min(self.project_heartbeat.start, self.schema_heartbeat.start)
+        end = max(self.project_heartbeat.end, self.schema_heartbeat.end)
+        return end - start + 1
+
+    def joint_progress(self) -> JointProgress:
+        """Align the heartbeats into the three cumulative progressions.
+
+        Raises ``ZeroTotalError`` for degenerate histories with zero
+        total activity on either side.
+        """
+        return JointProgress.from_heartbeats(
+            self.project_heartbeat, self.schema_heartbeat
+        )
+
+
+def mine_project(
+    repo: Repository, *, ddl_path: str | None = None
+) -> ProjectHistory:
+    """Run the full extraction pipeline on one repository."""
+    project_heartbeat = mine_project_activity(repo)
+    path, schema_history = mine_schema_history(repo, ddl_path)
+    schema_events = schema_history.activity_events()
+    first_event_month = Month.of(schema_events[0][0])
+    last_event_month = Month.of(schema_events[-1][0])
+    schema_heartbeat = Heartbeat.from_events(
+        schema_events,
+        span=(first_event_month, last_event_month),
+        label="schema",
+    )
+    return ProjectHistory(
+        name=repo.name,
+        ddl_path=path,
+        project_heartbeat=project_heartbeat,
+        schema_heartbeat=schema_heartbeat,
+        schema_history=schema_history,
+    )

@@ -1,0 +1,40 @@
+"""Change-impact extension: embedded queries vs schema evolution."""
+
+from .deps import QueryDeps, analyze_query
+from .extract import EmbeddedQuery, extract_from_files, extract_queries
+from .workload import generate_workload
+from .validate import (
+    ValidationIssue,
+    ValidationReport,
+    validate_queries,
+    validate_query,
+)
+from .impact import (
+    Impact,
+    ImpactReport,
+    QueryImpact,
+    analyze_impact,
+    classify_query,
+    dependency_graph,
+    queries_touching,
+)
+
+__all__ = [
+    "EmbeddedQuery",
+    "Impact",
+    "ImpactReport",
+    "QueryDeps",
+    "QueryImpact",
+    "analyze_impact",
+    "analyze_query",
+    "classify_query",
+    "dependency_graph",
+    "extract_from_files",
+    "extract_queries",
+    "generate_workload",
+    "queries_touching",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_queries",
+    "validate_query",
+]

@@ -1,0 +1,204 @@
+"""Schema dependencies of a DML query.
+
+A lightweight DML analyser built on the shared SQL tokenizer: it
+resolves which tables a query touches (FROM/JOIN/INTO/UPDATE targets,
+with alias tracking) and which columns it references (qualified
+``alias.column`` and bare identifiers in clause positions), plus whether
+it relies on ``SELECT *`` — the reference shape needed for change-impact
+analysis.  It is an approximation by design (construct validity is
+discussed in the paper's §8); the tests pin down exactly what it claims
+to resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sqlparser.lexer import Token, TokenType, tokenize
+
+#: Keywords that introduce a table reference.
+_TABLE_INTRODUCERS = {"FROM", "JOIN", "INTO", "UPDATE", "TABLE"}
+
+#: Words never interpreted as identifiers in column position.
+_RESERVED = {
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING", "LIMIT",
+    "OFFSET", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS",
+    "ON", "AS", "AND", "OR", "NOT", "NULL", "IN", "IS", "LIKE", "BETWEEN",
+    "EXISTS", "UNION", "ALL", "DISTINCT", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "ASC", "DESC", "USING", "WITH", "RECURSIVE", "RETURNING", "COUNT",
+    "SUM", "AVG", "MIN", "MAX", "COALESCE", "CAST", "CONCAT", "LOWER",
+    "UPPER", "NOW", "TRUE", "FALSE", "INTERVAL", "ANY", "SOME",
+}
+
+
+@dataclass
+class QueryDeps:
+    """The schema surface one query depends on."""
+
+    tables: set[str] = field(default_factory=set)
+    #: resolved column references: (table, column); the table is the
+    #: resolved alias target, or None for unqualified references in
+    #: multi-table queries (attributed to every table conservatively)
+    columns: set[tuple[str | None, str]] = field(default_factory=set)
+    #: tables whose full row shape is consumed via SELECT *
+    star_tables: set[str] = field(default_factory=set)
+    #: tables written by a positional INSERT (no column list): the
+    #: statement depends on the exact attribute arity/order
+    positional_insert_tables: set[str] = field(default_factory=set)
+
+    def references_table(self, table: str) -> bool:
+        return table.lower() in self.tables
+
+    def references_column(self, table: str, column: str) -> bool:
+        table = table.lower()
+        column = column.lower()
+        if (table, column) in self.columns:
+            return True
+        return (None, column) in self.columns and table in self.tables
+
+
+def analyze_query(text: str) -> QueryDeps:
+    """Resolve the tables/columns referenced by one DML statement."""
+    tokens = tokenize(text)
+    deps = QueryDeps()
+    aliases: dict[str, str] = {}
+    _detect_positional_insert(tokens, deps)
+
+    # pass 1: table references and aliases
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if token.type is TokenType.WORD and token.upper in _TABLE_INTRODUCERS:
+            i = _consume_table_refs(tokens, i + 1, deps, aliases)
+            continue
+        i += 1
+
+    # pass 2: column references
+    select_depth_star = False
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        if (
+            token.type is TokenType.OP
+            and token.value == "*"
+            and _star_is_projection(tokens, i)
+        ):
+            deps.star_tables.update(deps.tables)
+            i += 1
+            continue
+        if token.is_name() and not token.is_word(*_RESERVED):
+            # qualified reference: name '.' name
+            if (
+                nxt is not None
+                and nxt.type is TokenType.OP
+                and nxt.value == "."
+                and i + 2 < len(tokens)
+            ):
+                target = tokens[i + 2]
+                base = aliases.get(
+                    token.value.lower(), token.value.lower()
+                )
+                if target.is_name():
+                    deps.columns.add((base, target.value.lower()))
+                elif target.type is TokenType.OP and target.value == "*":
+                    deps.star_tables.add(base)
+                i += 3
+                continue
+            lower = token.value.lower()
+            is_table_word = lower in deps.tables or lower in aliases
+            is_function_call = (
+                nxt is not None and nxt.type is TokenType.LPAREN
+            )
+            if not is_table_word and not is_function_call:
+                if len(deps.tables) == 1:
+                    deps.columns.add((next(iter(deps.tables)), lower))
+                else:
+                    deps.columns.add((None, lower))
+        i += 1
+    return deps
+
+
+def _detect_positional_insert(
+    tokens: list[Token], deps: QueryDeps
+) -> None:
+    """Mark ``INSERT INTO t VALUES ...`` (no column list) targets.
+
+    Without an explicit column list the statement binds to the table's
+    full attribute arity and order, so *any* injection or ejection on
+    that table breaks it.
+    """
+    for i, token in enumerate(tokens):
+        if not token.is_word("INSERT"):
+            continue
+        j = i + 1
+        if j < len(tokens) and tokens[j].is_word("INTO"):
+            j += 1
+        if j >= len(tokens) or not tokens[j].is_name():
+            continue
+        table = tokens[j].value.lower()
+        j += 1
+        # skip schema qualification
+        while (
+            j + 1 < len(tokens)
+            and tokens[j].type is TokenType.OP
+            and tokens[j].value == "."
+            and tokens[j + 1].is_name()
+        ):
+            table = tokens[j + 1].value.lower()
+            j += 2
+        if j < len(tokens) and tokens[j].is_word("VALUES", "SELECT"):
+            deps.positional_insert_tables.add(table)
+
+
+def _consume_table_refs(
+    tokens: list[Token],
+    start: int,
+    deps: QueryDeps,
+    aliases: dict[str, str],
+) -> int:
+    """Parse ``t [AS] alias [, t2 [AS] alias2 ...]`` after an introducer."""
+    i = start
+    while i < len(tokens):
+        token = tokens[i]
+        if token.type is TokenType.LPAREN:
+            return i  # subquery in FROM: its own FROM will be scanned
+        if not token.is_name() or token.is_word(*_RESERVED):
+            return i
+        table = token.value.lower()
+        deps.tables.add(table)
+        i += 1
+        # optional alias
+        if i < len(tokens) and tokens[i].is_word("AS"):
+            i += 1
+        if (
+            i < len(tokens)
+            and tokens[i].is_name()
+            and not tokens[i].is_word(*_RESERVED)
+        ):
+            nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+            is_column_list = (
+                nxt is not None and nxt.type is TokenType.OP and nxt.value == "."
+            )
+            if not is_column_list:
+                aliases[tokens[i].value.lower()] = table
+                i += 1
+        if i < len(tokens) and tokens[i].type is TokenType.COMMA:
+            i += 1
+            continue
+        return i
+    return i
+
+
+def _star_is_projection(tokens: list[Token], index: int) -> bool:
+    """``*`` counts as a projection only right after SELECT or a comma
+    in the select list (not as multiplication)."""
+    for j in range(index - 1, -1, -1):
+        token = tokens[j]
+        if token.type is TokenType.COMMA:
+            continue
+        if token.is_word("SELECT", "DISTINCT", "ALL"):
+            return True
+        return False
+    return False

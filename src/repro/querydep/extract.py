@@ -1,0 +1,66 @@
+"""Extraction of embedded SQL queries from application source code.
+
+The paper's implications section calls for tooling that identifies "the
+parts of the code affected by a schema change".  The first step is
+finding the queries: this module scans source text for string literals
+that look like SQL DML (the technique used by embedded-database studies
+such as [37]).  It is deliberately conservative — a literal must start
+with a DML keyword to count — because false positives poison impact
+analysis downstream.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: String literals in the languages the corpus contains.
+_STRING_RE = re.compile(
+    r'"""(?P<triple>[^"\\]*(?:\\.[^"\\]*)*)"""'
+    r"|'''(?P<triple2>[^'\\]*(?:\\.[^'\\]*)*)'''"
+    r'|"(?P<double>[^"\\\n]*(?:\\.[^"\\\n]*)*)"'
+    r"|'(?P<single>[^'\\\n]*(?:\\.[^'\\\n]*)*)'"
+    r"|`(?P<backtick>[^`]*)`",
+    re.DOTALL,
+)
+
+_DML_START = re.compile(
+    r"^\s*(SELECT|INSERT|UPDATE|DELETE|REPLACE|WITH)\b", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class EmbeddedQuery:
+    """One SQL query found in a source file."""
+
+    file: str
+    line: int
+    text: str
+
+    @property
+    def kind(self) -> str:
+        match = _DML_START.match(self.text)
+        return match.group(1).upper() if match else "UNKNOWN"
+
+
+def extract_queries(source: str, *, file: str = "<memory>") -> list[EmbeddedQuery]:
+    """Find SQL-looking string literals in one source file's text."""
+    queries: list[EmbeddedQuery] = []
+    for match in _STRING_RE.finditer(source):
+        literal = next(g for g in match.groups() if g is not None)
+        if _DML_START.match(literal):
+            line = source.count("\n", 0, match.start()) + 1
+            queries.append(
+                EmbeddedQuery(file=file, line=line, text=literal.strip())
+            )
+    return queries
+
+
+def extract_from_files(
+    files: dict[str, str]
+) -> list[EmbeddedQuery]:
+    """Extract queries from a {path: content} mapping."""
+    queries: list[EmbeddedQuery] = []
+    for path in sorted(files):
+        queries.extend(extract_queries(files[path], file=path))
+    return queries

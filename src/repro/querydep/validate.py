@@ -1,0 +1,96 @@
+"""Static validation of queries against a schema version.
+
+Complements change-impact analysis: instead of asking "what will this
+change break?", asks "is this query consistent with this schema *now*?"
+— unknown tables and unknown qualified columns are reported.  Bare
+column references in multi-table queries are only validated when they
+resolve in none of the joined tables (the conservative reading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..schema import Schema
+from .deps import analyze_query
+from .extract import EmbeddedQuery
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One inconsistency between a query and a schema."""
+
+    query: EmbeddedQuery
+    kind: str  # "unknown_table" | "unknown_column"
+    element: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.query.file}:{self.query.line}: "
+            f"{self.kind} {self.element!r}"
+        )
+
+
+@dataclass
+class ValidationReport:
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def __len__(self) -> int:
+        return len(self.issues)
+
+    def __iter__(self):
+        return iter(self.issues)
+
+
+def validate_query(
+    query: EmbeddedQuery, schema: Schema
+) -> list[ValidationIssue]:
+    """Validate one query's references against a schema."""
+    deps = analyze_query(query.text)
+    issues: list[ValidationIssue] = []
+
+    known_tables = {table.key for table in schema.tables}
+    for table in sorted(deps.tables):
+        if table not in known_tables:
+            issues.append(
+                ValidationIssue(query, "unknown_table", table)
+            )
+
+    for table, column in sorted(
+        deps.columns, key=lambda tc: (tc[0] or "", tc[1])
+    ):
+        if table is not None:
+            owner = schema.get(table)
+            if owner is None:
+                continue  # already reported as unknown_table
+            if column not in owner:
+                issues.append(
+                    ValidationIssue(
+                        query, "unknown_column", f"{table}.{column}"
+                    )
+                )
+        else:
+            # bare reference in a multi-table query: flag only when no
+            # referenced table could supply it
+            owners = [
+                schema.get(t) for t in deps.tables if schema.get(t)
+            ]
+            if owners and not any(column in o for o in owners):
+                issues.append(
+                    ValidationIssue(query, "unknown_column", column)
+                )
+    return issues
+
+
+def validate_queries(
+    queries: list[EmbeddedQuery], schema: Schema
+) -> ValidationReport:
+    """Validate a whole workload against one schema version."""
+    report = ValidationReport()
+    for query in queries:
+        report.issues.extend(validate_query(query, schema))
+    return report

@@ -1,0 +1,56 @@
+"""Text rendering of figures, tables and charts."""
+
+from .figures import (
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_joint_progress,
+    render_statistics,
+)
+from .html import build_html_report, write_html_report
+from .markdown import build_study_report, md_table
+from .svg import PALETTE, svg_bar_chart, svg_line_chart, svg_scatter
+from .svgfigures import (
+    svg_fig4,
+    svg_fig5,
+    svg_fig8,
+    svg_joint_progress,
+    write_svg_figures,
+)
+from .render import (
+    bar_chart,
+    grouped_bar_chart,
+    line_chart,
+    render_table,
+    scatter_chart,
+)
+
+__all__ = [
+    "bar_chart",
+    "build_html_report",
+    "build_study_report",
+    "write_html_report",
+    "md_table",
+    "PALETTE",
+    "svg_bar_chart",
+    "svg_fig4",
+    "svg_fig5",
+    "svg_fig8",
+    "svg_joint_progress",
+    "svg_line_chart",
+    "svg_scatter",
+    "write_svg_figures",
+    "grouped_bar_chart",
+    "line_chart",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_joint_progress",
+    "render_statistics",
+    "render_table",
+    "scatter_chart",
+]

@@ -1,0 +1,195 @@
+"""Text renderings of each figure/table of the paper."""
+
+from __future__ import annotations
+
+from ..analysis import (
+    AdvanceTable,
+    AlwaysAdvance,
+    AttainmentBreakdown,
+    ScatterPoint,
+    StatisticsReport,
+    SyncHistogram,
+)
+from ..coevolution import JointProgress
+from ..taxa import TAXA_ORDER
+from .render import (
+    bar_chart,
+    grouped_bar_chart,
+    line_chart,
+    render_table,
+    scatter_chart,
+)
+
+#: Scatter glyph per taxon (Fig. 5).
+_TAXON_GLYPHS = {
+    taxon: glyph for taxon, glyph in zip(TAXA_ORDER, "FAsMlX")
+}
+
+
+def render_joint_progress(joint: JointProgress, *, title: str = "") -> str:
+    """Fig. 1/3: the joint cumulative fractional progress diagram."""
+    return line_chart(
+        {
+            "schema": joint.schema,
+            "project": joint.project,
+            "time": joint.time,
+        },
+        title=title or "Joint progress (cumulative fractions)",
+    )
+
+
+def render_fig4(histogram: SyncHistogram) -> str:
+    """Fig. 4: breakdown per θ-synchronicity value range."""
+    labels = [bucket.pct_label() for bucket in histogram.buckets]
+    return bar_chart(
+        labels,
+        list(histogram.counts),
+        title=(
+            f"Fig 4 — projects per {histogram.theta:.0%}-synchronicity "
+            f"range (n={histogram.total})"
+        ),
+    )
+
+
+def render_fig5(points: list[ScatterPoint]) -> str:
+    """Fig. 5: duration vs synchronicity, one glyph per taxon."""
+    chart = scatter_chart(
+        [
+            (p.duration_months, p.synchronicity, _TAXON_GLYPHS[p.taxon])
+            for p in points
+        ],
+        x_label="duration (months)",
+        y_label="10%-synchronicity",
+        title="Fig 5 — duration vs co-evolution synchronicity per taxon",
+    )
+    legend = "  ".join(
+        f"{glyph}={taxon.display_name}"
+        for taxon, glyph in _TAXON_GLYPHS.items()
+    )
+    return chart + "\n" + legend
+
+
+def render_fig6(table: AdvanceTable) -> str:
+    """Fig. 6: life percentage of schema advance over source and time."""
+    rows = []
+    for row in table.rows:
+        rows.append(
+            [
+                row.label,
+                row.source_count,
+                f"{row.source_pct:.0%}",
+                f"{row.source_cum_pct:.0%}",
+                row.time_count,
+                f"{row.time_pct:.0%}",
+                f"{row.time_cum_pct:.0%}",
+            ]
+        )
+    rows.append(
+        [
+            "(blank)",
+            table.blank_source,
+            f"{table.blank_source / table.total:.0%}",
+            "",
+            table.blank_time,
+            f"{table.blank_time / table.total:.0%}",
+            "",
+        ]
+    )
+    rows.append(
+        ["Grand Total", table.total, "100%", "", table.total, "100%", ""]
+    )
+    return render_table(
+        [
+            "Range",
+            "Source",
+            "%",
+            "%Cum",
+            "Time",
+            "%",
+            "%Cum",
+        ],
+        rows,
+        title="Fig 6 — life percentage of schema advance over source / time",
+    )
+
+
+def render_fig7(always: AlwaysAdvance) -> str:
+    """Fig. 7: schema always in advance, per taxon."""
+    rows = [
+        [
+            row.taxon.display_name,
+            row.total,
+            row.over_time,
+            row.over_source,
+            row.over_both,
+        ]
+        for row in always.rows
+    ]
+    rows.append(
+        [
+            "Total",
+            always.total,
+            always.total_over_time,
+            always.total_over_source,
+            always.total_over_both,
+        ]
+    )
+    return render_table(
+        ["Taxon", "n", "Time", "Source", "Both"],
+        rows,
+        title="Fig 7 — schema always in advance of time / source / both",
+    )
+
+
+def render_fig8(breakdown: AttainmentBreakdown) -> str:
+    """Fig. 8: attainment of α of evolution per life range."""
+    groups = [f"alpha={alpha:.0%}" for alpha in breakdown.alphas]
+    values = {
+        label: [
+            breakdown.counts[alpha][i] for alpha in breakdown.alphas
+        ]
+        for i, label in enumerate(breakdown.range_labels)
+    }
+    return grouped_bar_chart(
+        groups,
+        list(breakdown.range_labels),
+        values,
+        title="Fig 8 — projects attaining alpha of schema activity per "
+        "life range",
+    )
+
+
+def render_statistics(report: StatisticsReport) -> str:
+    """§7: all test outcomes, one block per paragraph of the section."""
+    lines = ["Sec 7 — statistical analysis", "", "Normality (Shapiro-Wilk):"]
+    for name, result in report.normality.items():
+        lines.append(f"  {name}: W={result.statistic:.3f} p={result.p_value:.2e}")
+
+    for effect in (report.sync_effect, report.attainment_effect):
+        lines.append("")
+        lines.append(
+            f"Kruskal-Wallis taxon -> {effect.measure}: "
+            f"H={effect.test.statistic:.2f} p={effect.test.p_value:.4f}"
+        )
+        for taxon, value in effect.medians.items():
+            lines.append(f"  median[{taxon.display_name}] = {value:.2f}")
+
+    lines.append("")
+    lines.append("Lag tests (taxon x always-in-advance):")
+    for name, lag in report.lag_tests.items():
+        lines.append(
+            f"  {name}: chi2 p={lag.chi2.p_value:.4f}  "
+            f"fisher p={lag.fisher.p_value:.4f} "
+            f"({lag.fisher.details.get('method')})"
+        )
+
+    lines.append("")
+    lines.append(
+        f"Kendall tau (5% vs 10% synchronicity): "
+        f"{report.tau_sync.statistic:.2f}"
+    )
+    lines.append(
+        f"Kendall tau (advance over time vs source): "
+        f"{report.tau_advance.statistic:.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Self-contained HTML study report.
+
+One file, no external assets: the SVG figures are inlined, the tables
+are plain HTML, the styling is a small embedded stylesheet.  Suitable
+for attaching to an issue or publishing next to a dataset release.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+from typing import Sequence
+
+from ..analysis import StudyResult, taxon_summaries
+from .svgfigures import (
+    svg_fig4,
+    svg_fig5,
+    svg_fig8,
+    svg_joint_progress,
+)
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; max-width: 960px;
+       margin: 2rem auto; padding: 0 1rem; color: #1a1a1a; }
+h1, h2 { border-bottom: 1px solid #ddd; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #ccc; padding: .35rem .6rem;
+         text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+thead { background: #f2f2f2; }
+figure { margin: 1.5rem 0; }
+figcaption { color: #555; font-size: .9rem; }
+"""
+
+
+def _html_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    head = "".join(f"<th>{escape(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(
+            f"<td>{escape(str(cell))}</td>" for cell in row
+        ) + "</tr>"
+        for row in rows
+    )
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{body}</tbody></table>"
+    )
+
+
+def _figure(svg: str, caption: str) -> str:
+    return f"<figure>{svg}<figcaption>{escape(caption)}</figcaption></figure>"
+
+
+def build_html_report(
+    study: StudyResult, *, title: str = "Co-evolution study report"
+) -> str:
+    """The full study as one self-contained HTML document."""
+    n = len(study)
+    sections: list[str] = []
+
+    headline = study.headline()
+    sections.append("<h2>Headline numbers</h2>")
+    sections.append(
+        _html_table(
+            ["measure", "value"],
+            [[key, value] for key, value in headline.items()],
+        )
+    )
+
+    sections.append("<h2>Synchronicity (Fig. 4)</h2>")
+    sections.append(
+        _figure(svg_fig4(study), "Projects per 10%-synchronicity range")
+    )
+
+    sections.append("<h2>Duration vs synchronicity (Fig. 5)</h2>")
+    sections.append(
+        _figure(svg_fig5(study), "One point per project, coloured by taxon")
+    )
+
+    fig6 = study.fig6()
+    sections.append("<h2>Life % of schema advance (Fig. 6)</h2>")
+    sections.append(
+        _html_table(
+            ["range", "source", "source cum", "time", "time cum"],
+            [
+                [
+                    row.label,
+                    row.source_count,
+                    f"{row.source_cum_pct:.0%}",
+                    row.time_count,
+                    f"{row.time_cum_pct:.0%}",
+                ]
+                for row in fig6.rows
+            ]
+            + [["(blank)", fig6.blank_source, "", fig6.blank_time, ""]],
+        )
+    )
+
+    sections.append("<h2>Attainment (Fig. 8)</h2>")
+    sections.append(
+        _figure(
+            svg_fig8(study, alpha=0.75),
+            "Projects attaining 75% of schema activity per life range",
+        )
+    )
+    sections.append(
+        _figure(
+            svg_fig8(study, alpha=1.00),
+            "Projects attaining 100% of schema activity per life range",
+        )
+    )
+
+    sections.append("<h2>Per-taxon medians</h2>")
+    sections.append(
+        _html_table(
+            ["taxon", "n", "sync10", "attain75", "always-both"],
+            [
+                [
+                    row.taxon.display_name,
+                    row.count,
+                    f"{row.median_sync10:.2f}",
+                    f"{row.median_attainment75:.2f}",
+                    f"{row.always_both_rate:.0%}",
+                ]
+                for row in taxon_summaries(study.projects)
+            ],
+        )
+    )
+
+    if study.projects:
+        example = study.projects[0]
+        sections.append("<h2>Example joint progress (Fig. 1)</h2>")
+        sections.append(
+            _figure(
+                svg_joint_progress(example.joint, title=example.name),
+                f"{example.name} — {example.duration_months} months",
+            )
+        )
+
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{escape(title)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<h1>{escape(title)}</h1>"
+        f"<p>{n} projects analysed.</p>"
+        + "".join(sections)
+        + "</body></html>"
+    )
+
+
+def write_html_report(
+    study: StudyResult, path: str | Path, *, title: str = "Co-evolution study report"
+) -> Path:
+    """Write :func:`build_html_report` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_html_report(study, title=title))
+    return path

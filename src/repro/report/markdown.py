@@ -1,0 +1,240 @@
+"""Markdown rendering: a complete study report as one document.
+
+`build_study_report` turns a :class:`~repro.analysis.StudyResult` into a
+self-contained Markdown report — headline numbers, every figure/table as
+a pipe table, per-taxon drill-downs and the statistics battery — ready
+to commit next to a dataset or paste into an issue.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis import (
+    StudyResult,
+    duration_band_summaries,
+    taxon_summaries,
+)
+
+
+def md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A GitHub-flavoured pipe table."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    rule = "|" + "|".join(" --- " for _ in headers) + "|"
+    body = [
+        "| " + " | ".join(str(cell) for cell in row) + " |" for row in rows
+    ]
+    return "\n".join([head, rule, *body])
+
+
+def _pct(value: float) -> str:
+    return f"{value:.0%}"
+
+
+def build_study_report(study: StudyResult, *, title: str | None = None) -> str:
+    """The full study as one Markdown document."""
+    sections: list[str] = []
+    n = len(study)
+    sections.append(
+        f"# {title or 'Joint source and schema co-evolution study'}\n\n"
+        f"{n} projects analysed"
+        + (f", {len(study.skipped)} skipped" if study.skipped else "")
+        + "."
+    )
+
+    # headline
+    headline = study.headline()
+    sections.append(
+        "## Headline numbers\n\n"
+        + md_table(
+            ["measure", "value"],
+            [[key, value] for key, value in headline.items()],
+        )
+    )
+
+    # fig 4
+    fig4 = study.fig4()
+    sections.append(
+        "## Synchronicity histogram (Fig. 4)\n\n"
+        + md_table(
+            ["range", "projects", "share"],
+            [
+                [bucket.pct_label(), count, _pct(count / n)]
+                for bucket, count in zip(fig4.buckets, fig4.counts)
+            ],
+        )
+    )
+
+    # fig 6
+    fig6 = study.fig6()
+    sections.append(
+        "## Life % of schema advance (Fig. 6)\n\n"
+        + md_table(
+            ["range", "source", "%", "%cum", "time", "%", "%cum"],
+            [
+                [
+                    row.label,
+                    row.source_count,
+                    _pct(row.source_pct),
+                    _pct(row.source_cum_pct),
+                    row.time_count,
+                    _pct(row.time_pct),
+                    _pct(row.time_cum_pct),
+                ]
+                for row in fig6.rows
+            ]
+            + [
+                [
+                    "(blank)",
+                    fig6.blank_source,
+                    _pct(fig6.blank_source / n),
+                    "",
+                    fig6.blank_time,
+                    _pct(fig6.blank_time / n),
+                    "",
+                ]
+            ],
+        )
+    )
+
+    # fig 7
+    fig7 = study.fig7()
+    sections.append(
+        "## Always in advance (Fig. 7)\n\n"
+        + md_table(
+            ["taxon", "n", "time", "source", "both"],
+            [
+                [
+                    row.taxon.display_name,
+                    row.total,
+                    row.over_time,
+                    row.over_source,
+                    row.over_both,
+                ]
+                for row in fig7.rows
+            ]
+            + [
+                [
+                    "**Total**",
+                    fig7.total,
+                    fig7.total_over_time,
+                    fig7.total_over_source,
+                    fig7.total_over_both,
+                ]
+            ],
+        )
+    )
+
+    # fig 8
+    fig8 = study.fig8()
+    sections.append(
+        "## Attainment (Fig. 8)\n\n"
+        + md_table(
+            ["alpha", *fig8.range_labels],
+            [
+                [_pct(alpha), *fig8.counts[alpha]]
+                for alpha in fig8.alphas
+            ],
+        )
+    )
+
+    # drill-downs
+    sections.append(
+        "## Per-taxon medians\n\n"
+        + md_table(
+            [
+                "taxon",
+                "n",
+                "sync10",
+                "attain75",
+                "duration (mo)",
+                "schema activity",
+                "always-both",
+            ],
+            [
+                [
+                    row.taxon.display_name,
+                    row.count,
+                    f"{row.median_sync10:.2f}",
+                    f"{row.median_attainment75:.2f}",
+                    f"{row.median_duration:.0f}",
+                    f"{row.median_schema_activity:.0f}",
+                    _pct(row.always_both_rate),
+                ]
+                for row in taxon_summaries(study.projects)
+            ],
+        )
+    )
+    sections.append(
+        "## Duration bands (Fig. 5 reading)\n\n"
+        + md_table(
+            ["band", "n", "median sync", "min", "max", "sync>=0.8"],
+            [
+                [
+                    row.label,
+                    row.count,
+                    f"{row.median_sync10:.2f}",
+                    f"{row.min_sync10:.2f}",
+                    f"{row.max_sync10:.2f}",
+                    _pct(row.high_sync_rate),
+                ]
+                for row in duration_band_summaries(study.projects)
+            ],
+        )
+    )
+
+    # statistics
+    report = study.statistics()
+    stat_rows = [
+        [
+            f"Shapiro-Wilk {name}",
+            f"{result.statistic:.3f}",
+            f"{result.p_value:.2e}",
+        ]
+        for name, result in report.normality.items()
+    ]
+    stat_rows.append(
+        [
+            "Kruskal-Wallis taxon->sync10",
+            f"{report.sync_effect.test.statistic:.2f}",
+            f"{report.sync_effect.test.p_value:.4f}",
+        ]
+    )
+    stat_rows.append(
+        [
+            "Kruskal-Wallis taxon->attain75",
+            f"{report.attainment_effect.test.statistic:.2f}",
+            f"{report.attainment_effect.test.p_value:.4f}",
+        ]
+    )
+    for name, lag in report.lag_tests.items():
+        stat_rows.append(
+            [
+                f"chi2 taxon x always-{name}",
+                f"{lag.chi2.statistic:.2f}",
+                f"{lag.chi2.p_value:.4f}",
+            ]
+        )
+        stat_rows.append(
+            [
+                f"Fisher taxon x always-{name}",
+                "",
+                f"{lag.fisher.p_value:.4f}",
+            ]
+        )
+    stat_rows.append(
+        ["Kendall tau sync5~sync10", f"{report.tau_sync.statistic:.2f}", ""]
+    )
+    stat_rows.append(
+        [
+            "Kendall tau advT~advS",
+            f"{report.tau_advance.statistic:.2f}",
+            "",
+        ]
+    )
+    sections.append(
+        "## Statistics (Sec. 7)\n\n"
+        + md_table(["test", "statistic", "p"], stat_rows)
+    )
+
+    return "\n\n".join(sections) + "\n"

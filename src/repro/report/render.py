@@ -1,0 +1,168 @@
+"""Plain-text rendering primitives: tables, bar charts, line charts.
+
+The benchmark harness regenerates the paper's figures as text so results
+can be diffed, logged and pasted — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """A column-aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    counts: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """A horizontal bar chart with counts at the bar ends."""
+    if len(labels) != len(counts):
+        raise ValueError("labels and counts must align")
+    peak = max(counts) if counts else 0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, count in zip(labels, counts):
+        bar_len = round(width * count / peak) if peak else 0
+        lines.append(
+            f"{label.rjust(label_width)} | {'#' * bar_len} {count:g}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    group_labels: Sequence[str],
+    series_labels: Sequence[str],
+    values: Mapping[str, Sequence[float]],
+    *,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Bars per (group, series) pair, grouped visually by group."""
+    peak = max(
+        (v for series in values.values() for v in series), default=0
+    )
+    label_width = max((len(s) for s in series_labels), default=0)
+    lines = [title] if title else []
+    for gi, group in enumerate(group_labels):
+        lines.append(f"{group}:")
+        for series in series_labels:
+            value = values[series][gi]
+            bar_len = round(width * value / peak) if peak else 0
+            lines.append(
+                f"  {series.rjust(label_width)} | {'#' * bar_len} {value:g}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 16,
+    y_range: tuple[float, float] = (0.0, 1.0),
+    title: str = "",
+) -> str:
+    """An ASCII line chart; one glyph per series, overlaps marked ``*``.
+
+    All series must share the same length (the x axis is their index,
+    resampled onto ``width`` columns).
+    """
+    lengths = {len(s) for s in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (n,) = lengths
+    if n == 0:
+        raise ValueError("empty series")
+    lo, hi = y_range
+    if hi <= lo:
+        raise ValueError("bad y range")
+
+    glyphs = "SPT+xo"
+    grid = [[" "] * width for _ in range(height)]
+
+    for si, (name, values) in enumerate(series.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for col in range(width):
+            index = min(n - 1, round(col * (n - 1) / max(1, width - 1)))
+            value = values[index]
+            fraction = (value - lo) / (hi - lo)
+            row = height - 1 - min(
+                height - 1, max(0, round(fraction * (height - 1)))
+            )
+            grid[row][col] = "*" if grid[row][col] not in (" ", glyph) else glyph
+
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend + "   (*=overlap)")
+    lines.append(f"{hi:4.0%} +" + "-" * width)
+    for row in grid:
+        lines.append("     |" + "".join(row))
+    lines.append(f"{lo:4.0%} +" + "-" * width)
+    lines.append("      month 0" + f"month {n - 1}".rjust(width - 7))
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    points: Sequence[tuple[float, float, str]],
+    *,
+    width: int = 70,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """A character scatter plot; the third element is the point glyph."""
+    if not points:
+        raise ValueError("no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = min(width - 1, round((x - x_lo) / x_span * (width - 1)))
+        row = height - 1 - min(
+            height - 1, round((y - y_lo) / y_span * (height - 1))
+        )
+        current = grid[row][col]
+        grid[row][col] = glyph[0] if current == " " else "*"
+
+    lines = [title] if title else []
+    lines.append(f"{y_label} ({y_lo:g} .. {y_hi:g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label} ({x_lo:g} .. {x_hi:g})   *=overlap")
+    return "\n".join(lines)

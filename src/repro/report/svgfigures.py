@@ -1,0 +1,76 @@
+"""SVG versions of the paper's figures."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..analysis import StudyResult
+from ..coevolution import JointProgress
+from .svg import svg_bar_chart, svg_line_chart, svg_scatter
+
+
+def svg_joint_progress(joint: JointProgress, *, title: str = "") -> str:
+    """Fig. 1/3 as an SVG line chart."""
+    return svg_line_chart(
+        {
+            "schema": list(joint.schema),
+            "project": list(joint.project),
+            "time": list(joint.time),
+        },
+        title=title or "Joint cumulative progress",
+    )
+
+
+def svg_fig4(study: StudyResult) -> str:
+    """Fig. 4 as an SVG bar chart."""
+    histogram = study.fig4()
+    return svg_bar_chart(
+        [bucket.pct_label() for bucket in histogram.buckets],
+        list(histogram.counts),
+        title="Projects per 10%-synchronicity range",
+    )
+
+
+def svg_fig5(study: StudyResult) -> str:
+    """Fig. 5 as an SVG scatter plot (one colour per taxon)."""
+    return svg_scatter(
+        [
+            (p.duration_months, p.synchronicity, p.taxon.display_name)
+            for p in study.fig5()
+        ],
+        title="Duration vs co-evolution synchronicity",
+        x_label="duration (months)",
+        y_label="10%-synchronicity",
+    )
+
+
+def svg_fig8(study: StudyResult, *, alpha: float = 0.75) -> str:
+    """Fig. 8 (one α level) as an SVG bar chart."""
+    breakdown = study.fig8()
+    return svg_bar_chart(
+        list(breakdown.range_labels),
+        [float(c) for c in breakdown.counts[alpha]],
+        title=f"Attainment of {alpha:.0%} of schema activity per life range",
+    )
+
+
+def write_svg_figures(study: StudyResult, directory: str | Path) -> list[Path]:
+    """Write every SVG figure under ``directory``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    outputs = {
+        "fig4_sync_histogram.svg": svg_fig4(study),
+        "fig5_duration_scatter.svg": svg_fig5(study),
+        "fig8_attainment_75.svg": svg_fig8(study, alpha=0.75),
+        "fig8_attainment_100.svg": svg_fig8(study, alpha=1.00),
+    }
+    if study.projects:
+        outputs["fig1_joint_progress.svg"] = svg_joint_progress(
+            study.projects[0].joint, title=study.projects[0].name
+        )
+    paths = []
+    for name, text in outputs.items():
+        path = directory / name
+        path.write_text(text)
+        paths.append(path)
+    return paths

@@ -1,0 +1,24 @@
+"""Relational schema model: tables, attributes, normalised types."""
+
+from .model import (
+    Attribute,
+    ForeignKey,
+    Index,
+    Schema,
+    SchemaError,
+    Table,
+    quote_identifier,
+)
+from .types import DataType, normalize_type
+
+__all__ = [
+    "Attribute",
+    "DataType",
+    "ForeignKey",
+    "Index",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "normalize_type",
+    "quote_identifier",
+]

@@ -1,0 +1,267 @@
+"""Normalisation of SQL data types across dialects.
+
+The diff engine decides whether an attribute "changed its data type" by
+comparing *normalised* types, so that cosmetic dialect spellings
+(``INT4`` vs ``INTEGER``, ``BOOL`` vs ``BOOLEAN``) do not register as
+evolution activity.  A :class:`DataType` keeps both the raw spelling found
+in the DDL and the canonical family + parameters used for comparison.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+#: Mapping of type spellings (lower-case, without parameters) to a canonical
+#: family name.  Spellings not in the map normalise to themselves.
+_TYPE_ALIASES = {
+    # integers
+    "int": "int",
+    "integer": "int",
+    "int4": "int",
+    "mediumint": "int",
+    "middleint": "int",
+    "tinyint": "tinyint",
+    "int1": "tinyint",
+    "smallint": "smallint",
+    "int2": "smallint",
+    "bigint": "bigint",
+    "int8": "bigint",
+    "serial": "serial",
+    "serial4": "serial",
+    "bigserial": "bigserial",
+    "serial8": "bigserial",
+    "smallserial": "smallserial",
+    "serial2": "smallserial",
+    # reals
+    "float": "float",
+    "float4": "float",
+    "real": "float",
+    "double": "double",
+    "float8": "double",
+    "double precision": "double",
+    "decimal": "decimal",
+    "dec": "decimal",
+    "numeric": "decimal",
+    "fixed": "decimal",
+    "money": "money",
+    # strings
+    "varchar": "varchar",
+    "character varying": "varchar",
+    "varying": "varchar",
+    "nvarchar": "varchar",
+    "varchar2": "varchar",
+    "char": "char",
+    "character": "char",
+    "nchar": "char",
+    "bpchar": "char",
+    "text": "text",
+    "tinytext": "text",
+    "mediumtext": "text",
+    "longtext": "text",
+    "clob": "text",
+    "citext": "text",
+    # binary
+    "blob": "blob",
+    "tinyblob": "blob",
+    "mediumblob": "blob",
+    "longblob": "blob",
+    "bytea": "blob",
+    "binary": "binary",
+    "varbinary": "varbinary",
+    # temporal
+    "datetime": "datetime",
+    "timestamp": "timestamp",
+    "timestamptz": "timestamptz",
+    "timestamp with time zone": "timestamptz",
+    "timestamp without time zone": "timestamp",
+    "date": "date",
+    "time": "time",
+    "time with time zone": "timetz",
+    "time without time zone": "time",
+    "timetz": "timetz",
+    "year": "year",
+    "interval": "interval",
+    # logical / misc
+    "bool": "boolean",
+    "boolean": "boolean",
+    "bit": "bit",
+    "bit varying": "varbit",
+    "varbit": "varbit",
+    "enum": "enum",
+    "set": "set",
+    "json": "json",
+    "jsonb": "jsonb",
+    "xml": "xml",
+    "uuid": "uuid",
+    "inet": "inet",
+    "cidr": "cidr",
+    "macaddr": "macaddr",
+    "point": "point",
+    "geometry": "geometry",
+    "geography": "geography",
+    "tsvector": "tsvector",
+    "tsquery": "tsquery",
+    "oid": "oid",
+}
+
+#: Families whose parameters carry no comparison weight (display widths).
+_IGNORED_PARAM_FAMILIES = {"int", "tinyint", "smallint", "bigint", "boolean"}
+
+_ARRAY_SUFFIX = re.compile(r"(\[\s*\d*\s*\])+$")
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A normalised SQL data type.
+
+    Attributes:
+        family: canonical family name, e.g. ``"varchar"`` or ``"int"``.
+        params: normalised parameters, e.g. ``(255,)`` for ``VARCHAR(255)``
+            or enum labels for ``ENUM('a','b')``.
+        is_array: Postgres array types (``INT[]``).
+        unsigned: MySQL ``UNSIGNED`` modifier.
+        raw: the raw spelling as found in the DDL (for faithful re-emission).
+    """
+
+    family: str
+    params: tuple = ()
+    is_array: bool = False
+    unsigned: bool = False
+    raw: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        text = self.family
+        if self.params:
+            inner = ", ".join(str(p) for p in self.params)
+            text = f"{text}({inner})"
+        if self.unsigned:
+            text += " unsigned"
+        if self.is_array:
+            text += "[]"
+        return text
+
+    def render_sql(self) -> str:
+        """Render a valid SQL spelling of this type (canonical form)."""
+        text = self.family.upper()
+        if self.params:
+            rendered = []
+            for param in self.params:
+                if isinstance(param, str):
+                    escaped = param.replace("'", "''")
+                    rendered.append(f"'{escaped}'")
+                else:
+                    rendered.append(str(param))
+            text = f"{text}({', '.join(rendered)})"
+        if self.unsigned:
+            text += " UNSIGNED"
+        if self.is_array:
+            text += "[]"
+        return text
+
+
+def normalize_type(raw: str) -> DataType:
+    """Normalise a raw SQL type spelling into a :class:`DataType`.
+
+    Handles parameters (``VARCHAR(255)``, ``DECIMAL(10, 2)``,
+    ``ENUM('a','b')``), Postgres array suffixes (``TEXT[]``), the MySQL
+    ``UNSIGNED``/``ZEROFILL`` modifiers and multi-word spellings
+    (``DOUBLE PRECISION``, ``TIMESTAMP WITH TIME ZONE``).
+
+    >>> normalize_type("INT4").family
+    'int'
+    >>> normalize_type("VarChar(255)").params
+    (255,)
+    """
+    original = raw.strip()
+    text = " ".join(original.split()).lower()
+
+    is_array = False
+    match = _ARRAY_SUFFIX.search(text)
+    if match:
+        is_array = True
+        text = text[: match.start()].strip()
+    if text.startswith("array of "):
+        is_array = True
+        text = text[len("array of "):]
+
+    unsigned = False
+    for modifier in (" unsigned", " zerofill", " signed"):
+        if text.endswith(modifier):
+            unsigned = unsigned or modifier == " unsigned"
+            text = text[: -len(modifier)].strip()
+
+    params: tuple = ()
+    paren = text.find("(")
+    if paren != -1 and text.endswith(")"):
+        base = text[:paren].strip()
+        params = _parse_params(text[paren + 1:-1])
+    elif paren != -1:
+        base = text[:paren].strip()
+    else:
+        base = text
+
+    # Multi-word modifiers after the parameter list ("varchar(10) binary").
+    family = _TYPE_ALIASES.get(base, base)
+    if family in _IGNORED_PARAM_FAMILIES:
+        params = ()
+    return DataType(
+        family=family,
+        params=params,
+        is_array=is_array,
+        unsigned=unsigned,
+        raw=original,
+    )
+
+
+def _parse_params(body: str) -> tuple:
+    """Split a type parameter list into ints and strings.
+
+    ``"10, 2"`` -> ``(10, 2)``; ``"'a','b'"`` -> ``('a', 'b')``.
+    """
+    params = []
+    for part in _split_top_level(body):
+        part = part.strip()
+        if not part:
+            continue
+        if part.startswith("'") and part.endswith("'") and len(part) >= 2:
+            params.append(part[1:-1].replace("''", "'"))
+        elif part.startswith('"') and part.endswith('"') and len(part) >= 2:
+            params.append(part[1:-1].replace('""', '"'))
+        else:
+            try:
+                params.append(int(part))
+            except ValueError:
+                params.append(part)
+    return tuple(params)
+
+
+def _split_top_level(body: str) -> list[str]:
+    """Split on commas that are not inside quotes."""
+    parts = []
+    current = []
+    quote = None
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                # doubled quote = escaped
+                if i + 1 < len(body) and body[i + 1] == quote:
+                    current.append(body[i + 1])
+                    i += 1
+                else:
+                    quote = None
+        elif ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    parts.append("".join(current))
+    return parts

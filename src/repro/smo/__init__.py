@@ -1,0 +1,34 @@
+"""Schema Modification Operator algebra."""
+
+from .infer import infer_from_ddl, infer_smos
+from .ops import (
+    SMO,
+    AddAttribute,
+    ChangeType,
+    CreateTable,
+    DropAttribute,
+    DropTable,
+    RenameAttribute,
+    RenameTable,
+    SetPrimaryKey,
+    SMOError,
+    apply_all,
+    inverse_sequence,
+)
+
+__all__ = [
+    "SMO",
+    "SMOError",
+    "AddAttribute",
+    "ChangeType",
+    "CreateTable",
+    "DropAttribute",
+    "DropTable",
+    "RenameAttribute",
+    "RenameTable",
+    "SetPrimaryKey",
+    "apply_all",
+    "infer_from_ddl",
+    "infer_smos",
+    "inverse_sequence",
+]

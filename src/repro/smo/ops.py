@@ -1,0 +1,298 @@
+"""Schema Modification Operators (SMOs).
+
+An SMO algebra in the spirit of PRISM/CODEX-style work referenced by the
+paper (§2.1): each operator is a typed, applicable, invertible and
+SQL-emittable description of one schema change.  The corpus generator
+drives schema histories by sampling SMO sequences; the migration extension
+rewrites queries under an SMO; tests verify the algebraic laws
+(apply∘inverse = identity, DDL emission round-trips through the parser).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+
+from ..schema import (
+    Attribute,
+    DataType,
+    Schema,
+    SchemaError,
+    Table,
+    normalize_type,
+    quote_identifier,
+)
+
+
+class SMOError(SchemaError):
+    """Raised when an SMO cannot be applied to a schema."""
+
+
+class SMO(ABC):
+    """One schema modification operator."""
+
+    @abstractmethod
+    def apply(self, schema: Schema) -> None:
+        """Apply this operator to ``schema`` in place."""
+
+    @abstractmethod
+    def inverse(self, schema_before: Schema) -> "SMO":
+        """The operator that undoes this one, given the pre-state."""
+
+    @abstractmethod
+    def render_sql(self, dialect: str = "generic") -> str:
+        """Emit the DDL statement realising this operator."""
+
+    def applied_to(self, schema: Schema) -> Schema:
+        """Functional form: return a modified copy."""
+        out = schema.copy()
+        self.apply(out)
+        return out
+
+
+@dataclass
+class CreateTable(SMO):
+    table: Table
+
+    def apply(self, schema: Schema) -> None:
+        if self.table.key in {t.key for t in schema.tables}:
+            raise SMOError(f"CreateTable: {self.table.name!r} exists")
+        schema.add_table(self.table.copy())
+
+    def inverse(self, schema_before: Schema) -> "SMO":
+        return DropTable(self.table.name)
+
+    def render_sql(self, dialect: str = "generic") -> str:
+        return self.table.render_sql()
+
+
+@dataclass
+class DropTable(SMO):
+    name: str
+
+    def apply(self, schema: Schema) -> None:
+        if self.name not in schema:
+            raise SMOError(f"DropTable: no table {self.name!r}")
+        schema.drop_table(self.name)
+
+    def inverse(self, schema_before: Schema) -> "SMO":
+        return CreateTable(schema_before.table(self.name).copy())
+
+    def render_sql(self, dialect: str = "generic") -> str:
+        return f"DROP TABLE {quote_identifier(self.name)};"
+
+
+@dataclass
+class RenameTable(SMO):
+    old_name: str
+    new_name: str
+
+    def apply(self, schema: Schema) -> None:
+        table = schema.get(self.old_name)
+        if table is None:
+            raise SMOError(f"RenameTable: no table {self.old_name!r}")
+        if self.new_name in schema and (
+            self.new_name.lower() != self.old_name.lower()
+        ):
+            raise SMOError(f"RenameTable: {self.new_name!r} exists")
+        schema.drop_table(self.old_name)
+        table.name = self.new_name
+        schema.add_table(table)
+
+    def inverse(self, schema_before: Schema) -> "SMO":
+        return RenameTable(self.new_name, self.old_name)
+
+    def render_sql(self, dialect: str = "generic") -> str:
+        return (
+            f"ALTER TABLE {quote_identifier(self.old_name)} "
+            f"RENAME TO {quote_identifier(self.new_name)};"
+        )
+
+
+@dataclass
+class AddAttribute(SMO):
+    table: str
+    attribute: Attribute
+
+    def apply(self, schema: Schema) -> None:
+        table = schema.get(self.table)
+        if table is None:
+            raise SMOError(f"AddAttribute: no table {self.table!r}")
+        if self.attribute.name in table:
+            raise SMOError(
+                f"AddAttribute: {self.table}.{self.attribute.name} exists"
+            )
+        table.add_attribute(self.attribute)
+
+    def inverse(self, schema_before: Schema) -> "SMO":
+        return DropAttribute(self.table, self.attribute.name)
+
+    def render_sql(self, dialect: str = "generic") -> str:
+        column = self.attribute.render_sql().strip()
+        return (
+            f"ALTER TABLE {quote_identifier(self.table)} ADD COLUMN {column};"
+        )
+
+
+@dataclass
+class DropAttribute(SMO):
+    table: str
+    attribute: str
+
+    def apply(self, schema: Schema) -> None:
+        table = schema.get(self.table)
+        if table is None:
+            raise SMOError(f"DropAttribute: no table {self.table!r}")
+        if self.attribute not in table:
+            raise SMOError(
+                f"DropAttribute: no column {self.table}.{self.attribute}"
+            )
+        if len(table) == 1:
+            raise SMOError(
+                f"DropAttribute: {self.table!r} would be left empty"
+            )
+        table.drop_attribute(self.attribute)
+
+    def inverse(self, schema_before: Schema) -> "SMO":
+        attr = schema_before.table(self.table).attribute(self.attribute)
+        return AddAttribute(self.table, attr)
+
+    def render_sql(self, dialect: str = "generic") -> str:
+        return (
+            f"ALTER TABLE {quote_identifier(self.table)} "
+            f"DROP COLUMN {quote_identifier(self.attribute)};"
+        )
+
+
+@dataclass
+class RenameAttribute(SMO):
+    table: str
+    old_name: str
+    new_name: str
+
+    def apply(self, schema: Schema) -> None:
+        table = schema.get(self.table)
+        if table is None:
+            raise SMOError(f"RenameAttribute: no table {self.table!r}")
+        old = table.get(self.old_name)
+        if old is None:
+            raise SMOError(
+                f"RenameAttribute: no column {self.table}.{self.old_name}"
+            )
+        if self.new_name in table and (
+            self.new_name.lower() != self.old_name.lower()
+        ):
+            raise SMOError(
+                f"RenameAttribute: {self.table}.{self.new_name} exists"
+            )
+        table.replace_attribute(self.old_name, replace(old, name=self.new_name))
+        table.primary_key = tuple(
+            self.new_name if c.lower() == self.old_name.lower() else c
+            for c in table.primary_key
+        )
+
+    def inverse(self, schema_before: Schema) -> "SMO":
+        return RenameAttribute(self.table, self.new_name, self.old_name)
+
+    def render_sql(self, dialect: str = "generic") -> str:
+        if dialect == "mysql":
+            # MySQL (pre-8.0) requires CHANGE with the full definition;
+            # we emit the 8.0+ RENAME COLUMN form for clarity.
+            pass
+        return (
+            f"ALTER TABLE {quote_identifier(self.table)} RENAME COLUMN "
+            f"{quote_identifier(self.old_name)} TO "
+            f"{quote_identifier(self.new_name)};"
+        )
+
+
+@dataclass
+class ChangeType(SMO):
+    table: str
+    attribute: str
+    new_type: DataType
+
+    def __post_init__(self) -> None:
+        if isinstance(self.new_type, str):
+            self.new_type = normalize_type(self.new_type)
+
+    def apply(self, schema: Schema) -> None:
+        table = schema.get(self.table)
+        if table is None:
+            raise SMOError(f"ChangeType: no table {self.table!r}")
+        old = table.get(self.attribute)
+        if old is None:
+            raise SMOError(
+                f"ChangeType: no column {self.table}.{self.attribute}"
+            )
+        table.replace_attribute(self.attribute, old.with_type(self.new_type))
+
+    def inverse(self, schema_before: Schema) -> "SMO":
+        old = schema_before.table(self.table).attribute(self.attribute)
+        return ChangeType(self.table, self.attribute, old.data_type)
+
+    def render_sql(self, dialect: str = "generic") -> str:
+        if dialect == "mysql":
+            return (
+                f"ALTER TABLE {quote_identifier(self.table)} MODIFY COLUMN "
+                f"{quote_identifier(self.attribute)} "
+                f"{self.new_type.render_sql()};"
+            )
+        return (
+            f"ALTER TABLE {quote_identifier(self.table)} ALTER COLUMN "
+            f"{quote_identifier(self.attribute)} TYPE "
+            f"{self.new_type.render_sql()};"
+        )
+
+
+@dataclass
+class SetPrimaryKey(SMO):
+    table: str
+    columns: tuple[str, ...]
+
+    def apply(self, schema: Schema) -> None:
+        table = schema.get(self.table)
+        if table is None:
+            raise SMOError(f"SetPrimaryKey: no table {self.table!r}")
+        for column in self.columns:
+            if column not in table:
+                raise SMOError(
+                    f"SetPrimaryKey: no column {self.table}.{column}"
+                )
+        table.primary_key = tuple(self.columns)
+
+    def inverse(self, schema_before: Schema) -> "SMO":
+        return SetPrimaryKey(
+            self.table, tuple(schema_before.table(self.table).primary_key)
+        )
+
+    def render_sql(self, dialect: str = "generic") -> str:
+        table = quote_identifier(self.table)
+        if not self.columns:
+            return f"ALTER TABLE {table} DROP PRIMARY KEY;"
+        cols = ", ".join(quote_identifier(c) for c in self.columns)
+        return (
+            f"ALTER TABLE {table} DROP PRIMARY KEY, "
+            f"ADD PRIMARY KEY ({cols});"
+            if dialect == "mysql"
+            else f"ALTER TABLE {table} ADD PRIMARY KEY ({cols});"
+        )
+
+
+def apply_all(schema: Schema, smos: list[SMO]) -> Schema:
+    """Apply a sequence of SMOs functionally, returning the final schema."""
+    out = schema.copy()
+    for smo in smos:
+        smo.apply(out)
+    return out
+
+
+def inverse_sequence(schema_before: Schema, smos: list[SMO]) -> list[SMO]:
+    """The reversed sequence of inverses, which undoes ``smos``."""
+    inverses: list[SMO] = []
+    state = schema_before.copy()
+    for smo in smos:
+        inverses.append(smo.inverse(state))
+        smo.apply(state)
+    inverses.reverse()
+    return inverses

@@ -1,0 +1,24 @@
+"""From-scratch SQL DDL parsing (MySQL / PostgreSQL dialects)."""
+
+from .dialect import detect_dialect
+from .lexer import LexError, Token, TokenType, tokenize
+from .parser import (
+    ParseIssue,
+    ParseResult,
+    parse_schema,
+    parse_table,
+    split_statements,
+)
+
+__all__ = [
+    "LexError",
+    "ParseIssue",
+    "ParseResult",
+    "Token",
+    "TokenType",
+    "detect_dialect",
+    "parse_schema",
+    "parse_table",
+    "split_statements",
+    "tokenize",
+]

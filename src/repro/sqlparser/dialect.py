@@ -1,0 +1,70 @@
+"""Dialect detection for mined DDL files.
+
+The study corpus keeps MySQL or Postgres schema files (in that order of
+preference when a project ships both).  We detect the dialect from surface
+features so the parser and re-emitter can make dialect-appropriate choices
+and so corpus statistics can report the vendor mix.
+"""
+
+from __future__ import annotations
+
+import re
+
+_MYSQL_SIGNALS = (
+    re.compile(r"`"),                          # backtick identifiers
+    re.compile(r"\bENGINE\s*=", re.I),
+    re.compile(r"\bAUTO_INCREMENT\b", re.I),
+    re.compile(r"\bUNSIGNED\b", re.I),
+    re.compile(r"^\s*#", re.M),                # '#' comments
+    re.compile(r"\bCHARSET\s*=", re.I),
+    re.compile(r"\bENUM\s*\(", re.I),
+)
+
+_SQLITE_SIGNALS = (
+    re.compile(r"\bAUTOINCREMENT\b", re.I),       # no underscore: SQLite
+    re.compile(r"\bWITHOUT\s+ROWID\b", re.I),
+    re.compile(r"^\s*PRAGMA\b", re.I | re.M),
+    re.compile(r"\bIF\s+NOT\s+EXISTS\b.*\bsqlite_", re.I),
+)
+
+_POSTGRES_SIGNALS = (
+    re.compile(r"\bSERIAL\b", re.I),
+    re.compile(r"\bBIGSERIAL\b", re.I),
+    re.compile(r"::"),                         # cast operator
+    re.compile(r"\bnextval\s*\(", re.I),
+    re.compile(r"\$\$"),                       # dollar quoting
+    re.compile(r"\bBYTEA\b", re.I),
+    re.compile(r"\bTIMESTAMPTZ\b", re.I),
+    re.compile(r"\bWITH\s+TIME\s+ZONE\b", re.I),
+    re.compile(r"\bCREATE\s+SEQUENCE\b", re.I),
+    re.compile(r"\bOWNER\s+TO\b", re.I),
+)
+
+
+def detect_dialect(text: str) -> str:
+    """Return ``"mysql"``, ``"postgres"``, ``"sqlite"`` or ``"generic"``.
+
+    Scores each dialect by the number of distinct signal patterns
+    present; ties and empty scores fall back to ``"generic"``.  SQLite
+    files appear in the wild even though the study's elicitation rules
+    keep MySQL/Postgres only, so the miner labels them correctly rather
+    than misattributing their features.
+    """
+    scores = {
+        "mysql": sum(
+            1 for pattern in _MYSQL_SIGNALS if pattern.search(text)
+        ),
+        "postgres": sum(
+            1 for pattern in _POSTGRES_SIGNALS if pattern.search(text)
+        ),
+        "sqlite": sum(
+            1 for pattern in _SQLITE_SIGNALS if pattern.search(text)
+        ),
+    }
+    best = max(scores, key=scores.get)
+    best_score = scores[best]
+    if best_score == 0:
+        return "generic"
+    if sum(1 for s in scores.values() if s == best_score) > 1:
+        return "generic"  # ambiguous tie
+    return best

@@ -1,0 +1,257 @@
+"""A tokenizer for SQL DDL scripts.
+
+Handles the lexical quirks of the two dialects the study corpus uses
+(MySQL and PostgreSQL):
+
+* ``--`` line comments, ``#`` line comments (MySQL), ``/* ... */`` block
+  comments (including MySQL's executable ``/*! ... */`` hints, whose body
+  is re-lexed as ordinary tokens);
+* single-quoted strings with ``''`` and backslash escapes;
+* backtick-quoted identifiers (MySQL), double-quoted identifiers
+  (PostgreSQL / ANSI), bracket-quoted identifiers (for robustness against
+  SQL Server flavoured files in the wild);
+* dollar-quoted strings (PostgreSQL ``$$ ... $$`` / ``$tag$ ... $tag$``);
+* numbers, operators and punctuation.
+
+The lexer never fails: unknown bytes become single-character OP tokens so
+the statement splitter downstream can always make progress.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    WORD = auto()        # bare identifier or keyword
+    QUOTED = auto()      # quoted identifier (backtick / double-quote / [])
+    STRING = auto()      # string literal
+    NUMBER = auto()
+    OP = auto()          # punctuation / operator character(s)
+    SEMICOLON = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``value`` is the decoded payload (quotes stripped, escapes resolved for
+    identifiers); ``raw`` is the exact source slice.
+    """
+
+    type: TokenType
+    value: str
+    raw: str
+    line: int
+
+    @property
+    def upper(self) -> str:
+        return self.value.upper()
+
+    def is_word(self, *words: str) -> bool:
+        return self.type is TokenType.WORD and self.upper in words
+
+    def is_name(self) -> bool:
+        """Usable as an identifier (bare word or quoted)."""
+        return self.type in (TokenType.WORD, TokenType.QUOTED)
+
+
+class LexError(Exception):
+    """Raised on irrecoverably malformed input (unterminated quote)."""
+
+
+_WORD_RE = re.compile(r"[A-Za-z_\$][A-Za-z0-9_\$]*")
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?([eE][+-]?\d+)?")
+_DOLLAR_TAG_RE = re.compile(r"\$([A-Za-z_]\w*)?\$")
+
+_SINGLE_OPS = {
+    ";": TokenType.SEMICOLON,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+}
+
+
+def tokenize(text: str, *, strict: bool = False) -> list[Token]:
+    """Tokenize an SQL script.
+
+    Args:
+        text: the script.
+        strict: when True, unterminated quotes raise :class:`LexError`;
+            when False (the default, suitable for mining files in the
+            wild), the remainder of the file is consumed as one token.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+
+    def advance_lines(chunk: str) -> None:
+        nonlocal line
+        line += chunk.count("\n")
+
+    while i < n:
+        ch = text[i]
+
+        if ch in " \t\r\n":
+            if ch == "\n":
+                line += 1
+            i += 1
+            continue
+
+        # -- line comment
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+
+        # # line comment (MySQL)
+        if ch == "#":
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+
+        # /* block comment */  (MySQL executable hints are re-lexed)
+        if ch == "/" and text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                if strict:
+                    raise LexError(f"unterminated block comment at line {line}")
+                advance_lines(text[i:])
+                break
+            body = text[i + 2:end]
+            if body.startswith("!"):
+                hint = re.sub(r"^!\d*", "", body)
+                tokens.extend(
+                    Token(t.type, t.value, t.raw, line + _offset_lines(text, i, t))
+                    for t in tokenize(hint, strict=strict)
+                )
+            advance_lines(text[i:end + 2])
+            i = end + 2
+            continue
+
+        # string literal
+        if ch == "'":
+            value, raw, consumed = _read_quoted(text, i, "'", strict, line)
+            tokens.append(Token(TokenType.STRING, value, raw, line))
+            advance_lines(raw)
+            i += consumed
+            continue
+
+        # dollar-quoted string (PostgreSQL)
+        if ch == "$":
+            match = _DOLLAR_TAG_RE.match(text, i)
+            if match:
+                tag = match.group(0)
+                end = text.find(tag, match.end())
+                if end == -1:
+                    if strict:
+                        raise LexError(
+                            f"unterminated dollar quote at line {line}"
+                        )
+                    raw = text[i:]
+                    tokens.append(
+                        Token(TokenType.STRING, text[match.end():], raw, line)
+                    )
+                    advance_lines(raw)
+                    break
+                raw = text[i:end + len(tag)]
+                tokens.append(
+                    Token(TokenType.STRING, text[match.end():end], raw, line)
+                )
+                advance_lines(raw)
+                i = end + len(tag)
+                continue
+
+        # quoted identifiers
+        if ch == "`":
+            value, raw, consumed = _read_quoted(text, i, "`", strict, line)
+            tokens.append(Token(TokenType.QUOTED, value, raw, line))
+            advance_lines(raw)
+            i += consumed
+            continue
+        if ch == '"':
+            value, raw, consumed = _read_quoted(text, i, '"', strict, line)
+            tokens.append(Token(TokenType.QUOTED, value, raw, line))
+            advance_lines(raw)
+            i += consumed
+            continue
+        if ch == "[":
+            end = text.find("]", i + 1)
+            if end == -1:
+                tokens.append(Token(TokenType.OP, "[", "[", line))
+                i += 1
+                continue
+            tokens.append(
+                Token(TokenType.QUOTED, text[i + 1:end], text[i:end + 1], line)
+            )
+            i = end + 1
+            continue
+
+        # number (ASCII digits only: str.isdigit also accepts Unicode
+        # digit-like characters that the number pattern rejects)
+        if ch in "0123456789":
+            match = _NUMBER_RE.match(text, i)
+            assert match is not None
+            tokens.append(
+                Token(TokenType.NUMBER, match.group(0), match.group(0), line)
+            )
+            i = match.end()
+            continue
+
+        # word
+        match = _WORD_RE.match(text, i)
+        if match:
+            word = match.group(0)
+            tokens.append(Token(TokenType.WORD, word, word, line))
+            i = match.end()
+            continue
+
+        # structural single characters & everything else
+        token_type = _SINGLE_OPS.get(ch, TokenType.OP)
+        tokens.append(Token(token_type, ch, ch, line))
+        i += 1
+
+    return tokens
+
+
+def _offset_lines(text: str, start: int, token: Token) -> int:
+    # line numbers inside re-lexed hint bodies are approximate
+    return 0
+
+
+def _read_quoted(
+    text: str, start: int, quote: str, strict: bool, line: int
+) -> tuple[str, str, int]:
+    """Read a quoted region starting at ``start``.
+
+    Returns ``(decoded_value, raw_slice, consumed_chars)``.  Doubling the
+    quote escapes it; backslash escapes are honoured inside single quotes
+    and backticks (MySQL behaviour).
+    """
+    out: list[str] = []
+    i = start + 1
+    n = len(text)
+    backslash_escapes = quote in ("'", "`")
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and backslash_escapes and i + 1 < n:
+            out.append(text[i + 1])
+            i += 2
+            continue
+        if ch == quote:
+            if i + 1 < n and text[i + 1] == quote:
+                out.append(quote)
+                i += 2
+                continue
+            return "".join(out), text[start:i + 1], i + 1 - start
+        out.append(ch)
+        i += 1
+    if strict:
+        raise LexError(f"unterminated {quote!r} quote at line {line}")
+    return "".join(out), text[start:], n - start

@@ -1,0 +1,49 @@
+"""Statistical substrate: rank tests, contingency tests, bucketing."""
+
+from .bootstrap import Interval, bootstrap, median_interval, share_interval
+from .buckets import (
+    Bucket,
+    bucket_counts,
+    bucket_index,
+    buckets_from_edges,
+    equal_buckets,
+)
+from .contingency import chi_square, fisher_exact_rxc
+from .ranks import (
+    kendall_tau_b,
+    kruskal_wallis,
+    median,
+    rank_with_ties,
+    shapiro_wilk,
+)
+from .result import TestResult
+from .survival import (
+    Observation,
+    SurvivalCurve,
+    SurvivalPoint,
+    kaplan_meier,
+)
+
+__all__ = [
+    "Bucket",
+    "Interval",
+    "bootstrap",
+    "median_interval",
+    "share_interval",
+    "TestResult",
+    "Observation",
+    "SurvivalCurve",
+    "SurvivalPoint",
+    "kaplan_meier",
+    "bucket_counts",
+    "bucket_index",
+    "buckets_from_edges",
+    "chi_square",
+    "equal_buckets",
+    "fisher_exact_rxc",
+    "kendall_tau_b",
+    "kruskal_wallis",
+    "median",
+    "rank_with_ties",
+    "shapiro_wilk",
+]

@@ -1,0 +1,92 @@
+"""Histogram bucketing helpers used by the figure computations.
+
+The paper's figures group projects into value-range buckets (five
+20%-wide buckets in Fig. 4, ten 10%-wide buckets in Fig. 6, four
+lifetime ranges in Fig. 8).  These helpers implement the bucketing with
+explicit edge conventions so the figure code cannot disagree about
+boundary membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A half-open value range ``[low, high)``; the last bucket of a
+    scheme is closed on both ends so 1.0 lands in it."""
+
+    low: float
+    high: float
+    closed_high: bool = False
+
+    def __contains__(self, value: float) -> bool:
+        if self.closed_high:
+            return self.low <= value <= self.high + 1e-12
+        return self.low <= value < self.high
+
+    @property
+    def label(self) -> str:
+        low = f"{self.low:.2f}".rstrip("0").rstrip(".")
+        high = f"{self.high:.2f}".rstrip("0").rstrip(".")
+        return f"{low}-{high}"
+
+    def pct_label(self) -> str:
+        closer = "]" if self.closed_high else ")"
+        return f"[{self.low:.0%}-{self.high:.0%}{closer}"
+
+
+def equal_buckets(n: int, *, low: float = 0.0, high: float = 1.0) -> list[Bucket]:
+    """``n`` equal-width buckets covering ``[low, high]``."""
+    if n <= 0:
+        raise ValueError("need at least one bucket")
+    width = (high - low) / n
+    return [
+        Bucket(
+            low=low + i * width,
+            high=low + (i + 1) * width,
+            closed_high=(i == n - 1),
+        )
+        for i in range(n)
+    ]
+
+
+def buckets_from_edges(edges: Sequence[float]) -> list[Bucket]:
+    """Buckets from explicit edges, last one closed."""
+    if len(edges) < 2:
+        raise ValueError("need at least two edges")
+    if list(edges) != sorted(edges):
+        raise ValueError("edges must be increasing")
+    n = len(edges) - 1
+    return [
+        Bucket(edges[i], edges[i + 1], closed_high=(i == n - 1))
+        for i in range(n)
+    ]
+
+
+def bucket_index(buckets: Sequence[Bucket], value: float) -> int:
+    """Index of the bucket containing ``value``; raises when none does."""
+    for i, bucket in enumerate(buckets):
+        if value in bucket:
+            return i
+    raise ValueError(f"value {value} outside all buckets")
+
+
+def bucket_counts(
+    values: Sequence[float | None], buckets: Sequence[Bucket]
+) -> tuple[list[int], int]:
+    """Count values per bucket; ``None`` values are tallied separately.
+
+    Returns ``(counts, blank_count)`` — the paper's Fig. 6 keeps a
+    "(blank)" row for projects whose measure is undefined.
+    """
+    counts = [0] * len(buckets)
+    blanks = 0
+    for value in values:
+        if value is None:
+            blanks += 1
+        else:
+            counts[bucket_index(buckets, value)] += 1
+    return counts, blanks

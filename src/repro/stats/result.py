@@ -1,0 +1,24 @@
+"""Common result type for hypothesis tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one statistical test."""
+
+    name: str
+    statistic: float
+    p_value: float
+    details: dict = field(default_factory=dict)
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: statistic={self.statistic:.4f}, "
+            f"p={self.p_value:.4g}"
+        )

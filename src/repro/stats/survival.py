@@ -1,0 +1,99 @@
+"""Kaplan–Meier survival estimation (from scratch).
+
+Used by the schema-activity survival analysis: "at what fraction of a
+project's life does the schema stop evolving?" is a survival question —
+the event is the last logical change, and schemata still changing near
+the end of the observation window are right-censored (their true
+stopping point is unknown).  The estimator is the standard product-limit
+form with right censoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One subject: time of event (or of censoring)."""
+
+    time: float
+    event: bool  # True = the event occurred; False = right-censored
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("negative observation time")
+
+
+@dataclass(frozen=True)
+class SurvivalPoint:
+    """One step of the survival curve."""
+
+    time: float
+    at_risk: int
+    events: int
+    survival: float
+
+
+@dataclass(frozen=True)
+class SurvivalCurve:
+    """A Kaplan–Meier step function."""
+
+    points: tuple[SurvivalPoint, ...]
+    n_subjects: int
+    n_events: int
+
+    def survival_at(self, time: float) -> float:
+        """S(t): the probability of surviving beyond ``time``."""
+        survival = 1.0
+        for point in self.points:
+            if point.time > time:
+                break
+            survival = point.survival
+        return survival
+
+    def median_time(self) -> float | None:
+        """First time S(t) drops to 0.5 or below (None if it never does)."""
+        for point in self.points:
+            if point.survival <= 0.5:
+                return point.time
+        return None
+
+
+def kaplan_meier(observations: Sequence[Observation]) -> SurvivalCurve:
+    """The product-limit estimator over right-censored observations."""
+    if not observations:
+        raise ValueError("no observations")
+    ordered = sorted(observations, key=lambda o: o.time)
+    n_events_total = sum(1 for o in ordered if o.event)
+
+    points: list[SurvivalPoint] = []
+    survival = 1.0
+    at_risk = len(ordered)
+    index = 0
+    while index < len(ordered):
+        time = ordered[index].time
+        events = 0
+        removed = 0
+        while index < len(ordered) and ordered[index].time == time:
+            if ordered[index].event:
+                events += 1
+            removed += 1
+            index += 1
+        if events > 0:
+            survival *= 1 - events / at_risk
+            points.append(
+                SurvivalPoint(
+                    time=time,
+                    at_risk=at_risk,
+                    events=events,
+                    survival=survival,
+                )
+            )
+        at_risk -= removed
+    return SurvivalCurve(
+        points=tuple(points),
+        n_subjects=len(ordered),
+        n_events=n_events_total,
+    )

@@ -1,0 +1,20 @@
+"""Schema-evolution taxa and their rule-based classifier."""
+
+from .evaluation import ClassifierEvaluation, TaxonScore
+from .model import (
+    TAXA_ORDER,
+    HeartbeatFeatures,
+    Taxon,
+    TaxonThresholds,
+    classify,
+)
+
+__all__ = [
+    "ClassifierEvaluation",
+    "TAXA_ORDER",
+    "TaxonScore",
+    "HeartbeatFeatures",
+    "Taxon",
+    "TaxonThresholds",
+    "classify",
+]

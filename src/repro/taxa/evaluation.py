@@ -1,0 +1,119 @@
+"""Evaluation of the taxon classifier against ground-truth labels.
+
+The synthetic corpus records each project's generative taxon, so the
+rule-based classifier can be *scored* rather than trusted: confusion
+matrix, per-taxon precision/recall/F1, and overall accuracy.  The same
+machinery evaluates any relabelling (e.g. after a threshold ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .model import TAXA_ORDER, Taxon
+
+
+@dataclass(frozen=True)
+class TaxonScore:
+    """Precision/recall/F1 of one taxon."""
+
+    taxon: Taxon
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass
+class ClassifierEvaluation:
+    """Full evaluation of predicted vs true taxa."""
+
+    confusion: dict[tuple[Taxon, Taxon], int]
+    total: int
+
+    @classmethod
+    def of(
+        cls,
+        true_labels: Sequence[Taxon],
+        predicted_labels: Sequence[Taxon],
+    ) -> "ClassifierEvaluation":
+        if len(true_labels) != len(predicted_labels):
+            raise ValueError("label sequences must align")
+        if not true_labels:
+            raise ValueError("nothing to evaluate")
+        confusion: dict[tuple[Taxon, Taxon], int] = {}
+        for truth, predicted in zip(true_labels, predicted_labels):
+            key = (truth, predicted)
+            confusion[key] = confusion.get(key, 0) + 1
+        return cls(confusion=confusion, total=len(true_labels))
+
+    @property
+    def accuracy(self) -> float:
+        correct = sum(
+            count
+            for (truth, predicted), count in self.confusion.items()
+            if truth is predicted
+        )
+        return correct / self.total
+
+    def score(self, taxon: Taxon) -> TaxonScore:
+        tp = self.confusion.get((taxon, taxon), 0)
+        fp = sum(
+            count
+            for (truth, predicted), count in self.confusion.items()
+            if predicted is taxon and truth is not taxon
+        )
+        fn = sum(
+            count
+            for (truth, predicted), count in self.confusion.items()
+            if truth is taxon and predicted is not taxon
+        )
+        return TaxonScore(
+            taxon=taxon,
+            true_positives=tp,
+            false_positives=fp,
+            false_negatives=fn,
+        )
+
+    def scores(self) -> list[TaxonScore]:
+        return [self.score(taxon) for taxon in TAXA_ORDER]
+
+    def macro_f1(self) -> float:
+        """Mean F1 over taxa with at least one true instance."""
+        present = [
+            score for score in self.scores()
+            if score.true_positives + score.false_negatives > 0
+        ]
+        if not present:
+            raise ValueError("no taxon has true instances")
+        return sum(score.f1 for score in present) / len(present)
+
+    def render(self) -> str:
+        """A text confusion matrix (rows = truth, columns = predicted)."""
+        from ..report.render import render_table
+
+        headers = ["truth \\ predicted"] + [
+            taxon.name[:8] for taxon in TAXA_ORDER
+        ]
+        rows = []
+        for truth in TAXA_ORDER:
+            row: list[object] = [truth.name[:18]]
+            for predicted in TAXA_ORDER:
+                row.append(self.confusion.get((truth, predicted), 0))
+            rows.append(row)
+        return render_table(headers, rows, title="Taxon confusion matrix")

@@ -1,0 +1,31 @@
+"""Version-control substrate: repository model and git-log text I/O."""
+
+from .gitlog import (
+    GitLogError,
+    format_git_log,
+    parse_date,
+    parse_git_log,
+    parse_repository,
+)
+from .model import (
+    Commit,
+    FileChange,
+    FileVersion,
+    Repository,
+    synthetic_sha,
+    utc,
+)
+
+__all__ = [
+    "Commit",
+    "FileChange",
+    "FileVersion",
+    "GitLogError",
+    "Repository",
+    "format_git_log",
+    "parse_date",
+    "parse_git_log",
+    "parse_repository",
+    "synthetic_sha",
+    "utc",
+]

@@ -1,0 +1,145 @@
+"""Parsing and emitting ``git log --name-status --no-merges --date=iso``.
+
+The paper mines project activity with exactly this command; the parser
+here consumes its output (from a real clone or from the emitter below).
+The emitter produces byte-compatible text from a :class:`Repository`,
+which is how the synthetic corpus exercises the same mining pipeline as
+real repositories.
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import datetime
+
+from .model import Commit, FileChange, Repository
+
+
+class GitLogError(Exception):
+    """Raised on unparseable git-log text."""
+
+
+_COMMIT_RE = re.compile(r"^commit ([0-9a-f]{4,40})(?:\s+\(.*\))?$")
+_AUTHOR_RE = re.compile(r"^Author:\s*(.*?)\s*(?:<([^>]*)>)?$")
+_DATE_RE = re.compile(r"^Date:\s*(.*)$")
+_STATUS_RE = re.compile(r"^([AMDTUX]|[RC]\d*)\t([^\t]+)(?:\t(.+))?$")
+
+#: git --date=iso format: ``2015-03-10 14:22:01 +0200``
+_ISO_FORMATS = (
+    "%Y-%m-%d %H:%M:%S %z",
+    "%Y-%m-%dT%H:%M:%S%z",
+    "%Y-%m-%d %H:%M:%S",
+)
+
+
+def parse_date(text: str) -> datetime:
+    """Parse a git ``--date=iso`` timestamp."""
+    text = text.strip()
+    for fmt in _ISO_FORMATS:
+        try:
+            return datetime.strptime(text, fmt)
+        except ValueError:
+            continue
+    raise GitLogError(f"unparseable date: {text!r}")
+
+
+def parse_git_log(text: str) -> list[Commit]:
+    """Parse git-log text into commits (in the order they appear).
+
+    ``git log`` prints newest first; callers that need chronological order
+    should reverse or use :func:`parse_repository`.
+    """
+    commits: list[Commit] = []
+    current: Commit | None = None
+    message_lines: list[str] = []
+
+    def flush() -> None:
+        nonlocal current, message_lines
+        if current is not None:
+            current.message = "\n".join(message_lines).strip()
+            commits.append(current)
+        current = None
+        message_lines = []
+
+    for line in text.splitlines():
+        match = _COMMIT_RE.match(line)
+        if match:
+            flush()
+            current = Commit(
+                sha=match.group(1),
+                author="",
+                email="",
+                date=datetime.min,
+                message="",
+            )
+            continue
+        if current is None:
+            if line.strip():
+                raise GitLogError(f"content before first commit: {line!r}")
+            continue
+        match = _AUTHOR_RE.match(line)
+        if match and not current.author:
+            current.author = match.group(1) or ""
+            current.email = match.group(2) or ""
+            continue
+        match = _DATE_RE.match(line)
+        if match and current.date is datetime.min:
+            current.date = parse_date(match.group(1))
+            continue
+        match = _STATUS_RE.match(line)
+        if match:
+            status, path_a, path_b = match.groups()
+            if status.startswith(("R", "C")) and path_b is not None:
+                change = FileChange(
+                    status=status, path=path_b, old_path=path_a
+                )
+            else:
+                change = FileChange(status=status, path=path_a)
+            current.changes.append(change)
+            continue
+        if line.startswith("    "):
+            message_lines.append(line[4:])
+        # anything else (blank separators, Merge: lines) is ignored
+    flush()
+
+    for commit in commits:
+        if commit.date is datetime.min:
+            raise GitLogError(f"commit {commit.sha[:8]} has no Date line")
+    return commits
+
+
+def parse_repository(name: str, text: str) -> Repository:
+    """Parse git-log text into a chronologically ordered repository."""
+    commits = parse_git_log(text)
+    commits.sort(key=lambda c: c.date)
+    repo = Repository(name=name)
+    for commit in commits:
+        repo.add_commit(commit)
+    return repo
+
+
+def format_git_log(commits: list[Commit], *, newest_first: bool = True) -> str:
+    """Emit git-log text (the inverse of :func:`parse_git_log`)."""
+    ordered = list(commits)
+    if newest_first:
+        ordered = ordered[::-1]
+    blocks: list[str] = []
+    for commit in ordered:
+        lines = [f"commit {commit.sha}"]
+        author = commit.author or "unknown"
+        email = commit.email or "unknown@example.org"
+        lines.append(f"Author: {author} <{email}>")
+        lines.append(f"Date:   {commit.date.strftime('%Y-%m-%d %H:%M:%S %z')}")
+        lines.append("")
+        message = commit.message or "(no message)"
+        lines.extend(f"    {text}" for text in message.splitlines())
+        lines.append("")
+        for change in commit.changes:
+            if change.old_path is not None:
+                lines.append(
+                    f"{change.status}\t{change.old_path}\t{change.path}"
+                )
+            else:
+                lines.append(f"{change.status}\t{change.path}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + ("\n" if blocks else "")

@@ -1,0 +1,136 @@
+"""A minimal version-control substrate.
+
+The study needs exactly what ``git log --name-status --no-merges
+--date=iso`` exposes: the ordered commits of a project, each with a date,
+an author and the set of files it touched — plus, for the DDL file, the
+content of every version.  :class:`Repository` models that; real clones
+enter through the git-log parser, synthetic projects through the corpus
+generator (which *emits* git-log text so the two paths share a pipeline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+
+@dataclass(frozen=True)
+class FileChange:
+    """One file touched by a commit.
+
+    ``status`` follows git's name-status letters: ``A`` added,
+    ``M`` modified, ``D`` deleted, ``R`` renamed (with ``old_path``),
+    ``C`` copied, ``T`` type-changed.
+    """
+
+    status: str
+    path: str
+    old_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.status:
+            raise ValueError("empty status letter")
+
+    @property
+    def kind(self) -> str:
+        """The status letter without a similarity score (R100 -> R)."""
+        return self.status[0]
+
+
+@dataclass
+class Commit:
+    """One commit of a project history."""
+
+    sha: str
+    author: str
+    email: str
+    date: datetime
+    message: str
+    changes: list[FileChange] = field(default_factory=list)
+
+    @property
+    def files_updated(self) -> int:
+        """The unit of project activity: number of files touched."""
+        return len(self.changes)
+
+    def touches(self, path: str) -> bool:
+        return any(
+            change.path == path or change.old_path == path
+            for change in self.changes
+        )
+
+
+@dataclass
+class FileVersion:
+    """The content of a tracked file as of a given commit."""
+
+    sha: str
+    date: datetime
+    content: str
+
+
+@dataclass
+class Repository:
+    """An ordered project history with optional tracked file contents.
+
+    ``commits`` are kept in topological (chronological) order, oldest
+    first.  ``file_contents`` maps a path to the sequence of its versions
+    — the generator fills this for the DDL file; for real repositories it
+    would be populated via ``git show`` per touching commit.
+    """
+
+    name: str
+    commits: list[Commit] = field(default_factory=list)
+    file_contents: dict[str, list[FileVersion]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.commits)
+
+    @property
+    def start_date(self) -> datetime:
+        if not self.commits:
+            raise ValueError(f"repository {self.name!r} has no commits")
+        return self.commits[0].date
+
+    @property
+    def end_date(self) -> datetime:
+        if not self.commits:
+            raise ValueError(f"repository {self.name!r} has no commits")
+        return self.commits[-1].date
+
+    def add_commit(self, commit: Commit) -> None:
+        if self.commits and commit.date < self.commits[-1].date:
+            raise ValueError(
+                f"commit {commit.sha[:8]} predates repository head"
+            )
+        self.commits.append(commit)
+
+    def commits_touching(self, path: str) -> list[Commit]:
+        return [commit for commit in self.commits if commit.touches(path)]
+
+    def versions_of(self, path: str) -> list[FileVersion]:
+        return self.file_contents.get(path, [])
+
+    def record_version(self, path: str, version: FileVersion) -> None:
+        self.file_contents.setdefault(path, []).append(version)
+
+    def paths(self) -> set[str]:
+        out: set[str] = set()
+        for commit in self.commits:
+            for change in commit.changes:
+                out.add(change.path)
+        return out
+
+
+def synthetic_sha(*parts: object) -> str:
+    """A deterministic fake commit hash from arbitrary parts."""
+    digest = hashlib.sha1(
+        "\x00".join(str(p) for p in parts).encode()
+    ).hexdigest()
+    return digest
+
+
+def utc(year: int, month: int, day: int = 1, hour: int = 12) -> datetime:
+    """Shorthand for a timezone-aware UTC datetime."""
+    return datetime(year, month, day, hour, tzinfo=timezone.utc)

@@ -1,0 +1,105 @@
+--
+-- PostgreSQL database dump
+--
+
+SET statement_timeout = 0;
+SET lock_timeout = 0;
+SET client_encoding = 'UTF8';
+SET standard_conforming_strings = on;
+SET check_function_bodies = false;
+SET row_security = off;
+
+--
+-- Name: notes; Type: TABLE; Schema: public; Owner: app
+--
+
+CREATE TABLE public.notes (
+    id integer NOT NULL,
+    uid bigint,
+    created_at timestamp without time zone,
+    closed_at timestamp with time zone,
+    status character varying(32) DEFAULT 'open'::character varying NOT NULL,
+    location point,
+    body text,
+    tags text[]
+);
+
+ALTER TABLE public.notes OWNER TO app;
+
+--
+-- Name: notes_id_seq; Type: SEQUENCE; Schema: public; Owner: app
+--
+
+CREATE SEQUENCE public.notes_id_seq
+    START WITH 1
+    INCREMENT BY 1
+    NO MINVALUE
+    NO MAXVALUE
+    CACHE 1;
+
+ALTER SEQUENCE public.notes_id_seq OWNED BY public.notes.id;
+
+--
+-- Name: comments; Type: TABLE; Schema: public; Owner: app
+--
+
+CREATE TABLE public.comments (
+    id bigserial,
+    note_id integer NOT NULL,
+    author_id bigint,
+    visible boolean DEFAULT true NOT NULL,
+    body character varying(1024),
+    created_at timestamp without time zone DEFAULT now()
+);
+
+--
+-- Name: changesets; Type: TABLE; Schema: public; Owner: app
+--
+
+CREATE TABLE public.changesets (
+    id bigint NOT NULL,
+    user_id bigint,
+    created_at timestamp without time zone,
+    num_comments integer DEFAULT 0,
+    metadata jsonb
+);
+
+--
+-- Data for Name: notes; Type: TABLE DATA; Schema: public; Owner: app
+--
+
+COPY public.notes (id, uid, created_at, status, body) FROM stdin;
+1	100	2015-06-01 10:00:00	open	first note's body
+2	101	2015-06-02 11:30:00	closed	don't parse this "quote"
+\.
+
+--
+-- Name: notes notes_pkey; Type: CONSTRAINT; Schema: public; Owner: app
+--
+
+ALTER TABLE ONLY public.notes
+    ADD CONSTRAINT notes_pkey PRIMARY KEY (id);
+
+ALTER TABLE ONLY public.comments
+    ADD CONSTRAINT comments_pkey PRIMARY KEY (id);
+
+ALTER TABLE ONLY public.changesets
+    ADD CONSTRAINT changesets_pkey PRIMARY KEY (id);
+
+--
+-- Name: comments comments_note_id_fkey; Type: FK CONSTRAINT
+--
+
+ALTER TABLE ONLY public.comments
+    ADD CONSTRAINT comments_note_id_fkey FOREIGN KEY (note_id)
+    REFERENCES public.notes(id);
+
+--
+-- Name: idx_notes_created; Type: INDEX
+--
+
+CREATE INDEX idx_notes_created ON public.notes USING btree (created_at);
+
+--
+-- PostgreSQL database dump complete
+--

@@ -1,0 +1,227 @@
+"""Unit tests for the figure computations and the study driver."""
+
+import pytest
+
+from repro.analysis import (
+    ProjectMeasures,
+    analyze_project,
+    canonical_study,
+    fig4_sync_histogram,
+    fig6_advance_table,
+    fig7_always_advance,
+    fig8_attainment,
+    long_life_sync_band,
+    sec7_statistics,
+)
+from repro.coevolution import CoevolutionMeasures, JointProgress
+from repro.heartbeat import Month
+from repro.taxa import TAXA_ORDER, Taxon
+
+
+def fake_project(
+    name="p",
+    *,
+    taxon=Taxon.MODERATE,
+    project=(0.25, 0.5, 0.75, 1.0),
+    schema=(0.8, 0.9, 1.0, 1.0),
+):
+    joint = JointProgress.from_series(list(project), list(schema))
+    return ProjectMeasures(
+        name=name,
+        taxon=taxon,
+        duration_months=joint.n_points,
+        schema_total_activity=10,
+        project_total_updates=100,
+        schema_commits=3,
+        active_schema_commits=2,
+        coevolution=CoevolutionMeasures.of(joint),
+        joint=joint,
+    )
+
+
+class TestFig4:
+    def test_counts_sum_to_total(self):
+        projects = [fake_project(str(i)) for i in range(7)]
+        hist = fig4_sync_histogram(projects)
+        assert sum(hist.counts) == 7
+
+    def test_identical_progress_lands_in_top_bucket(self):
+        p = fake_project(project=(0.5, 1.0), schema=(0.5, 1.0))
+        hist = fig4_sync_histogram([p])
+        assert hist.counts[-1] == 1
+        assert hist.hand_in_hand_count == 1
+
+    def test_out_of_sync_lands_low(self):
+        p = fake_project(
+            project=(0.1, 0.2, 0.3, 1.0), schema=(1.0, 1.0, 1.0, 1.0)
+        )
+        hist = fig4_sync_histogram([p])
+        assert hist.counts[0] + hist.counts[1] == 1
+
+
+class TestFig6:
+    def test_rows_ordered_high_to_low(self):
+        table = fig6_advance_table([fake_project()])
+        assert table.rows[0].label == "0.9-1"
+        assert table.rows[-1].label == "0-0.1"
+
+    def test_blank_counting(self):
+        blank = fake_project(project=(1.0,), schema=(1.0,))
+        table = fig6_advance_table([blank, fake_project()])
+        assert table.blank_source == 1
+        assert table.blank_time == 1
+
+    def test_cumulative_reaches_everything_but_blanks(self):
+        projects = [fake_project(str(i)) for i in range(5)]
+        table = fig6_advance_table(projects)
+        assert table.rows[-1].source_cum_pct == pytest.approx(1.0)
+
+    def test_row_lookup(self):
+        table = fig6_advance_table([fake_project()])
+        assert table.row("0.9-1").source_count == 1
+        with pytest.raises(KeyError):
+            table.row("nope")
+
+
+class TestFig7:
+    def test_per_taxon_rows(self):
+        projects = [
+            fake_project("a", taxon=Taxon.FROZEN),
+            fake_project("b", taxon=Taxon.FROZEN),
+            fake_project("c", taxon=Taxon.ACTIVE),
+        ]
+        always = fig7_always_advance(projects)
+        assert always.row(Taxon.FROZEN).total == 2
+        assert always.row(Taxon.ACTIVE).total == 1
+        assert always.total == 3
+
+    def test_totals_are_sums(self):
+        projects = [fake_project(str(i)) for i in range(4)]
+        always = fig7_always_advance(projects)
+        assert always.total_over_both <= always.total_over_source
+        assert always.total_over_both <= always.total_over_time
+
+    def test_all_taxa_present(self):
+        always = fig7_always_advance([])
+        assert [r.taxon for r in always.rows] == list(TAXA_ORDER)
+
+
+class TestFig8:
+    def test_counts_per_alpha_sum_to_total(self):
+        projects = [fake_project(str(i)) for i in range(9)]
+        breakdown = fig8_attainment(projects)
+        for alpha in breakdown.alphas:
+            assert sum(breakdown.counts[alpha]) == 9
+
+    def test_early_attainer(self):
+        # schema complete at month 0 of 10
+        p = fake_project(
+            project=tuple((i + 1) / 10 for i in range(10)),
+            schema=(1.0,) * 10,
+        )
+        breakdown = fig8_attainment([p])
+        assert breakdown.early_count(1.0) == 1
+
+    def test_late_attainer(self):
+        schema = (0.1,) * 9 + (1.0,)
+        p = fake_project(
+            project=tuple((i + 1) / 10 for i in range(10)), schema=schema
+        )
+        breakdown = fig8_attainment([p])
+        assert breakdown.late_count(1.0) == 1
+        assert breakdown.early_count(0.5) == 0
+
+    def test_boundary_value_belongs_to_early_range(self):
+        # attainment exactly at 20% of life (month 0 of a 5-month life,
+        # fraction 1/5 = 0.2) counts as "within the first 20%"
+        schema = (1.0, 1.0, 1.0, 1.0, 1.0)
+        p = fake_project(
+            project=tuple((i + 1) / 5 for i in range(5)), schema=schema
+        )
+        breakdown = fig8_attainment([p])
+        assert breakdown.count(1.0, 0) == 1
+
+
+class TestStatisticsReport:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return canonical_study()
+
+    def test_all_attributes_non_normal(self, study):
+        # the paper reports p < 0.007 throughout on its real corpus; on
+        # the synthetic corpus all attributes reject normality at 0.05
+        # and all but (at most) one do so below the paper's 0.007
+        report = study.statistics()
+        for name, result in report.normality.items():
+            assert result.p_value < 0.05, name
+        strict = sum(
+            1 for r in report.normality.values() if r.p_value < 0.007
+        )
+        assert strict >= len(report.normality) - 1
+
+    def test_taxon_affects_synchronicity(self, study):
+        report = study.statistics()
+        assert report.sync_effect.test.p_value < 0.05
+
+    def test_taxon_affects_attainment(self, study):
+        report = study.statistics()
+        assert report.attainment_effect.test.p_value < 0.05
+
+    def test_frozen_taxa_attain_early(self, study):
+        report = study.statistics()
+        medians = report.attainment_effect.medians
+        for taxon in (Taxon.FROZEN, Taxon.ALMOST_FROZEN):
+            assert medians[taxon] <= 0.35
+        assert medians[Taxon.ACTIVE] > medians[Taxon.FROZEN]
+
+    def test_kendall_correlations_strong(self, study):
+        report = study.statistics()
+        assert report.tau_sync.statistic > 0.5
+        assert report.tau_advance.statistic > 0.5
+
+    def test_lag_tables_have_six_rows(self, study):
+        report = study.statistics()
+        for lag in report.lag_tests.values():
+            assert len(lag.table) == 6
+
+
+class TestStudyResult:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return canonical_study()
+
+    def test_project_count(self, study):
+        assert len(study) == 195
+        assert not study.skipped
+
+    def test_headline_keys(self, study):
+        headline = study.headline()
+        assert headline["projects"] == 195
+        assert headline["blanks"] == 2
+        assert headline["always_over_both"] <= headline["always_over_source"]
+        assert headline["always_over_both"] <= headline["always_over_time"]
+
+    def test_by_taxon_partition(self, study):
+        total = sum(len(study.by_taxon(t)) for t in TAXA_ORDER)
+        assert total == len(study)
+
+    def test_long_life_band_is_populated(self, study):
+        lo, hi = long_life_sync_band(study.fig5())
+        assert 0 <= lo <= hi <= 1
+
+    def test_analyze_project_zero_activity_raises(self):
+        from repro.heartbeat import Heartbeat, ZeroTotalError
+        from repro.mining import ProjectHistory, SchemaHistory
+        from repro.vcs import FileVersion, utc
+
+        history = ProjectHistory(
+            name="x",
+            ddl_path="schema.sql",
+            project_heartbeat=Heartbeat(Month(2020, 1), [1.0]),
+            schema_heartbeat=Heartbeat(Month(2020, 1), [0.0]),
+            schema_history=SchemaHistory.from_file_versions(
+                [FileVersion("a", utc(2020, 1), "-- empty")]
+            ),
+        )
+        with pytest.raises(ZeroTotalError):
+            analyze_project(history)

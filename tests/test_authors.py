@@ -1,0 +1,97 @@
+"""Unit tests for author-concentration analysis."""
+
+import pytest
+
+from repro.analysis import author_stats
+from repro.vcs import Commit, FileChange, Repository, synthetic_sha, utc
+
+
+def repo_with_commits(author_files):
+    """Build a repo from [(author, [files])] entries."""
+    repo = Repository(name="a")
+    for i, (author, files) in enumerate(author_files):
+        repo.add_commit(
+            Commit(
+                sha=synthetic_sha("a", i),
+                author=author,
+                email=f"{author}@x",
+                date=utc(2020, 1, 1 + i),
+                message="c",
+                changes=[FileChange("M", f) for f in files],
+            )
+        )
+    return repo
+
+
+class TestAuthorStats:
+    def test_single_author(self):
+        repo = repo_with_commits([("ann", ["a.py"]), ("ann", ["b.py"])])
+        stats = author_stats(repo)
+        assert stats.authors == 1
+        assert stats.top_author == "ann"
+        assert stats.top_commit_share == 1.0
+        assert stats.single_maintainer
+
+    def test_shares(self):
+        repo = repo_with_commits(
+            [
+                ("ann", ["a.py", "b.py", "c.py"]),
+                ("ann", ["a.py"]),
+                ("bob", ["d.py"]),
+                ("ann", ["e.py"]),
+            ]
+        )
+        stats = author_stats(repo)
+        assert stats.top_commit_share == pytest.approx(0.75)
+        assert stats.top_update_share == pytest.approx(5 / 6)
+
+    def test_schema_share(self):
+        repo = repo_with_commits(
+            [
+                ("ann", ["schema.sql", "a.py"]),
+                ("bob", ["schema.sql"]),
+                ("ann", ["schema.sql"]),
+                ("bob", ["b.py"]),
+            ]
+        )
+        stats = author_stats(repo, ddl_path="schema.sql")
+        assert stats.schema_top_share == pytest.approx(2 / 3)
+
+    def test_no_schema_commits(self):
+        repo = repo_with_commits([("ann", ["a.py"])])
+        stats = author_stats(repo, ddl_path="schema.sql")
+        assert stats.schema_top_share is None
+
+    def test_empty_repo_rejected(self):
+        with pytest.raises(ValueError):
+            author_stats(Repository(name="x"))
+
+    def test_not_single_maintainer(self):
+        repo = repo_with_commits(
+            [("ann", ["a"]), ("bob", ["b"]), ("cyd", ["c"])]
+        )
+        assert not author_stats(repo).single_maintainer
+
+
+class TestGeneratedCorpusConcentration:
+    def test_case_study_pattern_emerges(self):
+        """§3.3: a dominant maintainer is the norm in the corpus."""
+        from repro.corpus import generate_corpus
+        from repro.stats import median
+
+        stats = [
+            author_stats(p.repository, p.spec.ddl_path)
+            for p in generate_corpus(seed=909)[::5]
+        ]
+        shares = [s.top_commit_share for s in stats]
+        assert median(shares) >= 0.6
+        # multi-contributor projects exist too
+        assert any(s.authors >= 2 for s in stats)
+        # schema commits are at least as concentrated as commits overall
+        paired = [
+            (s.schema_top_share, s.top_commit_share)
+            for s in stats
+            if s.schema_top_share is not None
+        ]
+        schema_higher = sum(1 for a, b in paired if a >= b)
+        assert schema_higher >= len(paired) * 0.5

@@ -1,0 +1,140 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+OLD_DDL = """
+CREATE TABLE users (id INT, name VARCHAR(40), email TEXT);
+CREATE TABLE posts (pid INT, body TEXT);
+"""
+NEW_DDL = """
+CREATE TABLE users (id BIGINT, name VARCHAR(40));
+CREATE TABLE posts (pid INT, body TEXT);
+CREATE TABLE tags (tid INT, label VARCHAR(20));
+"""
+APP_SOURCE = """
+q1 = "SELECT email FROM users"
+q2 = "SELECT body FROM posts"
+q3 = "SELECT id FROM users"
+"""
+
+
+@pytest.fixture()
+def ddl_files(tmp_path):
+    old = tmp_path / "old.sql"
+    new = tmp_path / "new.sql"
+    old.write_text(OLD_DDL)
+    new.write_text(NEW_DDL)
+    return old, new
+
+
+class TestDiffCommand:
+    def test_diff_outputs_changes(self, ddl_files, capsys):
+        old, new = ddl_files
+        assert main(["diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "ejected: users.email" in out
+        assert "type_changed: users.id" in out
+        assert "total activity: 4" in out
+
+
+class TestImpactCommand:
+    def test_impact_lists_affected_queries(
+        self, ddl_files, tmp_path, capsys
+    ):
+        old, new = ddl_files
+        src = tmp_path / "app.py"
+        src.write_text(APP_SOURCE)
+        assert main(["impact", str(old), str(new), str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "3 queries" in out
+        assert "[breaks]" in out
+        assert "users.email" in out
+
+
+class TestStudyCommand:
+    def test_headline_only(self, capsys):
+        assert main(["study", "--figure", "headline"]) == 0
+        out = capsys.readouterr().out
+        assert "projects: 195" in out
+
+    def test_figure_4(self, capsys):
+        assert main(["study", "--figure", "4"]) == 0
+        assert "Fig 4" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "measures.csv"
+        assert main(
+            ["study", "--figure", "headline", "--csv", str(csv_path)]
+        ) == 0
+        assert csv_path.exists()
+        assert len(csv_path.read_text().splitlines()) == 196
+
+
+class TestCaseCommand:
+    def test_case_renders_diagram(self, capsys):
+        assert main(["case", "-"]) == 0  # every name contains '/' or '-'
+        out = capsys.readouterr().out
+        assert "S=schema" in out
+        assert "synchronicity" in out
+
+    def test_case_unknown_project(self, capsys):
+        assert main(["case", "definitely-not-a-project-xyz"]) == 1
+
+
+class TestGenerateCommand:
+    def test_generate_and_reload(self, tmp_path, capsys):
+        # a tiny corpus via a non-default seed keeps the test quick:
+        # reuse the canonical profiles but only verify the save path
+        out_dir = tmp_path / "corpus"
+        assert main(
+            ["generate", "--out", str(out_dir), "--seed", "31"]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "195 projects" in stdout
+        assert (out_dir / "manifest.json").exists()
+
+        assert main(
+            [
+                "study",
+                "--corpus",
+                str(out_dir),
+                "--figure",
+                "headline",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "projects: 195" in out
+
+
+class TestValidateCommand:
+    def test_clean_workload_exits_zero(self, tmp_path, capsys):
+        schema = tmp_path / "schema.sql"
+        schema.write_text("CREATE TABLE users (id INT, name TEXT);")
+        src = tmp_path / "app.py"
+        src.write_text('q = "SELECT id, name FROM users"\n')
+        assert main(["validate", str(schema), str(src)]) == 0
+        assert "validate cleanly" in capsys.readouterr().out
+
+    def test_broken_workload_exits_nonzero(self, tmp_path, capsys):
+        schema = tmp_path / "schema.sql"
+        schema.write_text("CREATE TABLE users (id INT);")
+        src = tmp_path / "app.py"
+        src.write_text('q = "SELECT ghost FROM users"\n')
+        assert main(["validate", str(schema), str(src)]) == 1
+        assert "unknown_column" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_markdown_report(self, tmp_path):
+        out = tmp_path / "r.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.read_text().startswith("#")
+
+    def test_html_report(self, tmp_path):
+        out = tmp_path / "r.html"
+        assert main(
+            ["report", "--out", str(out), "--format", "html"]
+        ) == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,106 @@
+"""Unit tests for co-change analysis."""
+
+import pytest
+
+from repro.analysis import cochange_stats, corpus_cochange
+from repro.vcs import Commit, FileChange, Repository, synthetic_sha, utc
+
+
+def repo_from(spec):
+    """Build a repo from [(files...)] per commit, in order."""
+    repo = Repository(name="cc")
+    for i, files in enumerate(spec):
+        repo.add_commit(
+            Commit(
+                sha=synthetic_sha("cc", i),
+                author="D",
+                email="d@x",
+                date=utc(2020, 1, 1 + i),
+                message=f"c{i}",
+                changes=[FileChange("M", f) for f in files],
+            )
+        )
+    return repo
+
+
+class TestCoChangeStats:
+    def test_same_commit_cochange(self):
+        repo = repo_from([
+            ("schema.sql", "src/a.py"),   # schema + source together
+            ("src/b.py",),
+            ("schema.sql",),              # schema alone
+        ])
+        stats = cochange_stats(repo, "schema.sql", window=0)
+        assert stats.schema_commits == 2
+        assert stats.same_commit == 1
+        assert stats.same_commit_rate == pytest.approx(0.5)
+
+    def test_window_catches_nearby_source(self):
+        repo = repo_from([
+            ("src/a.py",),
+            ("schema.sql",),              # schema alone, source adjacent
+            ("src/b.py",),
+        ])
+        no_window = cochange_stats(repo, "schema.sql", window=0)
+        with_window = cochange_stats(repo, "schema.sql", window=1)
+        assert no_window.in_window == 0
+        assert with_window.in_window == 1
+        assert with_window.window_rate == pytest.approx(1.0)
+
+    def test_window_respects_bounds(self):
+        repo = repo_from([("schema.sql",)])
+        stats = cochange_stats(repo, "schema.sql", window=5)
+        assert stats.in_window == 0
+
+    def test_active_shas_filter(self):
+        repo = repo_from([
+            ("schema.sql", "src/a.py"),
+            ("schema.sql",),
+        ])
+        only_first = {repo.commits[0].sha}
+        stats = cochange_stats(
+            repo, "schema.sql", window=0, active_shas=only_first
+        )
+        assert stats.schema_commits == 1
+        assert stats.same_commit == 1
+
+    def test_rate_without_schema_commits_raises(self):
+        repo = repo_from([("src/a.py",)])
+        stats = cochange_stats(repo, "schema.sql")
+        with pytest.raises(ValueError):
+            stats.same_commit_rate
+
+
+class TestCorpusCoChange:
+    def test_aggregates_means(self):
+        repo_a = repo_from([("schema.sql", "src/a.py")])      # rate 1.0
+        repo_b = repo_from([("schema.sql",), ("schema.sql",)])  # rate 0.0
+        result = corpus_cochange(
+            [(repo_a, "schema.sql"), (repo_b, "schema.sql")], window=0
+        )
+        assert result.projects == 2
+        assert result.mean_same_commit_rate == pytest.approx(0.5)
+
+    def test_projects_without_schema_commits_skipped(self):
+        repo_a = repo_from([("schema.sql", "src/a.py")])
+        repo_b = repo_from([("src/only.py",)])
+        result = corpus_cochange(
+            [(repo_a, "schema.sql"), (repo_b, "schema.sql")]
+        )
+        assert result.projects == 1
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            corpus_cochange([])
+
+    def test_on_generated_corpus_sample(self):
+        from repro.corpus import generate_corpus
+
+        pairs = [
+            (p.repository, p.spec.ddl_path)
+            for p in generate_corpus(seed=314)[::23]
+        ]
+        result = corpus_cochange(pairs)
+        # generated schema commits usually carry 0-3 co-changed files
+        assert 0.2 <= result.mean_same_commit_rate <= 1.0
+        assert result.mean_window_rate >= result.mean_same_commit_rate

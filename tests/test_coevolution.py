@@ -1,0 +1,210 @@
+"""Unit tests for the core co-evolution metrics."""
+
+import pytest
+
+from repro.coevolution import (
+    CoevolutionMeasures,
+    JointProgress,
+    advance_over_source,
+    advance_over_time,
+    always_in_advance,
+    attainment_fraction,
+    attainment_index,
+    theta_synchronicity,
+)
+from repro.heartbeat import Heartbeat, Month
+
+
+def joint(project, schema):
+    return JointProgress.from_series(project, schema)
+
+
+class TestJointProgress:
+    def test_from_heartbeats_aligns_union(self):
+        project = Heartbeat(Month(2020, 1), [5, 5, 0, 0], label="project")
+        schema = Heartbeat(Month(2020, 3), [4, 4], label="schema")
+        jp = JointProgress.from_heartbeats(project, schema)
+        assert jp.n_points == 4
+        assert jp.schema[0] == 0.0        # before DDL exists
+        assert jp.schema[-1] == pytest.approx(1.0)
+        assert jp.project[-1] == pytest.approx(1.0)
+        assert jp.time == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_misaligned_series_rejected(self):
+        with pytest.raises(ValueError):
+            JointProgress(
+                start=Month(2020, 1),
+                project=(0.5, 1.0),
+                schema=(1.0,),
+                time=(0.5, 1.0),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            JointProgress(
+                start=Month(2020, 1), project=(), schema=(), time=()
+            )
+
+    def test_gap(self):
+        jp = joint([0.5, 1.0], [0.8, 1.0])
+        assert jp.gap(0) == pytest.approx(0.3)
+
+    def test_months(self):
+        jp = JointProgress.from_series(
+            [0.5, 1.0], [0.5, 1.0], start=Month(2019, 12)
+        )
+        assert jp.months == [Month(2019, 12), Month(2020, 1)]
+
+
+class TestSynchronicity:
+    def test_identical_series_full_sync(self):
+        jp = joint([0.2, 0.5, 1.0], [0.2, 0.5, 1.0])
+        assert theta_synchronicity(jp, 0.0) == pytest.approx(1.0)
+
+    def test_band_counts_inclusively(self):
+        jp = joint([0.5, 1.0], [0.6, 1.0])
+        assert theta_synchronicity(jp, 0.10) == pytest.approx(1.0)
+        assert theta_synchronicity(jp, 0.05) == pytest.approx(0.5)
+
+    def test_fully_out_of_sync(self):
+        jp = joint([0.0, 0.0, 0.0, 1.0], [1.0, 1.0, 1.0, 1.0])
+        assert theta_synchronicity(jp, 0.10) == pytest.approx(0.25)
+
+    def test_theta_out_of_range(self):
+        jp = joint([1.0], [1.0])
+        with pytest.raises(ValueError):
+            theta_synchronicity(jp, 1.5)
+
+    def test_wider_theta_never_lowers_sync(self):
+        jp = joint(
+            [0.1, 0.4, 0.6, 1.0],
+            [0.3, 0.45, 0.9, 1.0],
+        )
+        assert theta_synchronicity(jp, 0.10) >= theta_synchronicity(jp, 0.05)
+
+
+class TestAdvance:
+    def test_schema_first_project_all_ahead(self):
+        # schema complete at month 0, project catches up linearly
+        jp = joint([0.25, 0.5, 0.75, 1.0], [1.0, 1.0, 1.0, 1.0])
+        assert advance_over_source(jp) == pytest.approx(1.0)
+        assert advance_over_time(jp) == pytest.approx(1.0)
+
+    def test_schema_lagging(self):
+        jp = joint([1.0, 1.0, 1.0, 1.0], [0.1, 0.2, 0.3, 1.0])
+        # months 1..3: schema behind source except the final month (equal)
+        assert advance_over_source(jp) == pytest.approx(1 / 3)
+
+    def test_equality_counts_as_advance(self):
+        jp = joint([0.5, 1.0], [0.5, 1.0])
+        assert advance_over_source(jp) == pytest.approx(1.0)
+
+    def test_single_month_life_is_blank(self):
+        jp = joint([1.0], [1.0])
+        assert advance_over_source(jp) is None
+        assert advance_over_time(jp) is None
+
+    def test_month_zero_excluded(self):
+        # at month 0 schema is behind, but month 0 is the creation month
+        jp = joint([0.9, 1.0], [0.1, 1.0])
+        assert advance_over_source(jp) == pytest.approx(1.0)
+
+    def test_advance_over_time(self):
+        # time progress for 4 points: .25 .5 .75 1
+        jp = joint([1.0, 1.0, 1.0, 1.0], [0.6, 0.6, 0.6, 1.0])
+        # months 1..3: schema .6 vs time .5 (ahead), .6 vs .75 (behind),
+        # 1 vs 1 (ahead)
+        assert advance_over_time(jp) == pytest.approx(2 / 3)
+
+
+class TestAlwaysInAdvance:
+    def test_all_three_flags(self):
+        jp = joint([0.25, 0.5, 0.75, 1.0], [1.0, 1.0, 1.0, 1.0])
+        assert always_in_advance(jp) == (True, True, True)
+
+    def test_time_only(self):
+        # schema ahead of time but behind source in month 1
+        jp = joint([1.0, 1.0, 1.0], [0.9, 0.9, 1.0])
+        over_time, over_source, over_both = always_in_advance(jp)
+        assert over_time
+        assert not over_source
+        assert not over_both
+
+    def test_blank_projects_are_never_always(self):
+        jp = joint([1.0], [1.0])
+        assert always_in_advance(jp) == (False, False, False)
+
+    def test_late_ddl_breaks_always(self):
+        # schema at zero for the first two months
+        jp = joint([0.2, 0.4, 0.7, 1.0], [0.0, 0.0, 0.9, 1.0])
+        over_time, over_source, _ = always_in_advance(jp)
+        assert not over_time
+        assert not over_source
+
+
+class TestAttainment:
+    def test_paper_example(self):
+        # §6.1: cumulative [20,47,85,95,100,100,100]% for months M0..M6
+        schema = [0.20, 0.47, 0.85, 0.95, 1.0, 1.0, 1.0]
+        project = [i / 7 for i in range(1, 8)]
+        jp = joint(project, schema)
+        assert attainment_index(jp, 0.45) == 1
+
+    def test_attainment_fraction_inclusive_convention(self):
+        schema = [0.20, 0.47, 0.85, 0.95, 1.0, 1.0]
+        project = [i / 6 for i in range(1, 7)]
+        jp = joint(project, schema)
+        # 45% attained at index 1 => (1+1)/6 of life
+        assert attainment_fraction(jp, 0.45) == pytest.approx(2 / 6)
+
+    def test_full_attainment_always_defined(self):
+        jp = joint([0.5, 1.0], [0.5, 1.0])
+        assert attainment_fraction(jp, 1.0) == pytest.approx(1.0)
+
+    def test_immediate_attainment(self):
+        jp = joint([0.5, 1.0], [1.0, 1.0])
+        assert attainment_index(jp, 0.75) == 0
+
+    def test_monotone_in_alpha(self):
+        schema = [0.3, 0.3, 0.6, 0.8, 1.0]
+        project = [i / 5 for i in range(1, 6)]
+        jp = joint(project, schema)
+        fractions = [
+            attainment_fraction(jp, a) for a in (0.25, 0.5, 0.75, 1.0)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_alpha_validation(self):
+        jp = joint([1.0], [1.0])
+        with pytest.raises(ValueError):
+            attainment_index(jp, 0.0)
+        with pytest.raises(ValueError):
+            attainment_index(jp, 1.2)
+
+
+class TestCoevolutionMeasures:
+    def test_of_collects_everything(self):
+        project = [0.25, 0.5, 0.75, 1.0]
+        schema = [0.8, 0.9, 1.0, 1.0]
+        measures = CoevolutionMeasures.of(joint(project, schema))
+        assert measures.duration_months == 4
+        assert set(measures.sync) == {0.05, 0.10}
+        assert set(measures.attainment) == {0.50, 0.75, 0.80, 1.00}
+        assert measures.always_over_time
+        assert measures.always_over_source
+        assert measures.always_over_both
+
+    def test_blank_project_measures(self):
+        measures = CoevolutionMeasures.of(joint([1.0], [1.0]))
+        assert measures.advance_over_source is None
+        assert measures.advance_over_time is None
+        assert not measures.always_over_both
+
+    def test_custom_thetas_and_alphas(self):
+        measures = CoevolutionMeasures.of(
+            joint([0.5, 1.0], [0.5, 1.0]),
+            thetas=(0.2,),
+            alphas=(0.9,),
+        )
+        assert list(measures.sync) == [0.2]
+        assert list(measures.attainment) == [0.9]

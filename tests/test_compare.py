@@ -1,0 +1,57 @@
+"""Unit tests for study comparison."""
+
+import pytest
+
+from repro.analysis import canonical_study, compare_studies, run_study
+from repro.corpus import generate_corpus, generate_scenario
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return canonical_study()
+
+
+class TestCompareStudies:
+    def test_self_comparison_shows_no_differences(self, observed):
+        comparison = compare_studies(observed, observed)
+        assert comparison.differing_measures == []
+        for row in comparison.rows:
+            assert row.median_a == row.median_b
+            assert row.ks.p_value == pytest.approx(1.0)
+
+    def test_same_mix_fresh_seed_mostly_agrees(self, observed):
+        resampled = run_study(generate_corpus(seed=424242))
+        comparison = compare_studies(
+            observed, resampled, label_a="canonical", label_b="reseeded"
+        )
+        # distributions from the same generative process rarely differ
+        assert len(comparison.differing_measures) <= 2, (
+            comparison.render()
+        )
+
+    def test_counterfactual_mix_differs(self, observed):
+        agile = run_study(generate_scenario("AGILE_WORLD"))
+        comparison = compare_studies(
+            observed, agile, label_a="observed", label_b="agile"
+        )
+        # the attainment distributions must shift under an agile mix
+        assert "attainment_75" in comparison.differing_measures
+        row = comparison.row("attainment_75")
+        assert row.median_b > row.median_a  # agile attains later
+
+    def test_row_lookup_and_render(self, observed):
+        comparison = compare_studies(
+            observed, observed, label_a="x", label_b="y"
+        )
+        assert comparison.row("sync_10").measure == "sync_10"
+        with pytest.raises(KeyError):
+            comparison.row("nope")
+        text = comparison.render()
+        assert "median x" in text
+        assert "sync_10" in text
+
+    def test_all_compared_measures_present(self, observed):
+        comparison = compare_studies(observed, observed)
+        names = {row.measure for row in comparison.rows}
+        assert "advance_over_source" in names
+        assert "schema_activity" in names

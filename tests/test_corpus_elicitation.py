@@ -1,0 +1,153 @@
+"""Unit tests for the dataset elicitation rules."""
+
+import pytest
+
+from repro.corpus import (
+    RepoMetadata,
+    choose_ddl_path,
+    generate_corpus,
+    path_is_excluded,
+    screen,
+)
+from repro.vcs import (
+    Commit,
+    FileChange,
+    FileVersion,
+    Repository,
+    synthetic_sha,
+    utc,
+)
+
+
+def repo_with(paths, *, versions=None, name="org/x"):
+    repo = Repository(name=name)
+    changes = [FileChange("A", p) for p in paths]
+    repo.add_commit(
+        Commit(synthetic_sha(name), "D", "d@x", utc(2020, 1), "c", changes)
+    )
+    for path, contents in (versions or {}).items():
+        for i, content in enumerate(contents):
+            repo.record_version(
+                path,
+                FileVersion(
+                    synthetic_sha(name, path, i), utc(2020, 1 + i), content
+                ),
+            )
+    return repo
+
+
+class TestPathExclusion:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "test/schema.sql",
+            "examples/db.sql",
+            "demo_schema.sql",
+            "db/migrate/001.sql",
+            "src/TESTS/x.sql",
+        ],
+    )
+    def test_excluded(self, path):
+        assert path_is_excluded(path)
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "schema.sql",
+            "db/schema.sql",
+            "sql/create_tables.sql",
+            "latest/attestation.sql",   # 'test' inside a word only
+        ],
+    )
+    def test_not_excluded(self, path):
+        assert not path_is_excluded(path)
+
+
+class TestChooseDdlPath:
+    def test_single_candidate(self):
+        assert choose_ddl_path(["db/schema.sql"]) == "db/schema.sql"
+
+    def test_excluded_dropped_first(self):
+        assert choose_ddl_path(
+            ["test/fixture.sql", "schema.sql"]
+        ) == "schema.sql"
+
+    def test_vendor_preference_mysql_first(self):
+        assert choose_ddl_path(
+            ["db/mysql.sql", "db/postgres.sql"]
+        ) == "db/mysql.sql"
+
+    def test_postgres_when_no_mysql(self):
+        assert choose_ddl_path(
+            ["db/postgres.sql", "db/oracle.sql"]
+        ) == "db/postgres.sql"
+
+    def test_ambiguous_returns_none(self):
+        assert choose_ddl_path(["a.sql", "b.sql"]) is None
+
+    def test_all_excluded_returns_none(self):
+        assert choose_ddl_path(["test/a.sql", "demo/b.sql"]) is None
+
+
+class TestScreen:
+    GOOD_DDL = ["CREATE TABLE t (a INT);", "CREATE TABLE t (a INT, b INT);"]
+
+    def test_good_candidate_accepted(self):
+        repo = repo_with(
+            ["schema.sql", "src/app.py"],
+            versions={"schema.sql": self.GOOD_DDL},
+        )
+        report = screen(repo)
+        assert report.accepted
+        assert not report.reasons
+
+    def test_fork_rejected(self):
+        repo = repo_with(
+            ["schema.sql"], versions={"schema.sql": self.GOOD_DDL}
+        )
+        report = screen(repo, RepoMetadata(is_fork=True))
+        assert not report.accepted
+        assert "not an original repository" in report.reasons
+
+    def test_zero_stars_rejected(self):
+        repo = repo_with(
+            ["schema.sql"], versions={"schema.sql": self.GOOD_DDL}
+        )
+        assert not screen(repo, RepoMetadata(stars=0)).accepted
+
+    def test_single_contributor_rejected(self):
+        repo = repo_with(
+            ["schema.sql"], versions={"schema.sql": self.GOOD_DDL}
+        )
+        assert not screen(repo, RepoMetadata(contributors=1)).accepted
+
+    def test_no_sql_rejected(self):
+        assert not screen(repo_with(["src/app.py"])).accepted
+
+    def test_multi_ddl_rejected(self):
+        repo = repo_with(["a.sql", "b.sql"])
+        report = screen(repo)
+        assert not report.accepted
+
+    def test_single_version_rejected(self):
+        repo = repo_with(
+            ["schema.sql"],
+            versions={"schema.sql": self.GOOD_DDL[:1]},
+        )
+        report = screen(repo)
+        assert not report.accepted
+        assert any("two versions" in r for r in report.reasons)
+
+    def test_no_create_table_rejected(self):
+        repo = repo_with(
+            ["schema.sql"],
+            versions={"schema.sql": ["-- empty", "-- still empty"]},
+        )
+        report = screen(repo)
+        assert not report.accepted
+        assert any("CREATE TABLE" in r for r in report.reasons)
+
+    def test_canonical_corpus_all_pass(self):
+        for project in generate_corpus(seed=99)[::17]:
+            report = screen(project.repository)
+            assert report.accepted, (project.name, report.reasons)

@@ -1,0 +1,156 @@
+"""Unit tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.corpus import (
+    CANONICAL_PROFILES,
+    CANONICAL_SIZE,
+    GeneratedProject,
+    ProjectSpec,
+    generate_corpus,
+    generate_project,
+    profile_for,
+)
+from repro.heartbeat import Month
+from repro.mining import mine_project
+from repro.sqlparser import parse_schema
+from repro.taxa import Taxon
+from repro.vcs import parse_git_log
+
+
+def spec_for(taxon, *, duration=24, seed=12345, vendor="mysql"):
+    return ProjectSpec(
+        name=f"org/{taxon.value}-test",
+        taxon=taxon,
+        seed=seed,
+        vendor=vendor,
+        duration_months=duration,
+        start=Month(2014, 3),
+    )
+
+
+def generate(taxon, **kwargs):
+    return generate_project(spec_for(taxon, **kwargs), profile_for(taxon))
+
+
+class TestGeneratedArtifacts:
+    def test_git_log_text_is_parseable(self):
+        project = generate(Taxon.MODERATE)
+        commits = parse_git_log(project.git_log_text)
+        assert len(commits) == len(project.repository.commits)
+
+    def test_ddl_versions_are_parseable(self):
+        project = generate(Taxon.ACTIVE)
+        for text in project.ddl_versions:
+            result = parse_schema(text)
+            assert not result.issues
+
+    def test_ddl_versions_attached_to_repository(self):
+        project = generate(Taxon.MODERATE)
+        versions = project.repository.versions_of(project.spec.ddl_path)
+        assert len(versions) == len(project.ddl_versions)
+        assert [v.content for v in versions] == project.ddl_versions
+
+    def test_version_dates_are_chronological(self):
+        project = generate(Taxon.ACTIVE)
+        versions = project.repository.versions_of("schema.sql")
+        dates = [v.date for v in versions]
+        assert dates == sorted(dates)
+
+    def test_duration_is_exact(self):
+        for duration in (1, 7, 36):
+            project = generate(Taxon.ALMOST_FROZEN, duration=duration)
+            repo = project.repository
+            months = (
+                Month.of(repo.end_date) - Month.of(repo.start_date) + 1
+            )
+            assert months == duration
+
+    def test_determinism(self):
+        a = generate(Taxon.MODERATE, seed=99)
+        b = generate(Taxon.MODERATE, seed=99)
+        assert a.git_log_text == b.git_log_text
+        assert a.ddl_versions == b.ddl_versions
+
+    def test_different_seeds_differ(self):
+        a = generate(Taxon.MODERATE, seed=1)
+        b = generate(Taxon.MODERATE, seed=2)
+        assert a.git_log_text != b.git_log_text
+
+    def test_mysql_vendor_surface(self):
+        project = generate(Taxon.MODERATE, vendor="mysql")
+        assert "ENGINE=InnoDB" in project.ddl_versions[0]
+        assert "`" in project.ddl_versions[0]
+
+    def test_postgres_vendor_surface(self):
+        project = generate(Taxon.MODERATE, vendor="postgres")
+        assert "SET client_encoding" in project.ddl_versions[0]
+        assert "`" not in project.ddl_versions[0]
+
+
+class TestTaxonBehaviour:
+    def test_frozen_has_no_logical_change(self):
+        project = generate(Taxon.FROZEN, duration=30)
+        history = mine_project(project.repository)
+        post_initial = history.schema_heartbeat.values[1:]
+        assert sum(post_initial) == 0
+
+    def test_frozen_still_has_multiple_versions(self):
+        project = generate(Taxon.FROZEN, duration=30)
+        assert len(project.ddl_versions) >= 2
+
+    def test_active_changes_a_lot(self):
+        project = generate(Taxon.ACTIVE, duration=60)
+        history = mine_project(project.repository)
+        assert sum(history.schema_heartbeat.values[1:]) >= 30
+
+    def test_focused_shot_has_a_spike(self):
+        project = generate(Taxon.FOCUSED_SHOT_AND_FROZEN, duration=40)
+        history = mine_project(project.repository)
+        post = history.schema_heartbeat.values[1:]
+        assert max(post) >= 10
+
+    def test_schema_commits_touch_ddl_path(self):
+        project = generate(Taxon.MODERATE)
+        repo = project.repository
+        touching = repo.commits_touching("schema.sql")
+        assert len(touching) == len(project.ddl_versions)
+
+
+class TestCanonicalCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(seed=4242)
+
+    def test_size(self, corpus):
+        assert len(corpus) == CANONICAL_SIZE == 195
+
+    def test_taxa_counts_match_profiles(self, corpus):
+        for profile in CANONICAL_PROFILES:
+            count = sum(
+                1 for p in corpus if p.true_taxon is profile.taxon
+            )
+            assert count == profile.count
+
+    def test_unique_names(self, corpus):
+        assert len({p.name for p in corpus}) == len(corpus)
+
+    def test_two_blank_projects(self, corpus):
+        blanks = [p for p in corpus if p.spec.duration_months == 1]
+        assert len(blanks) == 2
+
+    def test_every_project_mines_cleanly(self, corpus):
+        for project in corpus[::13]:  # a spread sample, for speed
+            history = mine_project(project.repository)
+            assert history.schema_heartbeat.total > 0
+            assert history.project_heartbeat.total > 0
+
+    def test_corpus_determinism(self):
+        a = generate_corpus(seed=7)
+        b = generate_corpus(seed=7)
+        assert [p.name for p in a] == [p.name for p in b]
+        assert a[50].git_log_text == b[50].git_log_text
+
+    def test_profile_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            profile_for("not a taxon")

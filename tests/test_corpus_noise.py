@@ -1,0 +1,103 @@
+"""Unit tests for vendor-noise injection."""
+
+import random
+
+import pytest
+
+from repro.corpus import random_schema
+from repro.corpus.noise import inject_noise, table_names_in
+from repro.corpus.ddlgen import emit_ddl
+from repro.diff import diff_ddl
+from repro.sqlparser import parse_schema
+
+
+@pytest.fixture()
+def clean_mysql():
+    schema = random_schema(random.Random(42))
+    return emit_ddl(schema, "mysql")
+
+
+@pytest.fixture()
+def clean_postgres():
+    schema = random_schema(random.Random(43))
+    return emit_ddl(schema, "postgres")
+
+
+class TestTableNamesIn:
+    def test_backticked_and_bare(self):
+        text = "CREATE TABLE `a` (x INT);\nCREATE TABLE b (y INT);"
+        assert table_names_in(text) == ["a", "b"]
+
+    def test_none(self):
+        assert table_names_in("-- nothing here") == []
+
+
+class TestInjectNoise:
+    def test_mysql_noise_is_logically_invisible(self, clean_mysql):
+        for seed in range(10):
+            noisy = inject_noise(
+                clean_mysql, random.Random(seed), "mysql"
+            )
+            assert diff_ddl(clean_mysql, noisy).is_identical
+
+    def test_postgres_noise_is_logically_invisible(self, clean_postgres):
+        for seed in range(10):
+            noisy = inject_noise(
+                clean_postgres, random.Random(seed), "postgres"
+            )
+            assert diff_ddl(clean_postgres, noisy).is_identical
+
+    def test_noise_produces_no_parse_issues(self, clean_mysql):
+        noisy = inject_noise(clean_mysql, random.Random(1), "mysql")
+        assert parse_schema(noisy).issues == []
+
+    def test_mysql_header_present(self, clean_mysql):
+        noisy = inject_noise(clean_mysql, random.Random(1), "mysql")
+        assert "MySQL dump" in noisy
+        assert "/*!40101" in noisy
+
+    def test_postgres_header_present(self, clean_postgres):
+        noisy = inject_noise(clean_postgres, random.Random(1), "postgres")
+        assert "PostgreSQL database dump" in noisy
+        assert "SET statement_timeout" in noisy
+
+    def test_seed_data_references_real_table(self, clean_mysql):
+        tables = set(table_names_in(clean_mysql))
+        for seed in range(20):
+            noisy = inject_noise(
+                clean_mysql, random.Random(seed), "mysql"
+            )
+            for line in noisy.splitlines():
+                if line.startswith("INSERT INTO"):
+                    target = line.split()[2].strip("`")
+                    assert target in tables
+
+    def test_deterministic(self, clean_mysql):
+        a = inject_noise(clean_mysql, random.Random(5), "mysql")
+        b = inject_noise(clean_mysql, random.Random(5), "mysql")
+        assert a == b
+
+
+class TestNoiseInCorpus:
+    def test_noisy_share_is_substantial(self):
+        from repro.corpus import generate_corpus
+
+        corpus = generate_corpus(seed=777)
+        noisy = sum(
+            1 for p in corpus
+            if "dump" in p.ddl_versions[0][:120].lower()
+        )
+        assert 0.2 * len(corpus) <= noisy <= 0.6 * len(corpus)
+
+    def test_noisy_projects_mine_cleanly(self):
+        from repro.corpus import generate_corpus
+        from repro.mining import mine_project
+
+        corpus = generate_corpus(seed=777)
+        noisy = [
+            p for p in corpus
+            if "dump" in p.ddl_versions[0][:120].lower()
+        ]
+        for project in noisy[::7]:
+            history = mine_project(project.repository)
+            assert history.schema_heartbeat.total > 0

@@ -1,0 +1,213 @@
+"""Unit tests for the schema diff engine and change taxonomy."""
+
+import pytest
+
+from repro.diff import (
+    ActivityBreakdown,
+    ChangeKind,
+    diff_ddl,
+    diff_schemas,
+    initial_delta,
+)
+from repro.sqlparser import parse_schema
+
+
+def schema_of(ddl):
+    return parse_schema(ddl).schema
+
+
+BASE = """
+CREATE TABLE users (
+  id INT NOT NULL,
+  name VARCHAR(40),
+  email VARCHAR(100),
+  PRIMARY KEY (id)
+);
+CREATE TABLE posts (
+  pid INT NOT NULL,
+  body TEXT,
+  PRIMARY KEY (pid)
+);
+"""
+
+
+class TestIdentity:
+    def test_diff_self_is_empty(self):
+        schema = schema_of(BASE)
+        assert diff_schemas(schema, schema).is_identical
+
+    def test_formatting_changes_are_invisible(self):
+        reformatted = BASE.replace("\n  ", " ").replace("INT", "INTEGER")
+        delta = diff_ddl(BASE, reformatted)
+        assert delta.is_identical
+
+    def test_comment_only_changes_are_invisible(self):
+        delta = diff_ddl(BASE, "-- new comment\n" + BASE)
+        assert delta.is_identical
+
+    def test_case_changes_are_invisible(self):
+        delta = diff_ddl(BASE, BASE.replace("users", "USERS"))
+        assert delta.is_identical
+
+
+class TestTableBirthAndDeath:
+    def test_table_born(self):
+        new = BASE + "CREATE TABLE tags (tid INT, label VARCHAR(20));"
+        delta = diff_ddl(BASE, new)
+        born = delta.by_kind(ChangeKind.BORN_WITH_TABLE)
+        assert {c.attribute for c in born} == {"tid", "label"}
+        assert delta.breakdown.tables_born == 1
+        assert delta.total_activity == 2
+
+    def test_table_evicted(self):
+        new = BASE + "DROP TABLE posts;"
+        delta = diff_ddl(BASE, new)
+        dead = delta.by_kind(ChangeKind.DELETED_WITH_TABLE)
+        assert {c.attribute for c in dead} == {"pid", "body"}
+        assert delta.breakdown.tables_evicted == 1
+
+    def test_rename_counts_as_death_plus_birth(self):
+        new = BASE.replace("posts", "articles")
+        delta = diff_ddl(BASE, new)
+        assert delta.breakdown.tables_born == 1
+        assert delta.breakdown.tables_evicted == 1
+        assert delta.total_activity == 4  # 2 born + 2 deleted
+
+
+class TestSurvivingTables:
+    def test_attribute_injected(self):
+        new = BASE + "ALTER TABLE users ADD COLUMN age INT;"
+        delta = diff_ddl(BASE, new)
+        injected = delta.by_kind(ChangeKind.INJECTED)
+        assert [c.attribute for c in injected] == ["age"]
+        assert delta.total_activity == 1
+
+    def test_attribute_ejected(self):
+        new = BASE + "ALTER TABLE users DROP COLUMN email;"
+        delta = diff_ddl(BASE, new)
+        ejected = delta.by_kind(ChangeKind.EJECTED)
+        assert [c.attribute for c in ejected] == ["email"]
+
+    def test_type_changed(self):
+        new = BASE + "ALTER TABLE users MODIFY COLUMN name VARCHAR(80);"
+        delta = diff_ddl(BASE, new)
+        changed = delta.by_kind(ChangeKind.TYPE_CHANGED)
+        assert [c.attribute for c in changed] == ["name"]
+        assert "varchar(40) -> varchar(80)" in changed[0].detail
+
+    def test_display_width_change_is_invisible(self):
+        new = BASE.replace("id INT NOT NULL", "id INT(11) NOT NULL")
+        assert diff_ddl(BASE, new).is_identical
+
+    def test_pk_changed_both_directions(self):
+        new = BASE.replace("PRIMARY KEY (id)", "PRIMARY KEY (email)")
+        delta = diff_ddl(BASE, new)
+        pk = delta.by_kind(ChangeKind.PK_CHANGED)
+        assert {c.attribute for c in pk} == {"id", "email"}
+        assert delta.total_activity == 2
+
+    def test_pk_widened(self):
+        new = BASE.replace("PRIMARY KEY (id)", "PRIMARY KEY (id, email)")
+        delta = diff_ddl(BASE, new)
+        pk = delta.by_kind(ChangeKind.PK_CHANGED)
+        assert {c.attribute for c in pk} == {"email"}
+
+    def test_pk_change_not_double_counted_with_ejection(self):
+        # dropping the PK column should count the ejection, not PK change
+        new = """
+        CREATE TABLE users (
+          name VARCHAR(40),
+          email VARCHAR(100),
+          PRIMARY KEY (email)
+        );
+        CREATE TABLE posts (
+          pid INT NOT NULL,
+          body TEXT,
+          PRIMARY KEY (pid)
+        );
+        """
+        delta = diff_ddl(BASE, new)
+        assert [c.attribute for c in delta.by_kind(ChangeKind.EJECTED)] == [
+            "id"
+        ]
+        pk = delta.by_kind(ChangeKind.PK_CHANGED)
+        assert {c.attribute for c in pk} == {"email"}
+
+
+class TestInitialDelta:
+    def test_everything_born(self):
+        schema = schema_of(BASE)
+        delta = initial_delta(schema)
+        assert delta.total_activity == schema.attribute_count
+        assert all(
+            c.kind is ChangeKind.BORN_WITH_TABLE for c in delta.changes
+        )
+        assert delta.breakdown.tables_born == 2
+
+    def test_empty_schema_initial_delta(self):
+        from repro.schema import Schema
+
+        assert initial_delta(Schema()).total_activity == 0
+
+
+class TestActivityBreakdown:
+    def test_total_sums_six_counts(self):
+        breakdown = ActivityBreakdown(
+            born_with_table=1,
+            injected=2,
+            deleted_with_table=3,
+            ejected=4,
+            type_changed=5,
+            pk_changed=6,
+            tables_born=10,
+            tables_evicted=10,
+        )
+        assert breakdown.total == 21  # table counts excluded
+
+    def test_merge(self):
+        a = ActivityBreakdown(injected=1, tables_born=1)
+        b = ActivityBreakdown(injected=2, ejected=1)
+        merged = a.merge(b)
+        assert merged.injected == 3
+        assert merged.ejected == 1
+        assert merged.tables_born == 1
+
+    def test_as_dict_has_total(self):
+        assert ActivityBreakdown(injected=2).as_dict()["total"] == 2
+
+    def test_from_changes_counts_distinct_tables(self):
+        delta = diff_ddl(
+            "CREATE TABLE a (x INT);",
+            "CREATE TABLE a (x INT); CREATE TABLE b (y INT, z INT);",
+        )
+        assert delta.breakdown.tables_born == 1
+
+
+class TestCombinedTransitions:
+    def test_mixed_transition(self):
+        new = """
+        CREATE TABLE users (
+          id BIGINT NOT NULL,
+          name VARCHAR(40),
+          age INT,
+          PRIMARY KEY (id)
+        );
+        CREATE TABLE tags (tid INT);
+        """
+        delta = diff_ddl(BASE, new)
+        breakdown = delta.breakdown
+        assert breakdown.type_changed == 1       # id INT -> BIGINT
+        assert breakdown.injected == 1           # age
+        assert breakdown.ejected == 1            # email
+        assert breakdown.born_with_table == 1    # tags.tid
+        assert breakdown.deleted_with_table == 2  # posts.*
+        assert breakdown.total == 6
+
+    def test_delta_iteration_and_len(self):
+        delta = diff_ddl(BASE, BASE + "ALTER TABLE users ADD COLUMN x INT;")
+        assert len(delta) == 1
+        assert [c.kind for c in delta] == [ChangeKind.INJECTED]
+
+    def test_change_str_is_readable(self):
+        delta = diff_ddl(BASE, BASE + "ALTER TABLE users ADD COLUMN x INT;")
+        assert "injected: users.x" in str(delta.changes[0])

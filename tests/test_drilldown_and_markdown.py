@@ -1,0 +1,110 @@
+"""Unit tests for drill-down summaries and the Markdown report."""
+
+import pytest
+
+from repro.analysis import (
+    canonical_study,
+    duration_band_summaries,
+    taxon_summaries,
+)
+from repro.report import build_study_report, md_table
+from repro.taxa import TAXA_ORDER, Taxon
+
+
+@pytest.fixture(scope="module")
+def study():
+    return canonical_study()
+
+
+class TestTaxonSummaries:
+    def test_counts_partition_the_corpus(self, study):
+        rows = taxon_summaries(study.projects)
+        assert sum(r.count for r in rows) == len(study)
+
+    def test_rows_in_canonical_order(self, study):
+        rows = taxon_summaries(study.projects)
+        order = [r.taxon for r in rows]
+        canonical = [t for t in TAXA_ORDER if t in order]
+        assert order == canonical
+
+    def test_frozen_attains_earlier_than_active(self, study):
+        rows = {r.taxon: r for r in taxon_summaries(study.projects)}
+        assert (
+            rows[Taxon.FROZEN].median_attainment75
+            < rows[Taxon.ACTIVE].median_attainment75
+        )
+
+    def test_active_has_most_schema_activity(self, study):
+        rows = {r.taxon: r for r in taxon_summaries(study.projects)}
+        assert rows[Taxon.ACTIVE].median_schema_activity == max(
+            r.median_schema_activity
+            for r in taxon_summaries(study.projects)
+        )
+
+    def test_always_both_rate_bounded(self, study):
+        for row in taxon_summaries(study.projects):
+            assert 0 <= row.always_both_rate <= 1
+
+
+class TestDurationBands:
+    def test_bands_cover_all_projects(self, study):
+        rows = duration_band_summaries(study.projects)
+        assert sum(r.count for r in rows) == len(study)
+
+    def test_labels(self, study):
+        rows = duration_band_summaries(study.projects)
+        assert rows[0].label == "0-24mo"
+        assert rows[-1].label == ">60mo"
+
+    def test_long_band_is_not_high_sync_heavy(self, study):
+        rows = {r.label: r for r in duration_band_summaries(study.projects)}
+        long_band = rows[">60mo"]
+        assert long_band.count >= 10
+        assert long_band.high_sync_rate <= 0.35
+
+    def test_custom_bands(self, study):
+        rows = duration_band_summaries(
+            study.projects, bands=((0, 12), (12, None))
+        )
+        assert len(rows) == 2
+        assert rows[1].high_months is None
+
+
+class TestMdTable:
+    def test_structure(self):
+        text = md_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestBuildStudyReport:
+    def test_contains_all_sections(self, study):
+        report = build_study_report(study)
+        for heading in (
+            "## Headline numbers",
+            "## Synchronicity histogram (Fig. 4)",
+            "## Life % of schema advance (Fig. 6)",
+            "## Always in advance (Fig. 7)",
+            "## Attainment (Fig. 8)",
+            "## Per-taxon medians",
+            "## Duration bands (Fig. 5 reading)",
+            "## Statistics (Sec. 7)",
+        ):
+            assert heading in report
+
+    def test_custom_title(self, study):
+        report = build_study_report(study, title="My Study")
+        assert report.startswith("# My Study")
+
+    def test_mentions_project_count(self, study):
+        assert "195 projects analysed" in build_study_report(study)
+
+    def test_report_subcommand(self, study, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "## Statistics" in out.read_text()

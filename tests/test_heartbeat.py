@@ -1,0 +1,197 @@
+"""Unit tests for months, heartbeats and cumulative progressions."""
+
+import pytest
+
+from repro.heartbeat import (
+    Heartbeat,
+    Month,
+    ZeroTotalError,
+    fraction_of_life,
+    is_monotone,
+    month_range,
+    time_progress,
+)
+from repro.vcs import utc
+
+
+class TestMonth:
+    def test_ordering(self):
+        assert Month(2015, 12) < Month(2016, 1)
+
+    def test_subtraction(self):
+        assert Month(2016, 3) - Month(2015, 12) == 3
+
+    def test_shift_across_year(self):
+        assert Month(2015, 11).shift(3) == Month(2016, 2)
+
+    def test_shift_negative(self):
+        assert Month(2016, 1).shift(-1) == Month(2015, 12)
+
+    def test_of_datetime(self):
+        assert Month.of(utc(2019, 7, 23)) == Month(2019, 7)
+
+    def test_index_roundtrip(self):
+        month = Month(2021, 6)
+        assert Month.from_index(month.index) == month
+
+    def test_invalid_month_rejected(self):
+        with pytest.raises(ValueError):
+            Month(2020, 13)
+
+    def test_str(self):
+        assert str(Month(2020, 3)) == "2020-03"
+
+    def test_month_range_inclusive(self):
+        months = month_range(Month(2019, 11), Month(2020, 2))
+        assert len(months) == 4
+        assert months[-1] == Month(2020, 2)
+
+    def test_month_range_backwards_raises(self):
+        with pytest.raises(ValueError):
+            month_range(Month(2020, 2), Month(2020, 1))
+
+
+class TestHeartbeatConstruction:
+    def test_from_events_buckets_by_month(self):
+        hb = Heartbeat.from_events(
+            [
+                (utc(2020, 1, 5), 2),
+                (utc(2020, 1, 20), 3),
+                (utc(2020, 3, 1), 1),
+            ]
+        )
+        assert hb.start == Month(2020, 1)
+        assert hb.values == [5.0, 0.0, 1.0]
+
+    def test_explicit_span_pads(self):
+        hb = Heartbeat.from_events(
+            [(utc(2020, 2, 1), 4)],
+            span=(Month(2020, 1), Month(2020, 4)),
+        )
+        assert hb.values == [0.0, 4.0, 0.0, 0.0]
+
+    def test_event_outside_span_raises(self):
+        with pytest.raises(ValueError):
+            Heartbeat.from_events(
+                [(utc(2020, 6, 1), 1)],
+                span=(Month(2020, 1), Month(2020, 3)),
+            )
+
+    def test_no_events_no_span_raises(self):
+        with pytest.raises(ValueError):
+            Heartbeat.from_events([])
+
+    def test_no_events_with_span_is_zero_heartbeat(self):
+        hb = Heartbeat.from_events(
+            [], span=(Month(2020, 1), Month(2020, 2))
+        )
+        assert hb.total == 0
+
+    def test_month_events_accepted(self):
+        hb = Heartbeat.from_events([(Month(2020, 1), 2.0)])
+        assert hb.values == [2.0]
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat(start=Month(2020, 1), values=[1.0, -2.0])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat(start=Month(2020, 1), values=[])
+
+
+class TestHeartbeatProperties:
+    def test_duration_and_active_months(self):
+        hb = Heartbeat(Month(2020, 1), [3, 0, 1, 0])
+        assert hb.duration_months == 4
+        assert hb.active_months == 2
+
+    def test_months_and_end(self):
+        hb = Heartbeat(Month(2020, 11), [1, 1, 1])
+        assert hb.end == Month(2021, 1)
+        assert hb.months[1] == Month(2020, 12)
+
+    def test_cumulative(self):
+        hb = Heartbeat(Month(2020, 1), [2, 0, 3])
+        assert hb.cumulative() == [2, 2, 5]
+
+    def test_cumulative_fraction_matches_paper_example(self):
+        # paper §3.2: 40%, 25%, 20%, 15% -> 40%, 65%, 85%, 100%
+        hb = Heartbeat(Month(2020, 1), [40, 25, 20, 15])
+        assert hb.cumulative_fraction() == pytest.approx(
+            [0.40, 0.65, 0.85, 1.0]
+        )
+
+    def test_cumulative_fraction_zero_total_raises(self):
+        hb = Heartbeat(Month(2020, 1), [0, 0])
+        with pytest.raises(ZeroTotalError):
+            hb.cumulative_fraction()
+
+    def test_cumulative_fraction_ends_at_one(self):
+        hb = Heartbeat(Month(2020, 1), [1, 2, 3, 0])
+        assert hb.cumulative_fraction()[-1] == pytest.approx(1.0)
+
+
+class TestAlignment:
+    def test_align_pads_both_sides(self):
+        hb = Heartbeat(Month(2020, 3), [5.0])
+        aligned = hb.aligned(Month(2020, 1), Month(2020, 5))
+        assert aligned.values == [0, 0, 5.0, 0, 0]
+        assert aligned.start == Month(2020, 1)
+
+    def test_align_identity(self):
+        hb = Heartbeat(Month(2020, 1), [1, 2])
+        aligned = hb.aligned(hb.start, hb.end)
+        assert aligned.values == hb.values
+
+    def test_align_clipping_activity_raises(self):
+        hb = Heartbeat(Month(2020, 1), [1.0, 2.0])
+        with pytest.raises(ValueError):
+            hb.aligned(Month(2020, 2), Month(2020, 2))
+
+    def test_align_clipping_zeros_is_fine(self):
+        hb = Heartbeat(Month(2020, 1), [0.0, 2.0])
+        aligned = hb.aligned(Month(2020, 2), Month(2020, 3))
+        assert aligned.values == [2.0, 0.0]
+
+
+class TestTimeProgress:
+    def test_ends_at_one(self):
+        assert time_progress(5)[-1] == pytest.approx(1.0)
+
+    def test_uniform_steps(self):
+        assert time_progress(4) == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_single_point(self):
+        assert time_progress(1) == [1.0]
+
+    def test_zero_points_rejected(self):
+        with pytest.raises(ValueError):
+            time_progress(0)
+
+
+class TestFractionOfLife:
+    def test_paper_example(self):
+        # §6.1: attainment at month M1 of a 6-month life -> not 1/6 of the
+        # raw index but the fraction of covered time-points: 2/6 with our
+        # inclusive convention, 1/6 with the paper's index convention.
+        # We use the inclusive convention consistently (documented).
+        assert fraction_of_life(0, 6) == pytest.approx(1 / 6)
+
+    def test_last_month_is_full_life(self):
+        assert fraction_of_life(5, 6) == pytest.approx(1.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            fraction_of_life(6, 6)
+
+
+class TestIsMonotone:
+    def test_monotone(self):
+        assert is_monotone([0.0, 0.1, 0.1, 0.9])
+
+    def test_not_monotone(self):
+        assert not is_monotone([0.0, 0.2, 0.1])
+
+    def test_tolerates_float_noise(self):
+        assert is_monotone([0.3, 0.3 - 1e-15])

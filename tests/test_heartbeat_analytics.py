@@ -1,0 +1,114 @@
+"""Unit tests for heartbeat shape analytics."""
+
+import pytest
+
+from repro.heartbeat import (
+    Heartbeat,
+    Month,
+    ShapeSummary,
+    burstiness,
+    flat_lines,
+    gini,
+    longest_flat_line,
+    top_share,
+)
+
+
+def hb(values):
+    return Heartbeat(Month(2018, 1), [float(v) for v in values])
+
+
+class TestFlatLines:
+    def test_finds_interior_runs(self):
+        runs = flat_lines(hb([5, 0, 0, 3, 0, 0, 0, 2]))
+        assert [(r.start_index, r.length) for r in runs] == [(1, 2), (4, 3)]
+
+    def test_trailing_run(self):
+        runs = flat_lines(hb([5, 0, 0]))
+        assert [(r.start_index, r.length) for r in runs] == [(1, 2)]
+        assert runs[0].end_index == 2
+
+    def test_min_length_filters(self):
+        runs = flat_lines(hb([5, 0, 3, 0, 0, 3]), min_length=2)
+        assert len(runs) == 1
+
+    def test_no_zeros(self):
+        assert flat_lines(hb([1, 2, 3])) == []
+
+    def test_longest_flat_line(self):
+        assert longest_flat_line(hb([1, 0, 0, 0, 2, 0])) == 3
+        assert longest_flat_line(hb([1, 2])) == 0
+
+    def test_case_study_shape(self):
+        # §3.3: "two flat-line periods of no change connected by a
+        # period of incremental change"
+        values = [48, 0, 0, 0, 0, 5, 7, 6, 0, 0, 0, 34]
+        assert len(flat_lines(hb(values), min_length=3)) == 2
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(hb([4, 4, 4, 4])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_spike_is_near_one(self):
+        assert gini(hb([0] * 19 + [100])) == pytest.approx(0.95, abs=0.01)
+
+    def test_monotone_in_concentration(self):
+        spread = gini(hb([3, 3, 3, 3]))
+        skewed = gini(hb([9, 1, 1, 1]))
+        spike = gini(hb([12, 0, 0, 0]))
+        assert spread < skewed < spike
+
+    def test_zero_heartbeat_undefined(self):
+        with pytest.raises(ValueError):
+            gini(hb([0, 0]))
+
+
+class TestBurstiness:
+    def test_constant_is_minus_one(self):
+        assert burstiness(hb([5, 5, 5])) == pytest.approx(-1.0)
+
+    def test_bursty_is_positive(self):
+        assert burstiness(hb([0] * 30 + [100])) > 0.5
+
+    def test_zero_heartbeat_undefined(self):
+        with pytest.raises(ValueError):
+            burstiness(hb([0]))
+
+
+class TestTopShare:
+    def test_all_in_one_month(self):
+        assert top_share(hb([0, 0, 0, 0, 10])) == pytest.approx(1.0)
+
+    def test_uniform(self):
+        # 10 months, top 2 hold exactly 20%
+        assert top_share(hb([1] * 10)) == pytest.approx(0.2)
+
+    def test_pareto_like(self):
+        values = [40, 40, 5, 5, 2, 2, 2, 2, 1, 1]
+        assert top_share(hb(values)) == pytest.approx(0.8)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            top_share(hb([1]), fraction=0.0)
+
+    def test_zero_heartbeat_undefined(self):
+        with pytest.raises(ValueError):
+            top_share(hb([0, 0]))
+
+
+class TestShapeSummary:
+    def test_collects_everything(self):
+        summary = ShapeSummary.of(hb([10, 0, 0, 5, 0, 0, 0, 1]))
+        assert summary.duration_months == 8
+        assert summary.active_months == 3
+        assert summary.longest_flat_line == 3
+        assert summary.flat_line_count == 2
+        assert 0 < summary.gini < 1
+        assert summary.top20_share > 0.5
+
+    def test_frozen_vs_active_shapes_differ(self):
+        frozen = ShapeSummary.of(hb([40] + [0] * 23))
+        active = ShapeSummary.of(hb([10] + [4, 5, 3, 6] * 6))
+        assert frozen.gini > active.gini
+        assert frozen.longest_flat_line > active.longest_flat_line

@@ -1,0 +1,129 @@
+"""Unit tests for index/unique-constraint modelling and parsing."""
+
+import pytest
+
+from repro.diff import diff_ddl
+from repro.schema import Index
+from repro.sqlparser import parse_schema, parse_table
+
+
+class TestIndexParsing:
+    def test_key_clause(self):
+        table = parse_table(
+            "CREATE TABLE t (a INT, b INT, KEY idx_ab (a, b));"
+        )
+        assert table.indexes == [Index(("a", "b"), name="idx_ab")]
+
+    def test_unique_key_clause(self):
+        table = parse_table(
+            "CREATE TABLE t (a INT, UNIQUE KEY uq_a (a));"
+        )
+        assert table.indexes[0].unique
+        assert table.indexes[0].name == "uq_a"
+
+    def test_anonymous_unique(self):
+        table = parse_table("CREATE TABLE t (a INT, UNIQUE (a));")
+        assert table.indexes[0].unique
+        assert table.indexes[0].name is None
+
+    def test_named_constraint_unique(self):
+        table = parse_table(
+            "CREATE TABLE t (a INT, CONSTRAINT uq UNIQUE (a));"
+        )
+        assert table.indexes[0].name == "uq"
+        assert table.indexes[0].unique
+
+    def test_fulltext_key(self):
+        table = parse_table(
+            "CREATE TABLE t (a TEXT, FULLTEXT KEY ft (a));"
+        )
+        assert table.indexes[0].kind == "FULLTEXT"
+
+    def test_key_with_prefix_length(self):
+        table = parse_table(
+            "CREATE TABLE t (a VARCHAR(300), KEY idx_a (a(100)));"
+        )
+        assert table.indexes[0].columns == ("a",)
+
+    def test_create_index_statement(self):
+        result = parse_schema(
+            "CREATE TABLE t (a INT);"
+            "CREATE INDEX idx_a ON t (a);"
+        )
+        table = result.schema.table("t")
+        assert table.indexes == [Index(("a",), name="idx_a")]
+
+    def test_create_unique_index(self):
+        result = parse_schema(
+            "CREATE TABLE t (a INT); CREATE UNIQUE INDEX u ON t (a);"
+        )
+        assert result.schema.table("t").indexes[0].unique
+
+    def test_create_index_using_method(self):
+        result = parse_schema(
+            "CREATE TABLE t (a INT);"
+            "CREATE INDEX i ON t USING btree (a);"
+        )
+        index = result.schema.table("t").indexes[0]
+        assert index.kind == "BTREE"
+        assert index.columns == ("a",)
+
+    def test_create_index_on_unknown_table_is_issue(self):
+        result = parse_schema("CREATE INDEX i ON ghost (a);")
+        assert result.issues
+
+    def test_alter_add_index(self):
+        result = parse_schema(
+            "CREATE TABLE t (a INT); ALTER TABLE t ADD INDEX ia (a);"
+        )
+        assert result.schema.table("t").indexes[0].name == "ia"
+
+    def test_alter_add_unique(self):
+        result = parse_schema(
+            "CREATE TABLE t (a INT); ALTER TABLE t ADD UNIQUE (a);"
+        )
+        assert result.schema.table("t").indexes[0].unique
+
+    def test_alter_drop_index(self):
+        result = parse_schema(
+            "CREATE TABLE t (a INT, KEY ia (a));"
+            "ALTER TABLE t DROP INDEX ia;"
+        )
+        assert result.schema.table("t").indexes == []
+
+    def test_alter_drop_unknown_index_is_noop(self):
+        result = parse_schema(
+            "CREATE TABLE t (a INT, KEY ia (a));"
+            "ALTER TABLE t DROP INDEX ghost;"
+        )
+        assert len(result.schema.table("t").indexes) == 1
+
+
+class TestIndexesAndActivity:
+    def test_index_changes_are_not_activity(self):
+        """The study measures the logical schema only: adding or
+        dropping an index must register zero Activity."""
+        old = "CREATE TABLE t (a INT, b INT);"
+        new = "CREATE TABLE t (a INT, b INT, KEY idx (a));"
+        assert diff_ddl(old, new).is_identical
+
+    def test_unique_change_is_not_activity(self):
+        old = "CREATE TABLE t (a INT, KEY k (a));"
+        new = "CREATE TABLE t (a INT, UNIQUE KEY k (a));"
+        assert diff_ddl(old, new).is_identical
+
+
+class TestIndexRendering:
+    def test_render_roundtrip(self):
+        table = parse_table(
+            "CREATE TABLE t (a INT, b INT, UNIQUE KEY u (a), "
+            "KEY k (a, b));"
+        )
+        reparsed = parse_table(table.render_sql())
+        assert reparsed.indexes == table.indexes
+
+    def test_copy_preserves_indexes(self):
+        table = parse_table("CREATE TABLE t (a INT, KEY k (a));")
+        clone = table.copy()
+        clone.indexes.append(Index(("a",), name="extra"))
+        assert len(table.indexes) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for corpus save/load and CSV export."""
+
+import json
+
+import pytest
+
+from repro.analysis import run_study
+from repro.corpus import generate_corpus, profile_for, generate_project, ProjectSpec
+from repro.heartbeat import Month
+from repro.io import (
+    MANIFEST_NAME,
+    export_measures_csv,
+    load_corpus,
+    read_measures_csv,
+    save_corpus,
+)
+from repro.mining import mine_project
+from repro.taxa import Taxon
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    projects = []
+    for i, taxon in enumerate(
+        [Taxon.FROZEN, Taxon.MODERATE, Taxon.ACTIVE]
+    ):
+        spec = ProjectSpec(
+            name=f"org/proj-{i}",
+            taxon=taxon,
+            seed=1000 + i,
+            vendor="mysql" if i % 2 else "postgres",
+            duration_months=18,
+            start=Month(2015, 4),
+        )
+        projects.append(generate_project(spec, profile_for(taxon)))
+    return projects
+
+
+class TestCorpusRoundTrip:
+    def test_save_creates_layout(self, small_corpus, tmp_path):
+        root = save_corpus(small_corpus, tmp_path / "corpus")
+        assert (root / MANIFEST_NAME).exists()
+        assert (root / "org__proj-0" / "gitlog.txt").exists()
+        assert (root / "org__proj-0" / "versions" / "0000.sql").exists()
+
+    def test_load_restores_projects(self, small_corpus, tmp_path):
+        root = save_corpus(small_corpus, tmp_path / "corpus")
+        loaded = load_corpus(root)
+        assert [p.name for p in loaded] == [p.name for p in small_corpus]
+        assert [p.true_taxon for p in loaded] == [
+            p.true_taxon for p in small_corpus
+        ]
+
+    def test_roundtrip_preserves_mining_results(
+        self, small_corpus, tmp_path
+    ):
+        root = save_corpus(small_corpus, tmp_path / "corpus")
+        for original, loaded in zip(small_corpus, load_corpus(root)):
+            a = mine_project(original.repository)
+            b = mine_project(loaded.repository)
+            assert a.schema_heartbeat.values == b.schema_heartbeat.values
+            assert a.project_heartbeat.values == b.project_heartbeat.values
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_corpus(tmp_path)
+
+    def test_unknown_format_raises(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"format": "other", "projects": []})
+        )
+        with pytest.raises(ValueError):
+            load_corpus(tmp_path)
+
+    def test_version_count_mismatch_raises(self, small_corpus, tmp_path):
+        root = save_corpus(small_corpus, tmp_path / "corpus")
+        extra = root / "org__proj-0" / "versions" / "9999.sql"
+        extra.write_text("CREATE TABLE ghost (a INT);")
+        with pytest.raises(ValueError):
+            load_corpus(root)
+
+
+class TestMeasuresCsv:
+    def test_export_and_read_back(self, small_corpus, tmp_path):
+        study = run_study(small_corpus)
+        path = export_measures_csv(study, tmp_path / "measures.csv")
+        rows = read_measures_csv(path)
+        assert len(rows) == 3
+        assert rows[0]["name"] == "org/proj-0"
+        assert rows[0]["true_taxon"] == "frozen"
+
+    def test_blank_advance_is_empty_cell(self, tmp_path):
+        spec = ProjectSpec(
+            name="org/blank",
+            taxon=Taxon.FROZEN,
+            seed=5,
+            vendor="mysql",
+            duration_months=1,
+            start=Month(2016, 1),
+        )
+        project = generate_project(spec, profile_for(Taxon.FROZEN))
+        study = run_study([project])
+        path = export_measures_csv(study, tmp_path / "m.csv")
+        row = read_measures_csv(path)[0]
+        assert row["advance_over_source"] == ""
+
+    def test_numeric_fields_parse(self, small_corpus, tmp_path):
+        study = run_study(small_corpus)
+        path = export_measures_csv(study, tmp_path / "m.csv")
+        for row in read_measures_csv(path):
+            assert 0 <= float(row["sync_10"]) <= 1
+            assert 0 < float(row["attainment_100"]) <= 1
+            assert int(row["duration_months"]) == 18

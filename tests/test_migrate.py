@@ -1,0 +1,143 @@
+"""Unit tests for the co-evolution patching extension."""
+
+import pytest
+
+from repro.migrate import (
+    migration_script,
+    patch_query,
+    plan_coevolution,
+    replace_identifiers,
+)
+from repro.smo import (
+    DropAttribute,
+    DropTable,
+    RenameAttribute,
+    RenameTable,
+)
+from repro.sqlparser import parse_schema
+
+
+class TestReplaceIdentifiers:
+    def test_basic_rename(self):
+        out = replace_identifiers(
+            "SELECT name FROM users", {"users": "accounts"}
+        )
+        assert out == "SELECT name FROM accounts"
+
+    def test_word_boundaries_respected(self):
+        out = replace_identifiers(
+            "SELECT user_id FROM user", {"user": "person"}
+        )
+        assert out == "SELECT user_id FROM person"
+
+    def test_string_literals_untouched(self):
+        out = replace_identifiers(
+            "SELECT x FROM t WHERE note = 'rename t here'", {"t": "s"}
+        )
+        assert out == "SELECT x FROM s WHERE note = 'rename t here'"
+
+    def test_quoted_identifiers_rewritten_in_place(self):
+        out = replace_identifiers(
+            'SELECT "old name" FROM `old name`', {"old name": "new_name"}
+        )
+        assert out == 'SELECT "new_name" FROM `new_name`'
+
+    def test_case_insensitive_match(self):
+        out = replace_identifiers("SELECT X FROM Users", {"users": "u2"})
+        assert out == "SELECT X FROM u2"
+
+    def test_whitespace_and_comments_preserved(self):
+        sql = "SELECT a  -- trailing comment\nFROM   t"
+        out = replace_identifiers(sql, {"t": "s"})
+        assert out == "SELECT a  -- trailing comment\nFROM   s"
+
+    def test_no_renames_is_identity(self):
+        sql = "SELECT * FROM t WHERE a = 1"
+        assert replace_identifiers(sql, {}) == sql
+
+
+class TestPatchQuery:
+    def test_rename_table(self):
+        patched = patch_query(
+            "SELECT id FROM posts", [RenameTable("posts", "articles")]
+        )
+        assert patched.changed
+        assert patched.text == "SELECT id FROM articles"
+
+    def test_rename_attribute(self):
+        patched = patch_query(
+            "SELECT name FROM users WHERE name = 'x'",
+            [RenameAttribute("users", "name", "full_name")],
+        )
+        # both the projection and the WHERE reference are renamed
+        assert patched.text == (
+            "SELECT full_name FROM users WHERE full_name = 'x'"
+        )
+
+    def test_chained_renames(self):
+        patched = patch_query(
+            "SELECT a FROM t",
+            [RenameTable("t", "t2"), RenameAttribute("t2", "a", "b")],
+        )
+        assert patched.text == "SELECT b FROM t2"
+
+    def test_drop_table_warns(self):
+        patched = patch_query(
+            "SELECT id FROM sessions", [DropTable("sessions")]
+        )
+        assert not patched.changed
+        assert patched.warnings
+        assert "sessions" in patched.warnings[0]
+
+    def test_drop_attribute_warns_only_if_referenced(self):
+        hit = patch_query(
+            "SELECT email FROM users", [DropAttribute("users", "email")]
+        )
+        miss = patch_query(
+            "SELECT id FROM users", [DropAttribute("users", "email")]
+        )
+        assert hit.warnings
+        assert not miss.warnings
+
+    def test_unrelated_query_unchanged(self):
+        patched = patch_query(
+            "SELECT x FROM other", [RenameTable("posts", "articles")]
+        )
+        assert not patched.changed
+        assert patched.text == patched.original
+
+
+class TestMigrationScript:
+    def test_script_contains_all_statements(self):
+        script = migration_script(
+            [RenameTable("a", "b"), DropTable("c")]
+        )
+        assert "ALTER TABLE a RENAME TO b;" in script
+        assert "DROP TABLE c;" in script
+
+    def test_script_is_parseable_and_effective(self):
+        base = "CREATE TABLE a (x INT); CREATE TABLE c (y INT);"
+        script = migration_script([RenameTable("a", "b"), DropTable("c")])
+        result = parse_schema(base + "\n" + script)
+        assert result.schema.table_names == ["b"]
+
+
+class TestPlanCoevolution:
+    def test_plan_counts(self):
+        plan = plan_coevolution(
+            [RenameAttribute("users", "name", "full_name")],
+            [
+                "SELECT name FROM users",
+                "SELECT id FROM users",
+            ],
+        )
+        assert plan.queries_changed == 1
+        assert plan.queries_needing_attention == 0
+        assert "RENAME COLUMN" in plan.ddl
+
+    def test_plan_flags_manual_work(self):
+        plan = plan_coevolution(
+            [DropTable("sessions")],
+            ["SELECT sid FROM sessions", "SELECT 1 FROM t"],
+        )
+        assert plan.queries_needing_attention == 1

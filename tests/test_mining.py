@@ -1,0 +1,203 @@
+"""Unit tests for the repository mining pipeline."""
+
+import pytest
+
+from repro.diff import ChangeKind
+from repro.heartbeat import Month
+from repro.mining import (
+    MiningError,
+    SchemaHistory,
+    find_ddl_path,
+    mine_project,
+    mine_project_activity,
+    mine_schema_history,
+)
+from repro.vcs import (
+    Commit,
+    FileChange,
+    FileVersion,
+    Repository,
+    synthetic_sha,
+    utc,
+)
+
+V1 = "CREATE TABLE users (id INT, name VARCHAR(40));"
+V2 = (
+    "CREATE TABLE users (id INT, name VARCHAR(40), email TEXT);"
+    "CREATE TABLE posts (pid INT);"
+)
+V3 = "-- cosmetic only\n" + V2
+
+
+def make_repo(*, ddl_path="schema.sql"):
+    repo = Repository(name="demo/project")
+    dates = [utc(2020, 1, 5), utc(2020, 2, 10), utc(2020, 4, 2)]
+    contents = [V1, V2, V3]
+    for i, (date, content) in enumerate(zip(dates, contents)):
+        sha = synthetic_sha("demo", i)
+        changes = [FileChange("M" if i else "A", ddl_path)]
+        if i == 0:
+            changes += [
+                FileChange("A", "src/app.js"),
+                FileChange("A", "src/db.js"),
+            ]
+        else:
+            changes.append(FileChange("M", "src/db.js"))
+        repo.add_commit(
+            Commit(sha, "Dev", "dev@x", date, f"commit {i}", changes)
+        )
+        repo.record_version(ddl_path, FileVersion(sha, date, content))
+    # one pure-source commit in month 3
+    repo.add_commit(
+        Commit(
+            synthetic_sha("demo", 9),
+            "Dev",
+            "dev@x",
+            utc(2020, 4, 20),
+            "fix",
+            [FileChange("M", "src/app.js")],
+        )
+    )
+    return repo
+
+
+class TestSchemaHistory:
+    def test_versions_and_transitions(self):
+        history = SchemaHistory.from_file_versions(
+            make_repo().versions_of("schema.sql")
+        )
+        assert history.commit_count == 3
+        assert len(history.transitions) == 3
+
+    def test_initial_transition_counts_births(self):
+        history = SchemaHistory.from_file_versions(
+            make_repo().versions_of("schema.sql")
+        )
+        initial = history.transitions[0]
+        assert initial.activity == 2  # users(id, name)
+        assert all(
+            c.kind is ChangeKind.BORN_WITH_TABLE for c in initial.delta
+        )
+
+    def test_second_transition_measures_change(self):
+        history = SchemaHistory.from_file_versions(
+            make_repo().versions_of("schema.sql")
+        )
+        assert history.transitions[1].activity == 2  # email + posts.pid
+
+    def test_cosmetic_transition_is_inactive(self):
+        history = SchemaHistory.from_file_versions(
+            make_repo().versions_of("schema.sql")
+        )
+        assert not history.transitions[2].is_active
+        assert history.active_commit_count == 2
+
+    def test_total_activity(self):
+        history = SchemaHistory.from_file_versions(
+            make_repo().versions_of("schema.sql")
+        )
+        assert history.total_activity == 4
+
+    def test_activity_events_dates(self):
+        history = SchemaHistory.from_file_versions(
+            make_repo().versions_of("schema.sql")
+        )
+        events = history.activity_events()
+        assert [amount for _, amount in events] == [2.0, 2.0, 0.0]
+
+    def test_empty_versions_rejected(self):
+        with pytest.raises(ValueError):
+            SchemaHistory.from_file_versions([])
+
+    def test_has_create_table(self):
+        history = SchemaHistory.from_file_versions(
+            [FileVersion("a", utc(2020, 1), "-- nothing")]
+        )
+        assert not history.has_create_table
+
+    def test_final_schema(self):
+        history = SchemaHistory.from_file_versions(
+            make_repo().versions_of("schema.sql")
+        )
+        assert "posts" in history.final_schema
+
+
+class TestProjectActivity:
+    def test_monthly_file_updates(self):
+        heartbeat = mine_project_activity(make_repo())
+        assert heartbeat.start == Month(2020, 1)
+        # Jan: 3 files, Feb: 2, Mar: 0, Apr: 2 + 1
+        assert heartbeat.values == [3.0, 2.0, 0.0, 3.0]
+
+    def test_empty_repo_rejected(self):
+        with pytest.raises(MiningError):
+            mine_project_activity(Repository(name="empty"))
+
+
+class TestFindDdlPath:
+    def test_recorded_path_wins(self):
+        assert find_ddl_path(make_repo()) == "schema.sql"
+
+    def test_most_touched_sql_fallback(self):
+        repo = Repository(name="x")
+        repo.add_commit(
+            Commit(
+                synthetic_sha(1), "D", "d@x", utc(2020, 1),
+                "c", [FileChange("A", "db/schema.sql"),
+                      FileChange("A", "other.sql")],
+            )
+        )
+        repo.add_commit(
+            Commit(
+                synthetic_sha(2), "D", "d@x", utc(2020, 2),
+                "c", [FileChange("M", "db/schema.sql")],
+            )
+        )
+        assert find_ddl_path(repo) == "db/schema.sql"
+
+    def test_no_sql_file_raises(self):
+        repo = Repository(name="x")
+        repo.add_commit(
+            Commit(
+                synthetic_sha(1), "D", "d@x", utc(2020, 1),
+                "c", [FileChange("A", "main.py")],
+            )
+        )
+        with pytest.raises(MiningError):
+            find_ddl_path(repo)
+
+    def test_multiple_recorded_ddl_files_raise(self):
+        repo = make_repo()
+        repo.record_version(
+            "other.sql", FileVersion("z", utc(2020, 5), "CREATE TABLE z(a INT);")
+        )
+        with pytest.raises(MiningError):
+            find_ddl_path(repo)
+
+
+class TestMineProject:
+    def test_full_pipeline(self):
+        history = mine_project(make_repo())
+        assert history.name == "demo/project"
+        assert history.ddl_path == "schema.sql"
+        assert history.schema_heartbeat.total == 4
+        assert history.project_heartbeat.total == 8
+        assert history.duration_months == 4
+
+    def test_schema_heartbeat_alignment(self):
+        history = mine_project(make_repo())
+        # schema events in Jan (2), Feb (2), Apr (0 cosmetic)
+        assert history.schema_heartbeat.start == Month(2020, 1)
+        assert history.schema_heartbeat.values == [2.0, 2.0, 0.0, 0.0]
+
+    def test_joint_progress(self):
+        joint = mine_project(make_repo()).joint_progress()
+        assert joint.n_points == 4
+        assert joint.schema[-1] == pytest.approx(1.0)
+        assert joint.schema[0] == pytest.approx(0.5)
+
+    def test_missing_contents_raise(self):
+        repo = make_repo()
+        repo.file_contents.clear()
+        with pytest.raises(MiningError):
+            mine_schema_history(repo, "schema.sql")

@@ -1,0 +1,106 @@
+"""Unit tests for schema-history aggregates and change locality."""
+
+import pytest
+
+from repro.mining import (
+    HistoryAggregates,
+    SchemaHistory,
+    growth_vs_restructuring,
+)
+from repro.vcs import FileVersion, synthetic_sha, utc
+
+
+def history_of(*ddl_versions):
+    return SchemaHistory.from_file_versions(
+        [
+            FileVersion(synthetic_sha(i), utc(2020, 1 + i), text)
+            for i, text in enumerate(ddl_versions)
+        ]
+    )
+
+
+V1 = """
+CREATE TABLE hot (a INT, b INT);
+CREATE TABLE cold (x INT, y INT);
+CREATE TABLE mild (m INT);
+"""
+V2 = V1 + "ALTER TABLE hot ADD COLUMN c INT;"
+V3 = V2 + "ALTER TABLE hot ADD COLUMN d INT; ALTER TABLE hot DROP COLUMN a;"
+V4 = V3 + "ALTER TABLE mild MODIFY COLUMN m BIGINT;"
+
+
+class TestSizes:
+    def test_size_series(self):
+        aggregates = HistoryAggregates.of(history_of(V1, V2))
+        assert aggregates.initial_size.attributes == 5
+        assert aggregates.final_size.attributes == 6
+        assert aggregates.net_attribute_growth == 1
+
+    def test_max_attributes_tracks_peak(self):
+        shrink = V2 + "DROP TABLE cold;"
+        aggregates = HistoryAggregates.of(history_of(V1, V2, shrink))
+        assert aggregates.max_attributes == 6
+        assert aggregates.final_size.attributes == 4
+        assert aggregates.net_attribute_growth == -1
+
+    def test_size_reaches_fraction_at(self):
+        aggregates = HistoryAggregates.of(history_of(V1, V2, V3))
+        # max is 6 (v2 and v3 tie at 6); 60% of 6 = 3.6 <= 5 at version 0
+        assert aggregates.size_reaches_fraction_at(0.6) == 0
+        assert aggregates.size_reaches_fraction_at(1.0) == 1
+
+    def test_fraction_validation(self):
+        aggregates = HistoryAggregates.of(history_of(V1))
+        with pytest.raises(ValueError):
+            aggregates.size_reaches_fraction_at(0)
+
+
+class TestLocality:
+    def test_changes_per_table(self):
+        aggregates = HistoryAggregates.of(history_of(V1, V2, V3, V4))
+        assert aggregates.changes_per_table == {"hot": 3, "mild": 1}
+        assert aggregates.total_post_initial_changes == 4
+
+    def test_unchanged_table_fraction(self):
+        aggregates = HistoryAggregates.of(history_of(V1, V2, V3, V4))
+        # cold never changes: 1 of 3 tables
+        assert aggregates.unchanged_table_fraction == pytest.approx(1 / 3)
+
+    def test_change_concentration(self):
+        aggregates = HistoryAggregates.of(history_of(V1, V2, V3, V4))
+        # top 1 table (20% of 3 rounds to 1) holds 3 of 4 changes
+        assert aggregates.change_concentration(fraction=0.2) == (
+            pytest.approx(0.75)
+        )
+        assert aggregates.change_concentration(fraction=1.0) == 1.0
+
+    def test_concentration_without_changes_raises(self):
+        aggregates = HistoryAggregates.of(history_of(V1, V1))
+        with pytest.raises(ValueError):
+            aggregates.change_concentration()
+
+    def test_dropped_tables_stay_in_universe(self):
+        drop = V1 + "DROP TABLE cold;"
+        aggregates = HistoryAggregates.of(history_of(V1, drop))
+        assert "cold" in aggregates.all_tables
+        assert aggregates.changes_per_table["cold"] == 2  # x, y deleted
+
+    def test_as_dict_keys(self):
+        data = HistoryAggregates.of(history_of(V1, V2)).as_dict()
+        assert data["versions"] == 2
+        assert data["post_initial_changes"] == 1
+        assert "top20_change_share" in data
+
+
+class TestGrowthVsRestructuring:
+    def test_split(self):
+        growth, shrink, mutate = growth_vs_restructuring(
+            history_of(V1, V2, V3, V4)
+        )
+        assert growth == 2   # columns c, d
+        assert shrink == 1   # column a
+        assert mutate == 1   # m type change
+
+    def test_initial_commit_excluded(self):
+        growth, shrink, mutate = growth_vs_restructuring(history_of(V1))
+        assert (growth, shrink, mutate) == (0, 0, 0)

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import random_schema, sample_change_smos
+from repro.diff import diff_schemas, initial_delta
+from repro.heartbeat import Heartbeat, Month, is_monotone, time_progress
+from repro.schema import normalize_type
+from repro.smo import apply_all, inverse_sequence
+from repro.sqlparser import parse_schema
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def schema_from_seed(seed, **kwargs):
+    return random_schema(random.Random(seed), **kwargs)
+
+
+class TestTypeNormalisation:
+    @given(
+        st.sampled_from(
+            [
+                "INT", "int4", "BIGINT", "VARCHAR(255)", "varchar(10)",
+                "DECIMAL(10,2)", "TEXT", "BOOLEAN", "bool", "DATE",
+                "TIMESTAMP", "timestamptz", "DOUBLE PRECISION",
+                "ENUM('a','b')", "TEXT[]", "INT UNSIGNED", "SMALLINT",
+                "CHAR(2)", "BLOB", "JSONB", "uuid",
+            ]
+        )
+    )
+    def test_render_normalize_is_idempotent(self, spelling):
+        once = normalize_type(spelling)
+        twice = normalize_type(once.render_sql())
+        assert once == twice
+
+    @given(st.integers(min_value=1, max_value=65535))
+    def test_varchar_lengths_compare_by_value(self, n):
+        assert normalize_type(f"VARCHAR({n})") == normalize_type(
+            f"character varying({n})"
+        )
+
+
+class TestSchemaRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_render_parse_roundtrip(self, seed):
+        schema = schema_from_seed(seed)
+        reparsed = parse_schema(schema.render_sql()).schema
+        assert diff_schemas(schema, reparsed).is_identical
+        for table in schema:
+            assert reparsed.table(table.name).primary_key == (
+                table.primary_key
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_initial_delta_counts_every_attribute(self, seed):
+        schema = schema_from_seed(seed)
+        assert initial_delta(schema).total_activity == (
+            schema.attribute_count
+        )
+
+
+class TestDiffLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_diff_self_is_empty(self, seed):
+        schema = schema_from_seed(seed)
+        assert diff_schemas(schema, schema).is_identical
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds, st.integers(min_value=1, max_value=20))
+    def test_diff_is_antisymmetric(self, seed, magnitude):
+        schema = schema_from_seed(seed)
+        rng = random.Random(seed ^ 0xABCDEF)
+        smos = sample_change_smos(schema, magnitude, rng, table_ops=True)
+        evolved = apply_all(schema, smos)
+        forward = diff_schemas(schema, evolved).breakdown
+        backward = diff_schemas(evolved, schema).breakdown
+        assert forward.born_with_table == backward.deleted_with_table
+        assert forward.injected == backward.ejected
+        assert forward.type_changed == backward.type_changed
+        assert forward.pk_changed == backward.pk_changed
+        assert forward.total == backward.total
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds, st.integers(min_value=1, max_value=20))
+    def test_applying_smos_changes_exactly_what_diff_sees(
+        self, seed, magnitude
+    ):
+        schema = schema_from_seed(seed)
+        rng = random.Random(seed ^ 0x123456)
+        smos = sample_change_smos(schema, magnitude, rng, table_ops=False)
+        evolved = apply_all(schema, smos)
+        delta = diff_schemas(schema, evolved)
+        # intra-table ops on distinct targets: one unit each, except PK
+        # moves which count two participation changes
+        from repro.smo import SetPrimaryKey
+
+        expected = sum(
+            2 if isinstance(smo, SetPrimaryKey) else 1 for smo in smos
+        )
+        assert delta.total_activity == expected
+
+
+class TestSMOInverses:
+    @settings(max_examples=30, deadline=None)
+    @given(seeds, st.integers(min_value=1, max_value=15))
+    def test_inverse_sequence_restores_schema(self, seed, magnitude):
+        schema = schema_from_seed(seed)
+        rng = random.Random(seed ^ 0x777)
+        smos = sample_change_smos(schema, magnitude, rng, table_ops=True)
+        evolved = apply_all(schema, smos)
+        restored = apply_all(evolved, inverse_sequence(schema, smos))
+        assert diff_schemas(schema, restored).is_identical
+        for table in schema:
+            assert restored.table(table.name).primary_key == (
+                table.primary_key
+            )
+
+
+class TestHeartbeatProperties:
+    activity_lists = st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    )
+
+    @given(activity_lists)
+    def test_cumulative_fraction_is_monotone_and_ends_at_one(self, values):
+        hb = Heartbeat(Month(2015, 1), values)
+        if hb.total <= 0:
+            return
+        series = hb.cumulative_fraction()
+        assert is_monotone(series)
+        assert abs(series[-1] - 1.0) < 1e-9
+        assert all(-1e-9 <= v <= 1 + 1e-9 for v in series)
+
+    @given(activity_lists, st.integers(min_value=0, max_value=10),
+           st.integers(min_value=0, max_value=10))
+    def test_alignment_preserves_total(self, values, pad_left, pad_right):
+        hb = Heartbeat(Month(2015, 6), values)
+        aligned = hb.aligned(
+            hb.start.shift(-pad_left), hb.end.shift(pad_right)
+        )
+        assert aligned.total == hb.total
+        assert len(aligned) == len(hb) + pad_left + pad_right
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_time_progress_properties(self, n):
+        series = time_progress(n)
+        assert len(series) == n
+        assert is_monotone(series)
+        assert series[-1] == 1.0
+        assert series[0] > 0

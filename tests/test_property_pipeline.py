@@ -1,0 +1,90 @@
+"""Property-based tests over the full generation → mining pipeline.
+
+Hypothesis draws arbitrary project identities (taxon, seed, duration,
+vendor) and the invariants that every downstream consumer relies on are
+checked on the mined result — not on the generator's internals.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_project
+from repro.coevolution import CoevolutionMeasures
+from repro.corpus import ProjectSpec, generate_project, profile_for, screen
+from repro.heartbeat import Month, ZeroTotalError, is_monotone
+from repro.mining import mine_project
+from repro.taxa import Taxon
+
+specs = st.builds(
+    ProjectSpec,
+    name=st.just("prop/project"),
+    taxon=st.sampled_from(list(Taxon)),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    vendor=st.sampled_from(["mysql", "postgres"]),
+    duration_months=st.integers(min_value=1, max_value=30),
+    start=st.builds(
+        Month,
+        year=st.integers(min_value=2005, max_value=2020),
+        month=st.integers(min_value=1, max_value=12),
+    ),
+)
+
+
+class TestPipelineInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(specs)
+    def test_mined_project_invariants(self, spec):
+        project = generate_project(spec, profile_for(spec.taxon))
+        history = mine_project(project.repository)
+
+        # exact duration
+        assert history.duration_months == spec.duration_months
+        # both heartbeats have positive totals (initial commit + births)
+        assert history.project_heartbeat.total > 0
+        assert history.schema_heartbeat.total > 0
+        # at least two DDL versions (the elicitation threshold)
+        assert history.schema_history.commit_count >= 2
+        # the initiating transition carries the whole initial schema
+        initial = history.schema_history.transitions[0]
+        assert initial.activity == (
+            history.schema_history.versions[0].attribute_count
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(specs)
+    def test_measures_are_well_formed(self, spec):
+        project = generate_project(spec, profile_for(spec.taxon))
+        history = mine_project(project.repository)
+        try:
+            measures = analyze_project(history)
+        except ZeroTotalError:
+            return  # impossible by construction, but tolerated
+        joint = measures.joint
+        assert is_monotone(joint.schema)
+        assert is_monotone(joint.project)
+        assert joint.schema[-1] == 1.0 or abs(joint.schema[-1] - 1) < 1e-9
+        assert 0 <= measures.sync10 <= 1
+        for alpha, fraction in measures.coevolution.attainment.items():
+            assert 0 < fraction <= 1
+        if spec.duration_months == 1:
+            assert measures.coevolution.advance_over_source is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(specs)
+    def test_every_generated_project_is_eligible(self, spec):
+        project = generate_project(spec, profile_for(spec.taxon))
+        assert screen(project.repository).accepted
+
+    @settings(max_examples=20, deadline=None)
+    @given(specs)
+    def test_frozen_taxon_never_changes_logically(self, spec):
+        if spec.taxon is not Taxon.FROZEN:
+            return
+        project = generate_project(spec, profile_for(spec.taxon))
+        history = mine_project(project.repository)
+        assert sum(history.schema_heartbeat.values[1:]) == 0
+        measures = CoevolutionMeasures.of(history.joint_progress())
+        # a frozen schema attains everything at its first version
+        assert measures.attainment[1.00] <= (
+            # the DDL may appear late; its birth month bounds attainment
+            1.0
+        )

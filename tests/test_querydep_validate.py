@@ -1,0 +1,107 @@
+"""Unit tests for static query validation against a schema."""
+
+import pytest
+
+from repro.querydep import (
+    EmbeddedQuery,
+    validate_queries,
+    validate_query,
+)
+from repro.sqlparser import parse_schema
+
+SCHEMA = parse_schema(
+    """
+    CREATE TABLE users (id INT, name VARCHAR(40), email TEXT);
+    CREATE TABLE posts (pid INT, body TEXT, author INT);
+    """
+).schema
+
+
+def q(text, line=1):
+    return EmbeddedQuery(file="app.py", line=line, text=text)
+
+
+class TestValidateQuery:
+    def test_valid_query_has_no_issues(self):
+        assert validate_query(q("SELECT id, name FROM users"), SCHEMA) == []
+
+    def test_unknown_table(self):
+        issues = validate_query(q("SELECT x FROM ghosts"), SCHEMA)
+        assert [i.kind for i in issues] == ["unknown_table"]
+        assert issues[0].element == "ghosts"
+
+    def test_unknown_qualified_column(self):
+        issues = validate_query(
+            q("SELECT u.age FROM users u"), SCHEMA
+        )
+        assert [i.element for i in issues] == ["users.age"]
+
+    def test_known_qualified_column_ok(self):
+        assert validate_query(q("SELECT u.email FROM users u"), SCHEMA) == []
+
+    def test_bare_column_resolvable_in_any_table_ok(self):
+        issues = validate_query(
+            q("SELECT body FROM users u JOIN posts p ON u.id = p.author"),
+            SCHEMA,
+        )
+        assert issues == []
+
+    def test_bare_column_resolvable_nowhere(self):
+        issues = validate_query(
+            q("SELECT nothing_here FROM users u "
+              "JOIN posts p ON u.id = p.author"),
+            SCHEMA,
+        )
+        assert [i.element for i in issues] == ["nothing_here"]
+
+    def test_unknown_table_does_not_cascade_column_noise(self):
+        issues = validate_query(q("SELECT g.x FROM ghosts g"), SCHEMA)
+        kinds = [i.kind for i in issues]
+        assert kinds == ["unknown_table"]
+
+    def test_issue_str(self):
+        issue = validate_query(q("SELECT x FROM ghosts", line=7), SCHEMA)[0]
+        assert "app.py:7" in str(issue)
+
+
+class TestValidateQueries:
+    def test_report_aggregates(self):
+        report = validate_queries(
+            [
+                q("SELECT id FROM users"),
+                q("SELECT x FROM ghosts", line=2),
+                q("SELECT u.age FROM users u", line=3),
+            ],
+            SCHEMA,
+        )
+        assert not report.ok
+        assert len(report) == 2
+        assert {i.query.line for i in report} == {2, 3}
+
+    def test_clean_workload(self):
+        report = validate_queries(
+            [q("SELECT id FROM users"), q("SELECT body FROM posts")],
+            SCHEMA,
+        )
+        assert report.ok
+        assert len(report) == 0
+
+    def test_validation_catches_schema_drift(self):
+        """The validate/impact duo agree: queries valid before a change
+        and flagged BREAKS by impact become invalid after it."""
+        from repro.diff import diff_schemas
+        from repro.querydep import Impact, analyze_impact
+
+        new_schema = parse_schema(
+            """
+            CREATE TABLE users (id INT, name VARCHAR(40));
+            CREATE TABLE posts (pid INT, body TEXT, author INT);
+            """
+        ).schema
+        workload = [q("SELECT u.email FROM users u")]
+        assert validate_queries(workload, SCHEMA).ok
+
+        delta = diff_schemas(SCHEMA, new_schema)
+        impact = analyze_impact(workload, delta)
+        assert impact.impacts[0].impact is Impact.BREAKS
+        assert not validate_queries(workload, new_schema).ok

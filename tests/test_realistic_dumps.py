@@ -1,0 +1,135 @@
+"""Pipeline tests against realistic vendor dump files.
+
+Two fixtures imitate what actually lives in FOSS repositories: a
+mysqldump-style file (executable comment hints, LOCK/INSERT noise, index
+definitions with prefix lengths) and a pg_dump-style file (SET headers,
+sequences, OWNER TO, COPY data blocks, ALTER TABLE ONLY constraints).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.diff import diff_ddl
+from repro.sqlparser import detect_dialect, parse_schema
+from repro.sqlparser.parser import strip_copy_blocks
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def wordpress():
+    return (FIXTURES / "wordpress_like.sql").read_text()
+
+
+@pytest.fixture(scope="module")
+def pgdump():
+    return (FIXTURES / "pgdump_like.sql").read_text()
+
+
+class TestWordpressLikeDump:
+    def test_dialect_detected(self, wordpress):
+        assert detect_dialect(wordpress) == "mysql"
+
+    def test_all_tables_found(self, wordpress):
+        schema = parse_schema(wordpress).schema
+        assert schema.table_names == ["wp_users", "wp_posts", "wp_options"]
+
+    def test_no_issues(self, wordpress):
+        assert parse_schema(wordpress).issues == []
+
+    def test_primary_keys(self, wordpress):
+        schema = parse_schema(wordpress).schema
+        assert schema.table("wp_users").primary_key == ("ID",)
+        assert schema.table("wp_options").primary_key == ("option_id",)
+
+    def test_column_details(self, wordpress):
+        users = parse_schema(wordpress).schema.table("wp_users")
+        assert len(users) == 10
+        id_col = users.attribute("ID")
+        assert id_col.data_type.family == "bigint"
+        assert id_col.data_type.unsigned
+        assert id_col.auto_increment
+        assert not id_col.nullable
+        assert users.attribute("user_login").default == "''"
+
+    def test_longtext_normalises_to_text(self, wordpress):
+        posts = parse_schema(wordpress).schema.table("wp_posts")
+        assert posts.attribute("post_content").data_type.family == "text"
+
+    def test_composite_index_ignored_structurally(self, wordpress):
+        posts = parse_schema(wordpress).schema.table("wp_posts")
+        assert "type_status_date" not in posts
+
+    def test_table_options(self, wordpress):
+        users = parse_schema(wordpress).schema.table("wp_users")
+        assert users.options["ENGINE"] == "InnoDB"
+        assert users.options["CHARSET"] == "utf8mb4"
+
+
+class TestPgDumpLikeFile:
+    def test_dialect_detected(self, pgdump):
+        assert detect_dialect(pgdump) == "postgres"
+
+    def test_all_tables_found(self, pgdump):
+        schema = parse_schema(pgdump).schema
+        assert schema.table_names == ["notes", "comments", "changesets"]
+
+    def test_no_issues(self, pgdump):
+        assert parse_schema(pgdump).issues == []
+
+    def test_copy_block_stripped(self, pgdump):
+        stripped = strip_copy_blocks(pgdump)
+        assert "first note's body" not in stripped
+        assert "CREATE TABLE public.comments" in stripped
+
+    def test_copy_data_does_not_leak_tables(self, pgdump):
+        # the unbalanced quotes inside COPY data must not swallow the
+        # constraint statements that follow
+        schema = parse_schema(pgdump).schema
+        assert schema.table("comments").primary_key == ("id",)
+
+    def test_constraints_applied_via_alter_only(self, pgdump):
+        schema = parse_schema(pgdump).schema
+        assert schema.table("notes").primary_key == ("id",)
+        assert schema.table("changesets").primary_key == ("id",)
+
+    def test_foreign_key(self, pgdump):
+        comments = parse_schema(pgdump).schema.table("comments")
+        fk = comments.foreign_keys[0]
+        assert fk.ref_table == "notes"
+        assert fk.columns == ("note_id",)
+
+    def test_type_zoo(self, pgdump):
+        notes = parse_schema(pgdump).schema.table("notes")
+        assert notes.attribute("closed_at").data_type.family == (
+            "timestamptz"
+        )
+        assert notes.attribute("created_at").data_type.family == (
+            "timestamp"
+        )
+        assert notes.attribute("tags").data_type.is_array
+        assert notes.attribute("status").data_type.family == "varchar"
+        assert notes.attribute("status").data_type.params == (32,)
+
+    def test_bigserial(self, pgdump):
+        comments = parse_schema(pgdump).schema.table("comments")
+        assert comments.attribute("id").auto_increment
+
+
+class TestCrossDumpDiff:
+    def test_diffing_realistic_dumps(self, wordpress, pgdump):
+        """Diffing a dump against an edited copy measures only the edit."""
+        edited = wordpress.replace(
+            "`user_status` int(11) NOT NULL DEFAULT '0',", ""
+        ).replace(
+            "`autoload` varchar(20)", "`autoload` varchar(40)"
+        )
+        delta = diff_ddl(wordpress, edited)
+        breakdown = delta.breakdown
+        assert breakdown.ejected == 1        # user_status gone
+        assert breakdown.type_changed == 1   # autoload widened
+        assert breakdown.total == 2
+
+    def test_identical_dump_reparse(self, pgdump):
+        assert diff_ddl(pgdump, pgdump).is_identical

@@ -1,0 +1,131 @@
+"""Unit tests for the text renderers."""
+
+import pytest
+
+from repro.analysis import (
+    fig4_sync_histogram,
+    fig6_advance_table,
+    fig7_always_advance,
+    fig8_attainment,
+)
+from repro.coevolution import JointProgress
+from repro.report import (
+    bar_chart,
+    grouped_bar_chart,
+    line_chart,
+    render_fig4,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_joint_progress,
+    render_table,
+    scatter_chart,
+)
+from tests.test_analysis import fake_project
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].endswith("bb")
+        assert all(len(line) == len(lines[0]) for line in lines[:2])
+
+    def test_title(self):
+        assert render_table(["x"], [[1]], title="T").startswith("T\n")
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        text = bar_chart(["a", "b"], [10, 5], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_counts(self):
+        text = bar_chart(["a"], [0])
+        assert "# 0" not in text  # no bar, count shown
+        assert " 0" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+
+class TestGroupedBarChart:
+    def test_structure(self):
+        text = grouped_bar_chart(
+            ["g1", "g2"],
+            ["s1", "s2"],
+            {"s1": [1, 2], "s2": [3, 4]},
+        )
+        assert "g1:" in text
+        assert "g2:" in text
+        assert text.count("s1 |") == 2
+
+
+class TestLineChart:
+    def test_contains_glyphs_and_legend(self):
+        text = line_chart({"up": [0.0, 0.5, 1.0], "flat": [1.0, 1.0, 1.0]})
+        assert "S=up" in text
+        assert "P=flat" in text
+        assert "100%" in text
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+
+class TestScatterChart:
+    def test_plots_points(self):
+        text = scatter_chart(
+            [(0, 0, "A"), (10, 1, "B")], x_label="d", y_label="s"
+        )
+        assert "A" in text
+        assert "B" in text
+
+    def test_overlap_marker(self):
+        text = scatter_chart([(0, 0, "A"), (0, 0, "B")])
+        assert "*" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_chart([])
+
+
+class TestFigureRenderers:
+    @pytest.fixture()
+    def projects(self):
+        return [fake_project(str(i)) for i in range(6)]
+
+    def test_fig4_text(self, projects):
+        text = render_fig4(fig4_sync_histogram(projects))
+        assert "Fig 4" in text
+        assert "[80%-100%]" in text
+
+    def test_fig6_text(self, projects):
+        text = render_fig6(fig6_advance_table(projects))
+        assert "(blank)" in text
+        assert "Grand Total" in text
+
+    def test_fig7_text(self, projects):
+        text = render_fig7(fig7_always_advance(projects))
+        assert "Frozen" in text
+        assert "Total" in text
+
+    def test_fig8_text(self, projects):
+        text = render_fig8(fig8_attainment(projects))
+        assert "alpha=75%" in text
+        assert "80%-100%" in text
+
+    def test_joint_progress_text(self):
+        joint = JointProgress.from_series(
+            [0.2, 0.5, 1.0], [0.9, 1.0, 1.0]
+        )
+        text = render_joint_progress(joint, title="demo")
+        assert text.startswith("demo")
+        assert "S=schema" in text

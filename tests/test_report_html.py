@@ -1,0 +1,53 @@
+"""Unit tests for the self-contained HTML report."""
+
+import pytest
+
+from repro.analysis import canonical_study
+from repro.report import build_html_report, write_html_report
+
+
+@pytest.fixture(scope="module")
+def html(tmp_path_factory):
+    study = canonical_study()
+    return build_html_report(study, title="Demo <Report>")
+
+
+class TestBuildHtmlReport:
+    def test_is_a_complete_document(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</body></html>")
+
+    def test_title_is_escaped(self, html):
+        assert "Demo &lt;Report&gt;" in html
+        assert "<Report>" not in html
+
+    def test_contains_inline_svgs(self, html):
+        assert html.count("<svg") >= 4
+        assert html.count("<svg") == html.count("</svg>")
+
+    def test_no_external_references(self, html):
+        assert "http://" not in html.replace(
+            "http://www.w3.org/2000/svg", ""
+        )
+        assert "<script" not in html
+        assert "<link" not in html
+
+    def test_tables_balanced(self, html):
+        assert html.count("<table>") == html.count("</table>")
+        assert html.count("<table>") >= 3
+
+    def test_sections_present(self, html):
+        for heading in (
+            "Headline numbers",
+            "Synchronicity (Fig. 4)",
+            "Life % of schema advance (Fig. 6)",
+            "Attainment (Fig. 8)",
+            "Per-taxon medians",
+        ):
+            assert heading in html
+
+    def test_write_to_disk(self, tmp_path):
+        study = canonical_study()
+        path = write_html_report(study, tmp_path / "out" / "report.html")
+        assert path.exists()
+        assert path.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,120 @@
+"""Unit tests for SVG chart rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.report import (
+    PALETTE,
+    svg_bar_chart,
+    svg_joint_progress,
+    svg_line_chart,
+    svg_scatter,
+    write_svg_figures,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+def count(root, tag):
+    return len(root.findall(f".//{SVG_NS}{tag}"))
+
+
+class TestLineChart:
+    def test_well_formed_and_one_polyline_per_series(self):
+        root = parse(
+            svg_line_chart(
+                {"a": [0.0, 0.5, 1.0], "b": [1.0, 1.0, 1.0]},
+                title="demo",
+            )
+        )
+        assert count(root, "polyline") == 2
+
+    def test_title_and_legend_present(self):
+        root = parse(
+            svg_line_chart({"schema": [0.5, 1.0]}, title="T & T")
+        )
+        texts = [t.text for t in root.findall(f".//{SVG_NS}text")]
+        assert "T & T" in texts
+        assert "schema" in texts
+
+    def test_values_clamped_to_unit_range(self):
+        svg = svg_line_chart({"a": [0.0, 2.0]})  # out-of-range tolerated
+        parse(svg)
+
+    def test_unequal_series_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({"a": []})
+
+
+class TestScatter:
+    def test_one_circle_per_point(self):
+        root = parse(
+            svg_scatter([(1, 0.5, "x"), (2, 0.7, "y"), (3, 0.2, "x")])
+        )
+        assert count(root, "circle") == 3
+
+    def test_series_colours_differ(self):
+        root = parse(svg_scatter([(1, 1, "a"), (2, 2, "b")]))
+        fills = {
+            c.get("fill") for c in root.findall(f".//{SVG_NS}circle")
+        }
+        assert len(fills) == 2
+        assert fills <= set(PALETTE)
+
+    def test_degenerate_single_point(self):
+        parse(svg_scatter([(5, 5, "only")]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_scatter([])
+
+
+class TestBarChart:
+    def test_one_rect_per_bar_plus_background(self):
+        root = parse(svg_bar_chart(["a", "b", "c"], [1, 2, 3]))
+        assert count(root, "rect") == 4  # background + 3 bars
+
+    def test_bar_heights_proportional(self):
+        root = parse(svg_bar_chart(["a", "b"], [1, 2]))
+        bars = root.findall(f".//{SVG_NS}rect")[1:]
+        heights = [float(bar.get("height")) for bar in bars]
+        assert heights[1] == pytest.approx(2 * heights[0], rel=1e-6)
+
+    def test_zero_counts_ok(self):
+        parse(svg_bar_chart(["a"], [0]))
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            svg_bar_chart(["a"], [1, 2])
+
+    def test_no_bars_rejected(self):
+        with pytest.raises(ValueError):
+            svg_bar_chart([], [])
+
+
+class TestStudyFigures:
+    def test_write_svg_figures(self, tmp_path):
+        from repro.analysis import canonical_study
+
+        paths = write_svg_figures(canonical_study(), tmp_path)
+        assert len(paths) == 5
+        for path in paths:
+            parse(path.read_text())  # every file is well-formed XML
+
+    def test_joint_progress_svg(self):
+        from repro.coevolution import JointProgress
+
+        joint = JointProgress.from_series(
+            [0.2, 0.6, 1.0], [0.9, 1.0, 1.0]
+        )
+        root = parse(svg_joint_progress(joint, title="case"))
+        assert count(root, "polyline") == 3

@@ -1,0 +1,75 @@
+"""Unit tests for counterfactual scenario corpora."""
+
+import pytest
+
+from repro.corpus import (
+    SCENARIOS,
+    generate_scenario,
+    scenario_profiles,
+)
+from repro.taxa import Taxon
+
+
+class TestScenarioProfiles:
+    def test_all_scenarios_sum_to_195(self):
+        for name in SCENARIOS:
+            profiles = scenario_profiles(name)
+            assert sum(p.count for p in profiles) == 195, name
+
+    def test_observed_matches_canonical(self):
+        from repro.corpus import CANONICAL_PROFILES
+
+        observed = scenario_profiles("OBSERVED")
+        assert [p.count for p in observed] == [
+            p.count for p in CANONICAL_PROFILES
+        ]
+
+    def test_rigid_world_is_frozen_heavy(self):
+        profiles = {p.taxon: p for p in scenario_profiles("RIGID_WORLD")}
+        frozen_side = sum(
+            p.count for t, p in profiles.items() if t.is_frozenish
+        )
+        assert frozen_side >= 0.8 * 195
+
+    def test_agile_world_is_active_heavy(self):
+        profiles = {p.taxon: p for p in scenario_profiles("AGILE_WORLD")}
+        active_side = (
+            profiles[Taxon.MODERATE].count
+            + profiles[Taxon.FOCUSED_SHOT_AND_LOW].count
+            + profiles[Taxon.ACTIVE].count
+        )
+        assert active_side >= 0.8 * 195
+
+    def test_only_counts_differ_from_canonical(self):
+        """Scenarios change the mix, never the behavioural knobs."""
+        from repro.corpus import CANONICAL_PROFILES
+
+        for name in SCENARIOS:
+            for scenario, canonical in zip(
+                scenario_profiles(name), CANONICAL_PROFILES
+            ):
+                import dataclasses
+
+                assert dataclasses.replace(
+                    scenario, count=canonical.count
+                ) == canonical
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            scenario_profiles("UTOPIA")
+
+
+class TestGenerateScenario:
+    def test_generates_195_projects(self):
+        corpus = generate_scenario("RIGID_WORLD", seed=77)
+        assert len(corpus) == 195
+
+    def test_mix_respected(self):
+        corpus = generate_scenario("AGILE_WORLD", seed=77)
+        active = sum(1 for p in corpus if p.true_taxon is Taxon.ACTIVE)
+        assert active == 70
+
+    def test_deterministic(self):
+        a = generate_scenario("SHOT_WORLD", seed=3)
+        b = generate_scenario("SHOT_WORLD", seed=3)
+        assert [p.name for p in a] == [p.name for p in b]

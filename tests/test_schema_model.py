@@ -1,0 +1,162 @@
+"""Unit tests for the schema model."""
+
+import pytest
+
+from repro.schema import (
+    Attribute,
+    ForeignKey,
+    Schema,
+    SchemaError,
+    Table,
+    normalize_type,
+    quote_identifier,
+)
+
+
+def make_table(name="users", columns=("id", "name")):
+    table = Table(name=name)
+    for column in columns:
+        table.add_attribute(Attribute(column, normalize_type("int")))
+    return table
+
+
+class TestAttribute:
+    def test_key_is_case_insensitive(self):
+        assert Attribute("UserID", normalize_type("int")).key == "userid"
+
+    def test_with_type_accepts_string(self):
+        attr = Attribute("a", normalize_type("int")).with_type("text")
+        assert attr.data_type.family == "text"
+
+    def test_render_sql_not_null_default(self):
+        attr = Attribute(
+            "name", normalize_type("varchar(10)"), nullable=False,
+            default="'x'",
+        )
+        rendered = attr.render_sql()
+        assert "NOT NULL" in rendered
+        assert "DEFAULT 'x'" in rendered
+
+
+class TestTable:
+    def test_lookup_case_insensitive(self):
+        table = make_table()
+        assert "ID" in table
+        assert table.get("Id").name == "id"
+
+    def test_duplicate_attribute_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            table.add_attribute(Attribute("ID", normalize_type("int")))
+
+    def test_positions_follow_insertion(self):
+        table = make_table(columns=("a", "b", "c"))
+        assert [attr.position for attr in table.attributes] == [0, 1, 2]
+
+    def test_drop_attribute_renumbers(self):
+        table = make_table(columns=("a", "b", "c"))
+        table.drop_attribute("b")
+        assert table.attribute_names == ["a", "c"]
+        assert [attr.position for attr in table.attributes] == [0, 1]
+
+    def test_drop_attribute_prunes_pk(self):
+        table = make_table(columns=("a", "b"))
+        table.primary_key = ("a", "b")
+        table.drop_attribute("a")
+        assert table.primary_key == ("b",)
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().drop_attribute("ghost")
+
+    def test_replace_attribute_keeps_position(self):
+        table = make_table(columns=("a", "b"))
+        table.replace_attribute(
+            "a", Attribute("a", normalize_type("text"))
+        )
+        assert table.attributes[0].data_type.family == "text"
+        assert table.attributes[0].position == 0
+
+    def test_copy_is_deep_enough(self):
+        table = make_table()
+        clone = table.copy()
+        clone.drop_attribute("id")
+        assert "id" in table
+
+    def test_pk_keys(self):
+        table = make_table()
+        table.primary_key = ("ID",)
+        assert table.pk_keys() == frozenset({"id"})
+
+    def test_render_sql_contains_pk(self):
+        table = make_table()
+        table.primary_key = ("id",)
+        assert "PRIMARY KEY (id)" in table.render_sql()
+
+    def test_render_sql_contains_fk(self):
+        table = make_table()
+        table.foreign_keys.append(ForeignKey(("id",), "other", ("oid",)))
+        assert "FOREIGN KEY (id) REFERENCES other (oid)" in table.render_sql()
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema()
+        schema.add_table(make_table("Users"))
+        assert "users" in schema
+        assert schema.table("USERS").name == "Users"
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema()
+        schema.add_table(make_table("t"))
+        with pytest.raises(SchemaError):
+            schema.add_table(make_table("T"))
+
+    def test_drop_table(self):
+        schema = Schema()
+        schema.add_table(make_table("t"))
+        schema.drop_table("t")
+        assert "t" not in schema
+        assert len(schema) == 0
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema().drop_table("ghost")
+
+    def test_attribute_count(self):
+        schema = Schema()
+        schema.add_table(make_table("a", columns=("x", "y")))
+        schema.add_table(make_table("b", columns=("z",)))
+        assert schema.attribute_count == 3
+
+    def test_copy_isolated(self):
+        schema = Schema()
+        schema.add_table(make_table("t"))
+        clone = schema.copy()
+        clone.table("t").add_attribute(
+            Attribute("extra", normalize_type("int"))
+        )
+        assert "extra" not in schema.table("t")
+
+    def test_iteration_order_is_insertion(self):
+        schema = Schema()
+        for name in ("zeta", "alpha", "mid"):
+            schema.add_table(make_table(name))
+        assert schema.table_names == ["zeta", "alpha", "mid"]
+
+
+class TestQuoteIdentifier:
+    def test_plain_name_unquoted(self):
+        assert quote_identifier("users") == "users"
+
+    def test_underscores_ok(self):
+        assert quote_identifier("user_id") == "user_id"
+
+    def test_leading_digit_quoted(self):
+        assert quote_identifier("1bad") == '"1bad"'
+
+    def test_space_quoted(self):
+        assert quote_identifier("two words") == '"two words"'
+
+    def test_embedded_quote_doubled(self):
+        assert quote_identifier('a"b') == '"a""b"'

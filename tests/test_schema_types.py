@@ -1,0 +1,144 @@
+"""Unit tests for SQL type normalisation."""
+
+import pytest
+
+from repro.schema import DataType, normalize_type
+
+
+class TestAliases:
+    def test_integer_aliases_collapse(self):
+        assert normalize_type("INTEGER") == normalize_type("int")
+        assert normalize_type("INT4") == normalize_type("int")
+        assert normalize_type("MEDIUMINT") == normalize_type("int")
+
+    def test_bigint_aliases(self):
+        assert normalize_type("INT8").family == "bigint"
+        assert normalize_type("BIGINT").family == "bigint"
+
+    def test_boolean_aliases(self):
+        assert normalize_type("BOOL") == normalize_type("BOOLEAN")
+
+    def test_varchar_aliases(self):
+        assert normalize_type("CHARACTER VARYING(10)").family == "varchar"
+        assert normalize_type("varchar2(10)").family == "varchar"
+
+    def test_text_aliases(self):
+        for spelling in ("TINYTEXT", "MEDIUMTEXT", "LONGTEXT", "CLOB"):
+            assert normalize_type(spelling).family == "text"
+
+    def test_unknown_type_passes_through(self):
+        assert normalize_type("HSTORE").family == "hstore"
+
+    def test_double_precision_multiword(self):
+        assert normalize_type("DOUBLE PRECISION").family == "double"
+
+    def test_timestamp_with_time_zone(self):
+        assert normalize_type("TIMESTAMP WITH TIME ZONE").family == "timestamptz"
+        assert normalize_type("timestamptz") == normalize_type(
+            "TIMESTAMP WITH TIME ZONE"
+        )
+
+    def test_timestamp_without_time_zone(self):
+        assert (
+            normalize_type("TIMESTAMP WITHOUT TIME ZONE")
+            == normalize_type("TIMESTAMP")
+        )
+
+
+class TestParameters:
+    def test_varchar_length(self):
+        assert normalize_type("VARCHAR(255)").params == (255,)
+
+    def test_decimal_precision_scale(self):
+        assert normalize_type("DECIMAL(10, 2)").params == (10, 2)
+
+    def test_numeric_equals_decimal(self):
+        assert normalize_type("NUMERIC(10,2)") == normalize_type(
+            "DECIMAL(10, 2)"
+        )
+
+    def test_enum_labels(self):
+        t = normalize_type("ENUM('a', 'b', 'c')")
+        assert t.family == "enum"
+        assert t.params == ("a", "b", "c")
+
+    def test_enum_label_with_escaped_quote(self):
+        t = normalize_type("ENUM('it''s', 'b')")
+        assert t.params == ("it's", "b")
+
+    def test_enum_label_with_comma(self):
+        t = normalize_type("ENUM('a,b', 'c')")
+        assert t.params == ("a,b", "c")
+
+    def test_int_display_width_ignored(self):
+        assert normalize_type("INT(11)") == normalize_type("INT")
+
+    def test_varchar_lengths_distinguish(self):
+        assert normalize_type("VARCHAR(10)") != normalize_type("VARCHAR(20)")
+
+
+class TestModifiers:
+    def test_unsigned(self):
+        t = normalize_type("INT UNSIGNED")
+        assert t.unsigned
+        assert t.family == "int"
+
+    def test_unsigned_differs_from_signed(self):
+        assert normalize_type("INT UNSIGNED") != normalize_type("INT")
+
+    def test_zerofill_is_cosmetic(self):
+        assert normalize_type("INT ZEROFILL") == normalize_type("INT")
+
+    def test_array_suffix(self):
+        t = normalize_type("TEXT[]")
+        assert t.is_array
+        assert t.family == "text"
+
+    def test_sized_array_suffix(self):
+        assert normalize_type("INT[3]").is_array
+
+    def test_array_differs_from_scalar(self):
+        assert normalize_type("TEXT[]") != normalize_type("TEXT")
+
+
+class TestRendering:
+    def test_render_simple(self):
+        assert normalize_type("int").render_sql() == "INT"
+
+    def test_render_params(self):
+        assert normalize_type("varchar(40)").render_sql() == "VARCHAR(40)"
+
+    def test_render_enum_quotes_labels(self):
+        assert (
+            normalize_type("enum('a','b')").render_sql() == "ENUM('a', 'b')"
+        )
+
+    def test_render_roundtrips_through_normalize(self):
+        for spelling in (
+            "INT UNSIGNED",
+            "DECIMAL(12, 4)",
+            "TEXT[]",
+            "ENUM('x', 'y')",
+            "TIMESTAMPTZ",
+        ):
+            t = normalize_type(spelling)
+            assert normalize_type(t.render_sql()) == t
+
+    def test_str_is_informative(self):
+        assert str(normalize_type("varchar(8)")) == "varchar(8)"
+
+    def test_raw_preserved_but_not_compared(self):
+        a = normalize_type("INT4")
+        b = normalize_type("INTEGER")
+        assert a.raw == "INT4"
+        assert b.raw == "INTEGER"
+        assert a == b
+
+
+class TestDataTypeValue:
+    def test_hashable(self):
+        assert len({normalize_type("int"), normalize_type("integer")}) == 1
+
+    def test_direct_construction(self):
+        t = DataType(family="varchar", params=(16,))
+        assert str(t) == "varchar(16)"

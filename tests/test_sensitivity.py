@@ -1,0 +1,74 @@
+"""Unit tests for rebucketing and the sensitivity analyses."""
+
+import pytest
+
+from repro.analysis import (
+    canonical_study,
+    chronon_sensitivity,
+    coarse_joint,
+)
+from repro.coevolution import CoevolutionMeasures
+from repro.heartbeat import Heartbeat, Month
+
+
+class TestRebucket:
+    def test_quarterly(self):
+        hb = Heartbeat(Month(2020, 1), [1, 2, 3, 4, 5, 6])
+        coarse = hb.rebucket(3)
+        assert coarse.values == [6, 15]
+        assert coarse.start == Month(2020, 1)
+
+    def test_ragged_tail(self):
+        hb = Heartbeat(Month(2020, 1), [1, 1, 1, 1, 1])
+        assert hb.rebucket(2).values == [2, 2, 1]
+
+    def test_total_preserved(self):
+        hb = Heartbeat(Month(2020, 1), [3, 0, 7, 2, 9, 1, 4])
+        for k in (1, 2, 3, 6, 12):
+            assert hb.rebucket(k).total == hb.total
+
+    def test_identity_chronon(self):
+        hb = Heartbeat(Month(2020, 1), [1, 2])
+        clone = hb.rebucket(1)
+        assert clone.values == hb.values
+        assert clone is not hb
+
+    def test_invalid_chronon(self):
+        with pytest.raises(ValueError):
+            Heartbeat(Month(2020, 1), [1]).rebucket(0)
+
+
+class TestCoarseJoint:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return canonical_study()
+
+    def test_coarse_joint_shape(self, study):
+        project = next(
+            p for p in study.projects if p.duration_months >= 12
+        )
+        coarse = coarse_joint(project, 3)
+        assert coarse.n_points <= (project.joint.n_points + 2) // 3 + 1
+        assert coarse.schema[-1] == pytest.approx(1.0)
+        assert coarse.project[-1] == pytest.approx(1.0)
+
+    def test_coarse_measures_are_computable(self, study):
+        project = next(
+            p for p in study.projects if p.duration_months >= 12
+        )
+        measures = CoevolutionMeasures.of(coarse_joint(project, 3))
+        assert 0 <= measures.sync[0.10] <= 1
+
+    def test_chronon_sensitivity_rows(self, study):
+        rows = chronon_sensitivity(study.projects, chronon_months=3)
+        assert [r.measure for r in rows] == ["sync_10", "attainment_75"]
+        for row in rows:
+            assert -1 <= row.kendall_tau <= 1
+            assert row.chronon_months == 3
+
+    def test_coarser_chronon_raises_sync(self, study):
+        """A wider bucket can only bring the two progressions closer at
+        matched time-points, so median sync should not collapse."""
+        rows = chronon_sensitivity(study.projects, chronon_months=6)
+        sync_row = rows[0]
+        assert sync_row.median_coarse >= sync_row.median_monthly - 0.1

@@ -1,0 +1,200 @@
+"""Unit tests for the SMO algebra."""
+
+import pytest
+
+from repro.diff import diff_schemas
+from repro.schema import Attribute, Schema, Table, normalize_type
+from repro.smo import (
+    AddAttribute,
+    ChangeType,
+    CreateTable,
+    DropAttribute,
+    DropTable,
+    RenameAttribute,
+    RenameTable,
+    SetPrimaryKey,
+    SMOError,
+    apply_all,
+    inverse_sequence,
+)
+from repro.sqlparser import parse_schema
+
+
+def base_schema():
+    return parse_schema(
+        "CREATE TABLE users (id INT NOT NULL, name VARCHAR(40), "
+        "PRIMARY KEY (id));"
+        "CREATE TABLE posts (pid INT, body TEXT);"
+    ).schema
+
+
+def new_table(name="tags"):
+    table = Table(name=name)
+    table.add_attribute(Attribute("tid", normalize_type("int")))
+    table.add_attribute(Attribute("label", normalize_type("varchar(20)")))
+    table.primary_key = ("tid",)
+    return table
+
+
+class TestApplication:
+    def test_create_table(self):
+        schema = base_schema()
+        CreateTable(new_table()).apply(schema)
+        assert "tags" in schema
+
+    def test_create_existing_fails(self):
+        with pytest.raises(SMOError):
+            CreateTable(new_table("users")).apply(base_schema())
+
+    def test_drop_table(self):
+        schema = base_schema()
+        DropTable("posts").apply(schema)
+        assert "posts" not in schema
+
+    def test_drop_missing_fails(self):
+        with pytest.raises(SMOError):
+            DropTable("ghost").apply(base_schema())
+
+    def test_rename_table(self):
+        schema = base_schema()
+        RenameTable("posts", "articles").apply(schema)
+        assert "articles" in schema
+        assert "posts" not in schema
+
+    def test_rename_collision_fails(self):
+        with pytest.raises(SMOError):
+            RenameTable("posts", "users").apply(base_schema())
+
+    def test_add_attribute(self):
+        schema = base_schema()
+        AddAttribute(
+            "users", Attribute("age", normalize_type("int"))
+        ).apply(schema)
+        assert "age" in schema.table("users")
+
+    def test_add_duplicate_fails(self):
+        with pytest.raises(SMOError):
+            AddAttribute(
+                "users", Attribute("NAME", normalize_type("int"))
+            ).apply(base_schema())
+
+    def test_drop_attribute(self):
+        schema = base_schema()
+        DropAttribute("users", "name").apply(schema)
+        assert "name" not in schema.table("users")
+
+    def test_drop_last_attribute_fails(self):
+        schema = parse_schema("CREATE TABLE t (only_col INT);").schema
+        with pytest.raises(SMOError):
+            DropAttribute("t", "only_col").apply(schema)
+
+    def test_rename_attribute_updates_pk(self):
+        schema = base_schema()
+        RenameAttribute("users", "id", "uid").apply(schema)
+        assert schema.table("users").primary_key == ("uid",)
+
+    def test_change_type(self):
+        schema = base_schema()
+        ChangeType("users", "id", normalize_type("bigint")).apply(schema)
+        assert schema.table("users").attribute("id").data_type.family == (
+            "bigint"
+        )
+
+    def test_change_type_accepts_string(self):
+        schema = base_schema()
+        ChangeType("users", "id", "bigint").apply(schema)
+        assert schema.table("users").attribute("id").data_type.family == (
+            "bigint"
+        )
+
+    def test_set_primary_key(self):
+        schema = base_schema()
+        SetPrimaryKey("posts", ("pid",)).apply(schema)
+        assert schema.table("posts").primary_key == ("pid",)
+
+    def test_set_pk_unknown_column_fails(self):
+        with pytest.raises(SMOError):
+            SetPrimaryKey("posts", ("ghost",)).apply(base_schema())
+
+    def test_applied_to_leaves_original_untouched(self):
+        schema = base_schema()
+        modified = DropTable("posts").applied_to(schema)
+        assert "posts" in schema
+        assert "posts" not in modified
+
+
+class TestInverses:
+    SMOS = [
+        CreateTable(new_table()),
+        DropTable("posts"),
+        RenameTable("posts", "articles"),
+        AddAttribute("users", Attribute("age", normalize_type("int"))),
+        DropAttribute("users", "name"),
+        RenameAttribute("users", "name", "full_name"),
+        ChangeType("users", "id", normalize_type("bigint")),
+        SetPrimaryKey("posts", ("pid",)),
+    ]
+
+    @pytest.mark.parametrize("smo", SMOS, ids=lambda s: type(s).__name__)
+    def test_inverse_undoes(self, smo):
+        schema = base_schema()
+        inverse = smo.inverse(schema)
+        after = smo.applied_to(schema)
+        restored = inverse.applied_to(after)
+        assert diff_schemas(schema, restored).is_identical
+        # PK restoration checked explicitly (diff ignores equal PKs)
+        for table in schema:
+            assert restored.table(table.name).primary_key == (
+                table.primary_key
+            )
+
+    def test_inverse_sequence_undoes_chain(self):
+        schema = base_schema()
+        smos = [
+            AddAttribute("users", Attribute("age", normalize_type("int"))),
+            ChangeType("users", "age", normalize_type("bigint")),
+            CreateTable(new_table()),
+            DropAttribute("users", "name"),
+        ]
+        forward = apply_all(schema, smos)
+        undo = inverse_sequence(schema, smos)
+        restored = apply_all(forward, undo)
+        assert diff_schemas(schema, restored).is_identical
+
+
+class TestSQLEmission:
+    @pytest.mark.parametrize(
+        "smo",
+        [
+            CreateTable(new_table()),
+            DropTable("posts"),
+            RenameTable("posts", "articles"),
+            AddAttribute(
+                "users",
+                Attribute("age", normalize_type("int"), nullable=False),
+            ),
+            DropAttribute("users", "name"),
+            RenameAttribute("users", "name", "full_name"),
+            ChangeType("users", "id", normalize_type("bigint")),
+        ],
+        ids=lambda s: type(s).__name__,
+    )
+    def test_emitted_sql_reproduces_application(self, smo):
+        """Applying the SMO and parsing its DDL must agree."""
+        schema = base_schema()
+        via_apply = smo.applied_to(schema)
+        script = schema.render_sql() + "\n" + smo.render_sql()
+        via_sql = parse_schema(script).schema
+        assert diff_schemas(via_apply, via_sql).is_identical
+
+    def test_mysql_change_type_uses_modify(self):
+        sql = ChangeType("t", "a", normalize_type("bigint")).render_sql(
+            "mysql"
+        )
+        assert "MODIFY COLUMN" in sql
+
+    def test_postgres_change_type_uses_alter_type(self):
+        sql = ChangeType("t", "a", normalize_type("bigint")).render_sql(
+            "postgres"
+        )
+        assert "ALTER COLUMN" in sql and "TYPE" in sql

@@ -1,0 +1,135 @@
+"""Unit and property tests for SMO inference (diff -> operators)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import random_schema, sample_change_smos
+from repro.diff import diff_schemas
+from repro.schema import normalize_type
+from repro.smo import (
+    AddAttribute,
+    ChangeType,
+    CreateTable,
+    DropAttribute,
+    DropTable,
+    SetPrimaryKey,
+    apply_all,
+    infer_from_ddl,
+    infer_smos,
+)
+from repro.sqlparser import parse_schema
+
+
+def schema_of(ddl):
+    return parse_schema(ddl).schema
+
+
+BASE = """
+CREATE TABLE users (id INT, name VARCHAR(40), PRIMARY KEY (id));
+CREATE TABLE posts (pid INT, body TEXT);
+"""
+
+
+class TestInference:
+    def test_identity_infers_nothing(self):
+        schema = schema_of(BASE)
+        assert infer_smos(schema, schema) == []
+
+    def test_table_birth(self):
+        new = schema_of(BASE + "CREATE TABLE tags (tid INT);")
+        smos = infer_smos(schema_of(BASE), new)
+        assert len(smos) == 1
+        assert isinstance(smos[0], CreateTable)
+        assert smos[0].table.name == "tags"
+
+    def test_table_death(self):
+        new = schema_of("CREATE TABLE users (id INT, name VARCHAR(40));")
+        smos = infer_smos(schema_of(BASE), new)
+        assert any(
+            isinstance(s, DropTable) and s.name == "posts" for s in smos
+        )
+
+    def test_attribute_changes(self):
+        new = schema_of(
+            "CREATE TABLE users (id BIGINT, email TEXT, PRIMARY KEY (id));"
+            "CREATE TABLE posts (pid INT, body TEXT);"
+        )
+        smos = infer_smos(schema_of(BASE), new)
+        kinds = {type(s).__name__ for s in smos}
+        assert kinds == {"AddAttribute", "DropAttribute", "ChangeType"}
+
+    def test_pk_change(self):
+        new = schema_of(
+            "CREATE TABLE users (id INT, name VARCHAR(40), "
+            "PRIMARY KEY (name));"
+            "CREATE TABLE posts (pid INT, body TEXT);"
+        )
+        smos = infer_smos(schema_of(BASE), new)
+        assert [s for s in smos if isinstance(s, SetPrimaryKey)]
+
+    def test_full_table_replacement_applies(self):
+        """Adds must precede drops so the table never empties."""
+        old = schema_of("CREATE TABLE t (a INT);")
+        new = schema_of("CREATE TABLE t (b TEXT);")
+        smos = infer_smos(old, new)
+        result = apply_all(old, smos)
+        assert diff_schemas(new, result).is_identical
+
+    def test_infer_from_ddl(self):
+        smos = infer_from_ddl(
+            "CREATE TABLE t (a INT);",
+            "CREATE TABLE t (a INT, b TEXT);",
+        )
+        assert len(smos) == 1
+        assert isinstance(smos[0], AddAttribute)
+
+    def test_inferred_sequence_is_applicable_and_correct(self):
+        old = schema_of(BASE)
+        new = schema_of(
+            "CREATE TABLE users (id BIGINT, name VARCHAR(80), age INT, "
+            "PRIMARY KEY (name));"
+            "CREATE TABLE tags (tid INT);"
+        )
+        result = apply_all(old, infer_smos(old, new))
+        assert diff_schemas(new, result).is_identical
+        assert result.table("users").primary_key == ("name",)
+
+
+class TestInferenceProperty:
+    seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, st.integers(min_value=1, max_value=25))
+    def test_apply_infer_roundtrip(self, seed, magnitude):
+        """apply(infer(a, b), a) is diff-identical to b."""
+        schema = random_schema(random.Random(seed))
+        rng = random.Random(seed ^ 0xBEEF)
+        smos = sample_change_smos(schema, magnitude, rng, table_ops=True)
+        target = apply_all(schema, smos)
+        inferred = infer_smos(schema, target)
+        rebuilt = apply_all(schema, inferred)
+        assert diff_schemas(target, rebuilt).is_identical
+        for table in target:
+            assert rebuilt.table(table.name).pk_keys() == table.pk_keys()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_infer_identity_is_empty(self, seed):
+        schema = random_schema(random.Random(seed))
+        assert infer_smos(schema, schema) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds, st.integers(min_value=1, max_value=20))
+    def test_inferred_activity_matches_diff(self, seed, magnitude):
+        """The inferred operators' DDL re-parses to the same target."""
+        schema = random_schema(random.Random(seed))
+        rng = random.Random(seed ^ 0xF00D)
+        smos = sample_change_smos(schema, magnitude, rng, table_ops=False)
+        target = apply_all(schema, smos)
+        script = schema.render_sql() + "\n" + "\n".join(
+            smo.render_sql() for smo in infer_smos(schema, target)
+        )
+        reparsed = parse_schema(script).schema
+        assert diff_schemas(target, reparsed).is_identical

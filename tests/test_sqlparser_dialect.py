@@ -1,0 +1,82 @@
+"""Unit tests for dialect detection."""
+
+from repro.sqlparser import detect_dialect, parse_schema
+
+
+class TestDetectDialect:
+    def test_mysql_backticks(self):
+        assert detect_dialect("CREATE TABLE `t` (`a` int);") == "mysql"
+
+    def test_mysql_engine(self):
+        assert detect_dialect(
+            "CREATE TABLE t (a int) ENGINE=InnoDB AUTO_INCREMENT=3;"
+        ) == "mysql"
+
+    def test_postgres_serial(self):
+        assert detect_dialect(
+            "CREATE TABLE t (id SERIAL, b BYTEA);"
+        ) == "postgres"
+
+    def test_postgres_casts_and_nextval(self):
+        text = "CREATE TABLE t (id int DEFAULT nextval('s'::regclass));"
+        assert detect_dialect(text) == "postgres"
+
+    def test_generic_when_no_signals(self):
+        assert detect_dialect("CREATE TABLE t (a int);") == "generic"
+
+    def test_parse_schema_records_dialect(self):
+        result = parse_schema("CREATE TABLE `t` (a int) ENGINE=X;")
+        assert result.schema.dialect == "mysql"
+
+    def test_explicit_hint_wins(self):
+        result = parse_schema(
+            "CREATE TABLE `t` (a int);", dialect="postgres"
+        )
+        assert result.schema.dialect == "postgres"
+
+    def test_mixed_signals_majority(self):
+        text = (
+            "CREATE TABLE t (id SERIAL);\n"
+            "CREATE TABLE s (v TIMESTAMPTZ, w BYTEA);\n"
+            "-- one backtick `x` in a comment still counts as a signal\n"
+        )
+        assert detect_dialect(text) == "postgres"
+
+
+class TestSqliteDetection:
+    def test_autoincrement_no_underscore(self):
+        text = (
+            "CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT);\n"
+            "PRAGMA foreign_keys = ON;\n"
+        )
+        assert detect_dialect(text) == "sqlite"
+
+    def test_without_rowid(self):
+        text = (
+            "PRAGMA journal_mode=WAL;\n"
+            "CREATE TABLE kv (k TEXT, v TEXT) WITHOUT ROWID;"
+        )
+        assert detect_dialect(text) == "sqlite"
+
+    def test_mysql_auto_increment_not_sqlite(self):
+        text = "CREATE TABLE t (id INT AUTO_INCREMENT) ENGINE=InnoDB;"
+        assert detect_dialect(text) == "mysql"
+
+    def test_ambiguous_tie_is_generic(self):
+        # one mysql signal and one sqlite signal
+        text = "CREATE TABLE `t` (id INTEGER);\nPRAGMA user_version=1;"
+        assert detect_dialect(text) == "generic"
+
+    def test_sqlite_file_parses(self):
+        from repro.sqlparser import parse_schema
+
+        text = (
+            "PRAGMA foreign_keys=OFF;\n"
+            "CREATE TABLE log (id INTEGER PRIMARY KEY AUTOINCREMENT, "
+            "msg TEXT NOT NULL);\n"
+        )
+        result = parse_schema(text)
+        assert result.schema.dialect == "sqlite"
+        table = result.schema.table("log")
+        assert table.attribute("id").auto_increment
+        assert table.primary_key == ("id",)

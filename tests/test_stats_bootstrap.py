@@ -1,0 +1,71 @@
+"""Unit tests for bootstrap confidence intervals."""
+
+import random
+
+import pytest
+
+from repro.stats import Interval, bootstrap, median_interval, share_interval
+
+
+class TestShareInterval:
+    def test_contains_true_share(self):
+        rng = random.Random(5)
+        flags = [rng.random() < 0.4 for _ in range(195)]
+        interval = share_interval(flags)
+        true_share = sum(flags) / len(flags)
+        assert interval.estimate == pytest.approx(true_share)
+        assert true_share in interval
+
+    def test_wider_at_higher_confidence(self):
+        flags = [i % 3 == 0 for i in range(100)]
+        narrow = share_interval(flags, confidence=0.80)
+        wide = share_interval(flags, confidence=0.99)
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low)
+
+    def test_deterministic_with_seed(self):
+        flags = [i % 2 == 0 for i in range(50)]
+        a = share_interval(flags, seed=9)
+        b = share_interval(flags, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_all_true_degenerates_to_one(self):
+        interval = share_interval([True] * 30)
+        assert interval.low == interval.high == 1.0
+
+
+class TestMedianInterval:
+    def test_covers_median(self):
+        rng = random.Random(6)
+        values = [rng.gauss(10, 2) for _ in range(200)]
+        interval = median_interval(values)
+        assert interval.low <= interval.estimate <= interval.high
+        assert 9 <= interval.estimate <= 11
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = random.Random(7)
+        small = [rng.gauss(0, 1) for _ in range(20)]
+        large = [rng.gauss(0, 1) for _ in range(2000)]
+        wide = median_interval(small)
+        narrow = median_interval(large, replicates=500)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+
+class TestBootstrapGeneric:
+    def test_custom_statistic(self):
+        interval = bootstrap(
+            list(range(100)), lambda s: max(s), replicates=200
+        )
+        assert interval.estimate == 99
+        assert interval.high == 99
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap([], len)
+
+    def test_confidence_validated(self):
+        with pytest.raises(ValueError):
+            bootstrap([1, 2], len, confidence=1.5)
+
+    def test_str_is_readable(self):
+        interval = Interval(0.5, 0.4, 0.6, 0.95)
+        assert "[0.400, 0.600]" in str(interval)

@@ -1,0 +1,90 @@
+"""Unit tests for histogram bucketing."""
+
+import pytest
+
+from repro.stats import (
+    Bucket,
+    bucket_counts,
+    bucket_index,
+    buckets_from_edges,
+    equal_buckets,
+)
+
+
+class TestBucket:
+    def test_half_open_membership(self):
+        bucket = Bucket(0.2, 0.4)
+        assert 0.2 in bucket
+        assert 0.39 in bucket
+        assert 0.4 not in bucket
+
+    def test_closed_high(self):
+        bucket = Bucket(0.8, 1.0, closed_high=True)
+        assert 1.0 in bucket
+
+    def test_label(self):
+        assert Bucket(0.2, 0.4).label == "0.2-0.4"
+        assert Bucket(0.0, 1.0).label == "0-1"
+
+    def test_pct_label(self):
+        assert Bucket(0.0, 0.2).pct_label() == "[0%-20%)"
+        assert Bucket(0.8, 1.0, closed_high=True).pct_label() == "[80%-100%]"
+
+
+class TestEqualBuckets:
+    def test_five_buckets_cover_unit(self):
+        buckets = equal_buckets(5)
+        assert len(buckets) == 5
+        assert buckets[0].low == 0.0
+        assert buckets[-1].high == 1.0
+        assert buckets[-1].closed_high
+
+    def test_every_value_in_exactly_one(self):
+        buckets = equal_buckets(5)
+        for value in [0.0, 0.1999, 0.2, 0.5, 0.799, 0.8, 0.99, 1.0]:
+            homes = [b for b in buckets if value in b]
+            assert len(homes) == 1
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            equal_buckets(0)
+
+
+class TestBucketsFromEdges:
+    def test_ten_ranges(self):
+        buckets = buckets_from_edges([i / 10 for i in range(11)])
+        assert len(buckets) == 10
+        assert buckets[0].low == 0.0
+        assert buckets[-1].closed_high
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            buckets_from_edges([0.0, 0.5, 0.2])
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(ValueError):
+            buckets_from_edges([0.0])
+
+
+class TestBucketCounts:
+    def test_counts(self):
+        buckets = equal_buckets(2)
+        counts, blanks = bucket_counts([0.1, 0.2, 0.6, 1.0], buckets)
+        assert counts == [2, 2]
+        assert blanks == 0
+
+    def test_none_counted_as_blank(self):
+        buckets = equal_buckets(2)
+        counts, blanks = bucket_counts([0.1, None, None], buckets)
+        assert counts == [1, 0]
+        assert blanks == 2
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            bucket_counts([1.5], equal_buckets(2))
+
+    def test_bucket_index(self):
+        buckets = equal_buckets(4)
+        assert bucket_index(buckets, 0.0) == 0
+        assert bucket_index(buckets, 0.25) == 1
+        assert bucket_index(buckets, 1.0) == 3

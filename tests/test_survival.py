@@ -1,0 +1,111 @@
+"""Unit tests for the Kaplan–Meier estimator and schema survival."""
+
+import pytest
+
+from repro.stats import Observation, kaplan_meier
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_empirical(self):
+        # events at 1, 2, 3, 4 with no censoring: S is the empirical
+        # survivor function
+        curve = kaplan_meier(
+            [Observation(t, True) for t in (1, 2, 3, 4)]
+        )
+        assert curve.survival_at(0.5) == 1.0
+        assert curve.survival_at(1) == pytest.approx(0.75)
+        assert curve.survival_at(2.5) == pytest.approx(0.50)
+        assert curve.survival_at(4) == pytest.approx(0.0)
+
+    def test_tied_events(self):
+        curve = kaplan_meier(
+            [Observation(1, True), Observation(1, True),
+             Observation(2, True), Observation(2, False)]
+        )
+        assert curve.survival_at(1) == pytest.approx(0.5)
+        # at t=2: 2 at risk, 1 event -> S *= 1/2
+        assert curve.survival_at(2) == pytest.approx(0.25)
+
+    def test_censoring_keeps_survival_higher(self):
+        pure = kaplan_meier(
+            [Observation(t, True) for t in (1, 2, 3, 4)]
+        )
+        censored = kaplan_meier(
+            [Observation(1, True), Observation(2, True),
+             Observation(3, False), Observation(4, False)]
+        )
+        assert censored.survival_at(4) > pure.survival_at(4)
+
+    def test_textbook_example(self):
+        # classic: events 6,6,6 censored 6, events 7, 10, censored 9,10...
+        # simplified: verify the product-limit arithmetic on paper
+        observations = [
+            Observation(6, True),
+            Observation(6, True),
+            Observation(6, False),
+            Observation(7, True),
+            Observation(9, False),
+            Observation(10, True),
+        ]
+        curve = kaplan_meier(observations)
+        # t=6: 6 at risk, 2 events -> 4/6
+        assert curve.survival_at(6) == pytest.approx(4 / 6)
+        # t=7: 3 at risk, 1 event -> 4/6 * 2/3 = 4/9
+        assert curve.survival_at(7) == pytest.approx(4 / 9)
+        # t=10: 1 at risk, 1 event -> 0
+        assert curve.survival_at(10) == pytest.approx(0.0)
+
+    def test_median_time(self):
+        curve = kaplan_meier(
+            [Observation(t, True) for t in (1, 2, 3, 4)]
+        )
+        assert curve.median_time() == 2
+
+    def test_median_never_reached(self):
+        curve = kaplan_meier(
+            [Observation(1, True)] + [Observation(9, False)] * 9
+        )
+        assert curve.median_time() is None
+
+    def test_counts(self):
+        curve = kaplan_meier(
+            [Observation(1, True), Observation(2, False)]
+        )
+        assert curve.n_subjects == 2
+        assert curve.n_events == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Observation(-1, True)
+
+
+class TestSchemaSurvival:
+    @pytest.fixture(scope="class")
+    def survival(self):
+        from repro.analysis import canonical_study, schema_survival
+
+        return schema_survival(canonical_study().projects)
+
+    def test_partitions_make_sense(self, survival):
+        assert survival.never_evolved > 0
+        assert survival.censored > 0
+        assert (
+            survival.curve.n_subjects + survival.never_evolved <= 195
+        )
+
+    def test_quiet_share_is_monotone(self, survival):
+        shares = [
+            survival.share_quiet_by(t) for t in (0.2, 0.4, 0.6, 0.8)
+        ]
+        assert shares == sorted(shares)
+
+    def test_gravitation_to_rigidity(self, survival):
+        """By half the project life, a large share of schemata have
+        stopped evolving — the survival restatement of §6."""
+        assert survival.share_quiet_by(0.5) >= 0.35
+        # but a resistant population survives past 80% of life
+        assert survival.curve.survival_at(0.8) >= 0.15

@@ -1,0 +1,144 @@
+"""Unit tests for taxa features and the rule-based classifier."""
+
+import pytest
+
+from repro.heartbeat import Heartbeat, Month
+from repro.taxa import (
+    TAXA_ORDER,
+    HeartbeatFeatures,
+    Taxon,
+    TaxonThresholds,
+    classify,
+)
+
+
+def hb(values):
+    return Heartbeat(Month(2015, 1), [float(v) for v in values])
+
+
+class TestHeartbeatFeatures:
+    def test_initial_month_excluded(self):
+        features = HeartbeatFeatures.of(hb([50, 0, 3]))
+        assert features.initial_size == 50
+        assert features.post_initial_total == 3
+
+    def test_active_months(self):
+        features = HeartbeatFeatures.of(hb([10, 0, 2, 0, 5]))
+        assert features.active_months == 2
+
+    def test_peak_and_share(self):
+        features = HeartbeatFeatures.of(hb([10, 2, 8]))
+        assert features.peak == 8
+        assert features.peak_share == pytest.approx(0.8)
+
+    def test_zero_post_activity(self):
+        features = HeartbeatFeatures.of(hb([10, 0, 0]))
+        assert features.post_initial_total == 0
+        assert features.peak == 0
+        assert features.peak_share == 0
+        assert features.spike_count == 0
+
+    def test_spike_count_uses_floor(self):
+        # total 6, spike threshold = max(10, 0.25*6) = 10: no spikes
+        features = HeartbeatFeatures.of(hb([10, 3, 3]))
+        assert features.spike_count == 0
+        # one month with >= 10
+        features = HeartbeatFeatures.of(hb([10, 12, 3]))
+        assert features.spike_count == 1
+
+    def test_single_month_heartbeat(self):
+        features = HeartbeatFeatures.of(hb([40]))
+        assert features.post_initial_total == 0
+        assert features.duration_months == 1
+
+
+class TestClassifier:
+    def test_frozen(self):
+        assert classify(hb([40, 0, 0, 0])) is Taxon.FROZEN
+
+    def test_almost_frozen(self):
+        assert classify(hb([40, 0, 2, 0, 3])) is Taxon.ALMOST_FROZEN
+
+    def test_focused_shot_and_frozen(self):
+        assert classify(hb([20, 0, 30, 0, 1])) is (
+            Taxon.FOCUSED_SHOT_AND_FROZEN
+        )
+
+    def test_focused_shot_and_low(self):
+        # dominant spike plus a non-trivial residual
+        values = [20, 3, 30, 4, 3, 2, 3, 2]
+        assert classify(hb(values)) is Taxon.FOCUSED_SHOT_AND_LOW
+
+    def test_moderate(self):
+        values = [30] + [3, 0, 4, 2, 0, 3, 4, 2, 3, 0, 2]
+        assert classify(hb(values)) is Taxon.MODERATE
+
+    def test_active(self):
+        values = [40] + [9, 8, 9, 7, 9, 8, 9, 9, 8, 9, 7, 9]
+        assert classify(hb(values)) is Taxon.ACTIVE
+
+    def test_active_needs_many_active_months(self):
+        # same total volume in 3 big months: a spiky profile, not ACTIVE
+        values = [40, 0, 45, 0, 45, 0, 12]
+        taxon = classify(hb(values))
+        assert taxon is not Taxon.ACTIVE
+
+    def test_thresholds_are_respected(self):
+        lenient = TaxonThresholds(almost_frozen_total=100.0)
+        values = [30] + [3, 0, 4, 2, 0, 3, 4, 2, 3, 0, 2]
+        assert classify(hb(values), thresholds=lenient) is (
+            Taxon.ALMOST_FROZEN
+        )
+
+    def test_taxa_order_has_all_six(self):
+        assert len(TAXA_ORDER) == 6
+        assert set(TAXA_ORDER) == set(Taxon)
+
+    def test_frozenish_property(self):
+        assert Taxon.FROZEN.is_frozenish
+        assert Taxon.ALMOST_FROZEN.is_frozenish
+        assert Taxon.FOCUSED_SHOT_AND_FROZEN.is_frozenish
+        assert not Taxon.MODERATE.is_frozenish
+        assert not Taxon.ACTIVE.is_frozenish
+
+    def test_display_names(self):
+        assert Taxon.FOCUSED_SHOT_AND_LOW.display_name == "FocusedShot & Low"
+
+
+class TestClassifierOnGeneratedProjects:
+    """The classifier should broadly agree with generation ground truth."""
+
+    @pytest.fixture(scope="class")
+    def corpus_sample(self):
+        from repro.corpus import generate_corpus
+        from repro.mining import mine_project
+
+        pairs = []
+        for project in generate_corpus(seed=777):
+            history = mine_project(project.repository)
+            pairs.append(
+                (project.true_taxon, classify(history.schema_heartbeat))
+            )
+        return pairs
+
+    def test_overall_agreement(self, corpus_sample):
+        agree = sum(1 for truth, pred in corpus_sample if truth is pred)
+        assert agree / len(corpus_sample) >= 0.80
+
+    def test_frozen_is_never_confused_with_active(self, corpus_sample):
+        for truth, pred in corpus_sample:
+            if truth is Taxon.FROZEN:
+                assert pred is Taxon.FROZEN  # frozen is unambiguous
+
+    def test_errors_are_adjacent(self, corpus_sample):
+        """Misclassifications should stay within similar activity levels."""
+        severity = {
+            Taxon.FROZEN: 0,
+            Taxon.ALMOST_FROZEN: 1,
+            Taxon.FOCUSED_SHOT_AND_FROZEN: 2,
+            Taxon.MODERATE: 2,
+            Taxon.FOCUSED_SHOT_AND_LOW: 3,
+            Taxon.ACTIVE: 4,
+        }
+        for truth, pred in corpus_sample:
+            assert abs(severity[truth] - severity[pred]) <= 2

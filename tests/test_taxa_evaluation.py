@@ -1,0 +1,78 @@
+"""Unit tests for classifier evaluation."""
+
+import pytest
+
+from repro.taxa import ClassifierEvaluation, Taxon
+
+F = Taxon.FROZEN
+A = Taxon.ACTIVE
+M = Taxon.MODERATE
+
+
+class TestClassifierEvaluation:
+    def test_perfect_prediction(self):
+        labels = [F, A, M, F]
+        evaluation = ClassifierEvaluation.of(labels, list(labels))
+        assert evaluation.accuracy == 1.0
+        assert evaluation.macro_f1() == 1.0
+
+    def test_accuracy(self):
+        evaluation = ClassifierEvaluation.of([F, F, A, A], [F, A, A, A])
+        assert evaluation.accuracy == pytest.approx(0.75)
+
+    def test_confusion_counts(self):
+        evaluation = ClassifierEvaluation.of([F, F, A], [F, A, A])
+        assert evaluation.confusion[(F, F)] == 1
+        assert evaluation.confusion[(F, A)] == 1
+        assert evaluation.confusion[(A, A)] == 1
+
+    def test_precision_recall(self):
+        # truth:    F F A A A
+        # predicted:F A A A F
+        evaluation = ClassifierEvaluation.of(
+            [F, F, A, A, A], [F, A, A, A, F]
+        )
+        frozen = evaluation.score(F)
+        assert frozen.precision == pytest.approx(0.5)  # 1 of 2 F calls
+        assert frozen.recall == pytest.approx(0.5)     # 1 of 2 true F
+        active = evaluation.score(A)
+        assert active.precision == pytest.approx(2 / 3)
+        assert active.recall == pytest.approx(2 / 3)
+
+    def test_f1_degenerate(self):
+        evaluation = ClassifierEvaluation.of([F], [A])
+        assert evaluation.score(M).f1 == 0.0
+
+    def test_macro_f1_ignores_absent_taxa(self):
+        evaluation = ClassifierEvaluation.of([F, F], [F, F])
+        assert evaluation.macro_f1() == 1.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ClassifierEvaluation.of([F], [F, A])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClassifierEvaluation.of([], [])
+
+    def test_render_contains_all_taxa(self):
+        evaluation = ClassifierEvaluation.of([F, A], [F, A])
+        text = evaluation.render()
+        assert "confusion" in text.lower()
+        assert "FROZEN" in text
+
+
+class TestOnCanonicalCorpus:
+    def test_canonical_classifier_quality(self):
+        from repro.analysis import canonical_study
+
+        study = canonical_study()
+        labelled = [p for p in study.projects if p.true_taxon]
+        evaluation = ClassifierEvaluation.of(
+            [p.true_taxon for p in labelled],
+            [p.taxon for p in labelled],
+        )
+        assert evaluation.accuracy >= 0.80
+        assert evaluation.macro_f1() >= 0.60
+        # FROZEN is unambiguous: zero post-initial activity
+        assert evaluation.score(Taxon.FROZEN).recall == 1.0

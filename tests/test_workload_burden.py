@@ -1,0 +1,129 @@
+"""Unit tests for workload generation and the burden replay."""
+
+import random
+
+import pytest
+
+from repro.analysis import replay_burden
+from repro.mining import SchemaHistory
+from repro.querydep import generate_workload, validate_queries
+from repro.schema import Schema
+from repro.sqlparser import parse_schema
+from repro.vcs import FileVersion, synthetic_sha, utc
+
+SCHEMA = parse_schema(
+    """
+    CREATE TABLE users (id INT, name VARCHAR(40), email TEXT,
+        PRIMARY KEY (id));
+    CREATE TABLE posts (pid INT, body TEXT, author INT,
+        PRIMARY KEY (pid),
+        FOREIGN KEY (author) REFERENCES users (id));
+    """
+).schema
+
+
+class TestGenerateWorkload:
+    def test_size_and_files(self):
+        workload = generate_workload(SCHEMA, random.Random(1), n_queries=12)
+        assert len(workload) == 12
+        assert all(q.file == "workload.py" for q in workload)
+
+    def test_workload_validates_against_its_schema(self):
+        for seed in range(5):
+            workload = generate_workload(
+                SCHEMA, random.Random(seed), n_queries=25
+            )
+            report = validate_queries(workload, SCHEMA)
+            assert report.ok, [str(i) for i in report]
+
+    def test_star_share(self):
+        workload = generate_workload(
+            SCHEMA, random.Random(2), n_queries=200, star_share=0.5
+        )
+        stars = sum(1 for q in workload if q.text.startswith("SELECT *"))
+        assert 60 <= stars <= 140
+
+    def test_mixes_dml_kinds(self):
+        workload = generate_workload(SCHEMA, random.Random(3), n_queries=60)
+        kinds = {q.kind for q in workload}
+        assert {"SELECT", "INSERT", "UPDATE"} <= kinds
+
+    def test_fk_join_uses_both_tables(self):
+        workload = generate_workload(
+            SCHEMA, random.Random(4), n_queries=100
+        )
+        joins = [q for q in workload if "JOIN" in q.text]
+        assert joins
+        assert any(
+            "users" in q.text and "posts" in q.text for q in joins
+        )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload(Schema(), random.Random(1))
+
+    def test_deterministic(self):
+        a = generate_workload(SCHEMA, random.Random(9), n_queries=10)
+        b = generate_workload(SCHEMA, random.Random(9), n_queries=10)
+        assert [q.text for q in a] == [q.text for q in b]
+
+
+def history_of(*ddl_versions):
+    return SchemaHistory.from_file_versions(
+        [
+            FileVersion(synthetic_sha(i), utc(2020, 1 + i), text)
+            for i, text in enumerate(ddl_versions)
+        ]
+    )
+
+
+V1 = "CREATE TABLE users (id INT, name VARCHAR(40), email TEXT);"
+V2 = "CREATE TABLE users (id INT, name VARCHAR(40));"  # email dropped
+V3 = V2 + "CREATE TABLE tags (tid INT);"                # pure growth
+
+
+class TestReplayBurden:
+    def test_breaking_transition_counts(self):
+        summary = replay_burden(
+            history_of(V1, V2), n_queries=40, seed=11
+        )
+        assert len(summary.transitions) == 1
+        assert summary.total_activity == 1
+        # with 40 queries over 1 table, some reference 'email'
+        assert summary.total_breaks >= 1
+
+    def test_growth_transition_is_cheap(self):
+        summary = replay_burden(
+            history_of(V2, V3), n_queries=40, seed=11
+        )
+        # a new empty-referenced table breaks nothing
+        assert summary.total_breaks == 0
+
+    def test_cosmetic_transition_is_free(self):
+        summary = replay_burden(
+            history_of(V1, "-- cosmetic\n" + V1), n_queries=10
+        )
+        assert summary.total_affected == 0
+
+    def test_repair_mode_changes_outcome(self):
+        # V1 -> V2 breaks email queries; V2 -> V1' (re-add) would only
+        # drift for repaired workloads but keep breaking unrepaired ones
+        history = history_of(V1, V2, V1)
+        repaired = replay_burden(history, n_queries=40, seed=5)
+        frozen = replay_burden(
+            history, n_queries=40, seed=5, repair=False
+        )
+        assert repaired.workload_size == frozen.workload_size
+        # the unrepaired workload can never break more than once per
+        # query per transition, but repaired workloads track the schema
+        assert repaired.total_breaks <= frozen.total_breaks + 40
+
+    def test_rates(self):
+        summary = replay_burden(history_of(V1, V2), n_queries=40, seed=11)
+        assert summary.breaks_per_change == summary.total_breaks / 1
+        assert 0 <= summary.affected_per_change <= 40
+
+    def test_zero_activity_history(self):
+        summary = replay_burden(history_of(V1), n_queries=5)
+        assert summary.total_activity == 0
+        assert summary.breaks_per_change == 0.0
