@@ -1,0 +1,30 @@
+# Developer entry points for the study toolkit.
+#
+# `make bench` gates the perf benchmarks behind the tier-1 suite: if
+# tier-1 fails, the benchmarks never run, so a broken tree can never
+# overwrite BENCH_study.json with numbers measured against bad code.
+
+PYTHON ?= python
+JOBS ?= 1
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-parallel study clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# perf benchmarks (pytest-benchmark harness + BENCH_study.json writer);
+# the `test` prerequisite is the overwrite guard.
+bench: test
+	$(PYTHON) -m pytest benchmarks/test_perf_pipeline.py benchmarks/test_perf_study.py -q -p no:cacheprovider
+
+# same, but through the parallel study driver
+bench-parallel: test
+	REPRO_STUDY_JOBS=4 $(PYTHON) -m pytest benchmarks/test_perf_pipeline.py benchmarks/test_perf_study.py -q -p no:cacheprovider
+
+study:
+	$(PYTHON) -m repro study --jobs $(JOBS) --profile
+
+clean:
+	rm -rf benchmarks/output .pytest_cache
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

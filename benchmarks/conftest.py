@@ -5,8 +5,13 @@ canonical 195-project corpus, times the computation, asserts the
 paper's *shape* (orderings, rough magnitudes, crossovers — not exact
 counts, per EXPERIMENTS.md), and writes the rendered artifact under
 ``benchmarks/output/``.
+
+Set ``REPRO_STUDY_JOBS=N`` to drive the session study through the
+parallel driver (``canonical_study(jobs=N)``), so CI can exercise the
+process-pool path; results are identical to the serial default.
 """
 
+import os
 from pathlib import Path
 
 import pytest
@@ -14,11 +19,19 @@ import pytest
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 
+def study_jobs() -> int:
+    """Worker count for the session study (REPRO_STUDY_JOBS, default 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_STUDY_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
 @pytest.fixture(scope="session")
 def study():
     from repro.analysis import canonical_study
 
-    return canonical_study()
+    return canonical_study(jobs=study_jobs())
 
 
 @pytest.fixture(scope="session")

@@ -2,9 +2,10 @@
 
 Subcommands::
 
-    repro-study generate --out DIR [--seed N]     # build + save a corpus
+    repro-study generate --out DIR [--seed N] [--jobs N]   # build + save
     repro-study study [--seed N | --corpus DIR]   # run the full study
                [--figure all|4|5|6|7|8|stats] [--csv PATH]
+               [--jobs N] [--cache-dir DIR] [--profile]
     repro-study report --out report.md            # Markdown study report
     repro-study case NAME [--seed N]              # one project's diagram
     repro-study diff OLD.sql NEW.sql              # atomic changes
@@ -28,11 +29,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_perf_flags(command) -> None:
+        command.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the project fan-out (default: 1)",
+        )
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="on-disk parse cache shared across runs and workers",
+        )
+
     generate = sub.add_parser(
         "generate", help="generate a corpus and save it to disk"
     )
     generate.add_argument("--out", required=True, help="output directory")
     generate.add_argument("--seed", type=int, default=None)
+    add_perf_flags(generate)
 
     study = sub.add_parser("study", help="run the full study")
     study.add_argument("--seed", type=int, default=None)
@@ -45,6 +62,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["all", "4", "5", "6", "7", "8", "stats", "headline"],
     )
     study.add_argument("--csv", default=None, help="export measures CSV")
+    study.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-stage timing breakdown and cache hit rates",
+    )
+    add_perf_flags(study)
 
     report = sub.add_parser(
         "report", help="write a full Markdown study report"
@@ -60,6 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--corpus", default=None, help="load a saved corpus instead"
     )
+    add_perf_flags(report)
 
     case = sub.add_parser("case", help="show one project's joint progress")
     case.add_argument("name", help="project name (or a unique substring)")
@@ -85,37 +109,37 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_perf(args) -> int:
+    """Apply --cache-dir / --jobs; returns the worker count."""
+    if getattr(args, "cache_dir", None):
+        from .perf import configure_cache
+
+        configure_cache(args.cache_dir)
+    return max(1, getattr(args, "jobs", 1) or 1)
+
+
 def _get_study(args):
     from .analysis import canonical_study, run_study
     from .corpus import DEFAULT_SEED
 
+    jobs = _configure_perf(args)
     if getattr(args, "corpus", None):
-        from .analysis import analyze_project
-        from .analysis.study import StudyResult
-        from .heartbeat import ZeroTotalError
         from .io import load_corpus
-        from .mining import mine_project
 
-        rows, skipped = [], []
-        for loaded in load_corpus(args.corpus):
-            history = mine_project(loaded.repository)
-            try:
-                rows.append(
-                    analyze_project(history, true_taxon=loaded.true_taxon)
-                )
-            except ZeroTotalError:
-                skipped.append(loaded.name)
-        return StudyResult(projects=rows, skipped=skipped)
+        # LoadedProject carries name/repository/true_taxon, all the
+        # study driver needs, so the saved-corpus path fans out too
+        return run_study(load_corpus(args.corpus), jobs=jobs)
     seed = args.seed if args.seed is not None else DEFAULT_SEED
-    return canonical_study(seed)
+    return canonical_study(seed, jobs=jobs)
 
 
 def _cmd_generate(args) -> int:
     from .corpus import DEFAULT_SEED, generate_corpus
     from .io import save_corpus
 
+    jobs = _configure_perf(args)
     seed = args.seed if args.seed is not None else DEFAULT_SEED
-    corpus = generate_corpus(seed=seed)
+    corpus = generate_corpus(seed=seed, jobs=jobs)
     root = save_corpus(corpus, args.out)
     print(f"wrote {len(corpus)} projects to {root}")
     return 0
@@ -135,25 +159,28 @@ def _cmd_study(args) -> int:
     study = _get_study(args)
     want = args.figure
     blocks: list[str] = []
-    if want in ("all", "headline"):
-        headline = study.headline()
-        blocks.append(
-            "Headline numbers:\n" + "\n".join(
-                f"  {key}: {value}" for key, value in headline.items()
+    with study.timings.timed("figures"):
+        if want in ("all", "headline"):
+            headline = study.headline()
+            blocks.append(
+                "Headline numbers:\n" + "\n".join(
+                    f"  {key}: {value}" for key, value in headline.items()
+                )
             )
-        )
-    if want in ("all", "4"):
-        blocks.append(render_fig4(study.fig4()))
-    if want in ("all", "5"):
-        blocks.append(render_fig5(study.fig5()))
-    if want in ("all", "6"):
-        blocks.append(render_fig6(study.fig6()))
-    if want in ("all", "7"):
-        blocks.append(render_fig7(study.fig7()))
-    if want in ("all", "8"):
-        blocks.append(render_fig8(study.fig8()))
-    if want in ("all", "stats"):
-        blocks.append(render_statistics(study.statistics()))
+        if want in ("all", "4"):
+            blocks.append(render_fig4(study.fig4()))
+        if want in ("all", "5"):
+            blocks.append(render_fig5(study.fig5()))
+        if want in ("all", "6"):
+            blocks.append(render_fig6(study.fig6()))
+        if want in ("all", "7"):
+            blocks.append(render_fig7(study.fig7()))
+        if want in ("all", "8"):
+            blocks.append(render_fig8(study.fig8()))
+        if want in ("all", "stats"):
+            blocks.append(render_statistics(study.statistics()))
+    if args.profile:
+        blocks.append(study.timings.render())
     print("\n\n".join(blocks))
     if args.csv:
         path = export_measures_csv(study, args.csv)

@@ -498,11 +498,17 @@ def generate_corpus(
     seed: int = DEFAULT_SEED,
     profiles: tuple[TaxonProfile, ...] = CANONICAL_PROFILES,
     blank_projects: int = 2,
+    jobs: int = 1,
 ) -> list[GeneratedProject]:
     """Generate the canonical corpus (195 projects by default).
 
     ``blank_projects`` of the frozen-taxa projects are forced to a
     single-month life, reproducing the "(blank)" rows of Fig. 6.
+
+    ``jobs > 1`` generates projects over a process pool.  The specs are
+    always sampled serially from the corpus RNG and each project is
+    realised from its own ``spec.seed``, so the output is bit-identical
+    to the serial path regardless of worker scheduling.
     """
     rng = random.Random(seed)
     specs: list[ProjectSpec] = []
@@ -528,8 +534,21 @@ def generate_corpus(
                 )
             )
             index += 1
-    projects = []
-    for spec in specs:
-        profile = next(p for p in profiles if p.taxon is spec.taxon)
-        projects.append(generate_project(spec, profile))
-    return projects
+    by_taxon: dict[Taxon, TaxonProfile] = {}
+    for profile in profiles:
+        by_taxon.setdefault(profile.taxon, profile)
+    pairs = [(spec, by_taxon[spec.taxon]) for spec in specs]
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ..perf.parallel import generate_one, pool_chunksize
+
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            return list(
+                executor.map(
+                    generate_one,
+                    pairs,
+                    chunksize=pool_chunksize(len(pairs), jobs),
+                )
+            )
+    return [generate_project(spec, profile) for spec, profile in pairs]

@@ -1,7 +1,12 @@
 """Schema version comparison and the attribute-level change taxonomy."""
 
 from .changes import ActivityBreakdown, AtomicChange, ChangeKind, SchemaDelta
-from .engine import diff_ddl, diff_schemas, initial_delta
+from .engine import (
+    diff_ddl,
+    diff_schemas,
+    diff_schemas_reference,
+    initial_delta,
+)
 
 __all__ = [
     "ActivityBreakdown",
@@ -10,5 +15,6 @@ __all__ = [
     "SchemaDelta",
     "diff_ddl",
     "diff_schemas",
+    "diff_schemas_reference",
     "initial_delta",
 ]

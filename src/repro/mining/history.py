@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 from datetime import datetime
 
 from ..diff import SchemaDelta, diff_schemas, initial_delta
+from ..perf.cache import cached_parse_schema
 from ..schema import Schema
-from ..sqlparser import ParseIssue, parse_schema
+from ..sqlparser import ParseIssue
 from ..vcs import FileVersion
 
 
@@ -73,7 +74,9 @@ class SchemaHistory:
             raise ValueError("a schema history needs at least one version")
         versions: list[SchemaVersion] = []
         for fv in file_versions:
-            result = parse_schema(fv.content, dialect=dialect)
+            # content-addressed: re-mining the same DDL text (within a
+            # run or, with a disk store, across runs) skips the parser
+            result = cached_parse_schema(fv.content, dialect=dialect)
             versions.append(
                 SchemaVersion(
                     sha=fv.sha,

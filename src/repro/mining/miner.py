@@ -27,6 +27,11 @@ def find_ddl_path(repo: Repository) -> str:
     Preference order: a path with recorded file contents (the corpus
     loader always records the DDL file), otherwise the most-touched
     ``.sql`` path in the commit history.
+
+    The fallback tie-break is deterministic across platforms, commit
+    orderings and dict iteration orders: among equally-touched paths the
+    lexicographically greatest wins (byte-wise comparison on the exact
+    path strings — no locale or filesystem-order dependence).
     """
     recorded = [
         path for path in repo.file_contents if path.lower().endswith(".sql")

@@ -1,0 +1,34 @@
+"""Performance layer: parse caching, parallel drivers, stage timing.
+
+The extraction pipeline (corpus → mine → measure → figures) is
+embarrassingly parallel across projects and dominated by DDL parsing;
+this package supplies the three pieces of engineering that make the
+study scale:
+
+* :mod:`repro.perf.cache` — a content-addressed memo of ``parse_schema``
+  keyed on (sha256 of the DDL text, dialect), with an optional on-disk
+  store shared across processes and runs;
+* :mod:`repro.perf.timing` — the per-stage wall-clock breakdown carried
+  by :class:`~repro.analysis.study.StudyResult`;
+* :mod:`repro.perf.parallel` — picklable worker functions for the
+  ``ProcessPoolExecutor`` fan-out in ``run_study`` / ``generate_corpus``.
+"""
+
+from .cache import (
+    CacheStats,
+    ParseCache,
+    cached_parse_schema,
+    configure_cache,
+    get_cache,
+)
+from .timing import StudyTimings, stage_timer
+
+__all__ = [
+    "CacheStats",
+    "ParseCache",
+    "StudyTimings",
+    "cached_parse_schema",
+    "configure_cache",
+    "get_cache",
+    "stage_timer",
+]

@@ -1,0 +1,212 @@
+"""Content-addressed memoisation of DDL parsing.
+
+Mining re-parses every version of every project's schema file; across a
+study run that is thousands of ``parse_schema`` calls, and across
+repeated CLI / benchmark runs the very same scripts are re-lexed from
+scratch.  A :class:`ParseCache` keys parse results on the SHA-256 of the
+script text plus the dialect hint, so identical inputs are parsed once:
+
+* the in-memory layer is process-local and always on;
+* the optional on-disk layer (``cache_dir`` / ``REPRO_CACHE_DIR``)
+  persists pickled :class:`~repro.sqlparser.ParseResult` objects across
+  processes and runs.  Writes are atomic (temp file + ``os.replace``),
+  so concurrent workers sharing a directory never observe torn entries;
+  each worker process still warms its own in-memory layer.
+
+Cached results are shared objects: callers must treat the returned
+schema as immutable (the mining pipeline only ever reads parsed
+schemas).  Hit/miss counters feed the study's timing instrumentation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..sqlparser import ParseResult, parse_schema
+
+#: Environment variable enabling the on-disk store for the default cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one cache's life so far (monotone, snapshot-able)."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from memory or disk (0 if none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            disk_hits=self.disk_hits - other.disk_hits,
+        )
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            disk_hits=self.disk_hits + other.disk_hits,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def content_key(text: str, dialect: str | None) -> str:
+    """The cache key: sha256 over the dialect hint and the script text."""
+    hasher = hashlib.sha256()
+    hasher.update((dialect or "").encode())
+    hasher.update(b"\x00")
+    hasher.update(text.encode("utf-8", errors="surrogateescape"))
+    return hasher.hexdigest()
+
+
+class ParseCache:
+    """Memoises ``parse_schema`` on (content hash, dialect).
+
+    Args:
+        cache_dir: when given, parse results are also pickled under this
+            directory so later processes and runs start warm.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self._memory: dict[str, ParseResult] = {}
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+        self.cache_dir: Path | None = None
+        if cache_dir is not None:
+            try:
+                Path(cache_dir).mkdir(parents=True, exist_ok=True)
+            except OSError:
+                # an unusable cache dir (e.g. the path is an existing
+                # file, or a read-only parent) degrades to memory-only
+                pass
+            else:
+                self.cache_dir = Path(cache_dir)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits, misses=self._misses, disk_hits=self._disk_hits
+        )
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk store is left intact)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def parse(self, text: str, *, dialect: str | None = None) -> ParseResult:
+        """``parse_schema`` through the cache."""
+        key = content_key(text, dialect)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        if self.cache_dir is not None:
+            from_disk = self._load(key)
+            if from_disk is not None:
+                self._hits += 1
+                self._disk_hits += 1
+                self._memory[key] = from_disk
+                return from_disk
+        self._misses += 1
+        result = parse_schema(text, dialect=dialect)
+        self._memory[key] = result
+        if self.cache_dir is not None:
+            self._store(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _load(self, key: str) -> ParseResult | None:
+        path = self._path_for(key)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return result if isinstance(result, ParseResult) else None
+
+    def _store(self, key: str, result: ParseResult) -> None:
+        path = self._path_for(key)
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except OSError:
+            # a read-only or full cache dir degrades to memory-only
+            try:
+                os.unlink(tmp_name)
+            except (OSError, UnboundLocalError):
+                pass
+
+
+# ----------------------------------------------------------------------
+# the process-global default cache
+_active: ParseCache | None = None
+
+
+def get_cache() -> ParseCache:
+    """The process's active cache (created on first use).
+
+    Honours :data:`CACHE_DIR_ENV` at creation time, so worker processes
+    — forked or spawned — pick up the study's ``--cache-dir`` without
+    any explicit plumbing.
+    """
+    global _active
+    if _active is None:
+        _active = ParseCache(cache_dir=os.environ.get(CACHE_DIR_ENV) or None)
+    return _active
+
+
+def configure_cache(cache_dir: str | Path | None = None) -> ParseCache:
+    """Replace the active cache (fresh counters, optional disk store).
+
+    Also exports :data:`CACHE_DIR_ENV` so worker processes spawned later
+    inherit the same disk store.
+    """
+    global _active
+    if cache_dir is not None:
+        os.environ[CACHE_DIR_ENV] = str(cache_dir)
+    else:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    _active = ParseCache(cache_dir=cache_dir)
+    return _active
+
+
+def cached_parse_schema(
+    text: str, *, dialect: str | None = None
+) -> ParseResult:
+    """Drop-in replacement for ``parse_schema`` through the active cache."""
+    return get_cache().parse(text, dialect=dialect)

@@ -1,0 +1,85 @@
+"""Picklable worker functions for the process-pool fan-out.
+
+``run_study(corpus, jobs=N)`` and ``generate_corpus(jobs=N)`` ship each
+project to a ``ProcessPoolExecutor`` worker through these module-level
+functions (bound methods and closures cannot cross the pickle
+boundary).  Each worker returns its own stage timings and parse-cache
+deltas so the parent can aggregate a corpus-wide breakdown; every
+worker process warms its own in-memory cache (and shares the on-disk
+store when one is configured).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..analysis.measures import ProjectMeasures, analyze_project
+from ..corpus.generator import (
+    GeneratedProject,
+    ProjectSpec,
+    generate_project,
+)
+from ..corpus.profiles import TaxonProfile
+from ..heartbeat import ZeroTotalError
+from ..mining import mine_project
+from .cache import CacheStats, get_cache
+
+
+@dataclass
+class MinedRow:
+    """One project's worker result: a measure row or a skip."""
+
+    name: str
+    row: ProjectMeasures | None
+    mine_seconds: float
+    analyze_seconds: float
+    cache: CacheStats
+
+    @property
+    def skipped(self) -> bool:
+        return self.row is None
+
+
+def mine_and_analyze(project: GeneratedProject) -> MinedRow:
+    """The per-project unit of study work (also used by the serial path).
+
+    Skips (``ZeroTotalError``) are carried in-band: raising across the
+    process boundary would poison the whole chunk.
+    """
+    before = get_cache().stats
+    start = time.perf_counter()
+    history = mine_project(project.repository)
+    mined = time.perf_counter()
+    try:
+        row = analyze_project(history, true_taxon=project.true_taxon)
+    except ZeroTotalError:
+        row = None
+    done = time.perf_counter()
+    return MinedRow(
+        name=project.name,
+        row=row,
+        mine_seconds=mined - start,
+        analyze_seconds=done - mined,
+        cache=get_cache().stats - before,
+    )
+
+
+def generate_one(
+    spec_and_profile: tuple[ProjectSpec, TaxonProfile]
+) -> GeneratedProject:
+    """Generate one project from its (spec, profile) pair.
+
+    Deterministic regardless of scheduling: every project draws from its
+    own ``spec.seed``-rooted RNG, so parallel generation is bit-identical
+    to the serial loop.
+    """
+    spec, profile = spec_and_profile
+    return generate_project(spec, profile)
+
+
+def pool_chunksize(n_items: int, jobs: int) -> int:
+    """A chunk size amortising pickling without starving the pool."""
+    if jobs <= 1:
+        return max(1, n_items)
+    return max(1, n_items // (jobs * 4))

@@ -1,0 +1,95 @@
+"""Per-stage wall-clock accounting for the study pipeline.
+
+A :class:`StudyTimings` is attached to every
+:class:`~repro.analysis.study.StudyResult`: the driver records the
+mine / analyze split (summed across workers when running parallel),
+``canonical_study`` adds the corpus-generation stage, and callers that
+render figures can add a ``figures`` stage.  Cache counters ride along
+so ``--profile`` output and ``BENCH_study.json`` expose the parse-cache
+hit rate next to the stage breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .cache import CacheStats
+
+#: Canonical stage names, in pipeline order (used for stable rendering).
+STAGE_ORDER = ("generate", "mine", "analyze", "figures", "total")
+
+
+@dataclass
+class StudyTimings:
+    """Stage → seconds, plus parallelism and parse-cache counters."""
+
+    stages: dict[str, float] = field(default_factory=dict)
+    jobs: int = 1
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into ``stage``."""
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def merge_cache(self, stats: CacheStats) -> None:
+        self.cache = self.cache + stats
+
+    @contextmanager
+    def timed(self, stage: str):
+        """Context manager recording the block's wall time into ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(stage, time.perf_counter() - start)
+
+    def ordered_stages(self) -> list[tuple[str, float]]:
+        """(stage, seconds) pairs, pipeline stages first, extras after."""
+        known = [
+            (name, self.stages[name])
+            for name in STAGE_ORDER
+            if name in self.stages
+        ]
+        extras = sorted(
+            (name, seconds)
+            for name, seconds in self.stages.items()
+            if name not in STAGE_ORDER
+        )
+        return known + extras
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form (the ``BENCH_study.json`` payload core)."""
+        return {
+            "jobs": self.jobs,
+            "stages": {
+                name: round(seconds, 6)
+                for name, seconds in self.ordered_stages()
+            },
+            "parse_cache": self.cache.as_dict(),
+        }
+
+    def render(self) -> str:
+        """Human-readable breakdown for ``repro-study study --profile``.
+
+        With ``jobs > 1`` the mine/analyze rows are worker seconds summed
+        across processes, so they can exceed the wall-clock ``total``.
+        """
+        suffix = ", stage rows are summed worker seconds" if self.jobs > 1 else ""
+        lines = [f"Stage timings (jobs={self.jobs}{suffix}):"]
+        for name, seconds in self.ordered_stages():
+            lines.append(f"  {name:<10} {seconds:8.3f}s")
+        cache = self.cache
+        lines.append(
+            f"  parse cache: {cache.hits} hits / {cache.misses} misses "
+            f"({cache.hit_rate:.0%} hit rate, {cache.disk_hits} from disk)"
+        )
+        return "\n".join(lines)
+
+
+@contextmanager
+def stage_timer():
+    """Yield a callable reading elapsed seconds since block entry."""
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start

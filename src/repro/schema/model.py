@@ -141,6 +141,15 @@ class Table:
         return _key(self.name)
 
     @property
+    def key_index(self) -> dict[str, int]:
+        """The maintained attribute-key → position map (do not mutate).
+
+        Exposed so hot paths (the diff engine) can reuse the index the
+        table already keeps instead of rebuilding a lookup dict per call.
+        """
+        return self._index
+
+    @property
     def attribute_names(self) -> list[str]:
         return [attr.name for attr in self.attributes]
 
@@ -242,6 +251,14 @@ class Schema:
         self._index = {table.key: i for i, table in enumerate(self.tables)}
         if len(self._index) != len(self.tables):
             raise SchemaError("duplicate table name in schema")
+
+    @property
+    def key_index(self) -> dict[str, int]:
+        """The maintained table-key → position map (do not mutate).
+
+        Counterpart of :attr:`Table.key_index` for schema-level lookups.
+        """
+        return self._index
 
     @property
     def table_names(self) -> list[str]:

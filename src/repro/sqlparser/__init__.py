@@ -1,7 +1,7 @@
 """From-scratch SQL DDL parsing (MySQL / PostgreSQL dialects)."""
 
 from .dialect import detect_dialect
-from .lexer import LexError, Token, TokenType, tokenize
+from .lexer import LexError, Token, TokenType, tokenize, tokenize_reference
 from .parser import (
     ParseIssue,
     ParseResult,
@@ -21,4 +21,5 @@ __all__ = [
     "parse_table",
     "split_statements",
     "tokenize",
+    "tokenize_reference",
 ]

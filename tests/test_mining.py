@@ -174,6 +174,40 @@ class TestFindDdlPath:
         with pytest.raises(MiningError):
             find_ddl_path(repo)
 
+    def test_equal_touch_tie_break_is_lexicographic(self):
+        """Equally-touched .sql paths resolve to the greatest path."""
+
+        def build(first: str, second: str) -> Repository:
+            repo = Repository(name="x")
+            repo.add_commit(
+                Commit(
+                    synthetic_sha(1), "D", "d@x", utc(2020, 1),
+                    "c", [FileChange("A", first), FileChange("A", second)],
+                )
+            )
+            return repo
+
+        assert find_ddl_path(build("a.sql", "b.sql")) == "b.sql"
+        # insertion order must not matter
+        assert find_ddl_path(build("b.sql", "a.sql")) == "b.sql"
+
+    def test_touch_count_beats_path_order(self):
+        """The tie-break only applies among equally-touched paths."""
+        repo = Repository(name="x")
+        repo.add_commit(
+            Commit(
+                synthetic_sha(1), "D", "d@x", utc(2020, 1),
+                "c", [FileChange("A", "a.sql"), FileChange("A", "z.sql")],
+            )
+        )
+        repo.add_commit(
+            Commit(
+                synthetic_sha(2), "D", "d@x", utc(2020, 2),
+                "c", [FileChange("M", "a.sql")],
+            )
+        )
+        assert find_ddl_path(repo) == "a.sql"
+
 
 class TestMineProject:
     def test_full_pipeline(self):

@@ -1,0 +1,91 @@
+"""Serial/parallel equivalence of the study engine.
+
+The acceptance bar of the performance layer: ``run_study(corpus,
+jobs=N)`` with N > 1 must produce exactly the rows, skip lists and
+headline numbers of the serial path on the canonical seed, and the
+parallel corpus generator must be bit-identical to the serial loop.
+"""
+
+import pytest
+
+from repro.analysis import canonical_study, run_study
+from repro.corpus import generate_corpus
+from repro.perf.timing import StudyTimings
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus()
+
+
+@pytest.fixture(scope="module")
+def serial(corpus):
+    return run_study(corpus, jobs=1)
+
+
+class TestParallelEquivalence:
+    def test_jobs4_rows_identical_on_canonical_seed(self, corpus, serial):
+        parallel = run_study(corpus, jobs=4)
+        assert parallel.projects == serial.projects
+        assert parallel.skipped == serial.skipped
+
+    def test_jobs4_headline_identical(self, corpus, serial):
+        parallel = run_study(corpus, jobs=4)
+        assert parallel.headline() == serial.headline()
+
+    def test_serial_path_matches_canonical_study(self, serial):
+        canonical = canonical_study()
+        assert serial.projects == canonical.projects
+        assert serial.skipped == canonical.skipped
+
+    def test_parallel_corpus_generation_bit_identical(self, corpus):
+        parallel = generate_corpus(jobs=2)
+        assert [p.name for p in parallel] == [p.name for p in corpus]
+        for a, b in zip(corpus, parallel):
+            assert a.spec == b.spec
+            assert a.git_log_text == b.git_log_text
+            assert a.ddl_versions == b.ddl_versions
+
+
+class TestTimings:
+    def test_run_study_records_stage_breakdown(self, serial):
+        stages = serial.timings.stages
+        assert stages["mine"] > 0
+        assert stages["analyze"] > 0
+        assert stages["total"] >= stages["analyze"]
+        assert serial.timings.jobs == 1
+
+    def test_parse_cache_counters_flow_into_timings(self, serial):
+        cache = serial.timings.cache
+        assert cache.lookups > 0
+        # every DDL version is looked up exactly once per study pass
+        assert cache.hits + cache.misses == cache.lookups
+
+    def test_canonical_study_records_generate_stage(self):
+        study = canonical_study()
+        assert study.timings.stages.get("generate", 0) > 0
+
+    def test_timings_do_not_affect_result_equality(self, serial):
+        other = run_study([], jobs=1)
+        assert other.timings.stages != serial.timings.stages
+        # equality of StudyResult compares rows, not wall-clock noise
+        empty_a = run_study([], jobs=1)
+        assert empty_a == other
+
+    def test_render_and_as_dict(self):
+        timings = StudyTimings(jobs=2)
+        timings.record("mine", 1.25)
+        timings.record("mine", 0.75)
+        timings.record("custom", 0.1)
+        payload = timings.as_dict()
+        assert payload["jobs"] == 2
+        assert payload["stages"]["mine"] == 2.0
+        assert "custom" in payload["stages"]
+        text = timings.render()
+        assert "mine" in text and "parse cache" in text
+
+    def test_timed_context_manager(self):
+        timings = StudyTimings()
+        with timings.timed("figures"):
+            pass
+        assert timings.stages["figures"] >= 0

@@ -1,0 +1,154 @@
+"""Unit tests for the content-addressed parse cache (repro.perf.cache)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.perf.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    ParseCache,
+    cached_parse_schema,
+    configure_cache,
+    content_key,
+    get_cache,
+)
+from repro.sqlparser import ParseResult, parse_schema
+
+DDL = "CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(40));"
+DDL2 = "CREATE TABLE posts (pid INT);"
+
+
+class TestContentKey:
+    def test_distinct_texts_distinct_keys(self):
+        assert content_key(DDL, None) != content_key(DDL2, None)
+
+    def test_dialect_is_part_of_the_key(self):
+        assert content_key(DDL, None) != content_key(DDL, "mysql")
+        assert content_key(DDL, "mysql") != content_key(DDL, "postgres")
+
+    def test_key_is_stable(self):
+        assert content_key(DDL, "mysql") == content_key(DDL, "mysql")
+
+
+class TestMemoryCache:
+    def test_hit_and_miss_counters(self):
+        cache = ParseCache()
+        first = cache.parse(DDL)
+        second = cache.parse(DDL)
+        assert first is second
+        assert cache.stats == CacheStats(hits=1, misses=1)
+        assert cache.stats.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_result_matches_direct_parse(self):
+        cache = ParseCache()
+        cached = cache.parse(DDL)
+        direct = parse_schema(DDL)
+        assert cached.schema == direct.schema
+        assert cached.issues == direct.issues
+
+    def test_dialects_cached_separately(self):
+        cache = ParseCache()
+        generic = cache.parse(DDL)
+        mysql = cache.parse(DDL, dialect="mysql")
+        assert generic is not mysql
+        assert cache.stats.misses == 2
+
+    def test_clear_drops_memory(self):
+        cache = ParseCache()
+        cache.parse(DDL)
+        cache.clear()
+        assert len(cache) == 0
+        cache.parse(DDL)
+        assert cache.stats == CacheStats(hits=0, misses=2)
+
+
+class TestDiskCache:
+    def test_unusable_cache_dir_degrades_to_memory_only(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        cache = ParseCache(cache_dir=blocker)
+        assert cache.cache_dir is None
+        result = cache.parse(DDL)
+        assert cache.parse(DDL) is result
+        assert cache.stats == CacheStats(hits=1, misses=1, disk_hits=0)
+
+    def test_roundtrip_across_instances(self, tmp_path):
+        writer = ParseCache(cache_dir=tmp_path)
+        written = writer.parse(DDL)
+        reader = ParseCache(cache_dir=tmp_path)
+        read = reader.parse(DDL)
+        assert reader.stats == CacheStats(hits=1, misses=0, disk_hits=1)
+        assert read.schema == written.schema
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        writer = ParseCache(cache_dir=tmp_path)
+        writer.parse(DDL)
+        (entry,) = tmp_path.glob("*.pkl")
+        entry.write_bytes(b"not a pickle")
+        reader = ParseCache(cache_dir=tmp_path)
+        result = reader.parse(DDL)
+        assert reader.stats == CacheStats(hits=0, misses=1)
+        assert len(result.schema) == 1
+
+    def test_wrong_object_on_disk_degrades_to_miss(self, tmp_path):
+        cache = ParseCache(cache_dir=tmp_path)
+        key = content_key(DDL, None)
+        (tmp_path / f"{key}.pkl").write_bytes(pickle.dumps({"not": "it"}))
+        result = cache.parse(DDL)
+        assert isinstance(result, ParseResult)
+        assert cache.stats.misses == 1
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "cache"
+        ParseCache(cache_dir=target)
+        assert target.is_dir()
+
+
+class TestStats:
+    def test_arithmetic(self):
+        a = CacheStats(hits=3, misses=1, disk_hits=2)
+        b = CacheStats(hits=1, misses=1, disk_hits=1)
+        assert a - b == CacheStats(hits=2, misses=0, disk_hits=1)
+        assert a + b == CacheStats(hits=4, misses=2, disk_hits=3)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_as_dict(self):
+        stats = CacheStats(hits=3, misses=1).as_dict()
+        assert stats["hits"] == 3
+        assert stats["hit_rate"] == 0.75
+
+
+class TestGlobalCache:
+    @pytest.fixture(autouse=True)
+    def _restore_global(self):
+        import repro.perf.cache as module
+
+        saved_cache = module._active
+        saved_env = os.environ.get(CACHE_DIR_ENV)
+        yield
+        module._active = saved_cache
+        if saved_env is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = saved_env
+
+    def test_cached_parse_schema_uses_active_cache(self):
+        configure_cache()
+        before = get_cache().stats
+        cached_parse_schema(DDL)
+        cached_parse_schema(DDL)
+        delta = get_cache().stats - before
+        assert delta.hits == 1
+        assert delta.misses == 1
+
+    def test_configure_cache_exports_env_for_workers(self, tmp_path):
+        cache = configure_cache(tmp_path)
+        assert os.environ[CACHE_DIR_ENV] == str(tmp_path)
+        assert cache.cache_dir == tmp_path
+        configure_cache()
+        assert CACHE_DIR_ENV not in os.environ
