@@ -3,15 +3,23 @@
 # `make bench` gates the perf benchmarks behind the tier-1 suite: if
 # tier-1 fails, the benchmarks never run, so a broken tree can never
 # overwrite BENCH_study.json with numbers measured against bad code.
+# `make test` is itself gated on `trace-smoke`: a small traced study
+# whose JSONL events are validated line-by-line against the event
+# schema and whose manifest must round-trip through json.loads — the
+# observability layer has to hold before the suite even starts.
 
 PYTHON ?= python
 JOBS ?= 1
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-parallel study clean
+.PHONY: test trace-smoke bench bench-parallel study clean
 
-test:
+test: trace-smoke
 	$(PYTHON) -m pytest -x -q
+
+# small traced study + event-schema validation + manifest round-trip
+trace-smoke:
+	$(PYTHON) -m repro.obs.smoke
 
 # perf benchmarks (pytest-benchmark harness + BENCH_study.json writer);
 # the `test` prerequisite is the overwrite guard.

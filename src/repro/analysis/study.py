@@ -24,6 +24,9 @@ from typing import Iterable
 from ..corpus import DEFAULT_SEED, GeneratedProject, generate_corpus
 from ..heartbeat import ZeroTotalError
 from ..mining import mine_project
+from ..obs.events import get_recorder
+from ..obs.metrics import MetricsSnapshot
+from ..obs.trace import get_tracer
 from ..perf.timing import StudyTimings
 from ..taxa import Taxon
 from .figures import (
@@ -43,11 +46,21 @@ from .statistics import StatisticsReport, sec7_statistics
 
 @dataclass
 class StudyResult:
-    """All per-project rows plus lazy access to figures and statistics."""
+    """All per-project rows plus lazy access to figures and statistics.
+
+    ``timings``, ``metrics`` and ``warnings`` are observability
+    side-channels — they never participate in equality, so a traced run
+    compares equal to (and measures byte-identically with) an untraced
+    one.
+    """
 
     projects: list[ProjectMeasures]
     skipped: list[str]
     timings: StudyTimings = field(default_factory=StudyTimings, compare=False)
+    metrics: MetricsSnapshot = field(
+        default_factory=MetricsSnapshot, compare=False
+    )
+    warnings: list[dict] = field(default_factory=list, compare=False)
 
     def __len__(self) -> int:
         return len(self.projects)
@@ -126,42 +139,74 @@ def run_study(
             distributes chunks over a ``ProcessPoolExecutor`` while
             preserving corpus order, producing identical results.
     """
-    from ..perf.parallel import MinedRow, mine_and_analyze, pool_chunksize
+    from ..perf.parallel import (
+        MinedRow,
+        mine_and_analyze,
+        pool_chunksize,
+        worker_init,
+    )
 
+    tracer = get_tracer()
+    recorder = get_recorder()
     projects = list(corpus)
     timings = StudyTimings(jobs=max(1, jobs))
+    metrics = MetricsSnapshot()
+    warnings: list[dict] = []
     start = time.perf_counter()
-
-    mined: Iterable[MinedRow]
-    if jobs <= 1:
-        mined = map(mine_and_analyze, projects)
-    else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        executor = ProcessPoolExecutor(max_workers=jobs)
-        try:
-            mined = list(
-                executor.map(
-                    mine_and_analyze,
-                    projects,
-                    chunksize=pool_chunksize(len(projects), jobs),
-                )
-            )
-        finally:
-            executor.shutdown()
 
     rows: list[ProjectMeasures] = []
     skipped: list[str] = []
-    for result in mined:
-        if result.row is not None:
-            rows.append(result.row)
-        else:
-            skipped.append(result.name)
-        timings.record("mine", result.mine_seconds)
-        timings.record("analyze", result.analyze_seconds)
-        timings.merge_cache(result.cache)
+    with tracer.span("study", projects=len(projects), jobs=max(1, jobs)):
+        with tracer.span("mine_analyze"):
+            mined: Iterable[MinedRow]
+            if jobs <= 1:
+                mined = map(mine_and_analyze, projects)
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                executor = ProcessPoolExecutor(
+                    max_workers=jobs, initializer=worker_init
+                )
+                try:
+                    mined = list(
+                        executor.map(
+                            mine_and_analyze,
+                            projects,
+                            chunksize=pool_chunksize(len(projects), jobs),
+                        )
+                    )
+                finally:
+                    executor.shutdown()
+
+            for result in mined:
+                if result.row is not None:
+                    rows.append(result.row)
+                else:
+                    skipped.append(result.name)
+                timings.record("mine", result.mine_seconds)
+                timings.record("analyze", result.analyze_seconds)
+                timings.merge_cache(result.cache)
+                metrics = metrics + result.metrics
+                # per-project span trees built in workers (or detached
+                # in-process on the serial path) reattach here; worker
+                # trees also replay their span-close events, which no
+                # in-process sink could observe
+                if result.trace is not None:
+                    tracer.attach(result.trace, emit=jobs > 1)
+                if result.warnings:
+                    warnings.extend(result.warnings)
+                    if jobs > 1:
+                        for record in result.warnings:
+                            recorder.replay(record)
+    metrics.fold_cache(timings.cache)
     timings.record("total", time.perf_counter() - start)
-    return StudyResult(projects=rows, skipped=skipped, timings=timings)
+    return StudyResult(
+        projects=rows,
+        skipped=skipped,
+        timings=timings,
+        metrics=metrics,
+        warnings=warnings,
+    )
 
 
 @lru_cache(maxsize=4)
@@ -177,4 +222,9 @@ def canonical_study(seed: int = DEFAULT_SEED, *, jobs: int = 1) -> StudyResult:
     result = run_study(corpus, jobs=jobs)
     result.timings.record("generate", generate_seconds)
     result.timings.record("total", generate_seconds)
+    # generation ran on the driver, outside the worker-delta fold; add
+    # its counter here so the manifest reports the corpus it built
+    result.metrics.counters["projects.generated"] = (
+        result.metrics.counters.get("projects.generated", 0) + len(corpus)
+    )
     return result

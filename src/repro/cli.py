@@ -6,11 +6,20 @@ Subcommands::
     repro-study study [--seed N | --corpus DIR]   # run the full study
                [--figure all|4|5|6|7|8|stats] [--csv PATH]
                [--jobs N] [--cache-dir DIR] [--profile]
+               [--trace FILE] [--log-json FILE] [--manifest FILE]
     repro-study report --out report.md            # Markdown study report
     repro-study case NAME [--seed N]              # one project's diagram
     repro-study diff OLD.sql NEW.sql              # atomic changes
     repro-study impact OLD.sql NEW.sql SRC...     # change impact
     repro-study validate SCHEMA.sql SRC...        # query validation
+    repro-study trace-view FILE                   # render a --trace file
+
+The three observability flags (available on ``generate``, ``study`` and
+``report``) never change results: ``--trace`` writes the hierarchical
+span tree of the run, ``--log-json`` streams structured JSONL events
+(span closes, warnings, a closing run marker), and ``--manifest``
+records the run's seed, jobs, cache config, versions, stage timings,
+metric snapshot and warnings.
 
 Also runnable as ``python -m repro``.
 """
@@ -44,12 +53,33 @@ def _build_parser() -> argparse.ArgumentParser:
             help="on-disk parse cache shared across runs and workers",
         )
 
+    def add_obs_flags(command) -> None:
+        command.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="write the run's hierarchical span trace (JSON) to FILE",
+        )
+        command.add_argument(
+            "--log-json",
+            default=None,
+            metavar="FILE",
+            help="stream structured JSONL events (spans, warnings) to FILE",
+        )
+        command.add_argument(
+            "--manifest",
+            default=None,
+            metavar="FILE",
+            help="write the run manifest (JSON) to FILE",
+        )
+
     generate = sub.add_parser(
         "generate", help="generate a corpus and save it to disk"
     )
     generate.add_argument("--out", required=True, help="output directory")
     generate.add_argument("--seed", type=int, default=None)
     add_perf_flags(generate)
+    add_obs_flags(generate)
 
     study = sub.add_parser("study", help="run the full study")
     study.add_argument("--seed", type=int, default=None)
@@ -68,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the per-stage timing breakdown and cache hit rates",
     )
     add_perf_flags(study)
+    add_obs_flags(study)
 
     report = sub.add_parser(
         "report", help="write a full Markdown study report"
@@ -84,6 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--corpus", default=None, help="load a saved corpus instead"
     )
     add_perf_flags(report)
+    add_obs_flags(report)
 
     case = sub.add_parser("case", help="show one project's joint progress")
     case.add_argument("name", help="project name (or a unique substring)")
@@ -106,6 +138,19 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("schema")
     validate.add_argument("sources", nargs="+")
 
+    trace_view = sub.add_parser(
+        "trace-view",
+        help="render a --trace JSON file as an indented span tree",
+    )
+    trace_view.add_argument("file", help="trace file written by --trace")
+    trace_view.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only show spans up to depth N (root = 0)",
+    )
+
     return parser
 
 
@@ -118,19 +163,45 @@ def _configure_perf(args) -> int:
     return max(1, getattr(args, "jobs", 1) or 1)
 
 
+def _configure_obs(args):
+    """Open an ObsSession when any --trace/--log-json/--manifest is set."""
+    trace_path = getattr(args, "trace", None)
+    log_path = getattr(args, "log_json", None)
+    manifest_path = getattr(args, "manifest", None)
+    if not (trace_path or log_path or manifest_path):
+        return None
+    from .obs import ObsSession
+
+    return ObsSession(
+        command=args.command,
+        trace_path=trace_path,
+        log_path=log_path,
+        manifest_path=manifest_path,
+    )
+
+
 def _get_study(args):
     from .analysis import canonical_study, run_study
     from .corpus import DEFAULT_SEED
 
     jobs = _configure_perf(args)
+    session = getattr(args, "obs_session", None)
+    if session is not None:
+        session.jobs = jobs
     if getattr(args, "corpus", None):
         from .io import load_corpus
 
         # LoadedProject carries name/repository/true_taxon, all the
         # study driver needs, so the saved-corpus path fans out too
-        return run_study(load_corpus(args.corpus), jobs=jobs)
-    seed = args.seed if args.seed is not None else DEFAULT_SEED
-    return canonical_study(seed, jobs=jobs)
+        study = run_study(load_corpus(args.corpus), jobs=jobs)
+    else:
+        seed = args.seed if args.seed is not None else DEFAULT_SEED
+        if session is not None:
+            session.seed = seed
+        study = canonical_study(seed, jobs=jobs)
+    if session is not None:
+        session.study = study
+    return study
 
 
 def _cmd_generate(args) -> int:
@@ -139,7 +210,13 @@ def _cmd_generate(args) -> int:
 
     jobs = _configure_perf(args)
     seed = args.seed if args.seed is not None else DEFAULT_SEED
+    session = getattr(args, "obs_session", None)
+    if session is not None:
+        session.seed = seed
+        session.jobs = jobs
     corpus = generate_corpus(seed=seed, jobs=jobs)
+    if session is not None:
+        session.corpus_size = len(corpus)
     root = save_corpus(corpus, args.out)
     print(f"wrote {len(corpus)} projects to {root}")
     return 0
@@ -156,10 +233,13 @@ def _cmd_study(args) -> int:
         render_statistics,
     )
 
+    from .obs import get_tracer
+
     study = _get_study(args)
     want = args.figure
     blocks: list[str] = []
-    with study.timings.timed("figures"):
+    with get_tracer().span("figures", figure=args.figure), \
+            study.timings.timed("figures"):
         if want in ("all", "headline"):
             headline = study.headline()
             blocks.append(
@@ -285,6 +365,24 @@ def _cmd_validate(args) -> int:
     return 1
 
 
+def _cmd_trace_view(args) -> int:
+    import json
+
+    from .obs import render_trace
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"no such trace file: {path}", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"{path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    print(render_trace(payload, max_depth=args.depth))
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "study": _cmd_study,
@@ -293,12 +391,23 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "impact": _cmd_impact,
     "validate": _cmd_validate,
+    "trace-view": _cmd_trace_view,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    session = _configure_obs(args)
+    if session is None:
+        return _COMMANDS[args.command](args)
+    args.obs_session = session
+    try:
+        code = _COMMANDS[args.command](args)
+    except BaseException:
+        session.finalize(status="error")
+        raise
+    session.finalize(status="ok" if code == 0 else "error")
+    return code
 
 
 if __name__ == "__main__":

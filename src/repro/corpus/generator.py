@@ -23,10 +23,12 @@ The generative story per project:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
 
 from ..heartbeat import Month
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..taxa import Taxon
 from ..vcs import (
     Commit,
@@ -77,12 +79,19 @@ class ProjectSpec:
 
 @dataclass
 class GeneratedProject:
-    """A generated project: repository plus generation ground truth."""
+    """A generated project: repository plus generation ground truth.
+
+    ``trace`` transports the project's serialised ``generate_project``
+    span across the worker boundary when tracing is enabled; the corpus
+    driver reattaches it under the ``generate`` span and clears the
+    field.  It never participates in equality.
+    """
 
     spec: ProjectSpec
     repository: Repository
     git_log_text: str
     ddl_versions: list[str]
+    trace: dict | None = field(default=None, compare=False, repr=False)
 
     @property
     def true_taxon(self) -> Taxon:
@@ -167,7 +176,25 @@ class _MinuteAllocator:
 def generate_project(
     spec: ProjectSpec, profile: TaxonProfile
 ) -> GeneratedProject:
-    """Generate one project according to its spec and taxon profile."""
+    """Generate one project according to its spec and taxon profile.
+
+    When tracing is enabled the work runs inside a detached
+    ``generate_project`` span whose serialised tree rides back on
+    ``project.trace`` (the generator output itself is identical either
+    way — spans observe, they never steer the RNG).
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _generate_project(spec, profile)
+    with tracer.detached("generate_project", project=spec.name) as span:
+        project = _generate_project(spec, profile)
+    project.trace = span.to_dict()
+    return project
+
+
+def _generate_project(
+    spec: ProjectSpec, profile: TaxonProfile
+) -> GeneratedProject:
     rng = random.Random(spec.seed)
     duration = spec.duration_months
     pool = _FilePool(rng)
@@ -538,17 +565,36 @@ def generate_corpus(
     for profile in profiles:
         by_taxon.setdefault(profile.taxon, profile)
     pairs = [(spec, by_taxon[spec.taxon]) for spec in specs]
-    if jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    tracer = get_tracer()
+    with tracer.span("generate", projects=len(pairs), jobs=max(1, jobs)):
+        if jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
-        from ..perf.parallel import generate_one, pool_chunksize
-
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
-            return list(
-                executor.map(
-                    generate_one,
-                    pairs,
-                    chunksize=pool_chunksize(len(pairs), jobs),
-                )
+            from ..perf.parallel import (
+                generate_one,
+                pool_chunksize,
+                worker_init,
             )
-    return [generate_project(spec, profile) for spec, profile in pairs]
+
+            with ProcessPoolExecutor(
+                max_workers=jobs, initializer=worker_init
+            ) as executor:
+                projects = list(
+                    executor.map(
+                        generate_one,
+                        pairs,
+                        chunksize=pool_chunksize(len(pairs), jobs),
+                    )
+                )
+        else:
+            projects = [
+                generate_project(spec, profile) for spec, profile in pairs
+            ]
+        for project in projects:
+            if project.trace is not None:
+                # worker span closes were invisible to any in-process
+                # sink, so attaching them re-emits their events
+                tracer.attach(project.trace, emit=jobs > 1)
+                project.trace = None
+    get_metrics().inc("projects.generated", len(projects))
+    return projects

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from datetime import datetime
 
 from ..diff import SchemaDelta, diff_schemas, initial_delta
+from ..obs.events import warn
+from ..obs.metrics import get_metrics
 from ..perf.cache import cached_parse_schema
 from ..schema import Schema
 from ..sqlparser import ParseIssue
@@ -72,11 +74,25 @@ class SchemaHistory:
         """Parse and diff a chronological sequence of DDL file versions."""
         if not file_versions:
             raise ValueError("a schema history needs at least one version")
+        metrics = get_metrics()
+        metrics.inc("versions.parsed", len(file_versions))
         versions: list[SchemaVersion] = []
         for fv in file_versions:
             # content-addressed: re-mining the same DDL text (within a
             # run or, with a disk store, across runs) skips the parser
             result = cached_parse_schema(fv.content, dialect=dialect)
+            if result.issues:
+                metrics.inc("parse.issues", len(result.issues))
+                if not result.schema.tables and fv.content.strip():
+                    # tolerated issues are routine (dump noise); a
+                    # version that yields an *empty* schema is not
+                    warn(
+                        "ddl-unparseable",
+                        f"version {fv.sha[:12]} produced no tables "
+                        f"({len(result.issues)} parse issues)",
+                        sha=fv.sha,
+                        issues=len(result.issues),
+                    )
             versions.append(
                 SchemaVersion(
                     sha=fv.sha,

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..coevolution import JointProgress
 from ..heartbeat import Heartbeat, Month
+from ..obs.events import warn
 from ..vcs import Repository
 from .history import SchemaHistory
 
@@ -31,7 +32,10 @@ def find_ddl_path(repo: Repository) -> str:
     The fallback tie-break is deterministic across platforms, commit
     orderings and dict iteration orders: among equally-touched paths the
     lexicographically greatest wins (byte-wise comparison on the exact
-    path strings — no locale or filesystem-order dependence).
+    path strings — no locale or filesystem-order dependence).  Taking
+    that tie-break is no longer silent: a ``ddl-tie-break`` warning
+    event records which path won and how many candidates tied, so the
+    run manifest surfaces every project whose DDL file was ambiguous.
     """
     recorded = [
         path for path in repo.file_contents if path.lower().endswith(".sql")
@@ -50,7 +54,18 @@ def find_ddl_path(repo: Repository) -> str:
                 sql_touches[change.path] = sql_touches.get(change.path, 0) + 1
     if not sql_touches:
         raise MiningError(f"{repo.name}: no .sql file in history")
-    return max(sql_touches, key=lambda path: (sql_touches[path], path))
+    best = max(sql_touches, key=lambda path: (sql_touches[path], path))
+    tied = sum(1 for n in sql_touches.values() if n == sql_touches[best])
+    if tied > 1:
+        warn(
+            "ddl-tie-break",
+            f"{repo.name}: {tied} .sql paths tied at "
+            f"{sql_touches[best]} touches; picked {best!r}",
+            project=repo.name,
+            picked=best,
+            tied=tied,
+        )
+    return best
 
 
 def mine_project_activity(repo: Repository) -> Heartbeat:

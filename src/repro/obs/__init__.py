@@ -1,0 +1,159 @@
+"""Observability layer: span tracing, metrics, events, run manifests.
+
+The study pipeline is a long fan-out batch job; this package makes one
+run auditable end to end without changing any of its results:
+
+* :mod:`repro.obs.trace` — a hierarchical span tracer whose per-project
+  span trees cross the worker-process boundary and reattach under the
+  driver's dispatching span (zero-overhead no-ops when disabled);
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms with
+  snapshot/merge semantics so worker deltas fold into one study total;
+* :mod:`repro.obs.events` — the structured JSONL event log (span closes,
+  warnings, run markers) plus its line-by-line schema validator;
+* :mod:`repro.obs.manifest` — the run manifest written next to study
+  outputs (seed, jobs, cache config, versions, timings, metric
+  snapshot, warnings, exit status).
+
+:class:`ObsSession` is the CLI-facing glue: it wires ``--trace``,
+``--log-json`` and ``--manifest`` to the right globals for one run and
+writes every artifact at :meth:`ObsSession.finalize`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .events import (
+    EventLog,
+    EventRecorder,
+    aggregate_warnings,
+    get_recorder,
+    reset_recorder,
+    run_event,
+    span_event,
+    validate_event,
+    validate_event_line,
+    validate_event_log,
+    warn,
+)
+from .manifest import build_manifest, write_manifest
+from .metrics import (
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_metrics,
+    reset_metrics,
+)
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    render_trace,
+    write_trace,
+)
+
+__all__ = [
+    "EventLog",
+    "EventRecorder",
+    "HistogramData",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_SPAN",
+    "ObsSession",
+    "Span",
+    "Tracer",
+    "aggregate_warnings",
+    "build_manifest",
+    "configure_tracing",
+    "get_metrics",
+    "get_recorder",
+    "get_tracer",
+    "render_trace",
+    "reset_metrics",
+    "reset_recorder",
+    "run_event",
+    "span_event",
+    "validate_event",
+    "validate_event_line",
+    "validate_event_log",
+    "warn",
+    "write_manifest",
+    "write_trace",
+]
+
+
+class ObsSession:
+    """Wires the observability outputs of one pipeline run.
+
+    Construct it before the run (tracing starts, the event log opens),
+    record what the run produced (``session.study = ...``), then call
+    :meth:`finalize` to write the trace file and manifest, emit the
+    closing run marker and restore the process-global state.
+    """
+
+    def __init__(
+        self,
+        *,
+        command: str = "",
+        trace_path: str | Path | None = None,
+        log_path: str | Path | None = None,
+        manifest_path: str | Path | None = None,
+    ):
+        self.command = command
+        self.trace_path = Path(trace_path) if trace_path else None
+        self.log_path = Path(log_path) if log_path else None
+        self.manifest_path = Path(manifest_path) if manifest_path else None
+        # run facts, filled in by the command as it executes
+        self.seed: int | None = None
+        self.jobs: int | None = None
+        self.study = None
+        self.corpus_size: int | None = None
+        self.finalized = False
+
+        reset_metrics()
+        recorder = reset_recorder()
+        self._tracing_enabled = bool(self.trace_path or self.log_path)
+        tracer = (
+            configure_tracing(True) if self._tracing_enabled else get_tracer()
+        )
+        self.event_log: EventLog | None = None
+        if self.log_path:
+            self.event_log = EventLog(self.log_path)
+            tracer.on_close = self._on_span_close
+            recorder.sink = self.event_log.emit
+
+    def _on_span_close(self, span) -> None:
+        self.event_log.emit(span_event(span))
+
+    def finalize(self, status: str = "ok") -> None:
+        """Write all requested artifacts and unhook the globals."""
+        if self.finalized:
+            return
+        self.finalized = True
+        tracer = get_tracer()
+        if self.trace_path:
+            write_trace(tracer, self.trace_path)
+        if self.manifest_path:
+            manifest = build_manifest(
+                command=self.command,
+                status=status,
+                seed=self.seed,
+                jobs=self.jobs,
+                study=self.study,
+                corpus_size=self.corpus_size,
+                warnings=get_recorder().warnings,
+                outputs={
+                    "trace": self.trace_path,
+                    "events": self.log_path,
+                },
+            )
+            write_manifest(manifest, self.manifest_path)
+        if self.event_log is not None:
+            self.event_log.emit(run_event(self.command, status))
+            get_recorder().sink = None
+            tracer.on_close = None
+            self.event_log.close()
+        if self._tracing_enabled:
+            configure_tracing(False)

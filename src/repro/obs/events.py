@@ -1,0 +1,256 @@
+"""Structured JSONL run events: span closes, warnings, run markers.
+
+Every line of a ``--log-json`` file is one JSON object with a stable
+schema (see :data:`EVENT_FIELDS`); :func:`validate_event` /
+:func:`validate_event_log` check conformance line by line, and the
+``make trace-smoke`` target runs that validator over a real traced run.
+
+Three event kinds exist:
+
+``span``
+    emitted when a span closes — ``name``, ``seconds``, ``status`` and
+    the span's ``attributes``;
+``warning``
+    emitted by :func:`warn` for anomalies that would otherwise be silent
+    skips — an unparseable DDL version, an empty (zero-activity)
+    history, a ``find_ddl_path`` tie-break, a parse-cache directory
+    degrading to memory-only;
+``run``
+    one closing marker per CLI run with the command and exit status.
+
+Warnings are also collected in the process-local
+:class:`EventRecorder` so the run manifest can surface them after the
+fact; worker processes ship their recorder windows back with their
+results and the driver replays them (:meth:`EventRecorder.replay`),
+giving the event log exactly one line per warning regardless of the
+serial/parallel mode.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from .metrics import get_metrics
+
+#: Required fields (and their JSON types) per event kind.
+EVENT_FIELDS: dict[str, dict[str, tuple]] = {
+    "span": {
+        "event": (str,),
+        "ts": (int, float),
+        "name": (str,),
+        "seconds": (int, float),
+        "status": (str,),
+        "attributes": (dict,),
+    },
+    "warning": {
+        "event": (str,),
+        "ts": (int, float),
+        "code": (str,),
+        "message": (str,),
+        "context": (dict,),
+    },
+    "run": {
+        "event": (str,),
+        "ts": (int, float),
+        "command": (str,),
+        "status": (str,),
+    },
+}
+
+_STATUS_VALUES = ("ok", "error")
+
+
+def span_event(span) -> dict:
+    """The JSONL record for one closed :class:`~repro.obs.trace.Span`."""
+    return {
+        "event": "span",
+        "ts": round(span.started_at, 6),
+        "name": span.name,
+        "seconds": round(span.seconds, 9),
+        "status": span.status,
+        "attributes": dict(span.attributes),
+    }
+
+
+def run_event(command: str, status: str) -> dict:
+    """The closing run-marker record of a CLI run."""
+    return {
+        "event": "run",
+        "ts": round(time.time(), 6),
+        "command": command,
+        "status": status,
+    }
+
+
+# ----------------------------------------------------------------------
+# warnings
+
+class EventRecorder:
+    """Process-local warning collector with an optional live sink."""
+
+    def __init__(self):
+        self.warnings: list[dict] = []
+        #: Optional callable receiving each warning record as emitted
+        #: (the ``--log-json`` event log registers here).
+        self.sink = None
+
+    def warn(self, code: str, message: str, **context) -> dict:
+        """Record one warning event; returns the record."""
+        record = {
+            "event": "warning",
+            "ts": round(time.time(), 6),
+            "code": code,
+            "message": message,
+            "context": context,
+        }
+        self._deliver(record)
+        return record
+
+    def replay(self, record: dict) -> None:
+        """Fold a warning recorded in another process into this one."""
+        self._deliver(record)
+
+    def _deliver(self, record: dict) -> None:
+        self.warnings.append(record)
+        get_metrics().inc(f"warnings.{record['code']}")
+        if self.sink is not None:
+            self.sink(record)
+
+    # -- windows (the worker protocol) ---------------------------------
+    def mark(self) -> int:
+        """An opaque position; pair with :meth:`since`."""
+        return len(self.warnings)
+
+    def since(self, mark: int) -> list[dict]:
+        """The warnings recorded after ``mark`` (shippable, picklable)."""
+        return self.warnings[mark:]
+
+
+_active: EventRecorder | None = None
+
+
+def get_recorder() -> EventRecorder:
+    """The process's warning recorder (created on first use)."""
+    global _active
+    if _active is None:
+        _active = EventRecorder()
+    return _active
+
+
+def reset_recorder() -> EventRecorder:
+    """Replace the active recorder with an empty one."""
+    global _active
+    _active = EventRecorder()
+    return _active
+
+
+def warn(code: str, message: str, **context) -> dict:
+    """Record a warning event on the active recorder."""
+    return get_recorder().warn(code, message, **context)
+
+
+def aggregate_warnings(warnings: list[dict]) -> list[dict]:
+    """Group warning records by code for the run manifest.
+
+    Returns one entry per code, ordered by first occurrence, carrying
+    the count and the first message as a representative example.
+    """
+    grouped: dict[str, dict] = {}
+    for record in warnings:
+        code = record.get("code", "")
+        entry = grouped.get(code)
+        if entry is None:
+            grouped[code] = {
+                "code": code,
+                "count": 1,
+                "first_message": record.get("message", ""),
+            }
+        else:
+            entry["count"] += 1
+    return list(grouped.values())
+
+
+# ----------------------------------------------------------------------
+# the JSONL writer
+
+class EventLog:
+    """An append-only JSONL event stream (one record per line)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+
+    def emit(self, record: dict) -> None:
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        )
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+# ----------------------------------------------------------------------
+# validation
+
+def validate_event(record) -> list[str]:
+    """Validate one decoded event record; returns a list of problems."""
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    kind = record.get("event")
+    spec = EVENT_FIELDS.get(kind) if isinstance(kind, str) else None
+    if spec is None:
+        return [f"unknown event kind {kind!r}"]
+    errors = []
+    for name, types in spec.items():
+        if name not in record:
+            errors.append(f"missing field {name!r}")
+        elif not isinstance(record[name], types):
+            errors.append(
+                f"field {name!r} has type {type(record[name]).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    for name in record:
+        if name not in spec:
+            errors.append(f"unexpected field {name!r}")
+    if "status" in spec and record.get("status") not in _STATUS_VALUES:
+        errors.append(f"status {record.get('status')!r} not in ok/error")
+    if isinstance(record.get("seconds"), (int, float)):
+        if record["seconds"] < 0:
+            errors.append("negative seconds")
+    return errors
+
+
+def validate_event_line(line: str) -> list[str]:
+    """Validate one raw JSONL line."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return [f"invalid JSON: {exc}"]
+    return validate_event(record)
+
+
+def validate_event_log(path: str | Path) -> tuple[int, list[str]]:
+    """Validate a whole JSONL file; returns (line count, problems)."""
+    count = 0
+    problems: list[str] = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                problems.append(f"line {number}: empty line")
+                continue
+            count += 1
+            for error in validate_event_line(line):
+                problems.append(f"line {number}: {error}")
+    return count, problems

@@ -1,0 +1,89 @@
+"""The run manifest: one JSON document describing a whole pipeline run.
+
+Written next to the study outputs (``--manifest FILE``), the manifest is
+the auditable record replication work needs: the seed and corpus size,
+the parallelism and cache configuration, toolchain versions, per-stage
+wall-clock timings, the final metrics snapshot and every warning the run
+raised (aggregated by code).  It always round-trips through
+``json.loads`` — enforced by ``make trace-smoke`` and the obs tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from .events import aggregate_warnings
+
+#: Version tag of the manifest document format.
+MANIFEST_FORMAT = "repro-run-manifest-v1"
+
+
+def build_manifest(
+    *,
+    command: str,
+    status: str = "ok",
+    seed: int | None = None,
+    jobs: int | None = None,
+    study=None,
+    corpus_size: int | None = None,
+    warnings: list[dict] | None = None,
+    outputs: dict | None = None,
+) -> dict:
+    """Assemble the manifest document for one run.
+
+    ``study`` (a :class:`~repro.analysis.study.StudyResult`) contributes
+    project counts, stage timings and the metrics snapshot when the run
+    produced one; corpus-only runs pass ``corpus_size`` instead.
+    """
+    from .. import __version__
+    from ..perf.cache import CACHE_DIR_ENV, get_cache
+
+    cache = get_cache()
+    manifest: dict = {
+        "format": MANIFEST_FORMAT,
+        "command": command,
+        "status": status,
+        "created_at": round(time.time(), 3),
+        "seed": seed,
+        "jobs": jobs,
+        "versions": {
+            "repro": __version__,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "cache": {
+            "dir": str(cache.cache_dir) if cache.cache_dir else None,
+            "env": os.environ.get(CACHE_DIR_ENV),
+            "stats": cache.stats.as_dict(),
+        },
+    }
+    if study is not None:
+        manifest["projects"] = len(study.projects)
+        manifest["skipped"] = list(study.skipped)
+        manifest["timings"] = study.timings.as_dict()
+        manifest["metrics"] = study.metrics.as_dict()
+    elif corpus_size is not None:
+        manifest["projects"] = corpus_size
+        from .metrics import get_metrics
+
+        manifest["metrics"] = get_metrics().snapshot().as_dict()
+    warnings = warnings if warnings is not None else []
+    manifest["warnings"] = aggregate_warnings(warnings)
+    manifest["warning_count"] = len(warnings)
+    if outputs:
+        manifest["outputs"] = {
+            key: str(value) for key, value in outputs.items() if value
+        }
+    return manifest
+
+
+def write_manifest(manifest: dict, path: str | Path) -> Path:
+    """Write a manifest document; the text always survives json.loads."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+    return path

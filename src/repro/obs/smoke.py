@@ -1,0 +1,148 @@
+"""The ``make trace-smoke`` entry point: a small, fully-traced study.
+
+``python -m repro.obs.smoke`` runs a scaled-down corpus through the
+study engine twice — untraced serial as the baseline, then traced with
+``jobs=2`` so worker span trees, metric deltas and warning windows all
+cross a real process boundary — and then checks the observability
+contract end to end:
+
+1. the traced run's measures CSV is byte-identical to the untraced one
+   (observability must never change results);
+2. every line of the JSONL event log passes the schema validator;
+3. the span tree covers generate / mine / analyze with one ``project``
+   span per corpus project (reattached from the workers);
+4. the run manifest round-trips through ``json.loads`` and carries the
+   seed, jobs, stage timings and metric snapshot.
+
+Exit status 0 on success, 1 with a diagnosis on the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+#: Shrink factor for the smoke corpus (195 projects / 16 ≈ 14).
+SMOKE_SCALE = 16
+SMOKE_SEED = 195_2023
+SMOKE_JOBS = 2
+
+
+def _smoke_corpus():
+    from ..corpus.generator import generate_corpus
+    from ..corpus.profiles import CANONICAL_PROFILES
+
+    profiles = tuple(
+        replace(profile, count=max(1, round(profile.count / SMOKE_SCALE)))
+        for profile in CANONICAL_PROFILES
+    )
+    return generate_corpus(seed=SMOKE_SEED, profiles=profiles)
+
+
+def _measures_bytes(study, path: Path) -> bytes:
+    from ..io import export_measures_csv
+
+    export_measures_csv(study, path)
+    return path.read_bytes()
+
+
+def _span_names(spans: list[dict]) -> list[str]:
+    names = []
+    for span in spans:
+        names.append(span["name"])
+        names.extend(_span_names(span.get("children", ())))
+    return names
+
+
+def main() -> int:
+    from ..analysis.study import run_study
+    from . import ObsSession, validate_event_log
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        trace_path = tmp_path / "trace.json"
+        log_path = tmp_path / "events.jsonl"
+        manifest_path = tmp_path / "manifest.json"
+
+        # baseline: untraced, serial
+        corpus = _smoke_corpus()
+        baseline = run_study(corpus)
+        baseline_csv = _measures_bytes(baseline, tmp_path / "baseline.csv")
+
+        # traced, parallel — the worker-merge path
+        session = ObsSession(
+            command="trace-smoke",
+            trace_path=trace_path,
+            log_path=log_path,
+            manifest_path=manifest_path,
+        )
+        session.seed = SMOKE_SEED
+        session.jobs = SMOKE_JOBS
+        corpus = _smoke_corpus()
+        study = run_study(corpus, jobs=SMOKE_JOBS)
+        session.study = study
+        session.finalize(status="ok")
+
+        traced_csv = _measures_bytes(study, tmp_path / "traced.csv")
+        if traced_csv != baseline_csv:
+            failures.append(
+                "traced measures CSV differs from the untraced baseline"
+            )
+
+        events, problems = validate_event_log(log_path)
+        if problems:
+            failures.append(
+                f"{len(problems)} invalid event lines, first: {problems[0]}"
+            )
+        if events == 0:
+            failures.append("event log is empty")
+        # exactly one close event per worker span — forked workers must
+        # not write through an inherited --log-json sink
+        logged_projects = sum(
+            1
+            for line in log_path.read_text().splitlines()
+            if json.loads(line).get("name") == "project"
+        )
+        if logged_projects != len(corpus):
+            failures.append(
+                f"expected {len(corpus)} project span events in the log, "
+                f"got {logged_projects}"
+            )
+
+        trace = json.loads(trace_path.read_text())
+        names = _span_names(trace.get("spans", ()))
+        for required in ("generate", "study", "mine_analyze",
+                         "mine", "analyze"):
+            if required not in names:
+                failures.append(f"span {required!r} missing from trace")
+        project_spans = names.count("project")
+        if project_spans != len(corpus):
+            failures.append(
+                f"expected {len(corpus)} project spans, got {project_spans}"
+            )
+
+        manifest_text = manifest_path.read_text()
+        manifest = json.loads(manifest_text)  # must round-trip
+        if json.loads(json.dumps(manifest)) != manifest:
+            failures.append("manifest does not round-trip through json")
+        for key in ("seed", "jobs", "timings", "metrics"):
+            if manifest.get(key) in (None, {}, []):
+                failures.append(f"manifest field {key!r} missing or empty")
+
+    if failures:
+        for failure in failures:
+            print(f"trace-smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"trace-smoke ok: {len(corpus)} projects, {events} events, "
+        f"{project_spans} project spans, manifest round-trips"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

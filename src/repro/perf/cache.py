@@ -95,16 +95,31 @@ class ParseCache:
         self._hits = 0
         self._misses = 0
         self._disk_hits = 0
+        self._degrade_warned = False
         self.cache_dir: Path | None = None
         if cache_dir is not None:
             try:
                 Path(cache_dir).mkdir(parents=True, exist_ok=True)
-            except OSError:
+            except OSError as exc:
                 # an unusable cache dir (e.g. the path is an existing
                 # file, or a read-only parent) degrades to memory-only
-                pass
+                self._warn_degraded(cache_dir, exc)
             else:
                 self.cache_dir = Path(cache_dir)
+
+    def _warn_degraded(self, cache_dir, exc: OSError) -> None:
+        """Emit the cache-degrade warning event (once per cache)."""
+        if self._degrade_warned:
+            return
+        self._degrade_warned = True
+        from ..obs.events import warn
+
+        warn(
+            "cache-dir-degraded",
+            f"parse cache dir {str(cache_dir)!r} unusable "
+            f"({exc.__class__.__name__}: {exc}); running memory-only",
+            cache_dir=str(cache_dir),
+        )
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -164,8 +179,9 @@ class ParseCache:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
-        except OSError:
+        except OSError as exc:
             # a read-only or full cache dir degrades to memory-only
+            self._warn_degraded(path.parent, exc)
             try:
                 os.unlink(tmp_name)
             except (OSError, UnboundLocalError):

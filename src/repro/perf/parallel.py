@@ -3,16 +3,22 @@
 ``run_study(corpus, jobs=N)`` and ``generate_corpus(jobs=N)`` ship each
 project to a ``ProcessPoolExecutor`` worker through these module-level
 functions (bound methods and closures cannot cross the pickle
-boundary).  Each worker returns its own stage timings and parse-cache
-deltas so the parent can aggregate a corpus-wide breakdown; every
-worker process warms its own in-memory cache (and shares the on-disk
-store when one is configured).
+boundary).  Each worker returns its own stage timings, parse-cache
+deltas, metrics deltas, warning window and (when tracing is enabled) the
+serialised span tree of its work, so the parent can aggregate a
+corpus-wide breakdown and reattach every worker span under its own
+dispatching span; every worker process warms its own in-memory cache
+(and shares the on-disk store when one is configured).
+
+The same functions run in-process on the serial path, so serial and
+parallel runs flow through identical instrumentation and produce
+identical results.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..analysis.measures import ProjectMeasures, analyze_project
 from ..corpus.generator import (
@@ -23,46 +29,112 @@ from ..corpus.generator import (
 from ..corpus.profiles import TaxonProfile
 from ..heartbeat import ZeroTotalError
 from ..mining import mine_project
+from ..obs.events import get_recorder, warn
+from ..obs.metrics import MetricsSnapshot, get_metrics
+from ..obs.trace import get_tracer
 from .cache import CacheStats, get_cache
 
 
 @dataclass
 class MinedRow:
-    """One project's worker result: a measure row or a skip."""
+    """One project's worker result: a measure row or a skip.
+
+    Besides the row itself, a ``MinedRow`` carries everything the driver
+    needs to reconstruct cross-process observability: stage seconds and
+    cache deltas (summed into :class:`~repro.perf.timing.StudyTimings`),
+    the metrics delta of the call, the warnings recorded during it, and
+    the project's serialised span tree when tracing is on.
+    """
 
     name: str
     row: ProjectMeasures | None
     mine_seconds: float
     analyze_seconds: float
     cache: CacheStats
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    warnings: list[dict] = field(default_factory=list)
+    trace: dict | None = None
 
     @property
     def skipped(self) -> bool:
         return self.row is None
 
 
+def worker_init() -> None:
+    """Detach inherited observability hooks in a pool worker.
+
+    Forked workers inherit the driver's tracer and recorder *including*
+    any live ``on_close``/``sink`` wired to an open ``--log-json``
+    handle; left in place, every worker span and warning would be
+    written twice — once from the worker through the duplicated file
+    descriptor and once when the driver replays it at attach time.
+    Workers therefore run sink-less: their spans and warnings travel
+    back inside the :class:`MinedRow` and the driver alone emits them.
+    """
+    get_tracer().on_close = None
+    get_recorder().sink = None
+
+
 def mine_and_analyze(project: GeneratedProject) -> MinedRow:
     """The per-project unit of study work (also used by the serial path).
 
     Skips (``ZeroTotalError``) are carried in-band: raising across the
-    process boundary would poison the whole chunk.
+    process boundary would poison the whole chunk.  The project's spans
+    are built detached (no parent) and shipped back as a dict; the
+    driver reattaches them under its dispatching span.
     """
-    before = get_cache().stats
-    start = time.perf_counter()
-    history = mine_project(project.repository)
-    mined = time.perf_counter()
-    try:
-        row = analyze_project(history, true_taxon=project.true_taxon)
-    except ZeroTotalError:
-        row = None
-    done = time.perf_counter()
+    tracer = get_tracer()
+    metrics = get_metrics()
+    recorder = get_recorder()
+    cache_before = get_cache().stats
+    metrics_before = metrics.snapshot()
+    warn_mark = recorder.mark()
+    with tracer.detached("project", project=project.name) as span:
+        start = time.perf_counter()
+        with tracer.span("mine") as mine_span:
+            history = mine_project(project.repository)
+            mine_span.set(
+                versions=history.schema_history.commit_count,
+                months=history.duration_months,
+            )
+        mined = time.perf_counter()
+        try:
+            with tracer.span("analyze"):
+                row = analyze_project(history, true_taxon=project.true_taxon)
+        except ZeroTotalError:
+            row = None
+        done = time.perf_counter()
+    metrics.inc("projects.mined")
+    if row is None:
+        metrics.inc("projects.skipped")
+        warn(
+            "empty-history",
+            f"{project.name}: zero total activity on one side; "
+            "project skipped",
+            project=project.name,
+        )
+    for kind, count in _change_counts(history).items():
+        metrics.inc(f"changes.{kind}", count)
     return MinedRow(
         name=project.name,
         row=row,
         mine_seconds=mined - start,
         analyze_seconds=done - mined,
-        cache=get_cache().stats - before,
+        cache=get_cache().stats - cache_before,
+        metrics=metrics.snapshot() - metrics_before,
+        warnings=recorder.since(warn_mark),
+        trace=span.to_dict() if tracer.enabled else None,
     )
+
+
+def _change_counts(history) -> dict[str, int]:
+    """Atomic-change totals by kind over one project's whole history."""
+    totals: dict[str, int] = {}
+    for transition in history.schema_history.transitions:
+        for change in transition.delta.changes:
+            kind = change.kind.value
+            totals[kind] = totals.get(kind, 0) + 1
+    return totals
 
 
 def generate_one(
@@ -72,7 +144,8 @@ def generate_one(
 
     Deterministic regardless of scheduling: every project draws from its
     own ``spec.seed``-rooted RNG, so parallel generation is bit-identical
-    to the serial loop.
+    to the serial loop.  When tracing is enabled the project carries its
+    detached ``generate_project`` span in ``project.trace``.
     """
     spec, profile = spec_and_profile
     return generate_project(spec, profile)

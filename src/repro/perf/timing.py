@@ -30,11 +30,30 @@ class StudyTimings:
     cache: CacheStats = field(default_factory=CacheStats)
 
     def record(self, stage: str, seconds: float) -> None:
-        """Accumulate ``seconds`` into ``stage``."""
+        """Accumulate ``seconds`` into ``stage``.
+
+        Repeated records *sum*: the driver calls this once per worker
+        result, so with ``jobs > 1`` a stage holds total worker seconds
+        across processes (which can exceed the wall-clock ``total``).
+        """
         self.stages[stage] = self.stages.get(stage, 0.0) + seconds
 
     def merge_cache(self, stats: CacheStats) -> None:
         self.cache = self.cache + stats
+
+    def merge(self, other: "StudyTimings") -> "StudyTimings":
+        """Fold another accounting into this one (worker → driver).
+
+        Sum semantics throughout: every stage of ``other`` is added to
+        the same stage here (creating it at zero if absent) and the
+        cache counters add element-wise, so merging per-worker timings
+        yields total worker seconds per stage.  ``jobs`` keeps the
+        receiving (driver) value.  Returns ``self`` for chaining.
+        """
+        for stage, seconds in other.stages.items():
+            self.record(stage, seconds)
+        self.merge_cache(other.cache)
+        return self
 
     @contextmanager
     def timed(self, stage: str):

@@ -1,0 +1,185 @@
+"""Unit tests for structured run events: recorder, JSONL log, validator.
+
+Every ``--log-json`` line must satisfy :data:`repro.obs.events.
+EVENT_FIELDS`; these tests pin the schema from both sides — records the
+pipeline emits always validate, and malformed records are rejected with
+a specific problem message.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EventLog,
+    EventRecorder,
+    aggregate_warnings,
+    get_recorder,
+    reset_recorder,
+    run_event,
+    span_event,
+    validate_event,
+    validate_event_line,
+    validate_event_log,
+    warn,
+)
+from repro.obs.metrics import get_metrics, reset_metrics
+from repro.obs.trace import Span
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    reset_recorder()
+    reset_metrics()
+    yield
+    reset_recorder()
+    reset_metrics()
+
+
+class TestEventRecorder:
+    def test_warn_records_and_returns_the_event(self):
+        recorder = EventRecorder()
+        record = recorder.warn(
+            "ddl-unparseable", "version deadbeef parsed empty", sha="deadbeef"
+        )
+        assert record["event"] == "warning"
+        assert record["code"] == "ddl-unparseable"
+        assert record["context"] == {"sha": "deadbeef"}
+        assert recorder.warnings == [record]
+        assert validate_event(record) == []
+
+    def test_warnings_count_into_metrics(self):
+        get_recorder().warn("empty-history", "p: zero activity")
+        get_recorder().warn("empty-history", "q: zero activity")
+        assert get_metrics().counter("warnings.empty-history") == 2
+
+    def test_sink_sees_every_delivery(self):
+        recorder = EventRecorder()
+        seen = []
+        recorder.sink = seen.append
+        recorder.warn("a", "first")
+        recorder.replay({"event": "warning", "ts": 0.0, "code": "b",
+                         "message": "from a worker", "context": {}})
+        assert [r["code"] for r in seen] == ["a", "b"]
+        assert len(recorder.warnings) == 2
+
+    def test_mark_since_window(self):
+        recorder = EventRecorder()
+        recorder.warn("before", "outside the window")
+        mark = recorder.mark()
+        recorder.warn("inside-1", "m")
+        recorder.warn("inside-2", "m")
+        window = recorder.since(mark)
+        assert [r["code"] for r in window] == ["inside-1", "inside-2"]
+        # the window is picklable plain data
+        assert json.loads(json.dumps(window)) == window
+
+    def test_module_level_warn_uses_the_active_recorder(self):
+        record = warn("cache-dir-degraded", "dir unusable", cache_dir="/x")
+        assert get_recorder().warnings == [record]
+
+
+class TestAggregateWarnings:
+    def test_groups_by_code_in_first_seen_order(self):
+        warnings = [
+            {"code": "b", "message": "b-one"},
+            {"code": "a", "message": "a-one"},
+            {"code": "b", "message": "b-two"},
+            {"code": "b", "message": "b-three"},
+        ]
+        assert aggregate_warnings(warnings) == [
+            {"code": "b", "count": 3, "first_message": "b-one"},
+            {"code": "a", "count": 1, "first_message": "a-one"},
+        ]
+
+    def test_empty_input(self):
+        assert aggregate_warnings([]) == []
+
+
+class TestEventShapes:
+    def test_span_event_validates(self):
+        span = Span("mine", attributes={"versions": 3},
+                    started_at=1700000000.5, seconds=0.25)
+        record = span_event(span)
+        assert record["name"] == "mine"
+        assert record["attributes"] == {"versions": 3}
+        assert validate_event(record) == []
+
+    def test_run_event_validates(self):
+        record = run_event("study", "ok")
+        assert record["command"] == "study"
+        assert validate_event(record) == []
+
+
+class TestValidator:
+    def test_unknown_kind(self):
+        assert validate_event({"event": "mystery"}) == [
+            "unknown event kind 'mystery'"
+        ]
+        assert validate_event({"no": "event"})[0].startswith("unknown")
+        assert validate_event("not an object") == [
+            "record is not a JSON object"
+        ]
+
+    def test_missing_and_extra_fields(self):
+        problems = validate_event(
+            {"event": "run", "ts": 1.0, "command": "study",
+             "status": "ok", "surprise": 1}
+        )
+        assert problems == ["unexpected field 'surprise'"]
+        problems = validate_event({"event": "run", "ts": 1.0, "status": "ok"})
+        assert "missing field 'command'" in problems
+
+    def test_wrong_field_type(self):
+        record = run_event("study", "ok")
+        record["ts"] = "noon"
+        assert any("field 'ts' has type str" in p
+                   for p in validate_event(record))
+
+    def test_status_must_be_ok_or_error(self):
+        record = run_event("study", "weird")
+        assert "status 'weird' not in ok/error" in validate_event(record)
+
+    def test_negative_seconds(self):
+        record = span_event(Span("s"))
+        record["seconds"] = -0.1
+        assert "negative seconds" in validate_event(record)
+
+    def test_validate_event_line_rejects_bad_json(self):
+        assert validate_event_line("{not json")[0].startswith("invalid JSON")
+        assert validate_event_line(json.dumps(run_event("x", "ok"))) == []
+
+
+class TestEventLog:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(run_event("study", "ok"))
+            log.emit(warn("empty-history", "p: skipped", project="p"))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["event"] == "run"
+        assert json.loads(lines[1])["code"] == "empty-history"
+
+    def test_validate_event_log_accepts_its_own_output(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(span_event(Span("mine", seconds=0.1)))
+            log.emit(run_event("study", "ok"))
+        count, problems = validate_event_log(path)
+        assert count == 2
+        assert problems == []
+
+    def test_validate_event_log_pinpoints_bad_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            json.dumps(run_event("study", "ok")) + "\n"
+            + "\n"
+            + "{broken\n"
+            + json.dumps({"event": "nope"}) + "\n"
+        )
+        count, problems = validate_event_log(path)
+        assert count == 3  # the empty line is a problem, not an event
+        assert any(p.startswith("line 2: empty line") for p in problems)
+        assert any(p.startswith("line 3: invalid JSON") for p in problems)
+        assert any("unknown event kind" in p for p in problems)

@@ -1,0 +1,246 @@
+"""Acceptance tests for the observability layer on a real study run.
+
+The ISSUE contract: a fully-traced study (``--trace --log-json
+--manifest``) must produce (a) a span tree covering generate / mine /
+analyze with one per-project span each — including those built in
+worker processes — (b) a JSONL event log that the schema validator
+accepts line by line, and (c) a manifest carrying seed, jobs, stage
+timings and the metric snapshot; and its measures output must be
+byte-identical to an untraced run at the same seed, serial and
+``jobs=4`` alike.
+
+A scaled-down canonical corpus (~1/16th) keeps the three study passes
+fast while still crossing a real process boundary.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import run_study
+from repro.cli import main
+from repro.corpus import generate_corpus
+from repro.corpus.profiles import CANONICAL_PROFILES
+from repro.io import export_measures_csv
+from repro.obs import (
+    ObsSession,
+    configure_tracing,
+    reset_metrics,
+    reset_recorder,
+    validate_event_log,
+)
+
+SCALE = 16
+SEED = 97_531
+
+
+def _reset_obs():
+    configure_tracing(False)
+    reset_recorder()
+    reset_metrics()
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    yield
+    _reset_obs()
+
+
+def _small_corpus():
+    profiles = tuple(
+        replace(profile, count=max(1, round(profile.count / SCALE)))
+        for profile in CANONICAL_PROFILES
+    )
+    return generate_corpus(seed=SEED, profiles=profiles)
+
+
+def _csv_bytes(study, path):
+    export_measures_csv(study, path)
+    return path.read_bytes()
+
+
+def _span_names(spans):
+    names = []
+    for span in spans:
+        names.append(span["name"])
+        names.extend(_span_names(span.get("children", ())))
+    return names
+
+
+def _find_span(spans, name):
+    for span in spans:
+        if span["name"] == name:
+            return span
+        found = _find_span(span.get("children", ()), name)
+        if found is not None:
+            return found
+    return None
+
+
+@pytest.fixture(scope="module")
+def baseline_csv(tmp_path_factory):
+    """Measures bytes of the untraced serial run — the ground truth."""
+    _reset_obs()
+    study = run_study(_small_corpus())
+    return _csv_bytes(study, tmp_path_factory.mktemp("base") / "m.csv")
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    """One fully-traced ``jobs=4`` run with every artifact written."""
+    _reset_obs()
+    tmp = tmp_path_factory.mktemp("traced")
+    session = ObsSession(
+        command="study",
+        trace_path=tmp / "trace.json",
+        log_path=tmp / "events.jsonl",
+        manifest_path=tmp / "manifest.json",
+    )
+    session.seed = SEED
+    session.jobs = 4
+    corpus = _small_corpus()
+    study = run_study(corpus, jobs=4)
+    session.study = study
+    session.finalize(status="ok")
+    return {
+        "dir": tmp,
+        "corpus_size": len(corpus),
+        "study": study,
+        "csv": _csv_bytes(study, tmp / "m.csv"),
+        "trace": json.loads((tmp / "trace.json").read_text()),
+        "manifest": json.loads((tmp / "manifest.json").read_text()),
+    }
+
+
+class TestResultsUnchanged:
+    def test_traced_parallel_measures_byte_identical(
+        self, baseline_csv, traced
+    ):
+        assert traced["csv"] == baseline_csv
+
+    def test_traced_serial_measures_byte_identical(
+        self, baseline_csv, tmp_path
+    ):
+        session = ObsSession(
+            command="study",
+            trace_path=tmp_path / "trace.json",
+            log_path=tmp_path / "events.jsonl",
+        )
+        study = run_study(_small_corpus())
+        session.study = study
+        session.finalize(status="ok")
+        assert _csv_bytes(study, tmp_path / "m.csv") == baseline_csv
+
+    def test_observability_fields_do_not_affect_equality(self, traced):
+        untraced = run_study(_small_corpus(), jobs=4)
+        assert untraced == traced["study"]
+
+
+class TestSpanTree:
+    def test_covers_generate_mine_analyze(self, traced):
+        names = _span_names(traced["trace"]["spans"])
+        for required in ("generate", "study", "mine_analyze",
+                         "mine", "analyze"):
+            assert required in names, f"span {required!r} missing"
+
+    def test_one_project_span_per_corpus_project(self, traced):
+        names = _span_names(traced["trace"]["spans"])
+        assert names.count("project") == traced["corpus_size"]
+        assert names.count("generate_project") == traced["corpus_size"]
+
+    def test_worker_spans_reattach_under_the_dispatching_span(self, traced):
+        dispatch = _find_span(traced["trace"]["spans"], "mine_analyze")
+        assert dispatch is not None
+        children = dispatch["children"]
+        assert len(children) == traced["corpus_size"]
+        for project_span in children:
+            assert project_span["name"] == "project"
+            assert project_span["attributes"].get("project")
+            child_names = [c["name"] for c in project_span["children"]]
+            assert child_names == ["mine", "analyze"]
+
+    def test_mine_spans_carry_history_attributes(self, traced):
+        mine = _find_span(traced["trace"]["spans"], "mine")
+        assert mine["attributes"]["versions"] > 0
+        assert mine["attributes"]["months"] > 0
+
+
+class TestEventLog:
+    def test_every_line_validates(self, traced):
+        count, problems = validate_event_log(traced["dir"] / "events.jsonl")
+        assert problems == []
+        assert count > 0
+
+    def test_project_spans_logged_once_each(self, traced):
+        lines = (traced["dir"] / "events.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        project_closes = [
+            r for r in records
+            if r["event"] == "span" and r["name"] == "project"
+        ]
+        assert len(project_closes) == traced["corpus_size"]
+
+    def test_log_ends_with_the_run_marker(self, traced):
+        lines = (traced["dir"] / "events.jsonl").read_text().splitlines()
+        last = json.loads(lines[-1])
+        assert last["event"] == "run"
+        assert last["command"] == "study"
+        assert last["status"] == "ok"
+
+
+class TestManifest:
+    def test_carries_seed_jobs_timings_metrics(self, traced):
+        manifest = traced["manifest"]
+        assert manifest["seed"] == SEED
+        assert manifest["jobs"] == 4
+        assert manifest["status"] == "ok"
+        stages = manifest["timings"]["stages"]
+        assert stages["mine"] > 0
+        assert stages["analyze"] > 0
+        assert stages["total"] > 0
+        counters = manifest["metrics"]["counters"]
+        assert counters["projects.mined"] == traced["corpus_size"]
+        assert counters["versions.parsed"] > 0
+        assert any(key.startswith("changes.") for key in counters)
+        assert "parse_cache.misses" in counters
+        assert "diff.seconds" in manifest["metrics"]["histograms"]
+
+    def test_outputs_point_at_the_artifacts(self, traced):
+        outputs = traced["manifest"]["outputs"]
+        assert outputs["trace"].endswith("trace.json")
+        assert outputs["events"].endswith("events.jsonl")
+
+    def test_round_trips_through_json(self, traced):
+        manifest = traced["manifest"]
+        assert json.loads(json.dumps(manifest)) == manifest
+
+
+class TestTraceViewCommand:
+    def test_renders_the_span_tree(self, traced, capsys):
+        assert main(
+            ["trace-view", str(traced["dir"] / "trace.json")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "study" in out
+        assert "project" in out
+        assert "mine_analyze" in out
+
+    def test_depth_limits_the_output(self, traced, capsys):
+        assert main(
+            ["trace-view", str(traced["dir"] / "trace.json"),
+             "--depth", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "study" in out
+        assert "mine_analyze" not in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace-view", str(tmp_path / "nope.json")]) == 1
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_invalid_json_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["trace-view", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err

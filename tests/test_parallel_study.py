@@ -10,6 +10,7 @@ import pytest
 
 from repro.analysis import canonical_study, run_study
 from repro.corpus import generate_corpus
+from repro.perf.cache import CacheStats
 from repro.perf.timing import StudyTimings
 
 
@@ -89,3 +90,63 @@ class TestTimings:
         with timings.timed("figures"):
             pass
         assert timings.stages["figures"] >= 0
+
+    def test_ordered_stages_puts_extras_after_the_pipeline(self):
+        timings = StudyTimings()
+        for stage in ("zeta", "analyze", "alpha", "mine", "total"):
+            timings.record(stage, 1.0)
+        names = [name for name, _ in timings.ordered_stages()]
+        # canonical pipeline order first, unknown stages sorted after
+        assert names == ["mine", "analyze", "total", "alpha", "zeta"]
+
+    def test_merge_sums_stages_and_cache_keeps_driver_jobs(self):
+        driver = StudyTimings(jobs=4)
+        driver.record("mine", 1.0)
+        driver.merge_cache(CacheStats(hits=2, misses=1))
+        worker = StudyTimings(jobs=1)
+        worker.record("mine", 0.5)
+        worker.record("figures", 0.25)
+        worker.merge_cache(CacheStats(hits=1, misses=3, disk_hits=1))
+        merged = driver.merge(worker)
+        assert merged is driver  # chains
+        assert driver.stages["mine"] == pytest.approx(1.5)
+        assert driver.stages["figures"] == pytest.approx(0.25)
+        assert driver.jobs == 4
+        assert driver.cache == CacheStats(hits=3, misses=4, disk_hits=1)
+
+
+class TestParallelObservability:
+    """Satellite checks: cache counters and metrics across workers."""
+
+    @pytest.fixture(scope="class")
+    def parallel(self, corpus):
+        return run_study(corpus, jobs=2)
+
+    def test_parallel_cache_counters_feed_the_profile(self, parallel):
+        # the previously-missing assertion: worker cache deltas must
+        # reach the driver's --profile output when jobs > 1
+        cache = parallel.timings.cache
+        assert cache.lookups > 0
+        assert cache.hits + cache.misses == cache.lookups
+        text = parallel.timings.render()
+        assert "hit rate" in text
+        assert "summed worker seconds" in text
+
+    def test_parallel_metrics_counters_match_serial(self, parallel, serial):
+        def stable(study):
+            # parse-cache splits depend on worker scheduling (each
+            # worker warms its own memory layer); everything else is
+            # deterministic
+            return {
+                name: value
+                for name, value in study.metrics.counters.items()
+                if not name.startswith("parse_cache.")
+            }
+
+        assert stable(parallel) == stable(serial)
+        assert parallel.metrics.counters["projects.mined"] == 195
+
+    def test_diff_latency_histogram_collected(self, serial):
+        histogram = serial.metrics.histograms["diff.seconds"]
+        assert histogram.count > 0
+        assert histogram.mean > 0
