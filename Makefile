@@ -12,7 +12,7 @@ PYTHON ?= python
 JOBS ?= 1
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-smoke bench bench-parallel study clean
+.PHONY: test trace-smoke bench bench-parallel bench-check study clean
 
 test: trace-smoke
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,14 @@ bench: test
 # same, but through the parallel study driver
 bench-parallel: test
 	REPRO_STUDY_JOBS=4 $(PYTHON) -m pytest benchmarks/test_perf_pipeline.py benchmarks/test_perf_study.py -q -p no:cacheprovider
+
+# perf-regression watchdog: self-comparison of the committed benchmark
+# record must always pass (override CANDIDATE with a fresh manifest or
+# BENCH payload to compare a real change)
+BASELINE ?= BENCH_study.json
+CANDIDATE ?= BENCH_study.json
+bench-check:
+	$(PYTHON) -m repro bench-check $(BASELINE) $(CANDIDATE)
 
 study:
 	$(PYTHON) -m repro study --jobs $(JOBS) --profile

@@ -73,11 +73,16 @@ def test_study_stage_breakdown_and_bench_json(study, tmp_path_factory):
     assert warm.projects == study.projects
     assert warm.timings.cache.hit_rate > 0.95
 
+    from repro.obs.manifest import runtime_environment
+
     payload = {
         "benchmark": "canonical_study",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "projects": len(study),
         "skipped": len(study.skipped),
+        # host fingerprint: `repro bench-check` refuses cross-machine
+        # comparisons against this record unless explicitly allowed
+        "environment": runtime_environment(),
         **timings.as_dict(),
         "warm_restudy": {
             "cold_seconds": round(cold_seconds, 6),

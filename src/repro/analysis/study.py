@@ -17,6 +17,7 @@ per-stage wall-clock breakdown and parse-cache hit rates.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Iterable
@@ -26,6 +27,7 @@ from ..heartbeat import ZeroTotalError
 from ..mining import mine_project
 from ..obs.events import get_recorder
 from ..obs.metrics import MetricsSnapshot
+from ..obs.progress import ProgressTracker
 from ..obs.trace import get_tracer
 from ..perf.timing import StudyTimings
 from ..taxa import Taxon
@@ -158,46 +160,59 @@ def run_study(
     skipped: list[str] = []
     with tracer.span("study", projects=len(projects), jobs=max(1, jobs)):
         with tracer.span("mine_analyze"):
+            # the heartbeat: one driver-side update per collected result
+            # (ETA from the live per-stage timings), emitted to the
+            # progress channel when --log-json / --progress listen
+            tracker = ProgressTracker(
+                "mine_analyze", len(projects), timings=timings
+            )
             mined: Iterable[MinedRow]
-            if jobs <= 1:
-                mined = map(mine_and_analyze, projects)
-            else:
-                from concurrent.futures import ProcessPoolExecutor
+            with ExitStack() as stack:
+                if jobs <= 1:
+                    mined = map(mine_and_analyze, projects)
+                else:
+                    from concurrent.futures import ProcessPoolExecutor
 
-                executor = ProcessPoolExecutor(
-                    max_workers=jobs, initializer=worker_init
-                )
-                try:
-                    mined = list(
-                        executor.map(
-                            mine_and_analyze,
-                            projects,
-                            chunksize=pool_chunksize(len(projects), jobs),
+                    executor = stack.enter_context(
+                        ProcessPoolExecutor(
+                            max_workers=jobs, initializer=worker_init
                         )
                     )
-                finally:
-                    executor.shutdown()
+                    # executor.map yields in corpus order as chunks
+                    # complete, so lazy collection keeps results
+                    # identical to the serial path while letting the
+                    # heartbeat fire mid-run
+                    mined = executor.map(
+                        mine_and_analyze,
+                        projects,
+                        chunksize=pool_chunksize(len(projects), jobs),
+                    )
 
-            for result in mined:
-                if result.row is not None:
-                    rows.append(result.row)
-                else:
-                    skipped.append(result.name)
-                timings.record("mine", result.mine_seconds)
-                timings.record("analyze", result.analyze_seconds)
-                timings.merge_cache(result.cache)
-                metrics = metrics + result.metrics
-                # per-project span trees built in workers (or detached
-                # in-process on the serial path) reattach here; worker
-                # trees also replay their span-close events, which no
-                # in-process sink could observe
-                if result.trace is not None:
-                    tracer.attach(result.trace, emit=jobs > 1)
-                if result.warnings:
-                    warnings.extend(result.warnings)
-                    if jobs > 1:
-                        for record in result.warnings:
-                            recorder.replay(record)
+                for result in mined:
+                    if result.row is not None:
+                        rows.append(result.row)
+                    else:
+                        skipped.append(result.name)
+                    timings.record("mine", result.mine_seconds)
+                    timings.record("analyze", result.analyze_seconds)
+                    timings.merge_cache(result.cache)
+                    metrics = metrics + result.metrics
+                    # per-project span trees built in workers (or
+                    # detached in-process on the serial path) reattach
+                    # here; worker trees also replay their span-close
+                    # events, which no in-process sink could observe
+                    if result.trace is not None:
+                        tracer.attach(result.trace, emit=jobs > 1)
+                    if result.warnings:
+                        warnings.extend(result.warnings)
+                        if jobs > 1:
+                            for record in result.warnings:
+                                recorder.replay(record)
+                    tracker.update(
+                        result.name,
+                        result.mine_seconds + result.analyze_seconds,
+                    )
+            tracker.finish()
     metrics.fold_cache(timings.cache)
     timings.record("total", time.perf_counter() - start)
     return StudyResult(

@@ -5,21 +5,30 @@ Subcommands::
     repro-study generate --out DIR [--seed N] [--jobs N]   # build + save
     repro-study study [--seed N | --corpus DIR]   # run the full study
                [--figure all|4|5|6|7|8|stats] [--csv PATH]
-               [--jobs N] [--cache-dir DIR] [--profile]
+               [--jobs N] [--cache-dir DIR] [--profile] [--scale N]
                [--trace FILE] [--log-json FILE] [--manifest FILE]
+               [--progress]
     repro-study report --out report.md            # Markdown study report
     repro-study case NAME [--seed N]              # one project's diagram
     repro-study diff OLD.sql NEW.sql              # atomic changes
     repro-study impact OLD.sql NEW.sql SRC...     # change impact
     repro-study validate SCHEMA.sql SRC...        # query validation
-    repro-study trace-view FILE                   # render a --trace file
+    repro-study trace-view FILE [--sort X] [--min-ms N]  # render a trace
+    repro-study obs export {chrome,prom,flame} FILE      # export telemetry
+    repro-study bench-check BASELINE CANDIDATE    # perf-regression check
 
-The three observability flags (available on ``generate``, ``study`` and
+The observability flags (available on ``generate``, ``study`` and
 ``report``) never change results: ``--trace`` writes the hierarchical
 span tree of the run, ``--log-json`` streams structured JSONL events
-(span closes, warnings, a closing run marker), and ``--manifest``
-records the run's seed, jobs, cache config, versions, stage timings,
-metric snapshot and warnings.
+(span closes, warnings, progress heartbeats, a closing run marker),
+``--manifest`` records the run's seed, jobs, cache config, versions,
+host environment, stage timings, metric snapshot and warnings, and
+``--progress`` prints a live done/total + ETA line to stderr.
+
+``obs export`` converts finished telemetry to standard formats (Chrome
+trace-event JSON for Perfetto, Prometheus text exposition, flamegraph
+folded stacks); ``bench-check`` compares two run manifests or
+``BENCH_study.json`` payloads and fails on perf regressions.
 
 Also runnable as ``python -m repro``.
 """
@@ -72,6 +81,22 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="write the run manifest (JSON) to FILE",
         )
+        command.add_argument(
+            "--progress",
+            action="store_true",
+            help="print a live done/total progress line to stderr",
+        )
+
+    def add_scale_flag(command) -> None:
+        command.add_argument(
+            "--scale",
+            type=int,
+            default=1,
+            metavar="N",
+            help="shrink the canonical corpus by N (each taxon keeps "
+            "count/N projects, at least one) — micro-studies for CI "
+            "and smoke runs; ignored with --corpus",
+        )
 
     generate = sub.add_parser(
         "generate", help="generate a corpus and save it to disk"
@@ -80,6 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=None)
     add_perf_flags(generate)
     add_obs_flags(generate)
+    add_scale_flag(generate)
 
     study = sub.add_parser("study", help="run the full study")
     study.add_argument("--seed", type=int, default=None)
@@ -99,6 +125,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_perf_flags(study)
     add_obs_flags(study)
+    add_scale_flag(study)
 
     report = sub.add_parser(
         "report", help="write a full Markdown study report"
@@ -150,6 +177,102 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="only show spans up to depth N (root = 0)",
     )
+    trace_view.add_argument(
+        "--sort",
+        default="start",
+        choices=["start", "self", "total"],
+        help="sibling order: recording order, or descending "
+        "self/total time (default: start)",
+    )
+    trace_view.add_argument(
+        "--min-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="hide subtrees whose total time is below MS milliseconds",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="work with recorded telemetry (exporters)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    export = obs_sub.add_parser(
+        "export",
+        help="export telemetry to a standard tool format",
+        description=(
+            "chrome/flame read a --trace JSON file; prom reads a run "
+            "manifest (or a bare metrics snapshot JSON)"
+        ),
+    )
+    export.add_argument(
+        "kind",
+        choices=["chrome", "prom", "flame"],
+        help="chrome: trace-event JSON for Perfetto; prom: Prometheus "
+        "text exposition; flame: flamegraph folded stacks",
+    )
+    export.add_argument(
+        "file", help="the telemetry file (--trace output, or a manifest)"
+    )
+    export.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the export to FILE instead of stdout",
+    )
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help="compare two perf records and fail on regressions",
+        description=(
+            "BASELINE and CANDIDATE are run manifests (--manifest) or "
+            "BENCH_study.json payloads, freely mixed"
+        ),
+    )
+    bench_check.add_argument("baseline", help="baseline perf record (JSON)")
+    bench_check.add_argument("candidate", help="candidate perf record (JSON)")
+    bench_check.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="relative per-stage slowdown tolerated (default: 0.25)",
+    )
+    bench_check.add_argument(
+        "--threshold",
+        action="append",
+        default=None,
+        metavar="STAGE=FRACTION",
+        help="per-stage threshold override (repeatable)",
+    )
+    bench_check.add_argument(
+        "--min-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="noise floor: skip stages below S seconds on both sides "
+        "(default: 0.05)",
+    )
+    bench_check.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print and persist the verdict but always exit 0",
+    )
+    bench_check.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable verdict to FILE",
+    )
+    bench_check.add_argument(
+        "--allow-env-mismatch",
+        action="store_true",
+        help="downgrade a host-environment mismatch from fail to warn",
+    )
+    bench_check.add_argument(
+        "--allow-warnings",
+        action="store_true",
+        help="do not fail when the candidate has more warnings",
+    )
 
     return parser
 
@@ -164,11 +287,12 @@ def _configure_perf(args) -> int:
 
 
 def _configure_obs(args):
-    """Open an ObsSession when any --trace/--log-json/--manifest is set."""
+    """Open an ObsSession when any observability flag is set."""
     trace_path = getattr(args, "trace", None)
     log_path = getattr(args, "log_json", None)
     manifest_path = getattr(args, "manifest", None)
-    if not (trace_path or log_path or manifest_path):
+    progress = bool(getattr(args, "progress", False))
+    if not (trace_path or log_path or manifest_path or progress):
         return None
     from .obs import ObsSession
 
@@ -177,6 +301,19 @@ def _configure_obs(args):
         trace_path=trace_path,
         log_path=log_path,
         manifest_path=manifest_path,
+        progress=progress,
+    )
+
+
+def _scaled_profiles(scale: int):
+    """The canonical profiles shrunk by ``--scale`` (micro-studies)."""
+    from dataclasses import replace
+
+    from .corpus import CANONICAL_PROFILES
+
+    return tuple(
+        replace(profile, count=max(1, round(profile.count / scale)))
+        for profile in CANONICAL_PROFILES
     )
 
 
@@ -198,7 +335,24 @@ def _get_study(args):
         seed = args.seed if args.seed is not None else DEFAULT_SEED
         if session is not None:
             session.seed = seed
-        study = canonical_study(seed, jobs=jobs)
+        scale = max(1, getattr(args, "scale", 1) or 1)
+        if scale > 1:
+            import time
+
+            from .corpus import generate_corpus
+
+            generate_start = time.perf_counter()
+            corpus = generate_corpus(
+                seed=seed, profiles=_scaled_profiles(scale), jobs=jobs
+            )
+            generate_seconds = time.perf_counter() - generate_start
+            if session is not None:
+                session.corpus_size = len(corpus)
+            study = run_study(corpus, jobs=jobs)
+            study.timings.record("generate", generate_seconds)
+            study.timings.record("total", generate_seconds)
+        else:
+            study = canonical_study(seed, jobs=jobs)
     if session is not None:
         session.study = study
     return study
@@ -214,7 +368,13 @@ def _cmd_generate(args) -> int:
     if session is not None:
         session.seed = seed
         session.jobs = jobs
-    corpus = generate_corpus(seed=seed, jobs=jobs)
+    scale = max(1, getattr(args, "scale", 1) or 1)
+    if scale > 1:
+        corpus = generate_corpus(
+            seed=seed, profiles=_scaled_profiles(scale), jobs=jobs
+        )
+    else:
+        corpus = generate_corpus(seed=seed, jobs=jobs)
     if session is not None:
         session.corpus_size = len(corpus)
     root = save_corpus(corpus, args.out)
@@ -379,7 +539,104 @@ def _cmd_trace_view(args) -> int:
     except json.JSONDecodeError as exc:
         print(f"{path} is not valid JSON: {exc}", file=sys.stderr)
         return 1
-    print(render_trace(payload, max_depth=args.depth))
+    print(
+        render_trace(
+            payload,
+            max_depth=args.depth,
+            sort=args.sort,
+            min_ms=args.min_ms,
+        )
+    )
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    import json
+
+    from .obs import chrome_trace, folded_stacks, prometheus_text
+
+    path = Path(args.file)
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"{path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.kind == "chrome":
+            text = json.dumps(chrome_trace(payload), indent=2) + "\n"
+        elif args.kind == "flame":
+            text = folded_stacks(payload)
+            if text:
+                text += "\n"
+        else:  # prom — a manifest (its metrics block) or a bare snapshot
+            text = prometheus_text(payload.get("metrics", payload))
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"cannot export {path} as {args.kind}: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"{args.kind} export written to {out} ({len(text)} chars)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_bench_check(args) -> int:
+    import json
+
+    from .obs import compare_samples, load_sample
+    from .obs.regress import DEFAULT_MAX_REGRESSION, DEFAULT_MIN_SECONDS
+
+    try:
+        baseline = load_sample(args.baseline)
+        candidate = load_sample(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"bench-check: {exc}", file=sys.stderr)
+        return 2
+    thresholds: dict[str, float] = {}
+    for spec in args.threshold or ():
+        stage, sep, value = spec.partition("=")
+        try:
+            if not (sep and stage):
+                raise ValueError(spec)
+            thresholds[stage] = float(value)
+        except ValueError:
+            print(
+                f"bench-check: bad --threshold {spec!r} "
+                "(expected STAGE=FRACTION)",
+                file=sys.stderr,
+            )
+            return 2
+    report = compare_samples(
+        baseline,
+        candidate,
+        max_regression=(
+            args.max_regression
+            if args.max_regression is not None
+            else DEFAULT_MAX_REGRESSION
+        ),
+        stage_thresholds=thresholds,
+        min_seconds=(
+            args.min_seconds
+            if args.min_seconds is not None
+            else DEFAULT_MIN_SECONDS
+        ),
+        allow_env_mismatch=args.allow_env_mismatch,
+        allow_warnings=args.allow_warnings,
+    )
+    print(report.render())
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"verdict written to {out}")
+    if report.failed and not args.report_only:
+        return 1
     return 0
 
 
@@ -392,6 +649,8 @@ _COMMANDS = {
     "impact": _cmd_impact,
     "validate": _cmd_validate,
     "trace-view": _cmd_trace_view,
+    "obs": _cmd_obs,
+    "bench-check": _cmd_bench_check,
 }
 
 

@@ -22,12 +22,14 @@ The generative story per project:
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 
 from ..heartbeat import Month
 from ..obs.metrics import get_metrics
+from ..obs.progress import ProgressTracker
 from ..obs.trace import get_tracer
 from ..taxa import Taxon
 from ..vcs import (
@@ -186,7 +188,9 @@ def generate_project(
     tracer = get_tracer()
     if not tracer.enabled:
         return _generate_project(spec, profile)
-    with tracer.detached("generate_project", project=spec.name) as span:
+    with tracer.detached(
+        "generate_project", project=spec.name, worker=os.getpid()
+    ) as span:
         project = _generate_project(spec, profile)
     project.trace = span.to_dict()
     return project
@@ -567,6 +571,11 @@ def generate_corpus(
     pairs = [(spec, by_taxon[spec.taxon]) for spec in specs]
     tracer = get_tracer()
     with tracer.span("generate", projects=len(pairs), jobs=max(1, jobs)):
+        # heartbeat for the generation fan-out: updated per collected
+        # project (lazily off executor.map, which preserves spec order),
+        # so long generations report progress without touching the RNGs
+        tracker = ProgressTracker("generate", len(pairs))
+        projects = []
         if jobs > 1:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -579,17 +588,18 @@ def generate_corpus(
             with ProcessPoolExecutor(
                 max_workers=jobs, initializer=worker_init
             ) as executor:
-                projects = list(
-                    executor.map(
-                        generate_one,
-                        pairs,
-                        chunksize=pool_chunksize(len(pairs), jobs),
-                    )
-                )
+                for project in executor.map(
+                    generate_one,
+                    pairs,
+                    chunksize=pool_chunksize(len(pairs), jobs),
+                ):
+                    projects.append(project)
+                    tracker.update(project.name)
         else:
-            projects = [
-                generate_project(spec, profile) for spec, profile in pairs
-            ]
+            for spec, profile in pairs:
+                projects.append(generate_project(spec, profile))
+                tracker.update(spec.name)
+        tracker.finish()
         for project in projects:
             if project.trace is not None:
                 # worker span closes were invisible to any in-process

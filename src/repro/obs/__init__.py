@@ -1,4 +1,4 @@
-"""Observability layer: span tracing, metrics, events, run manifests.
+"""Observability layer: tracing, metrics, events, exports, monitoring.
 
 The study pipeline is a long fan-out batch job; this package makes one
 run auditable end to end without changing any of its results:
@@ -9,18 +9,27 @@ run auditable end to end without changing any of its results:
 * :mod:`repro.obs.metrics` — named counters/gauges/histograms with
   snapshot/merge semantics so worker deltas fold into one study total;
 * :mod:`repro.obs.events` — the structured JSONL event log (span closes,
-  warnings, run markers) plus its line-by-line schema validator;
+  warnings, progress heartbeats, run markers) plus its line-by-line
+  schema validator;
 * :mod:`repro.obs.manifest` — the run manifest written next to study
-  outputs (seed, jobs, cache config, versions, timings, metric
-  snapshot, warnings, exit status).
+  outputs (seed, jobs, cache config, versions, host environment,
+  timings, metric snapshot, warnings, exit status);
+* :mod:`repro.obs.export` — finished telemetry rendered in standard
+  formats: Chrome trace-event JSON (Perfetto / ``chrome://tracing``),
+  Prometheus text exposition, flamegraph folded stacks;
+* :mod:`repro.obs.progress` — the live heartbeat channel behind
+  ``--progress`` and the ``progress`` events in ``--log-json``;
+* :mod:`repro.obs.regress` — the ``bench-check`` perf-regression
+  watchdog comparing run manifests / ``BENCH_study.json`` payloads.
 
 :class:`ObsSession` is the CLI-facing glue: it wires ``--trace``,
-``--log-json`` and ``--manifest`` to the right globals for one run and
-writes every artifact at :meth:`ObsSession.finalize`.
+``--log-json``, ``--manifest`` and ``--progress`` to the right globals
+for one run and writes every artifact at :meth:`ObsSession.finalize`.
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 from .events import (
@@ -36,13 +45,35 @@ from .events import (
     validate_event_log,
     warn,
 )
-from .manifest import build_manifest, write_manifest
+from .export import (
+    chrome_trace,
+    folded_stacks,
+    prometheus_text,
+    validate_prometheus_text,
+)
+from .manifest import build_manifest, runtime_environment, write_manifest
 from .metrics import (
     HistogramData,
     MetricsRegistry,
     MetricsSnapshot,
     get_metrics,
     reset_metrics,
+)
+from .progress import (
+    ProgressChannel,
+    ProgressTracker,
+    get_progress,
+    progress_event,
+    render_progress_line,
+    reset_progress,
+)
+from .regress import (
+    Check,
+    PerfSample,
+    RegressionReport,
+    compare_samples,
+    load_sample,
+    sample_from_dict,
 )
 from .trace import (
     NULL_SPAN,
@@ -55,6 +86,7 @@ from .trace import (
 )
 
 __all__ = [
+    "Check",
     "EventLog",
     "EventRecorder",
     "HistogramData",
@@ -62,22 +94,38 @@ __all__ = [
     "MetricsSnapshot",
     "NULL_SPAN",
     "ObsSession",
+    "PerfSample",
+    "ProgressChannel",
+    "ProgressTracker",
+    "RegressionReport",
     "Span",
     "Tracer",
     "aggregate_warnings",
     "build_manifest",
+    "chrome_trace",
+    "compare_samples",
     "configure_tracing",
+    "folded_stacks",
     "get_metrics",
+    "get_progress",
     "get_recorder",
     "get_tracer",
+    "load_sample",
+    "progress_event",
+    "prometheus_text",
+    "render_progress_line",
     "render_trace",
     "reset_metrics",
+    "reset_progress",
     "reset_recorder",
     "run_event",
+    "runtime_environment",
+    "sample_from_dict",
     "span_event",
     "validate_event",
     "validate_event_line",
     "validate_event_log",
+    "validate_prometheus_text",
     "warn",
     "write_manifest",
     "write_trace",
@@ -100,6 +148,7 @@ class ObsSession:
         trace_path: str | Path | None = None,
         log_path: str | Path | None = None,
         manifest_path: str | Path | None = None,
+        progress: bool = False,
     ):
         self.command = command
         self.trace_path = Path(trace_path) if trace_path else None
@@ -114,6 +163,7 @@ class ObsSession:
 
         reset_metrics()
         recorder = reset_recorder()
+        channel = reset_progress()
         self._tracing_enabled = bool(self.trace_path or self.log_path)
         tracer = (
             configure_tracing(True) if self._tracing_enabled else get_tracer()
@@ -123,6 +173,11 @@ class ObsSession:
             self.event_log = EventLog(self.log_path)
             tracer.on_close = self._on_span_close
             recorder.sink = self.event_log.emit
+            # progress heartbeats always land in the event log; the
+            # --progress flag only adds the live stderr line below
+            channel.sink = self.event_log.emit
+        if progress:
+            channel.stream = sys.stderr
 
     def _on_span_close(self, span) -> None:
         self.event_log.emit(span_event(span))
@@ -150,6 +205,10 @@ class ObsSession:
                 },
             )
             write_manifest(manifest, self.manifest_path)
+        channel = get_progress()
+        channel.close_line()
+        channel.sink = None
+        channel.stream = None
         if self.event_log is not None:
             self.event_log.emit(run_event(self.command, status))
             get_recorder().sink = None

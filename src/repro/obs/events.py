@@ -1,11 +1,12 @@
-"""Structured JSONL run events: span closes, warnings, run markers.
+"""Structured JSONL run events: span closes, warnings, progress, run
+markers.
 
 Every line of a ``--log-json`` file is one JSON object with a stable
 schema (see :data:`EVENT_FIELDS`); :func:`validate_event` /
 :func:`validate_event_log` check conformance line by line, and the
 ``make trace-smoke`` target runs that validator over a real traced run.
 
-Three event kinds exist:
+Four event kinds exist:
 
 ``span``
     emitted when a span closes — ``name``, ``seconds``, ``status`` and
@@ -15,6 +16,10 @@ Three event kinds exist:
     skips — an unparseable DDL version, an empty (zero-activity)
     history, a ``find_ddl_path`` tie-break, a parse-cache directory
     degrading to memory-only;
+``progress``
+    periodic heartbeats from the executor fan-outs (see
+    :mod:`repro.obs.progress`) — projects done/total, percent, the
+    stage ETA and the slowest projects so far;
 ``run``
     one closing marker per CLI run with the command and exit status.
 
@@ -50,6 +55,16 @@ EVENT_FIELDS: dict[str, dict[str, tuple]] = {
         "code": (str,),
         "message": (str,),
         "context": (dict,),
+    },
+    "progress": {
+        "event": (str,),
+        "ts": (int, float),
+        "stage": (str,),
+        "done": (int,),
+        "total": (int,),
+        "percent": (int, float),
+        "eta_seconds": (int, float),
+        "slowest": (list,),
     },
     "run": {
         "event": (str,),
@@ -229,6 +244,20 @@ def validate_event(record) -> list[str]:
     if isinstance(record.get("seconds"), (int, float)):
         if record["seconds"] < 0:
             errors.append("negative seconds")
+    if kind == "progress" and not errors:
+        if not 0 <= record["done"] <= record["total"]:
+            errors.append("done outside [0, total]")
+        if record["eta_seconds"] < 0:
+            errors.append("negative eta_seconds")
+        for index, entry in enumerate(record["slowest"]):
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("name"), str)
+                or not isinstance(entry.get("seconds"), (int, float))
+            ):
+                errors.append(
+                    f"slowest[{index}] is not a {{name, seconds}} object"
+                )
     return errors
 
 

@@ -1,0 +1,325 @@
+"""Exporters: trapped telemetry rendered in standard tool formats.
+
+PR 2 gave the pipeline a span tracer, a metrics registry and a JSONL
+event log — all in bespoke JSON.  This module converts those payloads
+into the three formats the wider tooling ecosystem already speaks:
+
+* :func:`chrome_trace` — a ``--trace`` payload as Chrome trace-event
+  JSON (the *JSON Object Format*), loadable in Perfetto and
+  ``chrome://tracing``.  Spans become complete (``"ph": "X"``) events;
+  thread lanes are assigned per worker process (the ``worker``
+  attribute carried by spans built inside pool workers) with the driver
+  on lane 0; flow events (``"s"``/``"f"``) tie each worker-side span to
+  the driver span that dispatched it.  Every event also carries
+  ``span_id``/``parent_id`` in its ``args``, so the exact span tree is
+  reconstructible from the export (round-tripped in tests).
+* :func:`prometheus_text` — a metrics snapshot in the Prometheus text
+  exposition format (``# HELP``/``# TYPE`` comments, counter samples
+  with the ``_total`` suffix, histogram ``_bucket``/``_sum``/``_count``
+  series with cumulative ``le`` buckets).
+  :func:`validate_prometheus_text` checks a rendered page line by line
+  against the exposition grammar.
+* :func:`folded_stacks` — flamegraph folded-stack lines (one
+  ``root;child;leaf <microseconds>`` line per span path), aggregated by
+  path over span *self* time, ready for ``flamegraph.pl`` or any
+  compatible renderer.
+
+Exporters are strictly read-only over finished payloads: they never
+touch the live tracer or registry, so they cannot perturb a run.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .trace import TRACE_FORMAT, Span
+
+#: The single synthetic process id used in Chrome trace exports.
+TRACE_PID = 1
+
+#: Lane (Chrome ``tid``) of spans recorded by the driver process.
+DRIVER_LANE = 0
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+
+def chrome_trace(payload: dict) -> dict:
+    """Convert a ``--trace`` payload to Chrome trace-event JSON.
+
+    Returns the *JSON Object Format* document: ``{"traceEvents": [...],
+    "displayTimeUnit": "ms"}``.  Spans carrying a ``worker`` attribute
+    (and their descendants) render on that worker's thread lane; driver
+    spans render on lane 0.  A lane crossing — a worker span attached
+    under a driver span — additionally emits a flow-event pair tying
+    the two lanes together visually.
+    """
+    fmt = payload.get("format")
+    if fmt is not None and fmt != TRACE_FORMAT:
+        raise ValueError(f"not a {TRACE_FORMAT} payload (format={fmt!r})")
+    roots = [Span.from_dict(data) for data in payload.get("spans", ())]
+
+    events: list[dict] = []
+    lanes: dict[object, int] = {}
+    counters = {"span": 0, "flow": 0}
+
+    def lane_of(span: Span, parent_lane: int) -> int:
+        worker = span.attributes.get("worker")
+        if worker is None:
+            return parent_lane
+        if worker not in lanes:
+            lanes[worker] = len(lanes) + 1
+        return lanes[worker]
+
+    def emit(span: Span, parent_lane: int, parent_id: int | None) -> None:
+        counters["span"] += 1
+        span_id = counters["span"]
+        lane = lane_of(span, parent_lane)
+        ts = round(span.started_at * 1e6)
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": ts,
+            "dur": round(span.seconds * 1e6),
+            "pid": TRACE_PID,
+            "tid": lane,
+            "args": {
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "status": span.status,
+                "attributes": dict(span.attributes),
+            },
+        })
+        if parent_id is not None and lane != parent_lane:
+            counters["flow"] += 1
+            flow = {
+                "name": "dispatch",
+                "cat": "repro",
+                "id": counters["flow"],
+                "ts": ts,
+                "pid": TRACE_PID,
+            }
+            events.append({**flow, "ph": "s", "tid": parent_lane})
+            events.append({**flow, "ph": "f", "bp": "e", "tid": lane})
+        for child in span.children:
+            emit(child, lane, span_id)
+
+    for root in roots:
+        emit(root, DRIVER_LANE, None)
+
+    metadata = [
+        {
+            "name": "process_name", "ph": "M",
+            "pid": TRACE_PID, "tid": DRIVER_LANE,
+            "args": {"name": "repro-study"},
+        },
+        {
+            "name": "thread_name", "ph": "M",
+            "pid": TRACE_PID, "tid": DRIVER_LANE,
+            "args": {"name": "driver"},
+        },
+    ]
+    for worker, lane in sorted(lanes.items(), key=lambda item: item[1]):
+        metadata.append({
+            "name": "thread_name", "ph": "M",
+            "pid": TRACE_PID, "tid": lane,
+            "args": {"name": f"worker {worker}"},
+        })
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+
+def _prom_name(name: str, *, suffix: str = "") -> str:
+    """Sanitise a registry metric name into a Prometheus metric name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    full = f"repro_{cleaned}"
+    if suffix and not full.endswith(suffix):
+        full += suffix
+    return full
+
+
+def _fmt_value(value) -> str:
+    """Render a sample value (ints stay integral, floats stay short)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(metrics) -> str:
+    """Render a metrics snapshot in the Prometheus exposition format.
+
+    Accepts a :class:`~repro.obs.metrics.MetricsSnapshot` or its
+    ``as_dict()`` form (the ``metrics`` block of a run manifest).
+    Counters gain the conventional ``_total`` suffix; histograms render
+    as cumulative ``_bucket`` series plus ``_sum`` and ``_count``.
+    """
+    if hasattr(metrics, "as_dict"):
+        metrics = metrics.as_dict()
+    lines: list[str] = []
+
+    for name in sorted(metrics.get("counters", {})):
+        prom = _prom_name(name, suffix="_total")
+        lines.append(
+            f"# HELP {prom} Counter {name} from the repro metrics registry."
+        )
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt_value(metrics['counters'][name])}")
+
+    for name in sorted(metrics.get("gauges", {})):
+        prom = _prom_name(name)
+        lines.append(
+            f"# HELP {prom} Gauge {name} from the repro metrics registry."
+        )
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt_value(metrics['gauges'][name])}")
+
+    for name in sorted(metrics.get("histograms", {})):
+        data = metrics["histograms"][name]
+        if hasattr(data, "as_dict"):
+            data = data.as_dict()
+        prom = _prom_name(name)
+        lines.append(
+            f"# HELP {prom} Histogram {name} from the repro metrics "
+            "registry."
+        )
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_fmt_value(float(bound))}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{prom}_sum {_fmt_value(data['sum'])}")
+        lines.append(f"{prom}_count {data['count']}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})(?:\{{({_LABEL}(?:,{_LABEL})*)?\}})? (\S+)$"
+)
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) \S.*$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_LE_RE = re.compile(r'le="([^"]*)"')
+
+#: Sample-name suffixes a histogram family may expose.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _sample_family(name: str, types: dict[str, str]) -> str | None:
+    """The declared metric family a sample name belongs to, if any."""
+    if name in types:
+        return name
+    for suffix in _HISTOGRAM_SUFFIXES:
+        family = name[: -len(suffix)] if name.endswith(suffix) else None
+        if family and types.get(family) == "histogram":
+            return family
+    return None
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Check a rendered page line by line against the exposition grammar.
+
+    Returns a list of ``line N: problem`` strings (empty when the page
+    is clean): malformed HELP/TYPE comments, samples whose name was
+    never typed, histogram samples outside the
+    ``_bucket``/``_sum``/``_count`` family, unparsable values and
+    ``le`` labels that are not floats.
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# HELP "):
+                if not _HELP_RE.match(line):
+                    problems.append(f"line {number}: malformed HELP comment")
+            elif line.startswith("# TYPE "):
+                match = _TYPE_RE.match(line)
+                if not match:
+                    problems.append(f"line {number}: malformed TYPE comment")
+                elif match.group(1) in types:
+                    problems.append(
+                        f"line {number}: duplicate TYPE for "
+                        f"{match.group(1)!r}"
+                    )
+                else:
+                    types[match.group(1)] = match.group(2)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {number}: malformed sample line")
+            continue
+        name, labels, value = match.groups()
+        try:
+            float(value)
+        except ValueError:
+            problems.append(
+                f"line {number}: sample value {value!r} is not a float"
+            )
+        family = _sample_family(name, types)
+        if family is None:
+            problems.append(
+                f"line {number}: sample {name!r} has no preceding TYPE"
+            )
+        elif types[family] == "histogram" and name == family:
+            problems.append(
+                f"line {number}: histogram {family!r} exposes a bare "
+                "sample (expected _bucket/_sum/_count)"
+            )
+        if name.endswith("_bucket"):
+            le = _LE_RE.search(labels or "")
+            if le is None:
+                problems.append(
+                    f"line {number}: _bucket sample without an le label"
+                )
+            else:
+                try:
+                    float(le.group(1))
+                except ValueError:
+                    problems.append(
+                        f"line {number}: le value {le.group(1)!r} is not "
+                        "a float"
+                    )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# folded flamegraph stacks
+
+def folded_stacks(payload: dict) -> str:
+    """Render a ``--trace`` payload as flamegraph folded-stack lines.
+
+    One ``path;to;span <microseconds>`` line per distinct span path,
+    aggregating span *self* time (total minus children) across every
+    occurrence of the path; zero-self-time paths are omitted, as their
+    time is carried entirely by their children.  Lines are sorted by
+    path so the output is deterministic.
+    """
+    totals: dict[str, int] = {}
+
+    def visit(span: Span, prefix: str) -> None:
+        path = f"{prefix};{span.name}" if prefix else span.name
+        micros = round(span.self_seconds * 1e6)
+        if micros > 0:
+            totals[path] = totals.get(path, 0) + micros
+        for child in span.children:
+            visit(child, path)
+
+    for data in payload.get("spans", ()):
+        visit(Span.from_dict(data), "")
+    if not totals:
+        return ""
+    return "\n".join(f"{path} {totals[path]}" for path in sorted(totals))

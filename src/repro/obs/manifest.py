@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import socket
 import time
 from pathlib import Path
 
@@ -20,6 +21,20 @@ from .events import aggregate_warnings
 
 #: Version tag of the manifest document format.
 MANIFEST_FORMAT = "repro-run-manifest-v1"
+
+
+def runtime_environment() -> dict:
+    """Host facts for apples-to-apples perf comparisons.
+
+    Recorded in every manifest (and the BENCH payload) so
+    ``repro bench-check`` can refuse cross-machine baselines with a
+    clear warning instead of reporting phantom regressions.
+    """
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
 
 
 def build_manifest(
@@ -55,6 +70,7 @@ def build_manifest(
             "python": platform.python_version(),
             "platform": platform.platform(),
         },
+        "environment": runtime_environment(),
         "cache": {
             "dir": str(cache.cache_dir) if cache.cache_dir else None,
             "env": os.environ.get(CACHE_DIR_ENV),

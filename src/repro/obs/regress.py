@@ -1,0 +1,362 @@
+"""The perf-regression watchdog: baseline vs candidate comparison.
+
+``repro bench-check BASELINE CANDIDATE`` compares two performance
+records — run manifests (``--manifest``) or ``BENCH_study.json``
+payloads, freely mixed — and produces a machine-readable verdict.
+Checks cover:
+
+* per-stage wall seconds (relative threshold, default +25 %, override
+  globally with ``--max-regression`` or per stage with
+  ``--threshold STAGE=FRACTION``); stages below the noise floor
+  (``min_seconds``) are skipped rather than flagged;
+* parse-cache hit rate (absolute drop threshold);
+* warning counts (any increase fails unless allowed);
+* comparability guards: corpus size must match, and when both records
+  carry a host ``environment`` (hostname / platform / cpu count —
+  recorded by the run manifest), a mismatch refuses the comparison
+  with a clear apples-to-oranges warning unless explicitly allowed.
+  A ``jobs`` mismatch only warns: stage rows are summed worker
+  seconds, so totals remain comparable but wall clock does not.
+
+The comparison is pure data-in/data-out (no clocks, no host access),
+so the watchdog itself can run anywhere — including CI in report-only
+mode, where the verdict is printed and persisted but never fails the
+build.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .manifest import MANIFEST_FORMAT
+
+#: Format tag of the verdict document written by ``bench-check --json``.
+VERDICT_FORMAT = "repro-bench-check-v1"
+
+#: Default relative stage-seconds regression threshold (+25 %).
+DEFAULT_MAX_REGRESSION = 0.25
+
+#: Stages where both sides sit below this many seconds are noise.
+DEFAULT_MIN_SECONDS = 0.05
+
+#: Default tolerated absolute parse-cache hit-rate drop.
+DEFAULT_MAX_HIT_RATE_DROP = 0.10
+
+#: Environment keys that must agree for an apples-to-apples comparison.
+ENVIRONMENT_KEYS = ("hostname", "platform", "cpu_count")
+
+
+@dataclass
+class PerfSample:
+    """One side of a comparison, normalised from either source format."""
+
+    source: str
+    kind: str  # "manifest" | "bench"
+    projects: int | None
+    jobs: int | None
+    stages: dict[str, float]
+    cache: dict | None
+    warning_count: int | None
+    environment: dict | None
+
+    @property
+    def hit_rate(self) -> float | None:
+        if not self.cache:
+            return None
+        rate = self.cache.get("hit_rate")
+        return float(rate) if rate is not None else None
+
+
+def sample_from_dict(data: dict, *, source: str = "<dict>") -> PerfSample:
+    """Normalise a decoded manifest or BENCH payload into a sample."""
+    if not isinstance(data, dict):
+        raise ValueError(f"{source}: not a JSON object")
+    if data.get("format") == MANIFEST_FORMAT or "timings" in data:
+        timings = data.get("timings") or {}
+        return PerfSample(
+            source=source,
+            kind="manifest",
+            projects=data.get("projects"),
+            jobs=data.get("jobs") or timings.get("jobs"),
+            stages=dict(timings.get("stages") or {}),
+            cache=timings.get("parse_cache"),
+            warning_count=data.get("warning_count"),
+            environment=data.get("environment"),
+        )
+    if "stages" in data:
+        return PerfSample(
+            source=source,
+            kind="bench",
+            projects=data.get("projects"),
+            jobs=data.get("jobs"),
+            stages=dict(data.get("stages") or {}),
+            cache=data.get("parse_cache"),
+            warning_count=data.get("warning_count"),
+            environment=data.get("environment"),
+        )
+    raise ValueError(
+        f"{source}: neither a run manifest nor a BENCH_study.json payload"
+    )
+
+
+def load_sample(path: str | Path) -> PerfSample:
+    """Load and normalise one comparison side from a JSON file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    return sample_from_dict(data, source=str(path))
+
+
+@dataclass
+class Check:
+    """One comparison line of the verdict."""
+
+    name: str
+    status: str  # "pass" | "fail" | "warn" | "skip"
+    baseline: float | None = None
+    candidate: float | None = None
+    ratio: float | None = None  # relative change, candidate vs baseline
+    threshold: float | None = None
+    message: str = ""
+
+    def as_dict(self) -> dict:
+        out: dict = {"name": self.name, "status": self.status}
+        for key in ("baseline", "candidate", "ratio", "threshold"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = round(value, 6)
+        if self.message:
+            out["message"] = self.message
+        return out
+
+
+@dataclass
+class RegressionReport:
+    """The full verdict: every check plus pass/fail roll-up."""
+
+    baseline: str
+    candidate: str
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return any(check.status == "fail" for check in self.checks)
+
+    @property
+    def verdict(self) -> str:
+        return "fail" if self.failed else "pass"
+
+    def as_dict(self) -> dict:
+        """Machine-readable verdict (the ``--json`` payload)."""
+        return {
+            "format": VERDICT_FORMAT,
+            "verdict": self.verdict,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "checks": [check.as_dict() for check in self.checks],
+        }
+
+    def render(self) -> str:
+        """Human-readable verdict table."""
+        lines = [
+            f"bench-check: baseline {self.baseline} "
+            f"vs candidate {self.candidate}"
+        ]
+        for check in self.checks:
+            detail = check.message
+            if check.ratio is not None and not detail:
+                limit = (
+                    f" (limit {check.threshold:+.0%})"
+                    if check.threshold is not None
+                    else ""
+                )
+                detail = (
+                    f"{check.baseline:.3f}s -> {check.candidate:.3f}s "
+                    f"{check.ratio:+.1%}{limit}"
+                )
+            lines.append(
+                f"  {check.status.upper():<4} {check.name:<24} {detail}"
+            )
+        lines.append(f"verdict: {self.verdict.upper()}")
+        return "\n".join(lines)
+
+
+def compare_samples(
+    baseline: PerfSample,
+    candidate: PerfSample,
+    *,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    stage_thresholds: dict[str, float] | None = None,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    max_hit_rate_drop: float = DEFAULT_MAX_HIT_RATE_DROP,
+    allow_env_mismatch: bool = False,
+    allow_warnings: bool = False,
+) -> RegressionReport:
+    """Compare two perf samples and return the full verdict."""
+    stage_thresholds = stage_thresholds or {}
+    report = RegressionReport(
+        baseline=baseline.source, candidate=candidate.source
+    )
+    checks = report.checks
+
+    # -- comparability guards ------------------------------------------
+    checks.append(_environment_check(baseline, candidate, allow_env_mismatch))
+    if (
+        baseline.projects is not None
+        and candidate.projects is not None
+        and baseline.projects != candidate.projects
+    ):
+        checks.append(Check(
+            name="projects",
+            status="fail",
+            baseline=float(baseline.projects),
+            candidate=float(candidate.projects),
+            message=(
+                f"corpus size differs ({baseline.projects} vs "
+                f"{candidate.projects}) — stage seconds are not comparable"
+            ),
+        ))
+    if (
+        baseline.jobs is not None
+        and candidate.jobs is not None
+        and baseline.jobs != candidate.jobs
+    ):
+        checks.append(Check(
+            name="jobs",
+            status="warn",
+            baseline=float(baseline.jobs),
+            candidate=float(candidate.jobs),
+            message=(
+                f"jobs differ ({baseline.jobs} vs {candidate.jobs}); "
+                "stage rows are summed worker seconds, wall clock is not "
+                "comparable"
+            ),
+        ))
+
+    # -- per-stage wall seconds ----------------------------------------
+    for stage in baseline.stages:
+        if stage not in candidate.stages:
+            checks.append(Check(
+                name=f"stage:{stage}",
+                status="skip",
+                message="stage missing from candidate",
+            ))
+            continue
+        base = float(baseline.stages[stage])
+        cand = float(candidate.stages[stage])
+        if base < min_seconds and cand < min_seconds:
+            checks.append(Check(
+                name=f"stage:{stage}",
+                status="skip",
+                baseline=base,
+                candidate=cand,
+                message=f"below the {min_seconds}s noise floor",
+            ))
+            continue
+        threshold = stage_thresholds.get(stage, max_regression)
+        ratio = (cand - base) / max(base, min_seconds)
+        checks.append(Check(
+            name=f"stage:{stage}",
+            status="fail" if ratio > threshold else "pass",
+            baseline=base,
+            candidate=cand,
+            ratio=ratio,
+            threshold=threshold,
+        ))
+    for stage in candidate.stages:
+        if stage not in baseline.stages:
+            checks.append(Check(
+                name=f"stage:{stage}",
+                status="skip",
+                message="stage missing from baseline",
+            ))
+
+    # -- parse-cache hit rate ------------------------------------------
+    base_rate, cand_rate = baseline.hit_rate, candidate.hit_rate
+    if base_rate is not None and cand_rate is not None:
+        drop = base_rate - cand_rate
+        checks.append(Check(
+            name="cache_hit_rate",
+            status="fail" if drop > max_hit_rate_drop else "pass",
+            baseline=base_rate,
+            candidate=cand_rate,
+            ratio=-drop,
+            threshold=max_hit_rate_drop,
+            message=(
+                f"hit rate {base_rate:.1%} -> {cand_rate:.1%} "
+                f"(tolerated drop {max_hit_rate_drop:.0%})"
+            ),
+        ))
+    else:
+        checks.append(Check(
+            name="cache_hit_rate",
+            status="skip",
+            message="parse-cache stats missing from one side",
+        ))
+
+    # -- warning counts -------------------------------------------------
+    if (
+        baseline.warning_count is not None
+        and candidate.warning_count is not None
+    ):
+        increase = candidate.warning_count - baseline.warning_count
+        grew = increase > 0 and not allow_warnings
+        checks.append(Check(
+            name="warnings",
+            status="fail" if grew else "pass",
+            baseline=float(baseline.warning_count),
+            candidate=float(candidate.warning_count),
+            message=(
+                f"warning count {baseline.warning_count} -> "
+                f"{candidate.warning_count}"
+            ),
+        ))
+    else:
+        checks.append(Check(
+            name="warnings",
+            status="skip",
+            message="warning counts missing from one side",
+        ))
+
+    return report
+
+
+def _environment_check(
+    baseline: PerfSample, candidate: PerfSample, allow: bool
+) -> Check:
+    if not baseline.environment or not candidate.environment:
+        return Check(
+            name="environment",
+            status="skip",
+            message=(
+                "host environment not recorded on both sides "
+                "(older manifest or BENCH payload); cross-machine drift "
+                "cannot be ruled out"
+            ),
+        )
+    mismatched = [
+        key
+        for key in ENVIRONMENT_KEYS
+        if baseline.environment.get(key) != candidate.environment.get(key)
+    ]
+    if not mismatched:
+        return Check(name="environment", status="pass")
+    detail = ", ".join(
+        f"{key}: {baseline.environment.get(key)!r} vs "
+        f"{candidate.environment.get(key)!r}"
+        for key in mismatched
+    )
+    return Check(
+        name="environment",
+        status="warn" if allow else "fail",
+        message=(
+            "apples-to-oranges baseline: host environment differs "
+            f"({detail})"
+            + ("" if allow else " — refusing comparison; rerun with "
+               "--allow-env-mismatch to override")
+        ),
+    )

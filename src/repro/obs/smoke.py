@@ -12,7 +12,13 @@ contract end to end:
 3. the span tree covers generate / mine / analyze with one ``project``
    span per corpus project (reattached from the workers);
 4. the run manifest round-trips through ``json.loads`` and carries the
-   seed, jobs, stage timings and metric snapshot.
+   seed, jobs, stage timings and metric snapshot;
+5. progress heartbeats land in the event log for both fan-out stages,
+   with the final ``mine_analyze`` heartbeat at done == total;
+6. the exporters accept the run's own telemetry: the Chrome export has
+   one complete event per span, the Prometheus page passes the
+   exposition-grammar validator, and the folded stacks are non-empty;
+7. ``bench-check`` comparing the manifest against itself passes.
 
 Exit status 0 on success, 1 with a diagnosis on the first violation.
 """
@@ -59,7 +65,17 @@ def _span_names(spans: list[dict]) -> list[str]:
 
 def main() -> int:
     from ..analysis.study import run_study
-    from . import ObsSession, validate_event_log
+    from . import (
+        ObsSession,
+        chrome_trace,
+        compare_samples,
+        folded_stacks,
+        get_progress,
+        prometheus_text,
+        sample_from_dict,
+        validate_event_log,
+        validate_prometheus_text,
+    )
 
     failures: list[str] = []
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
@@ -82,6 +98,9 @@ def main() -> int:
         )
         session.seed = SMOKE_SEED
         session.jobs = SMOKE_JOBS
+        # emit a heartbeat on every completion so the smoke corpus is
+        # big enough to exercise the progress path deterministically
+        get_progress().interval = 0.0
         corpus = _smoke_corpus()
         study = run_study(corpus, jobs=SMOKE_JOBS)
         session.study = study
@@ -125,21 +144,78 @@ def main() -> int:
                 f"expected {len(corpus)} project spans, got {project_spans}"
             )
 
+        # progress heartbeats: both fan-out stages must have reported,
+        # and the mine_analyze stage must have completed its count
+        heartbeats = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if json.loads(line).get("event") == "progress"
+        ]
+        stages = {record["stage"] for record in heartbeats}
+        if "generate" not in stages:
+            failures.append("no generate progress heartbeat in the log")
+        finals = [
+            record for record in heartbeats
+            if record["stage"] == "mine_analyze"
+        ]
+        if not finals:
+            failures.append("no mine_analyze progress heartbeat in the log")
+        elif (
+            finals[-1]["done"] != len(corpus)
+            or finals[-1]["total"] != len(corpus)
+        ):
+            failures.append(
+                f"final mine_analyze heartbeat at "
+                f"{finals[-1]['done']}/{finals[-1]['total']}, "
+                f"expected {len(corpus)}/{len(corpus)}"
+            )
+
         manifest_text = manifest_path.read_text()
         manifest = json.loads(manifest_text)  # must round-trip
         if json.loads(json.dumps(manifest)) != manifest:
             failures.append("manifest does not round-trip through json")
-        for key in ("seed", "jobs", "timings", "metrics"):
+        for key in ("seed", "jobs", "timings", "metrics", "environment"):
             if manifest.get(key) in (None, {}, []):
                 failures.append(f"manifest field {key!r} missing or empty")
+
+        # exporters must accept the run's own telemetry
+        chrome = chrome_trace(trace)
+        complete = [
+            event for event in chrome["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+        if len(complete) != len(names):
+            failures.append(
+                f"chrome export has {len(complete)} complete events for "
+                f"{len(names)} spans"
+            )
+        prom_problems = validate_prometheus_text(
+            prometheus_text(manifest["metrics"])
+        )
+        if prom_problems:
+            failures.append(
+                f"prometheus export fails its validator: {prom_problems[0]}"
+            )
+        if not folded_stacks(trace):
+            failures.append("folded-stacks export is empty")
+
+        # the perf watchdog must pass a self-comparison of this run
+        sample = sample_from_dict(manifest, source="manifest")
+        verdict = compare_samples(sample, sample)
+        if verdict.failed:
+            failures.append(
+                "bench-check self-comparison failed: "
+                + verdict.render().splitlines()[-1]
+            )
 
     if failures:
         for failure in failures:
             print(f"trace-smoke FAIL: {failure}", file=sys.stderr)
         return 1
     print(
-        f"trace-smoke ok: {len(corpus)} projects, {events} events, "
-        f"{project_spans} project spans, manifest round-trips"
+        f"trace-smoke ok: {len(corpus)} projects, {events} events "
+        f"({len(heartbeats)} heartbeats), {project_spans} project spans, "
+        "manifest round-trips, exporters + bench-check clean"
     )
     return 0
 

@@ -248,19 +248,54 @@ def write_trace(tracer: Tracer, path: str | Path) -> Path:
 # ----------------------------------------------------------------------
 # rendering (the `repro-study trace-view` subcommand)
 
-def render_trace(payload: dict, *, max_depth: int | None = None) -> str:
-    """Render a trace payload as an indented tree with self-times."""
+#: Valid ``--sort`` orders for :func:`render_trace`.
+TRACE_SORTS = ("start", "self", "total")
+
+
+def render_trace(
+    payload: dict,
+    *,
+    max_depth: int | None = None,
+    sort: str = "start",
+    min_ms: float | None = None,
+) -> str:
+    """Render a trace payload as an indented tree with self-times.
+
+    ``sort`` orders siblings at every level: ``start`` keeps recording
+    order, ``self``/``total`` sort by descending self/total seconds so
+    the hot spans of a big trace surface first.  ``min_ms`` prunes
+    every subtree whose total time is below the cutoff (children can
+    never outlast their parent, so pruning whole subtrees is safe).
+    """
+    if sort not in TRACE_SORTS:
+        raise ValueError(f"sort must be one of {TRACE_SORTS}, got {sort!r}")
     spans = [Span.from_dict(data) for data in payload.get("spans", ())]
     lines = [f"{'span':<44} {'total':>10} {'self':>10}"]
-    for span in spans:
-        _render_span(span, 0, max_depth, lines)
+    for span in _ordered(spans, sort):
+        _render_span(span, 0, max_depth, lines, sort=sort, min_ms=min_ms)
     return "\n".join(lines)
 
 
+def _ordered(spans: list[Span], sort: str) -> list[Span]:
+    if sort == "self":
+        return sorted(spans, key=lambda s: s.self_seconds, reverse=True)
+    if sort == "total":
+        return sorted(spans, key=lambda s: s.seconds, reverse=True)
+    return spans
+
+
 def _render_span(
-    span: Span, depth: int, max_depth: int | None, lines: list[str]
+    span: Span,
+    depth: int,
+    max_depth: int | None,
+    lines: list[str],
+    *,
+    sort: str = "start",
+    min_ms: float | None = None,
 ) -> None:
     if max_depth is not None and depth > max_depth:
+        return
+    if min_ms is not None and span.seconds * 1000.0 < min_ms:
         return
     attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
     flag = "" if span.status == "ok" else f" [{span.status}]"
@@ -269,5 +304,6 @@ def _render_span(
         f"{label:<44} {span.seconds:>9.3f}s {span.self_seconds:>9.3f}s"
         f"{flag}{'  ' + attrs if attrs else ''}"
     )
-    for child in span.children:
-        _render_span(child, depth + 1, max_depth, lines)
+    for child in _ordered(span.children, sort):
+        _render_span(child, depth + 1, max_depth, lines,
+                     sort=sort, min_ms=min_ms)

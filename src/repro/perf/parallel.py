@@ -17,6 +17,7 @@ identical results.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -89,7 +90,10 @@ def mine_and_analyze(project: GeneratedProject) -> MinedRow:
     cache_before = get_cache().stats
     metrics_before = metrics.snapshot()
     warn_mark = recorder.mark()
-    with tracer.detached("project", project=project.name) as span:
+    # the worker pid becomes the span's thread lane in Chrome exports
+    with tracer.detached(
+        "project", project=project.name, worker=os.getpid()
+    ) as span:
         start = time.perf_counter()
         with tracer.span("mine") as mine_span:
             history = mine_project(project.repository)

@@ -55,6 +55,27 @@ class StudyTimings:
         self.merge_cache(other.cache)
         return self
 
+    def eta_seconds(
+        self,
+        done: int,
+        total: int,
+        stages: tuple[str, ...] = ("mine", "analyze"),
+    ) -> float | None:
+        """Estimated wall seconds left after ``done`` of ``total`` items.
+
+        Uses the summed worker seconds recorded for ``stages`` so far
+        (mean per completed item, divided by ``jobs`` to approximate
+        wall clock under the fan-out).  Returns ``None`` when the
+        stages carry no seconds yet — callers fall back to wall-clock
+        extrapolation — and ``0.0`` once nothing remains.
+        """
+        if done <= 0 or total <= done:
+            return 0.0
+        worked = sum(self.stages.get(stage, 0.0) for stage in stages)
+        if worked <= 0.0:
+            return None
+        return worked / done * (total - done) / max(1, self.jobs)
+
     @contextmanager
     def timed(self, stage: str):
         """Context manager recording the block's wall time into ``stage``."""

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -71,6 +73,15 @@ class TestStudyCommand:
         assert csv_path.exists()
         assert len(csv_path.read_text().splitlines()) == 196
 
+    def test_scale_shrinks_the_corpus(self, capsys):
+        # 195 projects / 32 -> one or two per taxon (7 total)
+        assert main(
+            ["study", "--scale", "32", "--figure", "headline",
+             "--seed", "77"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "projects: 7" in out
+
 
 class TestCaseCommand:
     def test_case_renders_diagram(self, capsys):
@@ -83,7 +94,86 @@ class TestCaseCommand:
         assert main(["case", "definitely-not-a-project-xyz"]) == 1
 
 
+class TestObsExportCommand:
+    TRACE = {
+        "format": "repro-trace-v1",
+        "spans": [{
+            "name": "study", "start": 10.0, "seconds": 1.0,
+            "status": "ok", "attributes": {},
+            "children": [{
+                "name": "project", "start": 10.1, "seconds": 0.4,
+                "status": "ok", "attributes": {"worker": 42},
+                "children": [],
+            }],
+        }],
+    }
+    SNAPSHOT = {"counters": {"projects.mined": 7}, "gauges": {},
+                "histograms": {}}
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(self.TRACE))
+        return path
+
+    def test_chrome_export_to_stdout(self, trace_file, capsys):
+        assert main(["obs", "export", "chrome", str(trace_file)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["displayTimeUnit"] == "ms"
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names == ["study", "project"]
+
+    def test_flame_export_to_file(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "stacks.folded"
+        assert main(
+            ["obs", "export", "flame", str(trace_file),
+             "--out", str(out)]
+        ) == 0
+        assert "written to" in capsys.readouterr().out
+        assert "study 600000" in out.read_text()
+
+    def test_prom_export_from_manifest_or_snapshot(self, tmp_path, capsys):
+        # a manifest wraps the snapshot under "metrics"; a bare
+        # snapshot works too
+        for payload in ({"metrics": self.SNAPSHOT}, self.SNAPSHOT):
+            path = tmp_path / "metrics.json"
+            path.write_text(json.dumps(payload))
+            assert main(["obs", "export", "prom", str(path)]) == 0
+            out = capsys.readouterr().out
+            assert "repro_projects_mined_total 7" in out
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(
+            ["obs", "export", "chrome", str(tmp_path / "nope.json")]
+        ) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_invalid_json_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        assert main(["obs", "export", "flame", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_foreign_trace_format_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"format": "speedscope", "spans": []}))
+        assert main(["obs", "export", "chrome", str(path)]) == 1
+        assert "cannot export" in capsys.readouterr().err
+
+    def test_unknown_kind_rejected_by_the_parser(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["obs", "export", "svg", str(trace_file)])
+
+
 class TestGenerateCommand:
+    def test_generate_scaled(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        assert main(
+            ["generate", "--out", str(out_dir), "--seed", "77",
+             "--scale", "32"]
+        ) == 0
+        assert "7 projects" in capsys.readouterr().out
+
     def test_generate_and_reload(self, tmp_path, capsys):
         # a tiny corpus via a non-default seed keeps the test quick:
         # reuse the canonical profiles but only verify the save path

@@ -183,3 +183,110 @@ class TestEventLog:
         assert any(p.startswith("line 2: empty line") for p in problems)
         assert any(p.startswith("line 3: invalid JSON") for p in problems)
         assert any("unknown event kind" in p for p in problems)
+
+    def test_empty_file_is_clean(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("")
+        assert validate_event_log(path) == (0, [])
+
+    def test_truncated_final_line_is_pinpointed(self, tmp_path):
+        # a killed writer leaves a partial record with no newline
+        path = tmp_path / "events.jsonl"
+        full = json.dumps(run_event("study", "ok"))
+        path.write_text(full + "\n" + full[: len(full) // 2])
+        count, problems = validate_event_log(path)
+        assert count == 2  # the fragment still counts as a line
+        assert problems == [p for p in problems if p.startswith("line 2")]
+        assert "invalid JSON" in problems[0]
+
+    def test_interleaved_writers_stay_line_clean(self, tmp_path):
+        # two streams whose complete lines were appended alternately
+        # (the JSONL contract: interleaving whole lines is always safe)
+        path = tmp_path / "events.jsonl"
+        spans = [
+            json.dumps(span_event(Span(f"a{i}", seconds=0.1)))
+            for i in range(3)
+        ]
+        warns = [
+            json.dumps({"event": "warning", "ts": 0.0, "code": f"w{i}",
+                        "message": "m", "context": {}})
+            for i in range(3)
+        ]
+        lines = [line for pair in zip(spans, warns) for line in pair]
+        path.write_text("\n".join(lines) + "\n")
+        count, problems = validate_event_log(path)
+        assert count == 6
+        assert problems == []
+
+    def test_jammed_records_on_one_line_are_caught(self, tmp_path):
+        # two writers racing without line buffering jam two records
+        # onto one line; the validator pinpoints it and keeps going
+        path = tmp_path / "events.jsonl"
+        record = json.dumps(run_event("study", "ok"))
+        path.write_text(record + record + "\n" + record + "\n")
+        count, problems = validate_event_log(path)
+        assert count == 2
+        assert len(problems) == 1
+        assert problems[0].startswith("line 1: invalid JSON")
+
+
+class TestProgressEvents:
+    def _record(self, **overrides):
+        record = {
+            "event": "progress",
+            "ts": 1700000000.0,
+            "stage": "mine_analyze",
+            "done": 3,
+            "total": 12,
+            "percent": 25.0,
+            "eta_seconds": 4.5,
+            "slowest": [{"name": "acme/registry-000", "seconds": 0.25}],
+        }
+        record.update(overrides)
+        return record
+
+    def test_well_formed_record_validates(self):
+        assert validate_event(self._record()) == []
+
+    def test_progress_lines_validate_in_a_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(self._record(done=1, percent=8.3))
+            log.emit(self._record(done=12, percent=100.0, slowest=[]))
+            log.emit(run_event("study", "ok"))
+        count, problems = validate_event_log(path)
+        assert count == 3
+        assert problems == []
+
+    def test_done_beyond_total_rejected(self):
+        assert "done outside [0, total]" in validate_event(
+            self._record(done=13)
+        )
+        assert "done outside [0, total]" in validate_event(
+            self._record(done=-1)
+        )
+
+    def test_negative_eta_rejected(self):
+        assert "negative eta_seconds" in validate_event(
+            self._record(eta_seconds=-0.5)
+        )
+
+    def test_malformed_slowest_entries_rejected(self):
+        problems = validate_event(
+            self._record(slowest=["acme/registry-000"])
+        )
+        assert problems == ["slowest[0] is not a {name, seconds} object"]
+        problems = validate_event(
+            self._record(slowest=[{"name": "x", "seconds": "fast"}])
+        )
+        assert problems == ["slowest[0] is not a {name, seconds} object"]
+
+    def test_missing_fields_rejected(self):
+        record = self._record()
+        del record["stage"]
+        assert "missing field 'stage'" in validate_event(record)
+
+    def test_unexpected_fields_rejected(self):
+        assert "unexpected field 'speed'" in validate_event(
+            self._record(speed=9000)
+        )

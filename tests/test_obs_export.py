@@ -1,0 +1,295 @@
+"""Unit tests for the telemetry exporters (`repro.obs.export`).
+
+Each exporter is pinned against its consumer's grammar: the Chrome
+document must be valid trace-event JSON whose ``span_id``/``parent_id``
+args reconstruct the exact span tree, the Prometheus page must pass the
+exposition-grammar validator line by line, and the folded stacks must
+aggregate self time by span path.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    DRIVER_LANE,
+    TRACE_PID,
+    chrome_trace,
+    folded_stacks,
+    prometheus_text,
+    validate_prometheus_text,
+)
+from repro.obs.trace import TRACE_FORMAT
+
+
+def _span(name, start, seconds, *, status="ok", attributes=None,
+          children=()):
+    return {
+        "name": name,
+        "start": start,
+        "seconds": seconds,
+        "status": status,
+        "attributes": attributes or {},
+        "children": list(children),
+    }
+
+
+def _payload():
+    """A two-worker study trace: driver spans plus reattached trees."""
+    return {
+        "format": TRACE_FORMAT,
+        "spans": [
+            _span("study", 100.0, 2.0, attributes={"projects": 2},
+                  children=[
+                      _span("mine_analyze", 100.1, 1.8, children=[
+                          _span("project", 100.2, 0.5,
+                                attributes={"project": "a", "worker": 111},
+                                children=[
+                                    _span("mine", 100.2, 0.4),
+                                    _span("analyze", 100.6, 0.1),
+                                ]),
+                          _span("project", 100.3, 0.6, status="error",
+                                attributes={"project": "b", "worker": 222}),
+                      ]),
+                  ]),
+        ],
+    }
+
+
+class TestChromeTrace:
+    @pytest.fixture()
+    def doc(self):
+        return chrome_trace(_payload())
+
+    def test_document_shape(self, doc):
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        # the whole document is plain JSON
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_one_complete_event_per_span(self, doc):
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 6
+        assert [e["name"] for e in complete] == [
+            "study", "mine_analyze", "project", "mine", "analyze",
+            "project",
+        ]
+
+    def test_timestamps_and_durations_in_microseconds(self, doc):
+        study = next(e for e in doc["traceEvents"] if e["name"] == "study")
+        assert study["ts"] == round(100.0 * 1e6)
+        assert study["dur"] == round(2.0 * 1e6)
+        assert study["pid"] == TRACE_PID
+
+    def test_span_tree_round_trips_through_args(self, doc):
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_id = {e["args"]["span_id"]: e for e in complete}
+        children: dict = {}
+        roots = []
+        for event in complete:
+            parent = event["args"]["parent_id"]
+            if parent is None:
+                roots.append(event)
+            else:
+                children.setdefault(parent, []).append(event)
+
+        def rebuild(event):
+            return {
+                "name": event["name"],
+                "status": event["args"]["status"],
+                "attributes": event["args"]["attributes"],
+                "children": [
+                    rebuild(child)
+                    for child in children.get(event["args"]["span_id"], [])
+                ],
+            }
+
+        def strip(span):
+            return {
+                "name": span["name"],
+                "status": span["status"],
+                "attributes": span["attributes"],
+                "children": [strip(c) for c in span["children"]],
+            }
+
+        assert [rebuild(r) for r in roots] == [
+            strip(s) for s in _payload()["spans"]
+        ]
+        assert by_id[1]["name"] == "study"
+
+    def test_worker_spans_get_their_own_lanes(self, doc):
+        events = {
+            (e["name"], e["args"]["attributes"].get("project")): e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert events[("study", None)] == DRIVER_LANE
+        assert events[("mine_analyze", None)] == DRIVER_LANE
+        lane_a = events[("project", "a")]
+        lane_b = events[("project", "b")]
+        assert lane_a != DRIVER_LANE
+        assert lane_b not in (DRIVER_LANE, lane_a)
+        # children without a worker attribute inherit the parent's lane
+        assert events[("mine", None)] == lane_a
+        assert events[("analyze", None)] == lane_a
+
+    def test_lane_crossings_emit_flow_pairs(self, doc):
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 2  # one per worker span
+        for start, finish in zip(starts, finishes):
+            assert start["id"] == finish["id"]
+            assert start["ts"] == finish["ts"]
+            assert start["tid"] == DRIVER_LANE
+            assert finish["tid"] != DRIVER_LANE
+            assert finish["bp"] == "e"
+
+    def test_thread_name_metadata(self, doc):
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[DRIVER_LANE] == "driver"
+        assert "worker 111" in names.values()
+        assert "worker 222" in names.values()
+        process = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        )
+        assert process["args"]["name"] == "repro-study"
+
+    def test_error_status_is_preserved(self, doc):
+        errored = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["args"]["status"] == "error"
+        ]
+        assert len(errored) == 1
+        assert errored[0]["args"]["attributes"]["project"] == "b"
+
+    def test_foreign_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro-trace-v1"):
+            chrome_trace({"format": "speedscope", "spans": []})
+
+    def test_untagged_payload_accepted(self):
+        doc = chrome_trace({"spans": [_span("solo", 1.0, 0.1)]})
+        assert sum(1 for e in doc["traceEvents"] if e["ph"] == "X") == 1
+
+
+METRICS = {
+    "counters": {"projects.mined": 12, "versions.parsed": 340},
+    "gauges": {"cache.entries": 7.5},
+    "histograms": {
+        "diff.seconds": {
+            "bounds": [0.001, 0.01, 0.1],
+            "counts": [5, 3, 1],
+            "sum": 0.25,
+            "count": 10,
+            "mean": 0.025,
+        }
+    },
+}
+
+
+class TestPrometheusText:
+    def test_page_passes_the_validator(self):
+        assert validate_prometheus_text(prometheus_text(METRICS)) == []
+
+    def test_counters_gain_the_total_suffix(self):
+        page = prometheus_text(METRICS)
+        assert "# TYPE repro_projects_mined_total counter" in page
+        assert "repro_projects_mined_total 12" in page
+
+    def test_gauges_render(self):
+        page = prometheus_text(METRICS)
+        assert "# TYPE repro_cache_entries gauge" in page
+        assert "repro_cache_entries 7.5" in page
+
+    def test_histogram_buckets_are_cumulative(self):
+        lines = prometheus_text(METRICS).splitlines()
+        buckets = [l for l in lines if "_bucket" in l]
+        assert buckets == [
+            'repro_diff_seconds_bucket{le="0.001"} 5',
+            'repro_diff_seconds_bucket{le="0.01"} 8',
+            'repro_diff_seconds_bucket{le="0.1"} 9',
+            'repro_diff_seconds_bucket{le="+Inf"} 10',
+        ]
+        assert "repro_diff_seconds_sum 0.25" in lines
+        assert "repro_diff_seconds_count 10" in lines
+
+    def test_empty_snapshot_renders_empty_page(self):
+        assert prometheus_text({}) == ""
+        assert validate_prometheus_text("") == []
+
+    def test_validator_flags_untyped_samples(self):
+        problems = validate_prometheus_text("mystery_metric 1\n")
+        assert problems == ["line 1: sample 'mystery_metric' has no "
+                            "preceding TYPE"]
+
+    def test_validator_flags_malformed_lines(self):
+        page = (
+            "# TYPE repro_x counter\n"
+            "repro x 1\n"          # space in the metric name
+            "repro_x notafloat\n"  # bad value
+        )
+        problems = validate_prometheus_text(page)
+        assert any("malformed sample line" in p for p in problems)
+        assert any("not a float" in p for p in problems)
+
+    def test_validator_flags_bad_histograms(self):
+        page = (
+            "# TYPE repro_h histogram\n"
+            "repro_h 3\n"                      # bare histogram sample
+            "repro_h_bucket 1\n"               # bucket without le
+            'repro_h_bucket{le="wide"} 2\n'    # le not a float
+        )
+        problems = validate_prometheus_text(page)
+        assert any("bare" in p for p in problems)
+        assert any("without an le label" in p for p in problems)
+        assert any("le value 'wide'" in p for p in problems)
+
+    def test_validator_flags_broken_comments(self):
+        page = (
+            "# HELP repro_x\n"       # no help text
+            "# TYPE repro_x sandwich\n"
+            "# TYPE repro_y counter\n"
+            "# TYPE repro_y counter\n"
+        )
+        problems = validate_prometheus_text(page)
+        assert any("malformed HELP" in p for p in problems)
+        assert any("malformed TYPE" in p for p in problems)
+        assert any("duplicate TYPE" in p for p in problems)
+
+
+class TestFoldedStacks:
+    def test_paths_carry_self_time_in_microseconds(self):
+        lines = folded_stacks(_payload()).splitlines()
+        folded = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in lines
+        )
+        assert folded["study"] == round(0.2 * 1e6)
+        assert folded["study;mine_analyze"] == round(0.7 * 1e6)
+        # project "a" has zero self time (children cover it) so only
+        # project "b"'s 0.6 s lands on the shared path
+        assert folded["study;mine_analyze;project"] == round(0.6 * 1e6)
+        assert folded["study;mine_analyze;project;mine"] == round(0.4 * 1e6)
+
+    def test_identical_paths_aggregate(self):
+        payload = {"spans": [
+            _span("stage", 1.0, 0.25),
+            _span("stage", 2.0, 0.5),
+        ]}
+        assert folded_stacks(payload) == "stage 750000"
+
+    def test_zero_self_time_paths_omitted(self):
+        # the root's time is fully covered by its child, so only the
+        # leaf path appears
+        payload = {"spans": [
+            _span("root", 1.0, 0.1,
+                  children=[_span("leaf", 1.0, 0.1)]),
+        ]}
+        assert folded_stacks(payload) == "root;leaf 100000"
+
+    def test_empty_payload(self):
+        assert folded_stacks({"spans": []}) == ""

@@ -1,0 +1,316 @@
+"""Unit + CLI tests for the perf-regression watchdog (`repro.obs.regress`).
+
+The comparator is pure data-in/data-out, so every scenario is a small
+dict fixture: self-comparisons must pass, synthetically slowed
+candidates must fail, sub-noise stages must be skipped, and
+cross-machine records must be refused unless explicitly allowed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.manifest import MANIFEST_FORMAT
+from repro.obs.regress import (
+    DEFAULT_MAX_REGRESSION,
+    VERDICT_FORMAT,
+    compare_samples,
+    load_sample,
+    sample_from_dict,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ENV = {"hostname": "box-a", "platform": "Linux-6.1-x86_64", "cpu_count": 8}
+
+
+def _manifest(*, stages=None, env=ENV, projects=12, jobs=2,
+              warning_count=0, hit_rate=0.5):
+    return {
+        "format": MANIFEST_FORMAT,
+        "projects": projects,
+        "jobs": jobs,
+        "warning_count": warning_count,
+        "environment": dict(env) if env else None,
+        "timings": {
+            "jobs": jobs,
+            "stages": dict(stages or {
+                "generate": 1.0, "mine": 4.0, "analyze": 0.5, "total": 6.0,
+            }),
+            "parse_cache": {"hit_rate": hit_rate, "hits": 50, "misses": 50},
+        },
+    }
+
+
+def _bench(*, stages=None, projects=195, jobs=1):
+    return {
+        "benchmark": "canonical_study",
+        "projects": projects,
+        "jobs": jobs,
+        "stages": dict(stages or {"generate": 2.0, "mine": 8.0,
+                                  "total": 11.0}),
+        "parse_cache": {"hit_rate": 0.4},
+    }
+
+
+def _slowed(data, factor):
+    slow = json.loads(json.dumps(data))
+    block = slow["timings"]["stages"] if "timings" in slow else slow["stages"]
+    for stage in block:
+        block[stage] *= factor
+    return slow
+
+
+class TestSampleNormalisation:
+    def test_manifest_kind(self):
+        sample = sample_from_dict(_manifest(), source="m.json")
+        assert sample.kind == "manifest"
+        assert sample.projects == 12
+        assert sample.jobs == 2
+        assert sample.stages["mine"] == 4.0
+        assert sample.hit_rate == 0.5
+        assert sample.environment == ENV
+
+    def test_bench_kind(self):
+        sample = sample_from_dict(_bench(), source="b.json")
+        assert sample.kind == "bench"
+        assert sample.projects == 195
+        assert sample.stages["mine"] == 8.0
+        assert sample.environment is None
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="neither a run manifest"):
+            sample_from_dict({"hello": "world"}, source="x.json")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            sample_from_dict([1, 2, 3], source="x.json")
+
+    def test_load_sample_from_disk(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(_manifest()))
+        assert load_sample(path).kind == "manifest"
+
+    def test_load_sample_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_sample(path)
+
+
+class TestCompareSamples:
+    def _cmp(self, baseline, candidate, **kwargs):
+        return compare_samples(
+            sample_from_dict(baseline, source="baseline"),
+            sample_from_dict(candidate, source="candidate"),
+            **kwargs,
+        )
+
+    def test_self_comparison_passes(self):
+        report = self._cmp(_manifest(), _manifest())
+        assert not report.failed
+        assert report.verdict == "pass"
+        by_name = {c.name: c for c in report.checks}
+        assert by_name["environment"].status == "pass"
+        assert by_name["stage:mine"].status == "pass"
+        assert by_name["stage:mine"].ratio == 0.0
+
+    def test_slowed_candidate_fails(self):
+        report = self._cmp(_manifest(), _slowed(_manifest(), 2.0))
+        assert report.failed
+        failing = [c.name for c in report.checks if c.status == "fail"]
+        assert "stage:mine" in failing
+        mine = next(c for c in report.checks if c.name == "stage:mine")
+        assert mine.ratio == pytest.approx(1.0)
+        assert mine.threshold == DEFAULT_MAX_REGRESSION
+
+    def test_within_threshold_passes(self):
+        assert not self._cmp(_manifest(), _slowed(_manifest(), 1.2)).failed
+
+    def test_max_regression_override(self):
+        report = self._cmp(_manifest(), _slowed(_manifest(), 1.2),
+                           max_regression=0.10)
+        assert report.failed
+
+    def test_per_stage_threshold_override(self):
+        baseline = _manifest()
+        candidate = _manifest(stages={"generate": 1.0, "mine": 6.0,
+                                      "analyze": 0.5, "total": 8.0})
+        strict = self._cmp(baseline, candidate)
+        assert strict.failed  # mine +50% over the default 25%
+        relaxed = self._cmp(baseline, candidate,
+                            stage_thresholds={"mine": 0.6, "total": 0.6})
+        assert not relaxed.failed
+
+    def test_noise_floor_skips_tiny_stages(self):
+        baseline = _manifest(stages={"figures": 0.001, "mine": 4.0})
+        candidate = _manifest(stages={"figures": 0.04, "mine": 4.0})
+        report = self._cmp(baseline, candidate)
+        figures = next(c for c in report.checks if c.name == "stage:figures")
+        assert figures.status == "skip"  # 40x slower, but all noise
+        assert not report.failed
+
+    def test_stage_missing_from_one_side_is_skipped(self):
+        baseline = _manifest(stages={"mine": 4.0, "figures": 1.0})
+        candidate = _manifest(stages={"mine": 4.0, "render": 1.0})
+        report = self._cmp(baseline, candidate)
+        statuses = {c.name: c.status for c in report.checks}
+        assert statuses["stage:figures"] == "skip"
+        assert statuses["stage:render"] == "skip"
+        assert not report.failed
+
+    def test_environment_mismatch_refuses(self):
+        other = dict(ENV, hostname="box-b")
+        report = self._cmp(_manifest(), _manifest(env=other))
+        env = next(c for c in report.checks if c.name == "environment")
+        assert env.status == "fail"
+        assert "apples-to-oranges" in env.message
+        assert "--allow-env-mismatch" in env.message
+        assert report.failed
+
+    def test_environment_mismatch_allowed_warns(self):
+        other = dict(ENV, cpu_count=4)
+        report = self._cmp(_manifest(), _manifest(env=other),
+                           allow_env_mismatch=True)
+        env = next(c for c in report.checks if c.name == "environment")
+        assert env.status == "warn"
+        assert not report.failed
+
+    def test_missing_environment_skips_the_guard(self):
+        report = self._cmp(_manifest(env=None), _manifest())
+        env = next(c for c in report.checks if c.name == "environment")
+        assert env.status == "skip"
+        assert not report.failed
+
+    def test_projects_mismatch_fails(self):
+        report = self._cmp(_manifest(projects=12), _manifest(projects=195))
+        projects = next(c for c in report.checks if c.name == "projects")
+        assert projects.status == "fail"
+        assert "not comparable" in projects.message
+
+    def test_jobs_mismatch_only_warns(self):
+        report = self._cmp(_manifest(jobs=1), _manifest(jobs=4))
+        jobs = next(c for c in report.checks if c.name == "jobs")
+        assert jobs.status == "warn"
+        assert not report.failed
+
+    def test_hit_rate_drop_fails(self):
+        report = self._cmp(_manifest(hit_rate=0.9), _manifest(hit_rate=0.5))
+        cache = next(c for c in report.checks if c.name == "cache_hit_rate")
+        assert cache.status == "fail"
+        assert report.failed
+
+    def test_small_hit_rate_drop_tolerated(self):
+        report = self._cmp(_manifest(hit_rate=0.9), _manifest(hit_rate=0.85))
+        cache = next(c for c in report.checks if c.name == "cache_hit_rate")
+        assert cache.status == "pass"
+
+    def test_warning_increase_fails_unless_allowed(self):
+        baseline = _manifest(warning_count=2)
+        candidate = _manifest(warning_count=5)
+        assert self._cmp(baseline, candidate).failed
+        assert not self._cmp(baseline, candidate,
+                             allow_warnings=True).failed
+        # fewer warnings is never a failure
+        assert not self._cmp(candidate, baseline).failed
+
+    def test_mixed_manifest_vs_bench(self):
+        report = self._cmp(_bench(projects=12, jobs=2), _manifest())
+        # bench carries no environment or warnings -> those skip;
+        # shared stages compare normally (8.0 -> 4.0 is a speedup)
+        statuses = {c.name: c.status for c in report.checks}
+        assert statuses["environment"] == "skip"
+        assert statuses["warnings"] == "skip"
+        assert statuses["stage:mine"] == "pass"
+        assert statuses["stage:analyze"] == "skip"  # bench never timed it
+        assert not report.failed
+
+    def test_report_shapes(self):
+        report = self._cmp(_manifest(), _slowed(_manifest(), 2.0))
+        verdict = report.as_dict()
+        assert verdict["format"] == VERDICT_FORMAT
+        assert verdict["verdict"] == "fail"
+        assert verdict["baseline"] == "baseline"
+        assert all(set(c) >= {"name", "status"} for c in verdict["checks"])
+        assert json.loads(json.dumps(verdict)) == verdict
+        rendered = report.render()
+        assert rendered.splitlines()[-1] == "verdict: FAIL"
+        assert "stage:mine" in rendered
+
+
+class TestBenchCheckCommand:
+    @pytest.fixture()
+    def records(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_manifest()))
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(_slowed(_manifest(), 2.0)))
+        return base, slow
+
+    def test_self_comparison_exits_zero(self, records, capsys):
+        base, _ = records
+        assert main(["bench-check", str(base), str(base)]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_slowed_candidate_exits_one(self, records, capsys):
+        base, slow = records
+        assert main(["bench-check", str(base), str(slow)]) == 1
+        assert "verdict: FAIL" in capsys.readouterr().out
+
+    def test_report_only_never_fails(self, records, capsys):
+        base, slow = records
+        assert main(["bench-check", str(base), str(slow),
+                     "--report-only"]) == 0
+        assert "verdict: FAIL" in capsys.readouterr().out
+
+    def test_json_verdict_written(self, records, tmp_path):
+        base, slow = records
+        out = tmp_path / "verdict.json"
+        assert main(["bench-check", str(base), str(slow),
+                     "--report-only", "--json", str(out)]) == 0
+        verdict = json.loads(out.read_text())
+        assert verdict["format"] == VERDICT_FORMAT
+        assert verdict["verdict"] == "fail"
+
+    def test_threshold_flags(self, records):
+        base, slow = records
+        # everything doubled: +100% — pass only with a generous limit
+        assert main(["bench-check", str(base), str(slow),
+                     "--max-regression", "1.5"]) == 0
+        assert main(["bench-check", str(base), str(slow),
+                     "--max-regression", "1.5",
+                     "--threshold", "mine=0.5"]) == 1
+
+    def test_bad_threshold_spec_exits_two(self, records, capsys):
+        base, _ = records
+        assert main(["bench-check", str(base), str(base),
+                     "--threshold", "minefast"]) == 2
+        assert "STAGE=FRACTION" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["bench-check", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 2
+        assert "bench-check:" in capsys.readouterr().err
+
+    def test_garbage_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{broken")
+        assert main(["bench-check", str(path), str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_allow_env_mismatch_flag(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_manifest()))
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(
+            _manifest(env=dict(ENV, hostname="box-b"))
+        ))
+        assert main(["bench-check", str(base), str(other)]) == 1
+        assert main(["bench-check", str(base), str(other),
+                     "--allow-env-mismatch"]) == 0
+
+    def test_committed_bench_record_self_compares_clean(self, capsys):
+        bench = REPO_ROOT / "BENCH_study.json"
+        assert bench.exists(), "BENCH_study.json missing from the repo root"
+        assert main(["bench-check", str(bench), str(bench)]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out

@@ -25,10 +25,16 @@ from repro.corpus.profiles import CANONICAL_PROFILES
 from repro.io import export_measures_csv
 from repro.obs import (
     ObsSession,
+    chrome_trace,
     configure_tracing,
+    folded_stacks,
+    get_progress,
+    prometheus_text,
     reset_metrics,
+    reset_progress,
     reset_recorder,
     validate_event_log,
+    validate_prometheus_text,
 )
 
 SCALE = 16
@@ -39,6 +45,7 @@ def _reset_obs():
     configure_tracing(False)
     reset_recorder()
     reset_metrics()
+    reset_progress()
 
 
 @pytest.fixture(autouse=True)
@@ -96,9 +103,13 @@ def traced(tmp_path_factory):
         trace_path=tmp / "trace.json",
         log_path=tmp / "events.jsonl",
         manifest_path=tmp / "manifest.json",
+        progress=True,
     )
     session.seed = SEED
     session.jobs = 4
+    # heartbeat on every completion so the small corpus still
+    # exercises the progress path deterministically
+    get_progress().interval = 0.0
     corpus = _small_corpus()
     study = run_study(corpus, jobs=4)
     session.study = study
@@ -126,7 +137,9 @@ class TestResultsUnchanged:
             command="study",
             trace_path=tmp_path / "trace.json",
             log_path=tmp_path / "events.jsonl",
+            progress=True,
         )
+        get_progress().interval = 0.0
         study = run_study(_small_corpus())
         session.study = study
         session.finalize(status="ok")
@@ -189,6 +202,69 @@ class TestEventLog:
         assert last["status"] == "ok"
 
 
+class TestProgress:
+    def _heartbeats(self, traced):
+        lines = (traced["dir"] / "events.jsonl").read_text().splitlines()
+        return [
+            r for r in map(json.loads, lines) if r["event"] == "progress"
+        ]
+
+    def test_both_fanout_stages_heartbeat(self, traced):
+        stages = {r["stage"] for r in self._heartbeats(traced)}
+        assert stages == {"generate", "mine_analyze"}
+
+    def test_final_heartbeat_reaches_the_corpus_size(self, traced):
+        for stage in ("generate", "mine_analyze"):
+            finals = [
+                r for r in self._heartbeats(traced) if r["stage"] == stage
+            ]
+            assert finals[-1]["done"] == traced["corpus_size"]
+            assert finals[-1]["total"] == traced["corpus_size"]
+            assert finals[-1]["percent"] == 100.0
+
+    def test_done_counts_are_monotonic(self, traced):
+        for stage in ("generate", "mine_analyze"):
+            dones = [
+                r["done"] for r in self._heartbeats(traced)
+                if r["stage"] == stage
+            ]
+            assert dones == sorted(dones)
+            assert len(set(dones)) == len(dones)  # no duplicate emits
+
+    def test_mine_heartbeats_carry_slowest_projects(self, traced):
+        finals = [
+            r for r in self._heartbeats(traced)
+            if r["stage"] == "mine_analyze"
+        ]
+        slowest = finals[-1]["slowest"]
+        assert 0 < len(slowest) <= 3
+        assert all(s["name"] and s["seconds"] >= 0 for s in slowest)
+
+
+class TestExporters:
+    def test_chrome_export_covers_every_span(self, traced):
+        doc = chrome_trace(traced["trace"])
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(complete) == len(_span_names(traced["trace"]["spans"]))
+
+    def test_chrome_export_has_worker_lanes(self, traced):
+        doc = chrome_trace(traced["trace"])
+        worker_lanes = {
+            e["tid"] for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e["name"] == "project"
+        }
+        assert worker_lanes and 0 not in worker_lanes
+
+    def test_prometheus_export_passes_the_validator(self, traced):
+        page = prometheus_text(traced["manifest"]["metrics"])
+        assert validate_prometheus_text(page) == []
+        assert "repro_projects_mined_total" in page
+
+    def test_folded_stacks_cover_the_hot_path(self, traced):
+        stacks = folded_stacks(traced["trace"])
+        assert "study;mine_analyze;project;mine " in stacks
+
+
 class TestManifest:
     def test_carries_seed_jobs_timings_metrics(self, traced):
         manifest = traced["manifest"]
@@ -205,6 +281,12 @@ class TestManifest:
         assert any(key.startswith("changes.") for key in counters)
         assert "parse_cache.misses" in counters
         assert "diff.seconds" in manifest["metrics"]["histograms"]
+
+    def test_carries_the_host_environment(self, traced):
+        environment = traced["manifest"]["environment"]
+        assert environment["hostname"]
+        assert environment["platform"]
+        assert environment["cpu_count"] >= 1
 
     def test_outputs_point_at_the_artifacts(self, traced):
         outputs = traced["manifest"]["outputs"]
@@ -234,6 +316,31 @@ class TestTraceViewCommand:
         out = capsys.readouterr().out
         assert "study" in out
         assert "mine_analyze" not in out
+
+    def test_sort_by_self_time_reorders_siblings(self, traced, capsys):
+        assert main(
+            ["trace-view", str(traced["dir"] / "trace.json"),
+             "--sort", "self", "--depth", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines()[1:] if l.strip()]
+        # with --sort self the hottest root comes first, and project
+        # rows inside mine_analyze are ordered by descending self time
+        assert lines, "no spans rendered"
+
+    def test_min_ms_prunes_fast_subtrees(self, traced, capsys):
+        assert main(
+            ["trace-view", str(traced["dir"] / "trace.json"),
+             "--min-ms", "1e9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "project" not in out  # everything pruned, header remains
+        assert out.splitlines()[0].startswith("span")
+
+    def test_bad_sort_rejected_by_the_parser(self, traced):
+        with pytest.raises(SystemExit):
+            main(["trace-view", str(traced["dir"] / "trace.json"),
+                  "--sort", "alphabetical"])
 
     def test_missing_file_fails_cleanly(self, tmp_path, capsys):
         assert main(["trace-view", str(tmp_path / "nope.json")]) == 1
