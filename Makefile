@@ -3,23 +3,29 @@
 # `make bench` gates the perf benchmarks behind the tier-1 suite: if
 # tier-1 fails, the benchmarks never run, so a broken tree can never
 # overwrite BENCH_study.json with numbers measured against bad code.
-# `make test` is itself gated on `trace-smoke`: a small traced study
+# `make test` is itself gated on `trace-smoke` — a small traced study
 # whose JSONL events are validated line-by-line against the event
-# schema and whose manifest must round-trip through json.loads — the
-# observability layer has to hold before the suite even starts.
+# schema and whose manifest must round-trip through json.loads — and on
+# `pipeline-smoke`, which proves a warm artifact-store rerun replays the
+# cold run byte-for-byte.  Both contracts hold before the suite starts.
 
 PYTHON ?= python
 JOBS ?= 1
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-smoke bench bench-parallel bench-check study clean
+.PHONY: test trace-smoke pipeline-smoke bench bench-parallel bench-check study clean
 
-test: trace-smoke
+test: trace-smoke pipeline-smoke
 	$(PYTHON) -m pytest -x -q
 
 # small traced study + event-schema validation + manifest round-trip
 trace-smoke:
 	$(PYTHON) -m repro.obs.smoke
+
+# cold -> warm artifact-store replay: byte-identical reports (serial and
+# jobs=4), every clean stage served from the store, invalidation cones
+pipeline-smoke:
+	$(PYTHON) -m repro.pipeline.smoke
 
 # perf benchmarks (pytest-benchmark harness + BENCH_study.json writer);
 # the `test` prerequisite is the overwrite guard.

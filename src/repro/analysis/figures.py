@@ -153,7 +153,7 @@ def fig6_advance_table(projects: list[ProjectMeasures]) -> AdvanceTable:
         blank_time=time_blanks,
         total=len(projects),
     )
-    n = len(projects)
+    n = len(projects) or 1  # empty corpus: all-zero rows, no division error
     source_cum = 0
     time_cum = 0
     for i in reversed(range(len(buckets))):  # 0.9-1.0 first
@@ -258,6 +258,50 @@ class AttainmentBreakdown:
     def late_count(self, alpha: float) -> int:
         """Projects attaining α only after 80% of life."""
         return self.counts[alpha][-1]
+
+
+def headline_numbers(
+    projects: list[ProjectMeasures],
+    *,
+    fig4: SyncHistogram,
+    fig7: AlwaysAdvance,
+    fig8: AttainmentBreakdown,
+) -> dict[str, float]:
+    """The headline findings quoted in the abstract and §4–§6.
+
+    Takes the already-computed figures so callers holding figure
+    artifacts (the pipeline, a memoised ``StudyResult``) derive the
+    headline without recomputing them.
+    """
+    att100 = fig8.counts[1.00]
+    return {
+        "projects": len(projects),
+        "blanks": sum(
+            1 for p in projects
+            if p.coevolution.advance_over_source is None
+        ),
+        "hand_in_hand": fig4.hand_in_hand_count,
+        "always_over_time": fig7.total_over_time,
+        "always_over_source": fig7.total_over_source,
+        "always_over_both": fig7.total_over_both,
+        "attain75_first20": fig8.early_count(0.75),
+        "attain75_after80": fig8.late_count(0.75),
+        "attain80_first20": fig8.early_count(0.80),
+        "attain80_first50": fig8.count(0.80, 0) + fig8.count(0.80, 1),
+        "attain100_first20": att100[0],
+        "attain100_first50": att100[0] + att100[1],
+        "attain100_after80": att100[-1],
+        "advance_src_ge_half": sum(
+            1 for p in projects
+            if p.coevolution.advance_over_source is not None
+            and p.coevolution.advance_over_source >= 0.5
+        ),
+        "advance_time_ge_half": sum(
+            1 for p in projects
+            if p.coevolution.advance_over_time is not None
+            and p.coevolution.advance_over_time >= 0.5
+        ),
+    }
 
 
 def fig8_attainment(

@@ -5,10 +5,13 @@ Subcommands::
     repro-study generate --out DIR [--seed N] [--jobs N]   # build + save
     repro-study study [--seed N | --corpus DIR]   # run the full study
                [--figure all|4|5|6|7|8|stats] [--csv PATH]
-               [--jobs N] [--cache-dir DIR] [--profile] [--scale N]
+               [--jobs N] [--cache-dir DIR] [--store-dir DIR]
+               [--profile] [--scale N]
                [--trace FILE] [--log-json FILE] [--manifest FILE]
                [--progress]
     repro-study report --out report.md            # Markdown study report
+    repro-study pipeline status [--seed N] [--store-dir DIR]
+    repro-study pipeline invalidate [STAGE]       # drop stage + dependents
     repro-study case NAME [--seed N]              # one project's diagram
     repro-study diff OLD.sql NEW.sql              # atomic changes
     repro-study impact OLD.sql NEW.sql SRC...     # change impact
@@ -60,6 +63,14 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="DIR",
             help="on-disk parse cache shared across runs and workers",
+        )
+        command.add_argument(
+            "--store-dir",
+            default=None,
+            metavar="DIR",
+            help="on-disk artifact store: clean pipeline stages replay "
+            "from DIR instead of recomputing (implies a parse cache "
+            "under DIR unless --cache-dir is given)",
         )
 
     def add_obs_flags(command) -> None:
@@ -143,6 +154,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_perf_flags(report)
     add_obs_flags(report)
+    add_scale_flag(report)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="inspect or invalidate the stage-artifact store",
+        description=(
+            "the study is a stage graph (generate > mine > analyze > "
+            "figures/statistics > report) whose outputs persist in the "
+            "artifact store; status shows each stage's fingerprint and "
+            "warm/cold state, invalidate drops a stage and everything "
+            "downstream of it"
+        ),
+    )
+    pipe_sub = pipeline.add_subparsers(dest="pipeline_command", required=True)
+    pipe_status = pipe_sub.add_parser(
+        "status", help="per-stage fingerprints and warm/cold state"
+    )
+    pipe_invalidate = pipe_sub.add_parser(
+        "invalidate",
+        help="drop one stage's artifact and its dependents (or all)",
+    )
+    pipe_invalidate.add_argument(
+        "stage",
+        nargs="?",
+        default=None,
+        help="stage to invalidate (generate, mine, analyze, figures, "
+        "statistics, report); omit for all stages",
+    )
+    for pipe_cmd in (pipe_status, pipe_invalidate):
+        pipe_cmd.add_argument("--seed", type=int, default=None)
+        pipe_cmd.add_argument(
+            "--format",
+            default="markdown",
+            choices=["markdown", "html"],
+            help="report format the report stage is keyed on",
+        )
+        add_perf_flags(pipe_cmd)
+        add_scale_flag(pipe_cmd)
 
     case = sub.add_parser("case", help="show one project's joint progress")
     case.add_argument("name", help="project name (or a unique substring)")
@@ -278,11 +327,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _configure_perf(args) -> int:
-    """Apply --cache-dir / --jobs; returns the worker count."""
-    if getattr(args, "cache_dir", None):
+    """Apply --cache-dir / --store-dir / --jobs; returns worker count."""
+    cache_dir = getattr(args, "cache_dir", None)
+    store_dir = getattr(args, "store_dir", None)
+    if store_dir:
+        from .pipeline.store import configure_store
+
+        configure_store(store_dir)
+        if not cache_dir:
+            # one flag, both layers: parse results persist next to the
+            # artifacts so a warm run is warm all the way down
+            cache_dir = str(Path(store_dir) / "parse-cache")
+    if cache_dir:
         from .perf import configure_cache
 
-        configure_cache(args.cache_dir)
+        configure_cache(cache_dir)
     return max(1, getattr(args, "jobs", 1) or 1)
 
 
@@ -305,18 +364,6 @@ def _configure_obs(args):
     )
 
 
-def _scaled_profiles(scale: int):
-    """The canonical profiles shrunk by ``--scale`` (micro-studies)."""
-    from dataclasses import replace
-
-    from .corpus import CANONICAL_PROFILES
-
-    return tuple(
-        replace(profile, count=max(1, round(profile.count / scale)))
-        for profile in CANONICAL_PROFILES
-    )
-
-
 def _get_study(args):
     from .analysis import canonical_study, run_study
     from .corpus import DEFAULT_SEED
@@ -330,6 +377,8 @@ def _get_study(args):
 
         # LoadedProject carries name/repository/true_taxon, all the
         # study driver needs, so the saved-corpus path fans out too
+        # (ad-hoc corpora bypass the artifact store: their contents are
+        # not derivable from a fingerprintable parameter set)
         study = run_study(load_corpus(args.corpus), jobs=jobs)
     else:
         seed = args.seed if args.seed is not None else DEFAULT_SEED
@@ -337,20 +386,9 @@ def _get_study(args):
             session.seed = seed
         scale = max(1, getattr(args, "scale", 1) or 1)
         if scale > 1:
-            import time
+            from .pipeline.graph import pipeline_study
 
-            from .corpus import generate_corpus
-
-            generate_start = time.perf_counter()
-            corpus = generate_corpus(
-                seed=seed, profiles=_scaled_profiles(scale), jobs=jobs
-            )
-            generate_seconds = time.perf_counter() - generate_start
-            if session is not None:
-                session.corpus_size = len(corpus)
-            study = run_study(corpus, jobs=jobs)
-            study.timings.record("generate", generate_seconds)
-            study.timings.record("total", generate_seconds)
+            study = pipeline_study(seed=seed, scale=scale, jobs=jobs)
         else:
             study = canonical_study(seed, jobs=jobs)
     if session is not None:
@@ -370,8 +408,10 @@ def _cmd_generate(args) -> int:
         session.jobs = jobs
     scale = max(1, getattr(args, "scale", 1) or 1)
     if scale > 1:
+        from .corpus import scaled_profiles
+
         corpus = generate_corpus(
-            seed=seed, profiles=_scaled_profiles(scale), jobs=jobs
+            seed=seed, profiles=scaled_profiles(scale), jobs=jobs
         )
     else:
         corpus = generate_corpus(seed=seed, jobs=jobs)
@@ -429,17 +469,84 @@ def _cmd_study(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from .report import build_html_report, build_study_report
+    if getattr(args, "corpus", None):
+        from .report import build_html_report, build_study_report
 
-    study = _get_study(args)
-    if args.format == "html":
-        text = build_html_report(study)
+        study = _get_study(args)
+        if args.format == "html":
+            text = build_html_report(study)
+        else:
+            text = build_study_report(study)
     else:
-        text = build_study_report(study)
+        # seed-derived reports resolve through the stage pipeline, so a
+        # warm store replays the rendered document itself
+        from .corpus import DEFAULT_SEED
+        from .pipeline.graph import Pipeline
+
+        jobs = _configure_perf(args)
+        seed = args.seed if args.seed is not None else DEFAULT_SEED
+        scale = max(1, getattr(args, "scale", 1) or 1)
+        session = getattr(args, "obs_session", None)
+        if session is not None:
+            session.jobs = jobs
+            session.seed = seed
+        pipe = Pipeline(
+            seed=seed, scale=scale, jobs=jobs, report_format=args.format
+        )
+        study = pipe.study()
+        if session is not None:
+            session.study = study
+        text = pipe.report()
     path = Path(args.out)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(text)
     print(f"report written to {path} ({len(text)} chars)")
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from .corpus import DEFAULT_SEED
+    from .pipeline.graph import Pipeline
+    from .pipeline.stages import STAGES
+
+    jobs = _configure_perf(args)
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    scale = max(1, getattr(args, "scale", 1) or 1)
+    pipe = Pipeline(
+        seed=seed, scale=scale, jobs=jobs, report_format=args.format
+    )
+    if args.pipeline_command == "invalidate":
+        stage = args.stage
+        if stage is not None and stage not in STAGES:
+            print(
+                f"unknown stage {stage!r} (expected one of: "
+                + ", ".join(STAGES) + ")",
+                file=sys.stderr,
+            )
+            return 2
+        removed = pipe.invalidate(stage)
+        print(
+            f"invalidated {stage or 'all stages'}: "
+            f"{removed} artifact(s) removed"
+        )
+        return 0
+    store = pipe.store
+    location = getattr(store, "root", None)
+    print(
+        f"store: {store.kind}" + (f" at {location}" if location else "")
+        + f" | seed {seed}, scale {scale}, format {args.format}"
+    )
+    header = f"{'stage':<12} {'state':<6} {'ver':<4} {'bytes':>12}  key"
+    print(header)
+    print("-" * len(header))
+    for row in pipe.status():
+        state = "warm" if row["warm"] else "cold"
+        size = row["size_bytes"]
+        size_text = f"{size:,}" if size is not None else "-"
+        print(
+            f"{row['stage']:<12} {state:<6} {row['code_version']:<4} "
+            f"{size_text:>12}  {row['fingerprint'][:16]}"
+        )
     return 0
 
 
@@ -644,6 +751,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "study": _cmd_study,
     "report": _cmd_report,
+    "pipeline": _cmd_pipeline,
     "case": _cmd_case,
     "diff": _cmd_diff,
     "impact": _cmd_impact,

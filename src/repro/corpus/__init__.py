@@ -30,6 +30,7 @@ from .profiles import (
     CANONICAL_SIZE,
     TaxonProfile,
     profile_for,
+    scaled_profiles,
 )
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "generate_project",
     "path_is_excluded",
     "profile_for",
+    "scaled_profiles",
     "random_schema",
     "sample_change_smos",
     "screen",

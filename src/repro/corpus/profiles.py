@@ -242,5 +242,22 @@ def profile_for(taxon: Taxon) -> TaxonProfile:
     raise KeyError(taxon)
 
 
+def scaled_profiles(scale: int) -> tuple[TaxonProfile, ...]:
+    """The canonical profiles shrunk by ``scale`` (micro-studies).
+
+    Each taxon keeps ``round(count / scale)`` projects, at least one, so
+    every taxon stays represented however hard the corpus is shrunk.
+    ``scale <= 1`` returns the canonical profiles unchanged.
+    """
+    from dataclasses import replace
+
+    if scale <= 1:
+        return CANONICAL_PROFILES
+    return tuple(
+        replace(profile, count=max(1, round(profile.count / scale)))
+        for profile in CANONICAL_PROFILES
+    )
+
+
 CANONICAL_SIZE = sum(p.count for p in CANONICAL_PROFILES)
 assert CANONICAL_SIZE == 195, CANONICAL_SIZE

@@ -56,8 +56,10 @@ def build_manifest(
     """
     from .. import __version__
     from ..perf.cache import CACHE_DIR_ENV, get_cache
+    from ..pipeline.store import STORE_DIR_ENV, get_store
 
     cache = get_cache()
+    store = get_store()
     manifest: dict = {
         "format": MANIFEST_FORMAT,
         "command": command,
@@ -75,6 +77,12 @@ def build_manifest(
             "dir": str(cache.cache_dir) if cache.cache_dir else None,
             "env": os.environ.get(CACHE_DIR_ENV),
             "stats": cache.stats.as_dict(),
+        },
+        "store": {
+            "kind": store.kind,
+            "dir": str(getattr(store, "root", None) or "") or None,
+            "env": os.environ.get(STORE_DIR_ENV),
+            "stats": store.stats.as_dict(),
         },
     }
     if study is not None:

@@ -10,6 +10,10 @@ Checks cover:
   ``--threshold STAGE=FRACTION``); stages below the noise floor
   (``min_seconds``) are skipped rather than flagged;
 * parse-cache hit rate (absolute drop threshold);
+* artifact-store hit rate (same absolute-drop threshold) whenever both
+  records carry store stats — a warm rerun that starts recomputing
+  stages it used to replay is a regression even when each recompute is
+  individually fast;
 * warning counts (any increase fails unless allowed);
 * comparability guards: corpus size must match, and when both records
   carry a host ``environment`` (hostname / platform / cpu count —
@@ -60,12 +64,21 @@ class PerfSample:
     cache: dict | None
     warning_count: int | None
     environment: dict | None
+    store: dict | None = None
 
     @property
     def hit_rate(self) -> float | None:
         if not self.cache:
             return None
         rate = self.cache.get("hit_rate")
+        return float(rate) if rate is not None else None
+
+    @property
+    def store_hit_rate(self) -> float | None:
+        """Artifact-store hit rate, when the run resolved stages."""
+        if not self.store:
+            return None
+        rate = self.store.get("hit_rate")
         return float(rate) if rate is not None else None
 
 
@@ -84,6 +97,7 @@ def sample_from_dict(data: dict, *, source: str = "<dict>") -> PerfSample:
             cache=timings.get("parse_cache"),
             warning_count=data.get("warning_count"),
             environment=data.get("environment"),
+            store=timings.get("artifact_store"),
         )
     if "stages" in data:
         return PerfSample(
@@ -95,6 +109,7 @@ def sample_from_dict(data: dict, *, source: str = "<dict>") -> PerfSample:
             cache=data.get("parse_cache"),
             warning_count=data.get("warning_count"),
             environment=data.get("environment"),
+            store=data.get("artifact_store"),
         )
     raise ValueError(
         f"{source}: neither a run manifest nor a BENCH_study.json payload"
@@ -296,6 +311,34 @@ def compare_samples(
             name="cache_hit_rate",
             status="skip",
             message="parse-cache stats missing from one side",
+        ))
+
+    # -- artifact-store hit rate ---------------------------------------
+    # a warm-run regression (stages recomputing that used to replay from
+    # the store) shows up as a hit-rate drop between comparable runs
+    base_store, cand_store = (
+        baseline.store_hit_rate, candidate.store_hit_rate
+    )
+    if base_store is not None and cand_store is not None:
+        drop = base_store - cand_store
+        checks.append(Check(
+            name="store_hit_rate",
+            status="fail" if drop > max_hit_rate_drop else "pass",
+            baseline=base_store,
+            candidate=cand_store,
+            ratio=-drop,
+            threshold=max_hit_rate_drop,
+            message=(
+                f"artifact-store hit rate {base_store:.1%} -> "
+                f"{cand_store:.1%} "
+                f"(tolerated drop {max_hit_rate_drop:.0%})"
+            ),
+        ))
+    elif base_store is not None or cand_store is not None:
+        checks.append(Check(
+            name="store_hit_rate",
+            status="skip",
+            message="artifact-store stats missing from one side",
         ))
 
     # -- warning counts -------------------------------------------------

@@ -22,11 +22,10 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..pipeline.store import atomic_write_pickle, read_pickle
 from ..sqlparser import ParseResult, parse_schema
 
 #: Environment variable enabling the on-disk store for the default cache.
@@ -162,30 +161,16 @@ class ParseCache:
         return self.cache_dir / f"{key}.pkl"
 
     def _load(self, key: str) -> ParseResult | None:
-        path = self._path_for(key)
-        try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
+        result = read_pickle(self._path_for(key))
         return result if isinstance(result, ParseResult) else None
 
     def _store(self, key: str, result: ParseResult) -> None:
         path = self._path_for(key)
         try:
-            fd, tmp_name = tempfile.mkstemp(
-                dir=str(path.parent), suffix=".tmp"
-            )
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
+            atomic_write_pickle(path, result)
         except OSError as exc:
             # a read-only or full cache dir degrades to memory-only
             self._warn_degraded(path.parent, exc)
-            try:
-                os.unlink(tmp_name)
-            except (OSError, UnboundLocalError):
-                pass
 
 
 # ----------------------------------------------------------------------

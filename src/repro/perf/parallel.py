@@ -131,6 +131,69 @@ def mine_and_analyze(project: GeneratedProject) -> MinedRow:
     )
 
 
+@dataclass
+class MinedHistory:
+    """One project's mine-only worker result (the stage-graph unit).
+
+    The pipeline's ``mine`` stage stops before analysis so its artifact
+    can be reused by every downstream consumer; like :class:`MinedRow`
+    it carries the cross-process observability channels, but its payload
+    is the full :class:`~repro.mining.ProjectHistory` plus the ground
+    truth the ``analyze`` stage needs.
+    """
+
+    name: str
+    history: object  # ProjectHistory (kept untyped: pickled across pools)
+    true_taxon: object
+    seconds: float
+    cache: CacheStats
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    warnings: list[dict] = field(default_factory=list)
+    trace: dict | None = None
+
+
+def mine_one(project: GeneratedProject) -> MinedHistory:
+    """The per-project unit of the pipeline's ``mine`` stage.
+
+    Mirrors :func:`mine_and_analyze` up to (and excluding) analysis:
+    the same detached ``project``/``mine`` span pair, the same
+    ``projects.mined`` and ``changes.*`` counters, the same cache /
+    metrics / warning deltas shipped back to the driver.  Analysis —
+    and the empty-history skip decision it makes — happens driver-side
+    in the ``analyze`` stage.
+    """
+    tracer = get_tracer()
+    metrics = get_metrics()
+    recorder = get_recorder()
+    cache_before = get_cache().stats
+    metrics_before = metrics.snapshot()
+    warn_mark = recorder.mark()
+    with tracer.detached(
+        "project", project=project.name, worker=os.getpid()
+    ) as span:
+        start = time.perf_counter()
+        with tracer.span("mine") as mine_span:
+            history = mine_project(project.repository)
+            mine_span.set(
+                versions=history.schema_history.commit_count,
+                months=history.duration_months,
+            )
+        done = time.perf_counter()
+    metrics.inc("projects.mined")
+    for kind, count in _change_counts(history).items():
+        metrics.inc(f"changes.{kind}", count)
+    return MinedHistory(
+        name=project.name,
+        history=history,
+        true_taxon=project.true_taxon,
+        seconds=done - start,
+        cache=get_cache().stats - cache_before,
+        metrics=metrics.snapshot() - metrics_before,
+        warnings=recorder.since(warn_mark),
+        trace=span.to_dict() if tracer.enabled else None,
+    )
+
+
 def _change_counts(history) -> dict[str, int]:
     """Atomic-change totals by kind over one project's whole history."""
     totals: dict[str, int] = {}

@@ -18,7 +18,26 @@ from dataclasses import dataclass, field
 from .cache import CacheStats
 
 #: Canonical stage names, in pipeline order (used for stable rendering).
-STAGE_ORDER = ("generate", "mine", "analyze", "figures", "total")
+STAGE_ORDER = (
+    "generate", "mine", "analyze", "figures", "statistics", "report", "total"
+)
+
+
+@dataclass(frozen=True)
+class ArtifactStats:
+    """Hit / recompute counts of one stage against the artifact store."""
+
+    hits: int = 0
+    recomputes: int = 0
+
+    def __add__(self, other: "ArtifactStats") -> "ArtifactStats":
+        return ArtifactStats(
+            hits=self.hits + other.hits,
+            recomputes=self.recomputes + other.recomputes,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "recomputes": self.recomputes}
 
 
 @dataclass
@@ -28,6 +47,7 @@ class StudyTimings:
     stages: dict[str, float] = field(default_factory=dict)
     jobs: int = 1
     cache: CacheStats = field(default_factory=CacheStats)
+    artifacts: dict[str, ArtifactStats] = field(default_factory=dict)
 
     def record(self, stage: str, seconds: float) -> None:
         """Accumulate ``seconds`` into ``stage``.
@@ -37,6 +57,31 @@ class StudyTimings:
         across processes (which can exceed the wall-clock ``total``).
         """
         self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def record_wall(self, seconds: float) -> None:
+        """Set the run's wall-clock ``total`` (assignment, not a sum).
+
+        ``record("total", ...)`` sums like any stage row, which let a
+        caller that timed generation separately double-count the
+        already-included wall total.  The whole-run clock has exactly
+        one owner, so the owner *sets* it.
+        """
+        self.stages["total"] = seconds
+
+    def record_artifact(self, stage: str, *, hit: bool) -> None:
+        """Count one store outcome (hit or recompute) for ``stage``."""
+        current = self.artifacts.get(stage, ArtifactStats())
+        self.artifacts[stage] = current + ArtifactStats(
+            hits=int(hit), recomputes=int(not hit)
+        )
+
+    @property
+    def artifact_totals(self) -> ArtifactStats:
+        """Hits / recomputes summed over every stage."""
+        total = ArtifactStats()
+        for stats in self.artifacts.values():
+            total = total + stats
+        return total
 
     def merge_cache(self, stats: CacheStats) -> None:
         self.cache = self.cache + stats
@@ -53,6 +98,9 @@ class StudyTimings:
         for stage, seconds in other.stages.items():
             self.record(stage, seconds)
         self.merge_cache(other.cache)
+        for stage, stats in other.artifacts.items():
+            current = self.artifacts.get(stage, ArtifactStats())
+            self.artifacts[stage] = current + stats
         return self
 
     def eta_seconds(
@@ -100,8 +148,13 @@ class StudyTimings:
         return known + extras
 
     def as_dict(self) -> dict[str, object]:
-        """JSON-ready form (the ``BENCH_study.json`` payload core)."""
-        return {
+        """JSON-ready form (the ``BENCH_study.json`` payload core).
+
+        The ``artifact_store`` block appears only when the run actually
+        resolved stages through the store, so fused-engine runs keep
+        their historical payload shape.
+        """
+        payload: dict[str, object] = {
             "jobs": self.jobs,
             "stages": {
                 name: round(seconds, 6)
@@ -109,6 +162,21 @@ class StudyTimings:
             },
             "parse_cache": self.cache.as_dict(),
         }
+        if self.artifacts:
+            totals = self.artifact_totals
+            lookups = totals.hits + totals.recomputes
+            payload["artifact_store"] = {
+                "stages": {
+                    name: self.artifacts[name].as_dict()
+                    for name in sorted(self.artifacts)
+                },
+                "hits": totals.hits,
+                "recomputes": totals.recomputes,
+                "hit_rate": round(
+                    totals.hits / lookups if lookups else 0.0, 4
+                ),
+            }
+        return payload
 
     def render(self) -> str:
         """Human-readable breakdown for ``repro-study study --profile``.
@@ -125,6 +193,16 @@ class StudyTimings:
             f"  parse cache: {cache.hits} hits / {cache.misses} misses "
             f"({cache.hit_rate:.0%} hit rate, {cache.disk_hits} from disk)"
         )
+        if self.artifacts:
+            totals = self.artifact_totals
+            warm = ", ".join(
+                name for name in sorted(self.artifacts)
+                if self.artifacts[name].hits
+            ) or "none"
+            lines.append(
+                f"  artifact store: {totals.hits} hits / "
+                f"{totals.recomputes} recomputes (warm: {warm})"
+            )
         return "\n".join(lines)
 
 

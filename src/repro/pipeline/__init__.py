@@ -1,0 +1,81 @@
+"""Stage-graph pipeline with a persistent artifact store.
+
+The study is a DAG of typed stages (``generate → mine → analyze →
+figures/statistics → report``) whose outputs are content-addressed
+artifacts: each stage's key fingerprints its code version, the
+parameters it consumes and its upstream keys, so a rerun replays clean
+stages from the store and recomputes exactly the dirty ones.  See
+``docs/architecture.md`` for the DAG, the fingerprint recipe and the
+on-disk layout.
+
+Import layering: this package's leaves (:mod:`.store`,
+:mod:`.fingerprint`) import nothing from the analysis layer, while the
+graph modules (:mod:`.stages`, :mod:`.graph`) reach into it lazily at
+compute time — so ``repro.analysis`` and ``repro.perf`` may import the
+leaves at module level without a cycle, and the graph names below load
+on first attribute access (PEP 562).
+"""
+
+from .fingerprint import (
+    FINGERPRINT_FORMAT,
+    canonical_params,
+    digest_text,
+    stage_fingerprint,
+)
+from .store import (
+    ARTIFACT_FORMAT,
+    STORE_DIR_ENV,
+    Artifact,
+    ArtifactStore,
+    DirStore,
+    MemoryStore,
+    StoreStats,
+    configure_store,
+    get_store,
+)
+
+_LAZY = {
+    "Pipeline": "graph",
+    "pipeline_study": "graph",
+    "CODE_VERSIONS": "stages",
+    "STAGES": "stages",
+    "STAGE_NAMES": "stages",
+    "StageOutput": "stages",
+    "StageSpec": "stages",
+    "MinedProject": "stages",
+    "dependents_of": "stages",
+}
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "Artifact",
+    "ArtifactStore",
+    "CODE_VERSIONS",
+    "DirStore",
+    "FINGERPRINT_FORMAT",
+    "MemoryStore",
+    "MinedProject",
+    "Pipeline",
+    "STAGES",
+    "STAGE_NAMES",
+    "STORE_DIR_ENV",
+    "StageOutput",
+    "StageSpec",
+    "StoreStats",
+    "canonical_params",
+    "configure_store",
+    "dependents_of",
+    "digest_text",
+    "get_store",
+    "pipeline_study",
+    "stage_fingerprint",
+]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module}", __name__), name)

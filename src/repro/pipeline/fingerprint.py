@@ -1,0 +1,73 @@
+"""Content-addressed fingerprints for pipeline stage artifacts.
+
+Every artifact the pipeline stores is keyed by a fingerprint of
+*everything that can change its bytes*:
+
+* the stage name;
+* the stage's **code version** (a hand-bumped constant in
+  :mod:`repro.pipeline.stages` — bump it when a stage's computation
+  changes and every artifact of that stage, plus everything downstream,
+  is dirty);
+* the stage's **declared parameters**, canonicalised as sorted JSON, so
+  only the parameters a stage actually consumes participate (the seed
+  dirties ``generate`` and — through the upstream digests — everything
+  after it; the report format dirties only ``report``);
+* the fingerprints of the stage's upstream artifacts, in declared
+  dependency order.
+
+Because an upstream fingerprint already determines the upstream bytes,
+chaining fingerprints gives the whole-DAG invalidation property without
+ever hashing artifact payloads: a changed seed re-keys ``generate`` and
+cascades; a bumped ``analyze`` code version re-keys ``analyze`` and its
+dependents while ``generate``/``mine`` artifacts stay warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: Version tag mixed into every fingerprint; bump to invalidate every
+#: artifact ever stored (a format change, not a code change).
+FINGERPRINT_FORMAT = "repro-fingerprint-v1"
+
+
+def canonical_params(params: dict) -> str:
+    """Parameters as deterministic JSON (sorted keys, no whitespace)."""
+    return json.dumps(
+        params, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def stage_fingerprint(
+    stage: str,
+    code_version: str,
+    params: dict,
+    upstream: dict[str, str],
+) -> str:
+    """The artifact key for one stage instantiation (sha256 hex).
+
+    ``upstream`` maps dependency stage name → that stage's fingerprint;
+    the recipe folds them in sorted name order so the result does not
+    depend on declaration order.
+    """
+    hasher = hashlib.sha256()
+    for part in (
+        FINGERPRINT_FORMAT,
+        stage,
+        code_version,
+        canonical_params(params),
+        ",".join(f"{name}={fp}" for name, fp in sorted(upstream.items())),
+    ):
+        hasher.update(part.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def digest_text(*parts: str) -> str:
+    """A content digest over text fragments (corpus-content keying)."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8", errors="surrogateescape"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()

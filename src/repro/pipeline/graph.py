@@ -1,0 +1,261 @@
+"""The stage-graph runner: fingerprint, resolve, replay.
+
+A :class:`Pipeline` binds the stage graph (:mod:`repro.pipeline.stages`)
+to one parameter set (seed, scale, jobs, report format) and one artifact
+store.  Resolution is lazy and hit-first: resolving a stage checks the
+store under the stage's fingerprint *before* touching its dependencies,
+so a warm ``report`` artifact short-circuits the entire upstream chain —
+nothing is re-mined just to prove it wouldn't have changed.
+
+Fingerprints chain: a stage's key digests its code version, the
+parameters it consumes and the fingerprints of its dependencies
+(:func:`repro.pipeline.fingerprint.stage_fingerprint`).  Changing the
+seed therefore re-keys every stage, while bumping only the figures
+code version re-keys figures and report but leaves generate, mine,
+analyze and statistics artifacts warm.
+
+Artifacts carry their observability side-channels in the envelope meta:
+the warnings raised while computing and the stage's metrics delta.  On
+a hit both replay — warnings into the live recorder (so a warm run's
+manifest lists the same ``empty-history`` skips as the cold one) and the
+delta into the study metrics — while ``artifact.hit`` / ``artifact.miss``
+counters and per-stage :class:`~repro.perf.timing.ArtifactStats` record
+what was reused versus recomputed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..corpus.generator import DEFAULT_SEED
+from ..obs.events import get_recorder
+from ..obs.metrics import MetricsSnapshot, get_metrics
+from ..obs.trace import get_tracer
+from ..perf.timing import StudyTimings
+from .fingerprint import stage_fingerprint
+from .stages import CODE_VERSIONS, STAGE_NAMES, STAGES, dependents_of
+from .store import Artifact, ArtifactStore, get_store
+
+
+class Pipeline:
+    """One parameterised pass over the stage graph.
+
+    A ``Pipeline`` accumulates timings, metrics and warnings across the
+    stages it resolves, so :meth:`study` hands back a
+    ``StudyResult`` whose side-channels describe this run — including
+    how much of it came warm from the store.  Instances are cheap;
+    build a fresh one per run rather than reusing across parameter
+    changes.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = DEFAULT_SEED,
+        scale: int = 1,
+        jobs: int = 1,
+        report_format: str = "markdown",
+        store: ArtifactStore | None = None,
+        code_versions: dict[str, str] | None = None,
+    ):
+        self.seed = seed
+        self.scale = scale
+        self.jobs = max(1, jobs)
+        self.report_format = report_format
+        self.store = store if store is not None else get_store()
+        self.code_versions = {**CODE_VERSIONS, **(code_versions or {})}
+        self.timings = StudyTimings(jobs=self.jobs)
+        self.metrics = MetricsSnapshot()
+        self.warnings: list[dict] = []
+        self._fingerprints: dict[str, str] = {}
+        self._resolved: dict[str, Artifact] = {}
+        self._study = None
+
+    # -- keys ----------------------------------------------------------
+    def params_for(self, stage: str) -> dict:
+        """The parameter subset stage ``stage`` declares it consumes."""
+        return {name: getattr(self, name) for name in STAGES[stage].params}
+
+    def fingerprint(self, stage: str) -> str:
+        """The stage's content address under this parameter set."""
+        cached = self._fingerprints.get(stage)
+        if cached is None:
+            spec = STAGES[stage]
+            cached = self._fingerprints[stage] = stage_fingerprint(
+                stage,
+                self.code_versions[stage],
+                self.params_for(stage),
+                {dep: self.fingerprint(dep) for dep in spec.deps},
+            )
+        return cached
+
+    # -- resolution ----------------------------------------------------
+    def resolve(self, stage: str) -> Artifact:
+        """The stage's artifact: from the store when warm, else computed.
+
+        The store lookup happens before dependency resolution, so a hit
+        on this stage never recurses upstream.
+        """
+        done = self._resolved.get(stage)
+        if done is not None:
+            return done
+        key = self.fingerprint(stage)
+        registry = get_metrics()
+        tracer = get_tracer()
+        load_start = time.perf_counter()
+        artifact = self.store.get(key)
+        if artifact is not None:
+            load_seconds = time.perf_counter() - load_start
+            registry.inc("artifact.hit")
+            self.metrics = self.metrics + MetricsSnapshot(
+                counters={"artifact.hit": 1}
+            )
+            self.timings.record_artifact(stage, hit=True)
+            # the honest cost of a hit: just the load
+            self.timings.record(stage, load_seconds)
+            with tracer.span(
+                f"stage:{stage}", artifact="hit", fingerprint=key[:12]
+            ):
+                pass
+            recorder = get_recorder()
+            for record in artifact.meta.get("warnings") or ():
+                # warm runs surface the cold run's warnings — the
+                # manifest of a replayed study matches the original
+                recorder.replay(record)
+                self.warnings.append(record)
+            delta = artifact.meta.get("metrics")
+            if delta is not None:
+                self.metrics = self.metrics + delta
+            self._resolved[stage] = artifact
+            return artifact
+
+        registry.inc("artifact.miss")
+        self.metrics = self.metrics + MetricsSnapshot(
+            counters={"artifact.miss": 1}
+        )
+        self.timings.record_artifact(stage, hit=False)
+        spec = STAGES[stage]
+        inputs = {dep: self.resolve(dep).payload for dep in spec.deps}
+        recorder = get_recorder()
+        mark = recorder.mark()
+        with tracer.span(
+            f"stage:{stage}", artifact="recompute", fingerprint=key[:12]
+        ):
+            start = time.perf_counter()
+            output = spec.compute(self, inputs)
+            seconds = time.perf_counter() - start
+        if not output.self_timed:
+            self.timings.record(stage, seconds)
+        window = recorder.since(mark)
+        self.warnings.extend(window)
+        self.metrics = self.metrics + output.metrics
+        artifact = self.store.put(
+            key,
+            output.payload,
+            meta={
+                "stage": stage,
+                "params": self.params_for(stage),
+                "code_version": self.code_versions[stage],
+                "seconds": round(seconds, 6),
+                "warnings": list(window),
+                "metrics": output.metrics,
+            },
+        )
+        self._resolved[stage] = artifact
+        return artifact
+
+    # -- whole-study entry points --------------------------------------
+    def study(self):
+        """Resolve analyze + figures + statistics into a ``StudyResult``.
+
+        The result's figures, headline and statistics are primed from
+        the resolved artifacts, so accessors replay stored values
+        instead of recomputing.  Memoised per pipeline: a second call
+        returns the same object.
+        """
+        from ..analysis.study import StudyResult
+
+        if self._study is not None:
+            return self._study
+        tracer = get_tracer()
+        start = time.perf_counter()
+        with tracer.span(
+            "pipeline", seed=self.seed, scale=self.scale, jobs=self.jobs
+        ):
+            analyze = self.resolve("analyze")
+            figures = self.resolve("figures")
+            statistics = self.resolve("statistics")
+        self.metrics.fold_cache(self.timings.cache)
+        self.timings.record_wall(time.perf_counter() - start)
+        result = StudyResult(
+            projects=list(analyze.payload["rows"]),
+            skipped=list(analyze.payload["skipped"]),
+            timings=self.timings,
+            metrics=self.metrics,
+            warnings=list(self.warnings),
+        )
+        result.prime_artifacts(
+            figures=figures.payload, statistics=statistics.payload
+        )
+        self._study = result
+        return result
+
+    def report(self) -> str:
+        """The rendered report text (``report_format``), store-resolved."""
+        return self.resolve("report").payload
+
+    # -- maintenance ---------------------------------------------------
+    def status(self) -> list[dict]:
+        """One row per stage: fingerprint, warm/cold, stored size."""
+        rows = []
+        for name in STAGE_NAMES:
+            key = self.fingerprint(name)
+            warm = self.store.contains(key)
+            rows.append(
+                {
+                    "stage": name,
+                    "code_version": self.code_versions[name],
+                    "fingerprint": key,
+                    "warm": warm,
+                    "size_bytes": self.store.size_of(key) if warm else None,
+                }
+            )
+        return rows
+
+    def invalidate(self, stage: str | None = None) -> int:
+        """Drop ``stage`` and everything downstream (all stages if None).
+
+        Only artifacts keyed by the *current* fingerprints are touched —
+        other seeds' entries survive.  Returns how many entries were
+        actually removed.
+        """
+        if stage is None:
+            targets = set(STAGE_NAMES)
+        else:
+            if stage not in STAGES:
+                raise KeyError(stage)
+            targets = {stage} | dependents_of(stage)
+        removed = 0
+        for name in targets:
+            removed += bool(self.store.delete(self.fingerprint(name)))
+            self._resolved.pop(name, None)
+        self._study = None
+        return removed
+
+
+def pipeline_study(
+    *,
+    seed: int = DEFAULT_SEED,
+    scale: int = 1,
+    jobs: int = 1,
+    store: ArtifactStore | None = None,
+    code_versions: dict[str, str] | None = None,
+):
+    """One-call stage-graph study (the pipeline twin of ``run_study``)."""
+    return Pipeline(
+        seed=seed,
+        scale=scale,
+        jobs=jobs,
+        store=store,
+        code_versions=code_versions,
+    ).study()

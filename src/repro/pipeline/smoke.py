@@ -1,0 +1,164 @@
+"""The ``make pipeline-smoke`` entry point: the warm-replay contract.
+
+``python -m repro.pipeline.smoke`` runs a scaled-down study cold into a
+temporary on-disk artifact store, then re-resolves it warm — serial and
+with ``jobs=4`` — and checks the incremental-study contract end to end:
+
+1. the cold run recomputes every stage (no phantom hits) and persists
+   one artifact per resolved stage;
+2. a warm serial rerun is **byte-identical** to the cold run and serves
+   every clean stage from the store (at least one artifact hit per
+   stage, zero recomputes);
+3. a warm ``jobs=4`` rerun reuses the *same* artifacts — parallelism is
+   not a fingerprint input — and is byte-identical too;
+4. the warm run's hit rate surfaces in the timings payload (what the
+   manifest and ``BENCH_study.json`` carry for ``repro bench-check``);
+5. bumping one stage's code version invalidates exactly that stage and
+   its dependents: upstream artifacts stay warm;
+6. changing the seed re-keys every stage fingerprint.
+
+Exit status 0 on success, 1 with a diagnosis on the first violation.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+#: Same shrink factor as the obs smoke: 195 projects / 16 ≈ 12.
+SMOKE_SCALE = 16
+SMOKE_SEED = 195_2023
+SMOKE_JOBS = 4
+
+
+def main() -> int:
+    from ..obs.events import reset_recorder
+    from ..obs.metrics import reset_metrics
+    from .graph import Pipeline
+    from .stages import STAGE_NAMES
+    from .store import DirStore
+
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    with tempfile.TemporaryDirectory(prefix="repro-pipeline-smoke-") as tmp:
+        store_dir = Path(tmp) / "artifacts"
+
+        def pipeline(jobs: int = 1, **kwargs) -> Pipeline:
+            reset_recorder()
+            reset_metrics()
+            return Pipeline(
+                seed=SMOKE_SEED,
+                scale=SMOKE_SCALE,
+                jobs=jobs,
+                store=DirStore(store_dir),
+                **kwargs,
+            )
+
+        # 1. cold: every stage recomputes, every stage persists
+        cold = pipeline()
+        cold_text = cold.report()
+        totals = cold.timings.artifact_totals
+        check(totals.hits == 0, f"cold run claimed {totals.hits} hits")
+        check(
+            totals.recomputes == len(STAGE_NAMES),
+            f"cold run recomputed {totals.recomputes} stages, "
+            f"expected {len(STAGE_NAMES)}",
+        )
+        check(
+            sorted(cold.store.keys())
+            == sorted(cold.fingerprint(stage) for stage in STAGE_NAMES),
+            "cold store contents do not match the stage fingerprints",
+        )
+
+        # 2. warm serial: byte-identical, every clean stage hits
+        warm = pipeline()
+        warm.study()
+        warm_text = warm.report()
+        check(
+            warm_text == cold_text,
+            "warm serial report differs from the cold run",
+        )
+        for stage in ("analyze", "figures", "statistics", "report"):
+            stats = warm.timings.artifacts.get(stage)
+            check(
+                stats is not None and stats.hits >= 1,
+                f"warm serial run did not hit the {stage} artifact",
+            )
+        check(
+            warm.timings.artifact_totals.recomputes == 0,
+            "warm serial run recomputed a clean stage",
+        )
+
+        # 3. warm parallel: jobs is not a fingerprint input
+        warm_parallel = pipeline(jobs=SMOKE_JOBS)
+        warm_parallel.study()
+        check(
+            warm_parallel.report() == cold_text,
+            f"warm jobs={SMOKE_JOBS} report differs from the cold run",
+        )
+        check(
+            warm_parallel.timings.artifact_totals.recomputes == 0,
+            f"warm jobs={SMOKE_JOBS} run recomputed a clean stage",
+        )
+
+        # 4. the hit rate the manifest / BENCH payload will carry
+        payload = warm.timings.as_dict()
+        store_block = payload.get("artifact_store")
+        check(
+            store_block is not None and store_block["hit_rate"] == 1.0,
+            f"warm run hit rate not 1.0 in timings payload: {store_block}",
+        )
+
+        # 5. a code-version bump dirties exactly the dependent cone
+        bumped = pipeline(code_versions={"figures": "smoke"})
+        bumped.study()
+        stats = bumped.timings.artifacts
+        check(
+            stats.get("analyze") is not None
+            and stats["analyze"].hits == 1,
+            "analyze should stay warm under a figures version bump",
+        )
+        check(
+            stats.get("figures") is not None
+            and stats["figures"].recomputes == 1,
+            "figures should recompute under its own version bump",
+        )
+        check(
+            stats.get("statistics") is not None
+            and stats["statistics"].hits == 1,
+            "statistics should stay warm under a figures version bump",
+        )
+
+        # 6. the seed re-keys everything
+        reseeded = pipeline()
+        reseeded.seed = SMOKE_SEED + 1
+        check(
+            all(
+                reseeded.fingerprint(stage) != cold.fingerprint(stage)
+                for stage in STAGE_NAMES
+            ),
+            "a seed change left some stage fingerprint unchanged",
+        )
+
+    reset_recorder()
+    reset_metrics()
+    if failures:
+        for failure in failures:
+            print(f"pipeline-smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "pipeline-smoke ok: cold run persisted "
+        f"{len(STAGE_NAMES)} artifacts; warm serial and jobs={SMOKE_JOBS} "
+        "replays byte-identical with a 100% stage hit rate; version bump "
+        "and reseed invalidate exactly their cones"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

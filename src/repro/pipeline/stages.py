@@ -1,0 +1,308 @@
+"""The typed stages of the study dataflow graph.
+
+The study is a fixed pipeline::
+
+    generate ──► mine ──► analyze ──┬─► figures ──┐
+                                    ├─► statistics ┤
+                                    └──────────────┴─► report
+
+Each :class:`StageSpec` declares its dependencies, the pipeline
+parameters it actually consumes (only those participate in its
+fingerprint — the seed dirties ``generate`` and everything downstream,
+the report format dirties only ``report``) and a hand-bumped **code
+version**: bump the constant when a stage's computation changes and
+every stored artifact of that stage, plus everything downstream of it,
+is invalidated while upstream artifacts stay warm.
+
+``jobs`` is deliberately *not* a fingerprint parameter: every stage is
+jobs-invariant by construction (proven by the serial/parallel
+equivalence tests), so a ``--jobs 4`` run may reuse artifacts a serial
+run stored and vice versa.
+
+Compute functions receive the owning
+:class:`~repro.pipeline.graph.Pipeline` (for parameters, timings and
+the fan-out width) plus the payloads of their resolved dependencies,
+and return a :class:`StageOutput` carrying the payload and an explicit
+metrics delta — explicit because worker-process counters never reach
+the driver registry, exactly as in ``run_study``.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..heartbeat import ZeroTotalError
+from ..obs.events import get_recorder, warn
+from ..obs.metrics import MetricsSnapshot, get_metrics
+from ..obs.progress import ProgressTracker
+from ..obs.trace import get_tracer
+
+# Per-stage code versions.  Bump a constant when the stage's computation
+# changes in a way that affects its artifact bytes; the fingerprint
+# chain invalidates the stage and its dependents, nothing else.
+GENERATE_VERSION = "1"
+MINE_VERSION = "1"
+ANALYZE_VERSION = "1"
+FIGURES_VERSION = "1"
+STATISTICS_VERSION = "1"
+REPORT_VERSION = "1"
+
+
+@dataclass
+class StageOutput:
+    """What a stage compute hands back to the graph runner."""
+
+    payload: object
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    #: True when the compute recorded its own stage seconds (the mine
+    #: stage records summed worker seconds, like ``run_study``).
+    self_timed: bool = False
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One node of the stage graph: identity, wiring and compute."""
+
+    name: str
+    deps: tuple[str, ...]
+    params: tuple[str, ...]
+    code_version: str
+    compute: Callable
+
+
+@dataclass
+class MinedProject:
+    """One entry of the ``mine`` artifact: history plus ground truth.
+
+    Deliberately slimmer than the worker-transport
+    :class:`~repro.perf.parallel.MinedHistory` — per-worker seconds,
+    cache deltas and span trees are run observability, not artifact
+    content, so they live in the artifact *meta*, never the payload.
+    """
+
+    name: str
+    history: object
+    true_taxon: object
+
+
+# ----------------------------------------------------------------------
+# stage computes
+
+def compute_generate(pipe, inputs: dict) -> StageOutput:
+    """``generate``: the synthetic corpus for (seed, scale)."""
+    from ..corpus.generator import generate_corpus
+    from ..corpus.profiles import scaled_profiles
+
+    corpus = generate_corpus(
+        seed=pipe.seed, profiles=scaled_profiles(pipe.scale), jobs=pipe.jobs
+    )
+    # generation may fan out to workers, whose registry increments never
+    # reach the driver — record the corpus delta explicitly
+    delta = MetricsSnapshot(counters={"projects.generated": len(corpus)})
+    return StageOutput(payload=corpus, metrics=delta)
+
+
+def compute_mine(pipe, inputs: dict) -> StageOutput:
+    """``mine``: every project's history, in corpus order.
+
+    Fans out over a ``ProcessPoolExecutor`` when ``pipe.jobs > 1`` with
+    the same order-preserving lazy collection as ``run_study``, so the
+    artifact is identical for every jobs value.  Worker-summed mine
+    seconds and parse-cache deltas flow into the pipeline's timings;
+    detached project spans reattach under the driver's stage span.
+    """
+    from ..perf.parallel import mine_one, pool_chunksize, worker_init
+
+    corpus = inputs["generate"]
+    tracer = get_tracer()
+    recorder = get_recorder()
+    tracker = ProgressTracker("mine", len(corpus), timings=pipe.timings)
+    delta = MetricsSnapshot()
+    entries: list[MinedProject] = []
+    with ExitStack() as stack:
+        if pipe.jobs <= 1:
+            mined = map(mine_one, corpus)
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            executor = stack.enter_context(
+                ProcessPoolExecutor(
+                    max_workers=pipe.jobs, initializer=worker_init
+                )
+            )
+            mined = executor.map(
+                mine_one,
+                corpus,
+                chunksize=pool_chunksize(len(corpus), pipe.jobs),
+            )
+        for result in mined:
+            entries.append(
+                MinedProject(
+                    name=result.name,
+                    history=result.history,
+                    true_taxon=result.true_taxon,
+                )
+            )
+            pipe.timings.record("mine", result.seconds)
+            pipe.timings.merge_cache(result.cache)
+            delta = delta + result.metrics
+            if result.trace is not None:
+                tracer.attach(result.trace, emit=pipe.jobs > 1)
+            if result.warnings and pipe.jobs > 1:
+                # worker warnings replay here so the driver's recorder
+                # (and any --log-json sink) sees them exactly once
+                for record in result.warnings:
+                    recorder.replay(record)
+            tracker.update(result.name, result.seconds)
+    tracker.finish()
+    return StageOutput(payload=entries, metrics=delta, self_timed=True)
+
+
+def compute_analyze(pipe, inputs: dict) -> StageOutput:
+    """``analyze``: per-project measures, skips carried in-band.
+
+    Runs driver-side (analysis is orders of magnitude cheaper than
+    mining); the empty-history skip decision — and its warning — lives
+    here, with the exact message ``run_study`` emits.
+    """
+    from ..analysis.measures import analyze_project
+
+    registry = get_metrics()
+    before = registry.snapshot()
+    rows = []
+    skipped: list[str] = []
+    for item in inputs["mine"]:
+        try:
+            rows.append(
+                analyze_project(item.history, true_taxon=item.true_taxon)
+            )
+        except ZeroTotalError:
+            skipped.append(item.name)
+            registry.inc("projects.skipped")
+            warn(
+                "empty-history",
+                f"{item.name}: zero total activity on one side; "
+                "project skipped",
+                project=item.name,
+            )
+    return StageOutput(
+        payload={"rows": rows, "skipped": skipped},
+        metrics=registry.snapshot() - before,
+    )
+
+
+def compute_figures(pipe, inputs: dict) -> StageOutput:
+    """``figures``: every default-parameter figure plus the headline."""
+    from ..analysis.figures import (
+        fig4_sync_histogram,
+        fig5_duration_scatter,
+        fig6_advance_table,
+        fig7_always_advance,
+        fig8_attainment,
+        headline_numbers,
+    )
+
+    rows = inputs["analyze"]["rows"]
+    figures = {
+        "fig4": fig4_sync_histogram(rows),
+        "fig5": fig5_duration_scatter(rows),
+        "fig6": fig6_advance_table(rows),
+        "fig7": fig7_always_advance(rows),
+        "fig8": fig8_attainment(rows),
+    }
+    figures["headline"] = headline_numbers(
+        rows,
+        fig4=figures["fig4"],
+        fig7=figures["fig7"],
+        fig8=figures["fig8"],
+    )
+    return StageOutput(payload=figures)
+
+
+def compute_statistics(pipe, inputs: dict) -> StageOutput:
+    """``statistics``: the §7 battery, or its error in storable form.
+
+    Tiny corpora legitimately fail the battery (Shapiro-Wilk needs at
+    least 3 observations); the artifact stores the outcome either way so
+    a warm run replays the same ``ValueError`` without recomputing.
+    """
+    from ..analysis.statistics import sec7_statistics
+
+    try:
+        payload = {"ok": True, "report": sec7_statistics(
+            inputs["analyze"]["rows"]
+        )}
+    except ValueError as exc:
+        payload = {"ok": False, "error": str(exc)}
+    return StageOutput(payload=payload)
+
+
+def compute_report(pipe, inputs: dict) -> StageOutput:
+    """``report``: the rendered document (``pipe.report_format``)."""
+    from ..analysis.study import StudyResult
+    from ..report import build_html_report, build_study_report
+
+    study = StudyResult(
+        projects=list(inputs["analyze"]["rows"]),
+        skipped=list(inputs["analyze"]["skipped"]),
+    )
+    study.prime_artifacts(
+        figures=inputs["figures"], statistics=inputs["statistics"]
+    )
+    if pipe.report_format == "html":
+        text = build_html_report(study)
+    else:
+        text = build_study_report(study)
+    return StageOutput(payload=text)
+
+
+# ----------------------------------------------------------------------
+# the graph
+
+STAGES: dict[str, StageSpec] = {
+    spec.name: spec
+    for spec in (
+        StageSpec(
+            "generate", (), ("seed", "scale"),
+            GENERATE_VERSION, compute_generate,
+        ),
+        StageSpec("mine", ("generate",), (), MINE_VERSION, compute_mine),
+        StageSpec(
+            "analyze", ("mine",), (), ANALYZE_VERSION, compute_analyze,
+        ),
+        StageSpec(
+            "figures", ("analyze",), (), FIGURES_VERSION, compute_figures,
+        ),
+        StageSpec(
+            "statistics", ("analyze",), (),
+            STATISTICS_VERSION, compute_statistics,
+        ),
+        StageSpec(
+            "report", ("analyze", "figures", "statistics"),
+            ("report_format",), REPORT_VERSION, compute_report,
+        ),
+    )
+}
+
+#: Stage names in declaration (topological) order.
+STAGE_NAMES: tuple[str, ...] = tuple(STAGES)
+
+#: The default code-version per stage (overridable per Pipeline).
+CODE_VERSIONS: dict[str, str] = {
+    name: spec.code_version for name, spec in STAGES.items()
+}
+
+
+def dependents_of(stage: str) -> set[str]:
+    """Every stage downstream of ``stage`` (transitive, exclusive)."""
+    downstream: set[str] = set()
+    frontier = {stage}
+    while frontier:
+        current = frontier.pop()
+        for name, spec in STAGES.items():
+            if current in spec.deps and name not in downstream:
+                downstream.add(name)
+                frontier.add(name)
+    return downstream

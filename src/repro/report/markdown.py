@@ -34,10 +34,10 @@ def _pct(value: float) -> str:
 def build_study_report(study: StudyResult, *, title: str | None = None) -> str:
     """The full study as one Markdown document."""
     sections: list[str] = []
-    n = len(study)
+    n = len(study) or 1  # denominator only: degenerate corpora → 0% rows
     sections.append(
         f"# {title or 'Joint source and schema co-evolution study'}\n\n"
-        f"{n} projects analysed"
+        f"{len(study)} projects analysed"
         + (f", {len(study.skipped)} skipped" if study.skipped else "")
         + "."
     )
@@ -184,7 +184,13 @@ def build_study_report(study: StudyResult, *, title: str | None = None) -> str:
     )
 
     # statistics
-    report = study.statistics()
+    try:
+        report = study.statistics()
+    except ValueError as exc:
+        # degenerate corpora can be too small for the §7 battery; the
+        # report says so instead of failing the whole render
+        sections.append(f"## Statistics (Sec. 7)\n\nnot computed: {exc}")
+        return "\n\n".join(sections) + "\n"
     stat_rows = [
         [
             f"Shapiro-Wilk {name}",

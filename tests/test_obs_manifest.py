@@ -49,6 +49,29 @@ class TestBuildManifest:
         assert manifest["metrics"]["counters"]["projects.generated"] == 12
         assert "timings" not in manifest
 
+    def test_store_block_records_the_active_artifact_store(self, tmp_path):
+        from repro.pipeline.store import configure_store
+
+        try:
+            configure_store(tmp_path / "artifacts")
+            manifest = build_manifest(command="study", seed=42)
+            assert manifest["store"]["kind"] == "dir"
+            assert manifest["store"]["dir"] == str(tmp_path / "artifacts")
+            assert manifest["store"]["env"] == str(tmp_path / "artifacts")
+            assert set(manifest["store"]["stats"]) == {
+                "hits", "misses", "writes", "corrupt", "hit_rate",
+            }
+        finally:
+            configure_store(None)
+
+    def test_default_store_block_is_memory(self):
+        from repro.pipeline.store import configure_store
+
+        configure_store(None)
+        manifest = build_manifest(command="study")
+        assert manifest["store"]["kind"] == "memory"
+        assert manifest["store"]["dir"] is None
+
     def test_warnings_are_aggregated_with_a_total_count(self):
         warnings = [
             warn("empty-history", "p: skipped", project="p"),

@@ -27,8 +27,8 @@ ENV = {"hostname": "box-a", "platform": "Linux-6.1-x86_64", "cpu_count": 8}
 
 
 def _manifest(*, stages=None, env=ENV, projects=12, jobs=2,
-              warning_count=0, hit_rate=0.5):
-    return {
+              warning_count=0, hit_rate=0.5, store_hit_rate=None):
+    manifest = {
         "format": MANIFEST_FORMAT,
         "projects": projects,
         "jobs": jobs,
@@ -42,6 +42,12 @@ def _manifest(*, stages=None, env=ENV, projects=12, jobs=2,
             "parse_cache": {"hit_rate": hit_rate, "hits": 50, "misses": 50},
         },
     }
+    if store_hit_rate is not None:
+        manifest["timings"]["artifact_store"] = {
+            "hit_rate": store_hit_rate, "hits": 3, "recomputes": 0,
+            "stages": {},
+        }
+    return manifest
 
 
 def _bench(*, stages=None, projects=195, jobs=1):
@@ -204,6 +210,33 @@ class TestCompareSamples:
         report = self._cmp(_manifest(hit_rate=0.9), _manifest(hit_rate=0.85))
         cache = next(c for c in report.checks if c.name == "cache_hit_rate")
         assert cache.status == "pass"
+
+    def test_store_hit_rate_drop_fails(self):
+        # a warm rerun that starts recomputing previously-replayed
+        # stages is a regression even if each recompute is fast
+        report = self._cmp(_manifest(store_hit_rate=1.0),
+                           _manifest(store_hit_rate=0.4))
+        store = next(c for c in report.checks if c.name == "store_hit_rate")
+        assert store.status == "fail"
+        assert report.failed
+
+    def test_small_store_hit_rate_drop_tolerated(self):
+        report = self._cmp(_manifest(store_hit_rate=1.0),
+                           _manifest(store_hit_rate=0.97))
+        store = next(c for c in report.checks if c.name == "store_hit_rate")
+        assert store.status == "pass"
+
+    def test_store_stats_on_one_side_only_skips(self):
+        report = self._cmp(_manifest(store_hit_rate=1.0), _manifest())
+        store = next(c for c in report.checks if c.name == "store_hit_rate")
+        assert store.status == "skip"
+        assert not report.failed
+
+    def test_no_store_stats_means_no_store_check(self):
+        # fused-engine records never resolved the store; their check
+        # list keeps its historical shape
+        report = self._cmp(_manifest(), _manifest())
+        assert all(c.name != "store_hit_rate" for c in report.checks)
 
     def test_warning_increase_fails_unless_allowed(self):
         baseline = _manifest(warning_count=2)

@@ -1,0 +1,117 @@
+"""CLI surface of the stage pipeline: --store-dir, status, invalidate."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.events import reset_recorder
+from repro.obs.metrics import reset_metrics
+from repro.pipeline.store import configure_store
+
+
+@pytest.fixture(autouse=True)
+def _isolated_global_state():
+    """--store-dir swaps the process-global store and exports
+    REPRO_STORE_DIR; undo both so later tests see the default."""
+    reset_recorder()
+    reset_metrics()
+    yield
+    configure_store(None)
+    reset_recorder()
+    reset_metrics()
+
+
+def _study_args(store_dir) -> list[str]:
+    return [
+        "study", "--figure", "headline", "--seed", "77", "--scale", "32",
+        "--store-dir", str(store_dir),
+    ]
+
+
+class TestStoreDirStudy:
+    def test_cold_and_warm_output_identical(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        cold = capsys.readouterr().out
+        assert "projects: 7" in cold
+
+        assert main(_study_args(store_dir)) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_store_dir_materialises_artifacts(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+        assert list(store_dir.glob("objects/*/*.pkl"))
+        # one flag configures both layers: the parse cache lands inside
+        assert (store_dir / "parse-cache").is_dir()
+
+
+class TestPipelineStatus:
+    def test_cold_status_on_memory_store(self, capsys):
+        assert main(["pipeline", "status", "--seed", "77"]) == 0
+        out = capsys.readouterr().out
+        assert "store: memory" in out
+        assert out.count("cold") == 6
+        assert "warm" not in out
+
+    def test_status_reflects_a_previous_run(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+
+        assert main([
+            "pipeline", "status", "--seed", "77", "--scale", "32",
+            "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"store: dir at {store_dir}" in out
+        assert out.count("warm") == 5  # report not rendered by `study`
+        lines = [line for line in out.splitlines() if "report" in line]
+        assert "cold" in lines[0]
+
+
+class TestPipelineInvalidate:
+    def test_unknown_stage_is_a_usage_error(self, capsys):
+        assert main(["pipeline", "invalidate", "figments"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown stage 'figments'" in err
+        assert "generate" in err  # the valid names are listed
+
+    def test_invalidate_stage_and_dependents(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+
+        assert main([
+            "pipeline", "invalidate", "analyze", "--seed", "77",
+            "--scale", "32", "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invalidated analyze: 3 artifact(s) removed" in out
+
+    def test_invalidate_all(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+
+        assert main([
+            "pipeline", "invalidate", "--seed", "77", "--scale", "32",
+            "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invalidated all stages: 5 artifact(s) removed" in out
+        assert not list(store_dir.glob("objects/*/*.pkl"))
+
+
+class TestStoreDirReport:
+    def test_report_replays_byte_identical(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        cold_path = tmp_path / "cold.md"
+        warm_path = tmp_path / "warm.md"
+        base = ["report", "--seed", "77", "--scale", "32",
+                "--store-dir", str(store_dir)]
+        assert main([*base, "--out", str(cold_path)]) == 0
+        assert main([*base, "--out", str(warm_path)]) == 0
+        capsys.readouterr()
+        assert warm_path.read_bytes() == cold_path.read_bytes()

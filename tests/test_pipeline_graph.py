@@ -1,0 +1,208 @@
+"""Tests for the stage graph: fingerprints, resolution, maintenance."""
+
+import pytest
+
+from repro.obs.events import reset_recorder
+from repro.obs.metrics import get_metrics, reset_metrics
+from repro.pipeline import (
+    CODE_VERSIONS,
+    STAGE_NAMES,
+    STAGES,
+    MemoryStore,
+    Pipeline,
+    dependents_of,
+)
+
+#: A small-but-real corpus (12 projects at scale 16) keeps compute
+#: tests fast while exercising every stage.
+SCALE = 16
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_state():
+    reset_recorder()
+    reset_metrics()
+    yield
+    reset_recorder()
+    reset_metrics()
+
+
+def fingerprints(**kwargs) -> dict[str, str]:
+    pipe = Pipeline(store=MemoryStore(), **kwargs)
+    return {stage: pipe.fingerprint(stage) for stage in STAGE_NAMES}
+
+
+class TestGraphShape:
+    def test_declaration_order_is_topological(self):
+        seen = set()
+        for name in STAGE_NAMES:
+            assert set(STAGES[name].deps) <= seen
+            seen.add(name)
+
+    def test_dependents_of_generate_is_everything_downstream(self):
+        assert dependents_of("generate") == {
+            "mine", "analyze", "figures", "statistics", "report",
+        }
+
+    def test_dependents_of_analyze(self):
+        assert dependents_of("analyze") == {
+            "figures", "statistics", "report",
+        }
+
+    def test_dependents_of_a_sink_is_empty(self):
+        assert dependents_of("report") == set()
+
+
+class TestFingerprints:
+    def test_deterministic_across_pipelines(self):
+        assert fingerprints(seed=7) == fingerprints(seed=7)
+
+    def test_seed_change_rekeys_every_stage(self):
+        a, b = fingerprints(seed=7), fingerprints(seed=8)
+        assert all(a[stage] != b[stage] for stage in STAGE_NAMES)
+
+    def test_scale_change_rekeys_every_stage(self):
+        a, b = fingerprints(scale=1), fingerprints(scale=2)
+        assert all(a[stage] != b[stage] for stage in STAGE_NAMES)
+
+    def test_report_format_rekeys_only_report(self):
+        a = fingerprints(report_format="markdown")
+        b = fingerprints(report_format="html")
+        assert a["report"] != b["report"]
+        for stage in STAGE_NAMES[:-1]:
+            assert a[stage] == b[stage]
+
+    def test_code_version_bump_rekeys_exactly_the_dependent_cone(self):
+        a = fingerprints()
+        b = fingerprints(code_versions={"analyze": "2"})
+        dirty = {"analyze"} | dependents_of("analyze")
+        for stage in STAGE_NAMES:
+            if stage in dirty:
+                assert a[stage] != b[stage], stage
+            else:
+                assert a[stage] == b[stage], stage
+
+    def test_jobs_is_not_a_fingerprint_input(self):
+        # jobs-invariant stages mean serial and parallel runs share
+        # artifacts — the core of the warm-rerun guarantee
+        assert fingerprints(jobs=1) == fingerprints(jobs=4)
+
+    def test_unknown_code_version_override_is_inert(self):
+        pipe = Pipeline(store=MemoryStore(), code_versions={"analyze": "9"})
+        assert pipe.code_versions["analyze"] == "9"
+        assert pipe.code_versions["mine"] == CODE_VERSIONS["mine"]
+
+
+class TestResolution:
+    def test_cold_study_writes_one_artifact_per_resolved_stage(self):
+        store = MemoryStore()
+        pipe = Pipeline(scale=SCALE, store=store)
+        pipe.study()
+        # report is only rendered on demand
+        assert len(store) == 5
+        assert store.stats.writes == 5
+        assert store.stats.hits == 0
+
+    def test_study_is_memoised_per_pipeline(self):
+        pipe = Pipeline(scale=SCALE, store=MemoryStore())
+        assert pipe.study() is pipe.study()
+
+    def test_warm_hit_short_circuits_upstream(self):
+        store = MemoryStore()
+        Pipeline(scale=SCALE, store=store).study()
+        reset_metrics()
+
+        warm = Pipeline(scale=SCALE, store=store)
+        warm.study()
+        counters = get_metrics().snapshot().counters
+        # analyze/figures/statistics hit; generate and mine are never
+        # even looked up, let alone recomputed
+        assert counters.get("artifact.hit") == 3
+        assert "artifact.miss" not in counters
+        totals = warm.timings.artifact_totals
+        assert (totals.hits, totals.recomputes) == (3, 0)
+
+    def test_warm_rows_equal_cold_rows(self):
+        store = MemoryStore()
+        cold = Pipeline(scale=SCALE, store=store).study()
+        warm = Pipeline(scale=SCALE, store=store).study()
+        assert warm.projects == cold.projects
+        assert warm.skipped == cold.skipped
+
+    def test_report_resolves_through_the_store(self):
+        store = MemoryStore()
+        pipe = Pipeline(scale=SCALE, store=store)
+        text = pipe.report()
+        assert "projects analysed" in text
+        assert len(store) == 6
+
+        warm = Pipeline(scale=SCALE, store=store)
+        assert warm.report() == text
+        # the report hit alone satisfied the request
+        assert warm.timings.artifact_totals.hits == 1
+
+
+class TestStatus:
+    def test_cold_then_warm(self):
+        store = MemoryStore()
+        pipe = Pipeline(scale=SCALE, store=store)
+        assert all(not row["warm"] for row in pipe.status())
+
+        pipe.study()
+        by_stage = {row["stage"]: row for row in pipe.status()}
+        for stage in ("generate", "mine", "analyze", "figures",
+                      "statistics"):
+            assert by_stage[stage]["warm"], stage
+        assert not by_stage["report"]["warm"]
+
+    def test_rows_carry_identity(self):
+        row = Pipeline(store=MemoryStore()).status()[0]
+        assert row["stage"] == "generate"
+        assert row["code_version"] == CODE_VERSIONS["generate"]
+        assert len(row["fingerprint"]) == 64
+
+
+class TestInvalidate:
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            Pipeline(store=MemoryStore()).invalidate("figments")
+
+    def test_invalidate_stage_drops_exactly_the_dependent_cone(self):
+        store = MemoryStore()
+        pipe = Pipeline(scale=SCALE, store=store)
+        pipe.study()
+        assert pipe.invalidate("analyze") == 3  # analyze+figures+statistics
+
+        by_stage = {row["stage"]: row["warm"] for row in pipe.status()}
+        assert by_stage["generate"] and by_stage["mine"]
+        assert not by_stage["analyze"]
+        assert not by_stage["figures"]
+        assert not by_stage["statistics"]
+
+    def test_rerun_after_invalidate_reuses_upstream(self):
+        store = MemoryStore()
+        pipe = Pipeline(scale=SCALE, store=store)
+        cold = pipe.study()
+        pipe.invalidate("analyze")
+
+        rerun = Pipeline(scale=SCALE, store=store)
+        result = rerun.study()
+        assert result.projects == cold.projects
+        stats = rerun.timings.artifacts
+        assert stats["mine"].hits == 1  # mine came warm
+        assert stats["analyze"].recomputes == 1
+
+    def test_invalidate_all(self):
+        store = MemoryStore()
+        pipe = Pipeline(scale=SCALE, store=store)
+        pipe.study()
+        assert pipe.invalidate() == 5
+        assert len(store) == 0
+
+    def test_other_seeds_survive(self):
+        store = MemoryStore()
+        Pipeline(scale=SCALE, seed=7, store=store).study()
+        other = Pipeline(scale=SCALE, seed=8, store=store)
+        other.study()
+        other.invalidate()
+        assert len(store) == 5  # seed-7 artifacts untouched

@@ -1,0 +1,220 @@
+"""End-to-end pipeline studies: warm replays, degenerate corpora,
+corrupted stores.
+
+The acceptance contract of the stage graph: a warm-store rerun is
+byte-identical to the cold run (serial or parallel), clean stages are
+served from the store, and a damaged store entry is recomputed — never
+served.
+"""
+
+import pytest
+
+from repro.analysis.study import StudyResult
+from repro.obs.events import get_recorder, reset_recorder
+from repro.obs.metrics import reset_metrics
+from repro.pipeline import DirStore, MemoryStore, Pipeline
+from repro.vcs import (
+    Commit,
+    FileChange,
+    FileVersion,
+    Repository,
+    synthetic_sha,
+    utc,
+)
+
+SCALE = 16
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_state():
+    reset_recorder()
+    reset_metrics()
+    yield
+    reset_recorder()
+    reset_metrics()
+
+
+def _codes():
+    return [record["code"] for record in get_recorder().warnings]
+
+
+def _seed_generate(pipe: Pipeline, corpus: list) -> None:
+    """Plant a synthetic ``generate`` artifact so the pipeline mines a
+    corpus the generator would never produce (empty, hollow, ...)."""
+    pipe.store.put(
+        pipe.fingerprint("generate"),
+        corpus,
+        meta={"stage": "generate", "warnings": [], "metrics": None},
+    )
+
+
+def _hollow_project(index: int):
+    """A project whose recorded DDL never defines a table — its analysis
+    raises ``ZeroTotalError`` (the empty-history skip)."""
+    repo = Repository(name=f"demo/hollow-{index}")
+    for i in range(3):
+        repo.add_commit(
+            Commit(
+                synthetic_sha(index * 10 + i), "D", "d@x", utc(2020, 1 + i),
+                "c", [FileChange("M" if i else "A", "schema.sql"),
+                      FileChange("M", "src/app.py")],
+            )
+        )
+    repo.record_version(
+        "schema.sql", FileVersion(synthetic_sha(index * 10), utc(2020, 1), "")
+    )
+
+    class _Project:
+        name = repo.name
+        repository = repo
+        true_taxon = None
+
+    return _Project()
+
+
+class TestWarmReplay:
+    def test_cold_and_warm_reports_are_byte_identical(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        cold = Pipeline(scale=SCALE, store=DirStore(store_dir))
+        cold_text = cold.report()
+
+        warm = Pipeline(scale=SCALE, store=DirStore(store_dir))
+        warm_text = warm.report()
+        assert warm_text == cold_text
+        assert warm.timings.artifact_totals.hits == 1  # report itself
+        assert warm.timings.artifact_totals.recomputes == 0
+
+    def test_parallel_run_reuses_serial_artifacts(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        serial = Pipeline(scale=SCALE, jobs=1, store=DirStore(store_dir))
+        serial_study = serial.study()
+
+        parallel = Pipeline(scale=SCALE, jobs=4, store=DirStore(store_dir))
+        parallel_study = parallel.study()
+        assert parallel_study.projects == serial_study.projects
+        # jobs is not a fingerprint input: every clean stage hits
+        stats = parallel.timings.artifacts
+        for stage in ("analyze", "figures", "statistics"):
+            assert stats[stage].hits == 1, stage
+        assert parallel.timings.artifact_totals.recomputes == 0
+
+    def test_parallel_cold_run_matches_serial_cold_run(self, tmp_path):
+        serial = Pipeline(
+            scale=SCALE, jobs=1, store=DirStore(tmp_path / "a")
+        ).study()
+        parallel = Pipeline(
+            scale=SCALE, jobs=4, store=DirStore(tmp_path / "b")
+        ).study()
+        assert parallel.projects == serial.projects
+        assert parallel.skipped == serial.skipped
+
+    def test_warm_run_replays_cold_warnings(self):
+        store = MemoryStore()
+        corpus = [_hollow_project(1)]
+        cold = Pipeline(store=store)
+        _seed_generate(cold, corpus)
+        cold.study()
+        assert _codes() == ["empty-history"]
+
+        reset_recorder()
+        warm = Pipeline(store=store)
+        warm.study()
+        # the skip warning came out of the artifact meta, not a rerun
+        assert _codes() == ["empty-history"]
+        assert warm.timings.artifacts["analyze"].hits == 1
+
+
+class TestHeadlineMemo:
+    def test_repeated_headline_is_the_same_object(self):
+        study = Pipeline(scale=SCALE, store=MemoryStore()).study()
+        assert study.headline() is study.headline()
+
+    def test_memo_holds_without_pipeline_priming(self):
+        study = StudyResult(projects=[], skipped=[])
+        assert study.headline() is study.headline()
+
+    def test_figures_memoised_too(self):
+        study = Pipeline(scale=SCALE, store=MemoryStore()).study()
+        assert study.fig4() is study.fig4()
+        assert study.fig8() is study.fig8()
+
+
+class TestDegenerateCorpora:
+    def test_empty_corpus_studies_cleanly(self):
+        pipe = Pipeline(store=MemoryStore())
+        _seed_generate(pipe, [])
+        study = pipe.study()
+        assert study.projects == []
+        assert study.skipped == []
+        assert study.headline()["projects"] == 0
+        assert study.fig6() is not None  # no ZeroDivisionError
+
+    def test_empty_corpus_report_renders(self):
+        pipe = Pipeline(store=MemoryStore())
+        _seed_generate(pipe, [])
+        text = pipe.report()
+        assert "0 projects analysed" in text
+        # the §7 battery cannot run on nothing; the report says so
+        assert "not computed" in text
+
+    def test_all_projects_skipped(self):
+        pipe = Pipeline(store=MemoryStore())
+        _seed_generate(pipe, [_hollow_project(i) for i in range(3)])
+        study = pipe.study()
+        assert study.projects == []
+        assert study.skipped == [
+            "demo/hollow-0", "demo/hollow-1", "demo/hollow-2",
+        ]
+        assert _codes() == ["empty-history"] * 3
+        assert study.metrics.counters["projects.skipped"] == 3
+
+    def test_all_skipped_report_renders(self):
+        pipe = Pipeline(store=MemoryStore())
+        _seed_generate(pipe, [_hollow_project(i) for i in range(2)])
+        text = pipe.report()
+        assert "0 projects analysed, 2 skipped" in text
+
+    def test_statistics_error_replays_from_the_artifact(self):
+        store = MemoryStore()
+        pipe = Pipeline(store=store)
+        _seed_generate(pipe, [])
+        with pytest.raises(ValueError):
+            pipe.study().statistics()
+
+        warm = Pipeline(store=store)
+        with pytest.raises(ValueError):
+            warm.study().statistics()
+        assert warm.timings.artifacts["statistics"].hits == 1
+
+
+class TestCorruptedStore:
+    def _corrupt_entry(self, store_dir, key: str) -> None:
+        path = store_dir / "objects" / key[:2] / f"{key}.pkl"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 3])
+
+    def test_corrupt_analyze_entry_recomputes_identically(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        cold = Pipeline(scale=SCALE, store=DirStore(store_dir))
+        cold_study = cold.study()
+        self._corrupt_entry(store_dir, cold.fingerprint("analyze"))
+
+        rerun = Pipeline(scale=SCALE, store=DirStore(store_dir))
+        study = rerun.study()
+        assert "store-corrupt" in _codes()
+        assert study.projects == cold_study.projects
+        stats = rerun.timings.artifacts
+        assert stats["analyze"].recomputes == 1
+        assert stats["mine"].hits == 1  # upstream stayed warm
+        # downstream keys were unchanged, so figures/statistics still hit
+        assert stats["figures"].hits == 1
+
+    def test_corrupt_entry_never_serves_bad_bytes(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        cold = Pipeline(scale=SCALE, store=DirStore(store_dir))
+        cold_text = cold.report()
+        self._corrupt_entry(store_dir, cold.fingerprint("report"))
+
+        rerun = Pipeline(scale=SCALE, store=DirStore(store_dir))
+        assert rerun.report() == cold_text
+        assert "store-corrupt" in _codes()
+        assert rerun.store.stats.corrupt == 1
