@@ -23,7 +23,9 @@ trace-smoke:
 	$(PYTHON) -m repro.obs.smoke
 
 # cold -> warm artifact-store replay: byte-identical reports (serial and
-# jobs=4), every clean stage served from the store, invalidation cones
+# jobs=4), every clean stage served from the store, invalidation cones,
+# and the incremental scenario — mutating one project against the warm
+# store recomputes exactly its map shards plus the reduce tail
 pipeline-smoke:
 	$(PYTHON) -m repro.pipeline.smoke
 

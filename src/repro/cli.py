@@ -10,8 +10,8 @@ Subcommands::
                [--trace FILE] [--log-json FILE] [--manifest FILE]
                [--progress]
     repro-study report --out report.md            # Markdown study report
-    repro-study pipeline status [--seed N] [--store-dir DIR]
-    repro-study pipeline invalidate [STAGE]       # drop stage + dependents
+    repro-study pipeline status [--seed N] [--store-dir DIR] [--shards]
+    repro-study pipeline invalidate [STAGE | --project NAME]
     repro-study case NAME [--seed N]              # one project's diagram
     repro-study diff OLD.sql NEW.sql              # atomic changes
     repro-study impact OLD.sql NEW.sql SRC...     # change impact
@@ -160,16 +160,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "pipeline",
         help="inspect or invalidate the stage-artifact store",
         description=(
-            "the study is a stage graph (generate > mine > analyze > "
+            "the study is a sharded map/reduce graph (per-project "
+            "generate > mine > analyze shards, then aggregate > "
             "figures/statistics > report) whose outputs persist in the "
             "artifact store; status shows each stage's fingerprint and "
-            "warm/cold state, invalidate drops a stage and everything "
-            "downstream of it"
+            "warm/cold state (with per-project shard detail under "
+            "--shards), invalidate drops a stage — or one project's "
+            "shards via --project — and everything downstream of it"
         ),
     )
     pipe_sub = pipeline.add_subparsers(dest="pipeline_command", required=True)
     pipe_status = pipe_sub.add_parser(
         "status", help="per-stage fingerprints and warm/cold state"
+    )
+    pipe_status.add_argument(
+        "--shards",
+        action="store_true",
+        help="also list per-project shard warmth for the map stages",
     )
     pipe_invalidate = pipe_sub.add_parser(
         "invalidate",
@@ -179,8 +186,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "stage",
         nargs="?",
         default=None,
-        help="stage to invalidate (generate, mine, analyze, figures, "
-        "statistics, report); omit for all stages",
+        help="stage to invalidate (generate, mine, analyze, aggregate, "
+        "figures, statistics, report); omit for all stages",
+    )
+    pipe_invalidate.add_argument(
+        "--project",
+        default=None,
+        help="invalidate one project's map shards (plus the reduce "
+        "tail) instead of a whole stage",
     )
     for pipe_cmd in (pipe_status, pipe_invalidate):
         pipe_cmd.add_argument("--seed", type=int, default=None)
@@ -517,6 +530,28 @@ def _cmd_pipeline(args) -> int:
     )
     if args.pipeline_command == "invalidate":
         stage = args.stage
+        project = getattr(args, "project", None)
+        if project is not None:
+            if stage is not None:
+                print(
+                    "pass either a stage or --project, not both",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                removed = pipe.invalidate(project=project)
+            except KeyError:
+                print(
+                    f"unknown project {project!r} (see pipeline status "
+                    "--shards for the shard list)",
+                    file=sys.stderr,
+                )
+                return 2
+            print(
+                f"invalidated project {project!r}: "
+                f"{removed} artifact(s) removed"
+            )
+            return 0
         if stage is not None and stage not in STAGES:
             print(
                 f"unknown stage {stage!r} (expected one of: "
@@ -536,17 +571,57 @@ def _cmd_pipeline(args) -> int:
         f"store: {store.kind}" + (f" at {location}" if location else "")
         + f" | seed {seed}, scale {scale}, format {args.format}"
     )
-    header = f"{'stage':<12} {'state':<6} {'ver':<4} {'bytes':>12}  key"
+    header = (
+        f"{'stage':<12} {'kind':<7} {'state':<8} {'ver':<4} "
+        f"{'shards':>7} {'bytes':>12}  key"
+    )
     print(header)
     print("-" * len(header))
     for row in pipe.status():
-        state = "warm" if row["warm"] else "cold"
+        if row["kind"] == "map":
+            if row["warm"]:
+                state = "warm"
+            elif row["warm_shards"]:
+                state = "partial"
+            else:
+                state = "cold"
+            shard_text = f"{row['warm_shards']}/{row['shards']}"
+        else:
+            state = "warm" if row["warm"] else "cold"
+            shard_text = "-"
         size = row["size_bytes"]
         size_text = f"{size:,}" if size is not None else "-"
         print(
-            f"{row['stage']:<12} {state:<6} {row['code_version']:<4} "
+            f"{row['stage']:<12} {row['kind']:<7} {state:<8} "
+            f"{row['code_version']:<4} {shard_text:>7} "
             f"{size_text:>12}  {row['fingerprint'][:16]}"
         )
+    for drift in pipe.version_drift():
+        from .obs.events import warn
+
+        message = (
+            f"stage-version-stale: {drift['stage']} source changed "
+            f"(digest {drift['stored'][:12]} -> {drift['current'][:12]}) "
+            f"but code_version is still {drift['code_version']!r}; "
+            "bump it to invalidate warm artifacts"
+        )
+        warn("stage-version-stale", message, stage=drift["stage"])
+        print(f"warning: {message}")
+    if getattr(args, "shards", False):
+        print()
+        shard_header = (
+            f"{'project':<24} {'generate':<9} {'mine':<9} {'analyze':<9}"
+        )
+        print(shard_header)
+        print("-" * len(shard_header))
+        for row in pipe.shard_status():
+            print(
+                f"{row['project']:<24} "
+                + " ".join(
+                    f"{'warm' if row[stage] else 'cold':<9}"
+                    for stage in ("generate", "mine", "analyze")
+                ).rstrip()
+            )
     return 0
 
 

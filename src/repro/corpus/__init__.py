@@ -21,6 +21,7 @@ from .generator import (
     DEFAULT_SEED,
     GeneratedProject,
     ProjectSpec,
+    corpus_specs,
     generate_corpus,
     generate_project,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "TaxonProfile",
     "choose_ddl_path",
     "emit_ddl",
+    "corpus_specs",
     "generate_corpus",
     "generate_project",
     "path_is_excluded",

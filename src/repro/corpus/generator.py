@@ -524,22 +524,19 @@ def _materialise(
 DEFAULT_SEED = 195_2023
 
 
-def generate_corpus(
-    *,
+def corpus_specs(
     seed: int = DEFAULT_SEED,
     profiles: tuple[TaxonProfile, ...] = CANONICAL_PROFILES,
     blank_projects: int = 2,
-    jobs: int = 1,
-) -> list[GeneratedProject]:
-    """Generate the canonical corpus (195 projects by default).
+) -> list[tuple[ProjectSpec, TaxonProfile]]:
+    """Sample the corpus plan: one ``(spec, profile)`` pair per project.
 
-    ``blank_projects`` of the frozen-taxa projects are forced to a
-    single-month life, reproducing the "(blank)" rows of Fig. 6.
-
-    ``jobs > 1`` generates projects over a process pool.  The specs are
-    always sampled serially from the corpus RNG and each project is
-    realised from its own ``spec.seed``, so the output is bit-identical
-    to the serial path regardless of worker scheduling.
+    This is the *cheap* half of corpus generation — it consumes the
+    corpus RNG exactly as :func:`generate_corpus` always has (names,
+    per-project seeds, durations, vendors), but realises nothing.  The
+    sharded pipeline plans its per-project artifacts from this list
+    without generating a single commit; ``generate_corpus`` realises the
+    same list, so the two agree project for project.
     """
     rng = random.Random(seed)
     specs: list[ProjectSpec] = []
@@ -568,7 +565,29 @@ def generate_corpus(
     by_taxon: dict[Taxon, TaxonProfile] = {}
     for profile in profiles:
         by_taxon.setdefault(profile.taxon, profile)
-    pairs = [(spec, by_taxon[spec.taxon]) for spec in specs]
+    return [(spec, by_taxon[spec.taxon]) for spec in specs]
+
+
+def generate_corpus(
+    *,
+    seed: int = DEFAULT_SEED,
+    profiles: tuple[TaxonProfile, ...] = CANONICAL_PROFILES,
+    blank_projects: int = 2,
+    jobs: int = 1,
+) -> list[GeneratedProject]:
+    """Generate the canonical corpus (195 projects by default).
+
+    ``blank_projects`` of the frozen-taxa projects are forced to a
+    single-month life, reproducing the "(blank)" rows of Fig. 6.
+
+    ``jobs > 1`` generates projects over a process pool.  The specs are
+    always sampled serially from the corpus RNG and each project is
+    realised from its own ``spec.seed``, so the output is bit-identical
+    to the serial path regardless of worker scheduling.
+    """
+    pairs = corpus_specs(
+        seed=seed, profiles=profiles, blank_projects=blank_projects
+    )
     tracer = get_tracer()
     with tracer.span("generate", projects=len(pairs), jobs=max(1, jobs)):
         # heartbeat for the generation fan-out: updated per collected

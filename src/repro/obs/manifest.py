@@ -90,6 +90,14 @@ def build_manifest(
         manifest["skipped"] = list(study.skipped)
         manifest["timings"] = study.timings.as_dict()
         manifest["metrics"] = study.metrics.as_dict()
+        artifact_store = manifest["timings"].get("artifact_store")
+        if artifact_store and "map" in artifact_store:
+            # surface the map/reduce split in the store block so an
+            # auditor sees shard reuse without digging through timings
+            manifest["store"]["shards"] = {
+                "map": artifact_store["map"],
+                "reduce": artifact_store["reduce"],
+            }
     elif corpus_size is not None:
         manifest["projects"] = corpus_size
         from .metrics import get_metrics

@@ -75,11 +75,25 @@ class PerfSample:
 
     @property
     def store_hit_rate(self) -> float | None:
-        """Artifact-store hit rate, when the run resolved stages."""
+        """Artifact-store hit rate, when the run actually looked up keys.
+
+        A run that recorded *zero* lookups (hits + recomputes == 0 —
+        an empty corpus, or a path that never touched the store) has no
+        meaningful rate: its recorded 0.0 would read as "everything
+        recomputed" and flag a phantom regression against any warm
+        baseline, so it reports ``None`` and the comparison skips.
+        """
         if not self.store:
             return None
         rate = self.store.get("hit_rate")
-        return float(rate) if rate is not None else None
+        if rate is None:
+            return None
+        lookups = (
+            self.store.get("hits", 0) or 0
+        ) + (self.store.get("recomputes", 0) or 0)
+        if not lookups:
+            return None
+        return float(rate)
 
 
 def sample_from_dict(data: dict, *, source: str = "<dict>") -> PerfSample:
@@ -338,7 +352,10 @@ def compare_samples(
         checks.append(Check(
             name="store_hit_rate",
             status="skip",
-            message="artifact-store stats missing from one side",
+            message=(
+                "artifact-store stats missing from one side "
+                "(or one side recorded zero lookups)"
+            ),
         ))
 
     # -- warning counts -------------------------------------------------

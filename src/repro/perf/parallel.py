@@ -194,6 +194,64 @@ def mine_one(project: GeneratedProject) -> MinedHistory:
     )
 
 
+@dataclass
+class ShardTask:
+    """One cold map shard shipped to the fan-out.
+
+    ``project`` carries a warm ``generate`` artifact payload when only
+    the mine work is cold; ``None`` means the worker generates first.
+    ``spec``/``profile`` are always present — they are the shard's
+    identity, and generation needs them.
+    """
+
+    spec: ProjectSpec
+    profile: TaxonProfile
+    project: GeneratedProject | None = None
+
+
+@dataclass
+class ShardResult:
+    """What one fused map-shard unit hands back to the driver.
+
+    ``generated`` is the freshly generated project when the worker had
+    to generate (the driver stores it as the shard's ``generate``
+    artifact), ``None`` when the task arrived with a warm project.
+    The mine half always runs; its observability channels ride on
+    ``mined`` exactly as in the unsharded stage.
+    """
+
+    name: str
+    mined: MinedHistory
+    generated: GeneratedProject | None = None
+    generate_seconds: float = 0.0
+
+
+def map_shard(task: ShardTask) -> ShardResult:
+    """The fused per-shard unit of the map phase: generate? + mine.
+
+    One code path for serial (``map``) and parallel (``executor.map``)
+    runs: a cold shard generates its project from ``spec.seed`` (bit
+    identical regardless of scheduling) and mines it in the same
+    worker, so the project never crosses the process boundary twice.
+    Analysis stays driver-side — it is orders of magnitude cheaper and
+    owns the skip decision.
+    """
+    project = task.project
+    generated = None
+    generate_seconds = 0.0
+    if project is None:
+        start = time.perf_counter()
+        project = generate_project(task.spec, task.profile)
+        generate_seconds = time.perf_counter() - start
+        generated = project
+    return ShardResult(
+        name=task.spec.name,
+        mined=mine_one(project),
+        generated=generated,
+        generate_seconds=generate_seconds,
+    )
+
+
 def _change_counts(history) -> dict[str, int]:
     """Atomic-change totals by kind over one project's whole history."""
     totals: dict[str, int] = {}

@@ -19,8 +19,17 @@ from .cache import CacheStats
 
 #: Canonical stage names, in pipeline order (used for stable rendering).
 STAGE_ORDER = (
-    "generate", "mine", "analyze", "figures", "statistics", "report", "total"
+    "generate", "mine", "analyze", "aggregate", "figures", "statistics",
+    "report", "total",
 )
+
+#: The *map* stages of the sharded pipeline: one artifact per project
+#: shard, so their hit/recompute counts scale with the corpus.
+MAP_STAGES = ("generate", "mine", "analyze")
+
+#: The *reduce* stages: one whole-corpus artifact each, keyed over the
+#: sorted shard digests of the map family they fold.
+REDUCE_STAGES = ("aggregate", "figures", "statistics", "report")
 
 
 @dataclass(frozen=True)
@@ -165,6 +174,13 @@ class StudyTimings:
         if self.artifacts:
             totals = self.artifact_totals
             lookups = totals.hits + totals.recomputes
+            map_stats = ArtifactStats()
+            reduce_stats = ArtifactStats()
+            for name, stats in self.artifacts.items():
+                if name in MAP_STAGES:
+                    map_stats = map_stats + stats
+                else:
+                    reduce_stats = reduce_stats + stats
             payload["artifact_store"] = {
                 "stages": {
                     name: self.artifacts[name].as_dict()
@@ -175,6 +191,10 @@ class StudyTimings:
                 "hit_rate": round(
                     totals.hits / lookups if lookups else 0.0, 4
                 ),
+                # the map/reduce split: map counts are per-shard (they
+                # scale with the corpus), reduce counts are per-stage
+                "map": map_stats.as_dict(),
+                "reduce": reduce_stats.as_dict(),
             }
         return payload
 

@@ -1,12 +1,15 @@
-"""Stage-graph pipeline with a persistent artifact store.
+"""Sharded stage-graph pipeline with a persistent artifact store.
 
-The study is a DAG of typed stages (``generate → mine → analyze →
-figures/statistics → report``) whose outputs are content-addressed
-artifacts: each stage's key fingerprints its code version, the
-parameters it consumes and its upstream keys, so a rerun replays clean
-stages from the store and recomputes exactly the dirty ones.  See
-``docs/architecture.md`` for the DAG, the fingerprint recipe and the
-on-disk layout.
+The study is a map/reduce DAG of typed stages: the **map** stages
+(``generate → mine → analyze``) produce one content-addressed artifact
+*per project shard*, and the **reduce** stages (``aggregate →
+figures/statistics → report``) fold the shard family into whole-corpus
+artifacts.  Each key fingerprints its code version, the parameters it
+consumes and its upstream keys (a project's identity, for shard keys;
+the sorted shard digests, for the reduce chain), so a rerun replays
+clean work from the store and recomputes exactly the dirty shards plus
+the reduce tail.  See ``docs/architecture.md`` for the DAG, the
+shard-key recipe and the on-disk layout.
 
 Import layering: this package's leaves (:mod:`.store`,
 :mod:`.fingerprint`) import nothing from the analysis layer, while the
@@ -20,6 +23,7 @@ from .fingerprint import (
     FINGERPRINT_FORMAT,
     canonical_params,
     digest_text,
+    family_fingerprint,
     stage_fingerprint,
 )
 from .store import (
@@ -38,12 +42,21 @@ _LAZY = {
     "Pipeline": "graph",
     "pipeline_study": "graph",
     "CODE_VERSIONS": "stages",
+    "MAP_STAGE_NAMES": "stages",
+    "REDUCE_STAGE_NAMES": "stages",
     "STAGES": "stages",
     "STAGE_NAMES": "stages",
     "StageOutput": "stages",
     "StageSpec": "stages",
     "MinedProject": "stages",
+    "analyze_one": "stages",
     "dependents_of": "stages",
+    "stage_source_digest": "stages",
+    "ShardSpec": "shards",
+    "plan_shards": "shards",
+    "shard_batches": "shards",
+    "spec_digest": "shards",
+    "profile_digest": "shards",
 }
 
 __all__ = [
@@ -53,22 +66,32 @@ __all__ = [
     "CODE_VERSIONS",
     "DirStore",
     "FINGERPRINT_FORMAT",
+    "MAP_STAGE_NAMES",
     "MemoryStore",
     "MinedProject",
     "Pipeline",
+    "REDUCE_STAGE_NAMES",
     "STAGES",
     "STAGE_NAMES",
     "STORE_DIR_ENV",
+    "ShardSpec",
     "StageOutput",
     "StageSpec",
     "StoreStats",
+    "analyze_one",
     "canonical_params",
     "configure_store",
     "dependents_of",
     "digest_text",
+    "family_fingerprint",
     "get_store",
     "pipeline_study",
+    "plan_shards",
+    "profile_digest",
+    "shard_batches",
+    "spec_digest",
     "stage_fingerprint",
+    "stage_source_digest",
 ]
 
 

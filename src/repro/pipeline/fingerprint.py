@@ -20,6 +20,15 @@ chaining fingerprints gives the whole-DAG invalidation property without
 ever hashing artifact payloads: a changed seed re-keys ``generate`` and
 cascades; a bumped ``analyze`` code version re-keys ``analyze`` and its
 dependents while ``generate``/``mine`` artifacts stay warm.
+
+The map stages (``generate``/``mine``/``analyze``) are keyed **per
+project shard**: each shard's key is a :func:`stage_fingerprint` whose
+params are the project's identity (name + spec digest + profile
+digest), chained shard-to-shard through the map cone.  A map stage's
+*family* fingerprint (:func:`family_fingerprint`) digests its sorted
+shard keys, so the reduce stages chain over the whole shard set — edit
+one project and exactly one shard per map stage plus the reduce tail
+re-keys.
 """
 
 from __future__ import annotations
@@ -28,8 +37,10 @@ import hashlib
 import json
 
 #: Version tag mixed into every fingerprint; bump to invalidate every
-#: artifact ever stored (a format change, not a code change).
-FINGERPRINT_FORMAT = "repro-fingerprint-v1"
+#: artifact ever stored (a format change, not a code change).  v2:
+#: per-project shard keys for the map stages, reduce keys chain over
+#: the sorted shard digests.
+FINGERPRINT_FORMAT = "repro-fingerprint-v2"
 
 
 def canonical_params(params: dict) -> str:
@@ -71,3 +82,18 @@ def digest_text(*parts: str) -> str:
         hasher.update(part.encode("utf-8", errors="surrogateescape"))
         hasher.update(b"\x00")
     return hasher.hexdigest()
+
+
+def family_fingerprint(stage: str, shard_keys: list[str] | tuple) -> str:
+    """The whole-family digest of one map stage's shard keys.
+
+    Folds the shard keys in *sorted* order, so the family address is a
+    function of the shard set, not of corpus iteration order.  This is
+    what the reduce stages chain over: any shard key change (one
+    project's seed, spec or profile) re-keys the family and therefore
+    the whole reduce tail, while the other shards stay warm.  An empty
+    corpus is a valid (empty) family.
+    """
+    return digest_text(
+        FINGERPRINT_FORMAT, "shard-family", stage, *sorted(shard_keys)
+    )

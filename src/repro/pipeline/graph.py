@@ -1,18 +1,24 @@
-"""The stage-graph runner: fingerprint, resolve, replay.
+"""The stage-graph runner: plan shards, fingerprint, resolve, replay.
 
 A :class:`Pipeline` binds the stage graph (:mod:`repro.pipeline.stages`)
 to one parameter set (seed, scale, jobs, report format) and one artifact
-store.  Resolution is lazy and hit-first: resolving a stage checks the
-store under the stage's fingerprint *before* touching its dependencies,
-so a warm ``report`` artifact short-circuits the entire upstream chain —
-nothing is re-mined just to prove it wouldn't have changed.
+store.  The map stages (``generate``/``mine``/``analyze``) resolve **per
+project shard** — one content-addressed artifact per project, planned by
+:mod:`repro.pipeline.shards` from the cheap
+:func:`~repro.corpus.generator.corpus_specs` sample — and the reduce
+stages (``aggregate``/``figures``/``statistics``/``report``) resolve as
+whole-corpus artifacts whose fingerprints chain over the sorted shard
+digests.
 
-Fingerprints chain: a stage's key digests its code version, the
-parameters it consumes and the fingerprints of its dependencies
-(:func:`repro.pipeline.fingerprint.stage_fingerprint`).  Changing the
-seed therefore re-keys every stage, while bumping only the figures
-code version re-keys figures and report but leaves generate, mine,
-analyze and statistics artifacts warm.
+Resolution is lazy and hit-first: resolving a stage checks the store
+under the stage's fingerprint *before* touching its dependencies, so a
+warm ``aggregate`` artifact short-circuits the entire map phase —
+nothing is re-mined just to prove it wouldn't have changed.  Within a
+cold aggregate, each shard is itself hit-first (a warm ``analyze`` shard
+never probes its ``mine`` or ``generate`` keys), and only the cold
+shards enter the process-pool fan-out.  Editing one project of *N*
+therefore recomputes O(1) map work plus the reduce tail, and peak
+memory holds one project's history at a time, never the whole corpus.
 
 Artifacts carry their observability side-channels in the envelope meta:
 the warnings raised while computing and the stage's metrics delta.  On
@@ -20,25 +26,41 @@ a hit both replay — warnings into the live recorder (so a warm run's
 manifest lists the same ``empty-history`` skips as the cold one) and the
 delta into the study metrics — while ``artifact.hit`` / ``artifact.miss``
 counters and per-stage :class:`~repro.perf.timing.ArtifactStats` record
-what was reused versus recomputed.
+what was reused versus recomputed, split map versus reduce.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
+from dataclasses import replace
 
-from ..corpus.generator import DEFAULT_SEED
+from ..corpus.generator import DEFAULT_SEED, corpus_specs
+from ..corpus.profiles import scaled_profiles
 from ..obs.events import get_recorder
 from ..obs.metrics import MetricsSnapshot, get_metrics
+from ..obs.progress import ProgressTracker
 from ..obs.trace import get_tracer
+from ..perf.parallel import ShardTask, map_shard, pool_chunksize, worker_init
 from ..perf.timing import StudyTimings
-from .fingerprint import stage_fingerprint
-from .stages import CODE_VERSIONS, STAGE_NAMES, STAGES, dependents_of
+from .fingerprint import family_fingerprint, stage_fingerprint
+from .shards import ShardSpec, plan_shards
+from .stages import (
+    CODE_VERSIONS,
+    MAP_STAGE_NAMES,
+    REDUCE_STAGE_NAMES,
+    STAGE_NAMES,
+    STAGES,
+    MinedProject,
+    analyze_one,
+    dependents_of,
+    stage_source_digest,
+)
 from .store import Artifact, ArtifactStore, get_store
 
 
 class Pipeline:
-    """One parameterised pass over the stage graph.
+    """One parameterised pass over the sharded stage graph.
 
     A ``Pipeline`` accumulates timings, metrics and warnings across the
     stages it resolves, so :meth:`study` hands back a
@@ -46,6 +68,13 @@ class Pipeline:
     how much of it came warm from the store.  Instances are cheap;
     build a fresh one per run rather than reusing across parameter
     changes.
+
+    ``project_overrides`` maps project name → replacement per-project
+    seed: the named projects' specs are re-seeded before shard planning,
+    so exactly their map cones (plus the reduce tail) re-key — the
+    surgical "edit one project" scenario.  ``plan`` injects an explicit
+    ``(spec, profile)`` list instead of sampling ``corpus_specs``
+    (degenerate-corpus tests and ad-hoc project sets).
     """
 
     def __init__(
@@ -57,6 +86,8 @@ class Pipeline:
         report_format: str = "markdown",
         store: ArtifactStore | None = None,
         code_versions: dict[str, str] | None = None,
+        project_overrides: dict[str, int] | None = None,
+        plan: list[tuple] | None = None,
     ):
         self.seed = seed
         self.scale = scale
@@ -64,12 +95,55 @@ class Pipeline:
         self.report_format = report_format
         self.store = store if store is not None else get_store()
         self.code_versions = {**CODE_VERSIONS, **(code_versions or {})}
+        self.project_overrides = dict(project_overrides or {})
         self.timings = StudyTimings(jobs=self.jobs)
         self.metrics = MetricsSnapshot()
         self.warnings: list[dict] = []
+        self._plan = plan
+        self._shards: list[ShardSpec] | None = None
         self._fingerprints: dict[str, str] = {}
         self._resolved: dict[str, Artifact] = {}
+        self._map_delta = MetricsSnapshot()
         self._study = None
+
+    # -- planning ------------------------------------------------------
+    def shards(self) -> list[ShardSpec]:
+        """The per-project shard plan, in corpus order (memoised).
+
+        Planning samples only project *specs* — no commit is generated —
+        so a fully warm run never pays for generation.  Overridden
+        projects are re-seeded here, before keys are derived.
+        """
+        if self._shards is None:
+            pairs = (
+                list(self._plan)
+                if self._plan is not None
+                else corpus_specs(
+                    seed=self.seed, profiles=scaled_profiles(self.scale)
+                )
+            )
+            if self.project_overrides:
+                known = {spec.name for spec, _ in pairs}
+                unknown = sorted(set(self.project_overrides) - known)
+                if unknown:
+                    raise ValueError(
+                        "project_overrides name unknown project(s): "
+                        + ", ".join(unknown)
+                    )
+                pairs = [
+                    (
+                        replace(
+                            spec,
+                            seed=self.project_overrides.get(
+                                spec.name, spec.seed
+                            ),
+                        ),
+                        profile,
+                    )
+                    for spec, profile in pairs
+                ]
+            self._shards = plan_shards(pairs, self.code_versions)
+        return self._shards
 
     # -- keys ----------------------------------------------------------
     def params_for(self, stage: str) -> dict:
@@ -77,16 +151,27 @@ class Pipeline:
         return {name: getattr(self, name) for name in STAGES[stage].params}
 
     def fingerprint(self, stage: str) -> str:
-        """The stage's content address under this parameter set."""
+        """The stage's content address under this parameter set.
+
+        Map stages address their shard *family* — the digest of their
+        sorted per-shard keys — which is what the reduce chain folds;
+        the per-shard keys themselves live on :meth:`shards`.
+        """
         cached = self._fingerprints.get(stage)
         if cached is None:
             spec = STAGES[stage]
-            cached = self._fingerprints[stage] = stage_fingerprint(
-                stage,
-                self.code_versions[stage],
-                self.params_for(stage),
-                {dep: self.fingerprint(dep) for dep in spec.deps},
-            )
+            if spec.kind == "map":
+                cached = family_fingerprint(
+                    stage, [shard.keys[stage] for shard in self.shards()]
+                )
+            else:
+                cached = stage_fingerprint(
+                    stage,
+                    self.code_versions[stage],
+                    self.params_for(stage),
+                    {dep: self.fingerprint(dep) for dep in spec.deps},
+                )
+            self._fingerprints[stage] = cached
         return cached
 
     # -- resolution ----------------------------------------------------
@@ -94,51 +179,33 @@ class Pipeline:
         """The stage's artifact: from the store when warm, else computed.
 
         The store lookup happens before dependency resolution, so a hit
-        on this stage never recurses upstream.
+        on this stage never recurses upstream.  Map stages have no
+        whole-corpus artifact — they resolve shard by shard inside
+        ``aggregate`` — so asking for one is a programming error.
         """
+        spec = STAGES[stage]
+        if spec.kind == "map":
+            raise ValueError(
+                f"map stage {stage!r} resolves per shard; "
+                "resolve 'aggregate' for the folded corpus"
+            )
         done = self._resolved.get(stage)
         if done is not None:
             return done
+        if stage == "aggregate":
+            return self._resolve_aggregate()
         key = self.fingerprint(stage)
-        registry = get_metrics()
-        tracer = get_tracer()
         load_start = time.perf_counter()
         artifact = self.store.get(key)
         if artifact is not None:
-            load_seconds = time.perf_counter() - load_start
-            registry.inc("artifact.hit")
-            self.metrics = self.metrics + MetricsSnapshot(
-                counters={"artifact.hit": 1}
+            return self._consume_hit(
+                stage, key, artifact, time.perf_counter() - load_start
             )
-            self.timings.record_artifact(stage, hit=True)
-            # the honest cost of a hit: just the load
-            self.timings.record(stage, load_seconds)
-            with tracer.span(
-                f"stage:{stage}", artifact="hit", fingerprint=key[:12]
-            ):
-                pass
-            recorder = get_recorder()
-            for record in artifact.meta.get("warnings") or ():
-                # warm runs surface the cold run's warnings — the
-                # manifest of a replayed study matches the original
-                recorder.replay(record)
-                self.warnings.append(record)
-            delta = artifact.meta.get("metrics")
-            if delta is not None:
-                self.metrics = self.metrics + delta
-            self._resolved[stage] = artifact
-            return artifact
-
-        registry.inc("artifact.miss")
-        self.metrics = self.metrics + MetricsSnapshot(
-            counters={"artifact.miss": 1}
-        )
-        self.timings.record_artifact(stage, hit=False)
-        spec = STAGES[stage]
+        self._count_miss(stage)
         inputs = {dep: self.resolve(dep).payload for dep in spec.deps}
         recorder = get_recorder()
         mark = recorder.mark()
-        with tracer.span(
+        with get_tracer().span(
             f"stage:{stage}", artifact="recompute", fingerprint=key[:12]
         ):
             start = time.perf_counter()
@@ -149,24 +216,281 @@ class Pipeline:
         window = recorder.since(mark)
         self.warnings.extend(window)
         self.metrics = self.metrics + output.metrics
-        artifact = self.store.put(
-            key,
-            output.payload,
-            meta={
-                "stage": stage,
-                "params": self.params_for(stage),
-                "code_version": self.code_versions[stage],
-                "seconds": round(seconds, 6),
-                "warnings": list(window),
-                "metrics": output.metrics,
-            },
+        artifact = self._put(
+            stage, key, output.payload,
+            seconds=seconds, warnings=window, metrics=output.metrics,
         )
         self._resolved[stage] = artifact
         return artifact
 
+    def _resolve_aggregate(self) -> Artifact:
+        """Resolve ``aggregate``: warm hit, or map phase + fold.
+
+        On a miss the recorder is marked *before* the map phase, so the
+        stored meta window spans every shard warning — replayed warm
+        ones and freshly raised ones alike — and a later warm aggregate
+        hit replays the full map phase's warnings and metrics without
+        touching a single shard key.
+        """
+        from .stages import compute_aggregate
+
+        stage = "aggregate"
+        key = self.fingerprint(stage)
+        load_start = time.perf_counter()
+        artifact = self.store.get(key)
+        if artifact is not None:
+            return self._consume_hit(
+                stage, key, artifact, time.perf_counter() - load_start
+            )
+        self._count_miss(stage)
+        recorder = get_recorder()
+        mark = recorder.mark()
+        self._map_delta = MetricsSnapshot()
+        with get_tracer().span(
+            f"stage:{stage}", artifact="recompute", fingerprint=key[:12]
+        ):
+            payloads = self._map_phase()
+            fold_start = time.perf_counter()
+            output = compute_aggregate(self, {"analyze": payloads})
+            seconds = time.perf_counter() - fold_start
+        self.timings.record(stage, seconds)
+        window = recorder.since(mark)
+        self.warnings.extend(window)
+        metrics_out = self._map_delta + output.metrics
+        self.metrics = self.metrics + metrics_out
+        artifact = self._put(
+            stage, key, output.payload,
+            seconds=seconds, warnings=window, metrics=metrics_out,
+        )
+        self._resolved[stage] = artifact
+        return artifact
+
+    def _map_phase(self) -> list[dict]:
+        """Resolve every shard's ``analyze`` payload, warmest path first.
+
+        Per shard: a warm ``analyze`` artifact wins outright (its
+        ``mine``/``generate`` keys are never probed); a warm ``mine``
+        artifact re-analyzes driver-side; otherwise the shard joins the
+        fan-out — carrying its warm ``generate`` payload if one exists,
+        generating in the worker if not.  Only the fan-out batch crosses
+        the process boundary, so a one-project edit ships one task.
+        """
+        shards = self.shards()
+        payloads: list = [None] * len(shards)
+        pending: list[tuple[int, ShardTask]] = []
+        for i, shard in enumerate(shards):
+            warm_analyze = self._load_shard("analyze", shard)
+            if warm_analyze is not None:
+                payloads[i] = warm_analyze.payload
+                continue
+            warm_mine = self._load_shard("mine", shard)
+            if warm_mine is not None:
+                payloads[i] = self._analyze_shard(shard, warm_mine.payload)
+                continue
+            warm_generate = self._load_shard("generate", shard)
+            pending.append((
+                i,
+                ShardTask(
+                    spec=shard.spec,
+                    profile=shard.profile,
+                    project=(
+                        None if warm_generate is None
+                        else warm_generate.payload
+                    ),
+                ),
+            ))
+        if not pending:
+            return payloads
+        tracker = ProgressTracker("map", len(pending), timings=self.timings)
+        tasks = [task for _, task in pending]
+        with get_tracer().span("map", shards=len(tasks)), ExitStack() as stack:
+            if self.jobs <= 1:
+                results = map(map_shard, tasks)
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                executor = stack.enter_context(
+                    ProcessPoolExecutor(
+                        max_workers=self.jobs, initializer=worker_init
+                    )
+                )
+                results = executor.map(
+                    map_shard,
+                    tasks,
+                    chunksize=pool_chunksize(len(tasks), self.jobs),
+                )
+            for (i, _), result in zip(pending, results):
+                payloads[i] = self._finish_shard(shards[i], result)
+                tracker.update(result.name, result.mined.seconds)
+        tracker.finish()
+        return payloads
+
+    def _finish_shard(self, shard: ShardSpec, result) -> dict:
+        """Store one fan-out result's artifacts and analyze the shard."""
+        tracer = get_tracer()
+        recorder = get_recorder()
+        if result.generated is not None:
+            project = result.generated
+            if project.trace is not None:
+                tracer.attach(project.trace, emit=self.jobs > 1)
+                project.trace = None
+            self.timings.record("generate", result.generate_seconds)
+            generated_delta = MetricsSnapshot(
+                counters={"projects.generated": 1}
+            )
+            self._map_delta = self._map_delta + generated_delta
+            self._store_shard(
+                "generate", shard, project,
+                seconds=result.generate_seconds,
+                warnings=(), metrics=generated_delta,
+            )
+        mined = result.mined
+        self.timings.record("mine", mined.seconds)
+        self.timings.merge_cache(mined.cache)
+        self._map_delta = self._map_delta + mined.metrics
+        if mined.trace is not None:
+            tracer.attach(mined.trace, emit=self.jobs > 1)
+        if mined.warnings and self.jobs > 1:
+            # worker warnings replay here so the driver's recorder (and
+            # any --log-json sink) sees them exactly once
+            for record in mined.warnings:
+                recorder.replay(record)
+        entry = MinedProject(
+            name=mined.name,
+            history=mined.history,
+            true_taxon=mined.true_taxon,
+        )
+        self._store_shard(
+            "mine", shard, entry,
+            seconds=mined.seconds,
+            warnings=mined.warnings, metrics=mined.metrics,
+        )
+        return self._analyze_shard(shard, entry)
+
+    def _analyze_shard(self, shard: ShardSpec, mined: MinedProject) -> dict:
+        """Analyze one shard driver-side and store its artifact."""
+        registry = get_metrics()
+        recorder = get_recorder()
+        before = registry.snapshot()
+        mark = recorder.mark()
+        start = time.perf_counter()
+        payload = analyze_one(mined)
+        seconds = time.perf_counter() - start
+        self.timings.record("analyze", seconds)
+        delta = registry.snapshot() - before
+        self._map_delta = self._map_delta + delta
+        self._store_shard(
+            "analyze", shard, payload,
+            seconds=seconds,
+            warnings=recorder.since(mark), metrics=delta,
+        )
+        return payload
+
+    def _load_shard(self, stage: str, shard: ShardSpec) -> Artifact | None:
+        """One shard-key probe: hit replays its meta, miss counts one.
+
+        Shard-hit warnings replay into the live recorder only — the
+        aggregate's meta window (marked before the map phase) picks
+        them up, and ``self.warnings`` receives them once when that
+        window lands.  Metrics deltas fold into the map delta for the
+        same reason; hit/miss *counters* go straight to the live run
+        accounting, never into stored meta.
+        """
+        key = shard.keys[stage]
+        load_start = time.perf_counter()
+        artifact = self.store.get(key)
+        if artifact is None:
+            self._count_miss(stage)
+            return None
+        load_seconds = time.perf_counter() - load_start
+        get_metrics().inc("artifact.hit")
+        self.metrics = self.metrics + MetricsSnapshot(
+            counters={"artifact.hit": 1}
+        )
+        self.timings.record_artifact(stage, hit=True)
+        self.timings.record(stage, load_seconds)
+        recorder = get_recorder()
+        for record in artifact.meta.get("warnings") or ():
+            recorder.replay(record)
+        delta = artifact.meta.get("metrics")
+        if delta is not None:
+            self._map_delta = self._map_delta + delta
+        return artifact
+
+    # -- store plumbing ------------------------------------------------
+    def _consume_hit(
+        self, stage: str, key: str, artifact: Artifact, load_seconds: float
+    ) -> Artifact:
+        """Account one reduce-stage hit and replay its side-channels."""
+        get_metrics().inc("artifact.hit")
+        self.metrics = self.metrics + MetricsSnapshot(
+            counters={"artifact.hit": 1}
+        )
+        self.timings.record_artifact(stage, hit=True)
+        # the honest cost of a hit: just the load
+        self.timings.record(stage, load_seconds)
+        with get_tracer().span(
+            f"stage:{stage}", artifact="hit", fingerprint=key[:12]
+        ):
+            pass
+        recorder = get_recorder()
+        for record in artifact.meta.get("warnings") or ():
+            # warm runs surface the cold run's warnings — the manifest
+            # of a replayed study matches the original
+            recorder.replay(record)
+            self.warnings.append(record)
+        delta = artifact.meta.get("metrics")
+        if delta is not None:
+            self.metrics = self.metrics + delta
+        self._resolved[stage] = artifact
+        return artifact
+
+    def _count_miss(self, stage: str) -> None:
+        get_metrics().inc("artifact.miss")
+        self.metrics = self.metrics + MetricsSnapshot(
+            counters={"artifact.miss": 1}
+        )
+        self.timings.record_artifact(stage, hit=False)
+
+    def _put(
+        self, stage: str, key: str, payload, *,
+        seconds: float, warnings, metrics: MetricsSnapshot,
+    ) -> Artifact:
+        return self.store.put(
+            key,
+            payload,
+            meta={
+                "stage": stage,
+                "params": self.params_for(stage),
+                "code_version": self.code_versions[stage],
+                "source_digest": stage_source_digest(stage),
+                "seconds": round(seconds, 6),
+                "warnings": list(warnings),
+                "metrics": metrics,
+            },
+        )
+
+    def _store_shard(
+        self, stage: str, shard: ShardSpec, payload, *,
+        seconds: float, warnings, metrics: MetricsSnapshot,
+    ) -> Artifact:
+        return self.store.put(
+            shard.keys[stage],
+            payload,
+            meta={
+                "stage": stage,
+                "project": shard.project,
+                "code_version": self.code_versions[stage],
+                "source_digest": stage_source_digest(stage),
+                "seconds": round(seconds, 6),
+                "warnings": list(warnings),
+                "metrics": metrics,
+            },
+        )
+
     # -- whole-study entry points --------------------------------------
     def study(self):
-        """Resolve analyze + figures + statistics into a ``StudyResult``.
+        """Resolve aggregate + figures + statistics into a ``StudyResult``.
 
         The result's figures, headline and statistics are primed from
         the resolved artifacts, so accessors replay stored values
@@ -182,14 +506,14 @@ class Pipeline:
         with tracer.span(
             "pipeline", seed=self.seed, scale=self.scale, jobs=self.jobs
         ):
-            analyze = self.resolve("analyze")
+            aggregate = self.resolve("aggregate")
             figures = self.resolve("figures")
             statistics = self.resolve("statistics")
         self.metrics.fold_cache(self.timings.cache)
         self.timings.record_wall(time.perf_counter() - start)
         result = StudyResult(
-            projects=list(analyze.payload["rows"]),
-            skipped=list(analyze.payload["skipped"]),
+            projects=list(aggregate.payload["rows"]),
+            skipped=list(aggregate.payload["skipped"]),
             timings=self.timings,
             metrics=self.metrics,
             warnings=list(self.warnings),
@@ -206,39 +530,156 @@ class Pipeline:
 
     # -- maintenance ---------------------------------------------------
     def status(self) -> list[dict]:
-        """One row per stage: fingerprint, warm/cold, stored size."""
+        """One row per stage: fingerprint, warm/cold, stored size.
+
+        Map rows carry the shard totals (``shards`` planned versus
+        ``warm_shards`` stored, ``size_bytes`` summed over the warm
+        ones) and count as warm only when *every* shard is; reduce rows
+        keep the one-artifact shape with ``shards`` set to ``None``.
+        """
         rows = []
+        shards = self.shards()
         for name in STAGE_NAMES:
             key = self.fingerprint(name)
-            warm = self.store.contains(key)
-            rows.append(
-                {
-                    "stage": name,
-                    "code_version": self.code_versions[name],
-                    "fingerprint": key,
-                    "warm": warm,
-                    "size_bytes": self.store.size_of(key) if warm else None,
-                }
-            )
+            if STAGES[name].kind == "map":
+                warm_keys = [
+                    shard.keys[name] for shard in shards
+                    if self.store.contains(shard.keys[name])
+                ]
+                rows.append(
+                    {
+                        "stage": name,
+                        "kind": "map",
+                        "code_version": self.code_versions[name],
+                        "fingerprint": key,
+                        "shards": len(shards),
+                        "warm_shards": len(warm_keys),
+                        "warm": bool(shards)
+                        and len(warm_keys) == len(shards),
+                        "size_bytes": (
+                            sum(
+                                self.store.size_of(k) or 0
+                                for k in warm_keys
+                            )
+                            if warm_keys else None
+                        ),
+                    }
+                )
+            else:
+                warm = self.store.contains(key)
+                rows.append(
+                    {
+                        "stage": name,
+                        "kind": "reduce",
+                        "code_version": self.code_versions[name],
+                        "fingerprint": key,
+                        "shards": None,
+                        "warm_shards": None,
+                        "warm": warm,
+                        "size_bytes": (
+                            self.store.size_of(key) if warm else None
+                        ),
+                    }
+                )
         return rows
 
-    def invalidate(self, stage: str | None = None) -> int:
-        """Drop ``stage`` and everything downstream (all stages if None).
+    def shard_status(self) -> list[dict]:
+        """Per-project warmth: one row per shard, one flag per map stage."""
+        return [
+            {
+                "project": shard.project,
+                **{
+                    stage: self.store.contains(shard.keys[stage])
+                    for stage in MAP_STAGE_NAMES
+                },
+            }
+            for shard in self.shards()
+        ]
 
-        Only artifacts keyed by the *current* fingerprints are touched —
+    def version_drift(self) -> list[dict]:
+        """Stages whose stored source digest disagrees with the code.
+
+        The drift guard behind ``pipeline status``: a stage is *stale*
+        when a stored artifact carries the current ``code_version`` but
+        a different source digest — the module changed and nobody
+        bumped the constant, so warm artifacts silently replay the old
+        computation.  Map stages check their first warm shard (all
+        shards of a stage share one code path); stages with no warm
+        artifact have nothing to drift.
+        """
+        drifted = []
+        for name in STAGE_NAMES:
+            if STAGES[name].kind == "map":
+                meta = None
+                for shard in self.shards():
+                    meta = self.store.meta_of(shard.keys[name])
+                    if meta is not None:
+                        break
+            else:
+                meta = self.store.meta_of(self.fingerprint(name))
+            if not meta:
+                continue
+            stored = meta.get("source_digest")
+            current = stage_source_digest(name)
+            if (
+                stored
+                and stored != current
+                and meta.get("code_version") == self.code_versions[name]
+            ):
+                drifted.append(
+                    {
+                        "stage": name,
+                        "code_version": self.code_versions[name],
+                        "stored": stored,
+                        "current": current,
+                    }
+                )
+        return drifted
+
+    def invalidate(
+        self, stage: str | None = None, *, project: str | None = None
+    ) -> int:
+        """Drop artifacts and everything downstream of them.
+
+        ``project`` names one shard: its ``generate``/``mine``/
+        ``analyze`` artifacts plus the whole reduce tail go (the
+        surgical single-project invalidation).  ``stage`` drops that
+        stage — every shard of it, for a map stage — and its
+        dependents; ``None`` (and no project) drops everything.  Only
+        artifacts keyed by the *current* fingerprints are touched —
         other seeds' entries survive.  Returns how many entries were
         actually removed.
         """
-        if stage is None:
-            targets = set(STAGE_NAMES)
+        if project is not None:
+            if stage is not None:
+                raise ValueError("pass either stage or project, not both")
+            shard = next(
+                (s for s in self.shards() if s.project == project), None
+            )
+            if shard is None:
+                raise KeyError(project)
+            keys = list(shard.keys.values()) + [
+                self.fingerprint(name) for name in REDUCE_STAGE_NAMES
+            ]
         else:
-            if stage not in STAGES:
-                raise KeyError(stage)
-            targets = {stage} | dependents_of(stage)
-        removed = 0
-        for name in targets:
-            removed += bool(self.store.delete(self.fingerprint(name)))
-            self._resolved.pop(name, None)
+            if stage is None:
+                targets = set(STAGE_NAMES)
+            else:
+                if stage not in STAGES:
+                    raise KeyError(stage)
+                targets = {stage} | dependents_of(stage)
+            keys = []
+            for name in STAGE_NAMES:
+                if name not in targets:
+                    continue
+                if STAGES[name].kind == "map":
+                    keys.extend(
+                        shard.keys[name] for shard in self.shards()
+                    )
+                else:
+                    keys.append(self.fingerprint(name))
+        removed = sum(bool(self.store.delete(key)) for key in keys)
+        self._resolved.clear()
         self._study = None
         return removed
 
@@ -250,6 +691,7 @@ def pipeline_study(
     jobs: int = 1,
     store: ArtifactStore | None = None,
     code_versions: dict[str, str] | None = None,
+    project_overrides: dict[str, int] | None = None,
 ):
     """One-call stage-graph study (the pipeline twin of ``run_study``)."""
     return Pipeline(
@@ -258,4 +700,5 @@ def pipeline_study(
         jobs=jobs,
         store=store,
         code_versions=code_versions,
+        project_overrides=project_overrides,
     ).study()

@@ -4,18 +4,23 @@
 temporary on-disk artifact store, then re-resolves it warm — serial and
 with ``jobs=4`` — and checks the incremental-study contract end to end:
 
-1. the cold run recomputes every stage (no phantom hits) and persists
-   one artifact per resolved stage;
+1. the cold run recomputes every map shard and every reduce stage (no
+   phantom hits) and persists one artifact per shard per map stage plus
+   one per reduce stage;
 2. a warm serial rerun is **byte-identical** to the cold run and serves
-   every clean stage from the store (at least one artifact hit per
-   stage, zero recomputes);
+   everything from the store: the warm ``aggregate`` hit short-circuits
+   the whole map phase (zero shard lookups), zero recomputes anywhere;
 3. a warm ``jobs=4`` rerun reuses the *same* artifacts — parallelism is
    not a fingerprint input — and is byte-identical too;
 4. the warm run's hit rate surfaces in the timings payload (what the
    manifest and ``BENCH_study.json`` carry for ``repro bench-check``);
-5. bumping one stage's code version invalidates exactly that stage and
-   its dependents: upstream artifacts stay warm;
-6. changing the seed re-keys every stage fingerprint.
+5. a code-version bump dirties exactly the dependent cone: bumping
+   ``figures`` leaves ``aggregate`` and ``statistics`` warm;
+6. changing the seed re-keys every stage fingerprint;
+7. **incremental**: mutating one project's seed against the warm store
+   recomputes exactly that project's generate/mine/analyze shards plus
+   the reduce tail — every other shard serves warm — and a second run
+   of the same mutation replays fully warm.
 
 Exit status 0 on success, 1 with a diagnosis on the first violation.
 """
@@ -36,7 +41,7 @@ def main() -> int:
     from ..obs.events import reset_recorder
     from ..obs.metrics import reset_metrics
     from .graph import Pipeline
-    from .stages import STAGE_NAMES
+    from .stages import MAP_STAGE_NAMES, REDUCE_STAGE_NAMES, STAGE_NAMES
     from .store import DirStore
 
     failures: list[str] = []
@@ -51,31 +56,42 @@ def main() -> int:
         def pipeline(jobs: int = 1, **kwargs) -> Pipeline:
             reset_recorder()
             reset_metrics()
+            kwargs.setdefault("seed", SMOKE_SEED)
             return Pipeline(
-                seed=SMOKE_SEED,
                 scale=SMOKE_SCALE,
                 jobs=jobs,
                 store=DirStore(store_dir),
                 **kwargs,
             )
 
-        # 1. cold: every stage recomputes, every stage persists
+        # 1. cold: every shard and stage recomputes, everything persists
         cold = pipeline()
         cold_text = cold.report()
+        shards = cold.shards()
+        n = len(shards)
         totals = cold.timings.artifact_totals
+        expected_cold = len(MAP_STAGE_NAMES) * n + len(REDUCE_STAGE_NAMES)
         check(totals.hits == 0, f"cold run claimed {totals.hits} hits")
         check(
-            totals.recomputes == len(STAGE_NAMES),
-            f"cold run recomputed {totals.recomputes} stages, "
-            f"expected {len(STAGE_NAMES)}",
+            totals.recomputes == expected_cold,
+            f"cold run recomputed {totals.recomputes} artifacts, "
+            f"expected {expected_cold} ({n} shards)",
+        )
+        expected_keys = sorted(
+            [
+                shard.keys[stage]
+                for shard in shards
+                for stage in MAP_STAGE_NAMES
+            ]
+            + [cold.fingerprint(stage) for stage in REDUCE_STAGE_NAMES]
         )
         check(
-            sorted(cold.store.keys())
-            == sorted(cold.fingerprint(stage) for stage in STAGE_NAMES),
-            "cold store contents do not match the stage fingerprints",
+            sorted(cold.store.keys()) == expected_keys,
+            "cold store contents do not match the planned shard and "
+            "reduce keys",
         )
 
-        # 2. warm serial: byte-identical, every clean stage hits
+        # 2. warm serial: byte-identical, aggregate hit skips the map
         warm = pipeline()
         warm.study()
         warm_text = warm.report()
@@ -83,11 +99,17 @@ def main() -> int:
             warm_text == cold_text,
             "warm serial report differs from the cold run",
         )
-        for stage in ("analyze", "figures", "statistics", "report"):
+        for stage in REDUCE_STAGE_NAMES:
             stats = warm.timings.artifacts.get(stage)
             check(
                 stats is not None and stats.hits >= 1,
                 f"warm serial run did not hit the {stage} artifact",
+            )
+        for stage in MAP_STAGE_NAMES:
+            check(
+                stage not in warm.timings.artifacts,
+                f"warm serial run probed {stage} shards despite the "
+                "warm aggregate",
             )
         check(
             warm.timings.artifact_totals.recomputes == 0,
@@ -119,9 +141,9 @@ def main() -> int:
         bumped.study()
         stats = bumped.timings.artifacts
         check(
-            stats.get("analyze") is not None
-            and stats["analyze"].hits == 1,
-            "analyze should stay warm under a figures version bump",
+            stats.get("aggregate") is not None
+            and stats["aggregate"].hits == 1,
+            "aggregate should stay warm under a figures version bump",
         )
         check(
             stats.get("figures") is not None
@@ -135,14 +157,65 @@ def main() -> int:
         )
 
         # 6. the seed re-keys everything
-        reseeded = pipeline()
-        reseeded.seed = SMOKE_SEED + 1
+        reseeded = pipeline(seed=SMOKE_SEED + 1)
         check(
             all(
                 reseeded.fingerprint(stage) != cold.fingerprint(stage)
                 for stage in STAGE_NAMES
             ),
             "a seed change left some stage fingerprint unchanged",
+        )
+
+        # 7. incremental: one mutated project recomputes exactly its
+        # map cone plus the reduce tail against the warm store
+        target = shards[0].project
+        override = {target: SMOKE_SEED + 999}
+        touched = pipeline(project_overrides=override)
+        touched.study()
+        touched_text = touched.report()
+        stats = touched.timings.artifacts
+        for stage in MAP_STAGE_NAMES:
+            got = stats.get(stage)
+            check(
+                got is not None and got.recomputes == 1,
+                f"mutating {target} should recompute exactly one "
+                f"{stage} shard, got {got}",
+            )
+        check(
+            stats.get("analyze") is not None
+            and stats["analyze"].hits == n - 1,
+            f"mutating {target} should serve {n - 1} analyze shards "
+            f"warm, got {stats.get('analyze')}",
+        )
+        for stage in ("generate", "mine"):
+            check(
+                stats.get(stage) is not None and stats[stage].hits == 0,
+                f"warm analyze shards should never probe {stage} keys",
+            )
+        for stage in REDUCE_STAGE_NAMES:
+            got = stats.get(stage)
+            check(
+                got is not None and got.recomputes == 1,
+                f"mutating {target} should recompute the {stage} "
+                f"reduce stage, got {got}",
+            )
+        study = touched._study
+        check(
+            study is not None
+            and len(study.projects) + len(study.skipped) == n,
+            "the mutated run lost or duplicated projects",
+        )
+
+        # ... and re-running the same mutation replays fully warm
+        retouched = pipeline(project_overrides=override)
+        retouched.study()
+        check(
+            retouched.report() == touched_text,
+            "re-running the mutated corpus is not byte-identical",
+        )
+        check(
+            retouched.timings.artifact_totals.recomputes == 0,
+            "re-running the mutated corpus recomputed a clean stage",
         )
 
     reset_recorder()
@@ -153,9 +226,11 @@ def main() -> int:
         return 1
     print(
         "pipeline-smoke ok: cold run persisted "
-        f"{len(STAGE_NAMES)} artifacts; warm serial and jobs={SMOKE_JOBS} "
-        "replays byte-identical with a 100% stage hit rate; version bump "
-        "and reseed invalidate exactly their cones"
+        f"{len(MAP_STAGE_NAMES)}x{n}+{len(REDUCE_STAGE_NAMES)} artifacts; "
+        f"warm serial and jobs={SMOKE_JOBS} replays byte-identical with a "
+        "100% hit rate and zero shard probes; version bump and reseed "
+        "invalidate exactly their cones; a one-project mutation recomputes "
+        "one shard per map stage plus the reduce tail"
     )
     return 0
 

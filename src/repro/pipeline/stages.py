@@ -1,50 +1,72 @@
 """The typed stages of the study dataflow graph.
 
-The study is a fixed pipeline::
+The study is a sharded map/reduce pipeline::
 
-    generate ──► mine ──► analyze ──┬─► figures ──┐
-                                    ├─► statistics ┤
-                                    └──────────────┴─► report
+    per project shard (×N)                 whole corpus
+    ┌───────────────────────────┐   ┌──────────────────────────┐
+    generate ──► mine ──► analyze ──► aggregate ─┬─► figures ──┐
+                                                 ├─► statistics┤
+                                                 └─────────────┴─► report
+
+The **map** stages (``generate``/``mine``/``analyze``) produce one
+content-addressed artifact *per project shard* — their keys are planned
+by :mod:`repro.pipeline.shards` from the project's identity, so editing
+one project re-keys exactly its own map cone.  The **reduce** stages
+each produce one whole-corpus artifact whose fingerprint chains over
+the sorted shard digests of the map family (via
+:func:`~repro.pipeline.fingerprint.family_fingerprint`), so any shard
+change also re-keys the reduce tail while the untouched shards stay
+warm.
 
 Each :class:`StageSpec` declares its dependencies, the pipeline
 parameters it actually consumes (only those participate in its
-fingerprint — the seed dirties ``generate`` and everything downstream,
+fingerprint — the seed dirties the shard plan and everything downstream,
 the report format dirties only ``report``) and a hand-bumped **code
 version**: bump the constant when a stage's computation changes and
 every stored artifact of that stage, plus everything downstream of it,
-is invalidated while upstream artifacts stay warm.
+is invalidated while upstream artifacts stay warm.  Next to the
+hand-bumped version, every stored artifact also records the *source
+digest* of the stage's implementing module
+(:func:`stage_source_digest`), so ``pipeline status`` can warn when the
+code changed but the version constant was forgotten.
 
 ``jobs`` is deliberately *not* a fingerprint parameter: every stage is
 jobs-invariant by construction (proven by the serial/parallel
 equivalence tests), so a ``--jobs 4`` run may reuse artifacts a serial
 run stored and vice versa.
 
-Compute functions receive the owning
+Reduce compute functions receive the owning
 :class:`~repro.pipeline.graph.Pipeline` (for parameters, timings and
 the fan-out width) plus the payloads of their resolved dependencies,
 and return a :class:`StageOutput` carrying the payload and an explicit
 metrics delta — explicit because worker-process counters never reach
-the driver registry, exactly as in ``run_study``.
+the driver registry, exactly as in ``run_study``.  Map stages carry no
+corpus-level compute: the graph resolves them shard by shard through
+:func:`~repro.perf.parallel.map_shard` and :func:`analyze_one`.
 """
 
 from __future__ import annotations
 
-from contextlib import ExitStack
+import importlib
+import inspect
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable
 
 from ..heartbeat import ZeroTotalError
-from ..obs.events import get_recorder, warn
+from ..obs.events import warn
 from ..obs.metrics import MetricsSnapshot, get_metrics
-from ..obs.progress import ProgressTracker
-from ..obs.trace import get_tracer
+from .fingerprint import digest_text
 
 # Per-stage code versions.  Bump a constant when the stage's computation
 # changes in a way that affects its artifact bytes; the fingerprint
-# chain invalidates the stage and its dependents, nothing else.
-GENERATE_VERSION = "1"
-MINE_VERSION = "1"
-ANALYZE_VERSION = "1"
+# chain invalidates the stage and its dependents, nothing else.  The map
+# stages jumped to "2" with the shard refactor: their artifacts changed
+# from whole-corpus containers to per-project payloads.
+GENERATE_VERSION = "2"
+MINE_VERSION = "2"
+ANALYZE_VERSION = "2"
+AGGREGATE_VERSION = "1"
 FIGURES_VERSION = "1"
 STATISTICS_VERSION = "1"
 REPORT_VERSION = "1"
@@ -56,25 +78,31 @@ class StageOutput:
 
     payload: object
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
-    #: True when the compute recorded its own stage seconds (the mine
-    #: stage records summed worker seconds, like ``run_study``).
+    #: True when the compute recorded its own stage seconds (the map
+    #: phase records summed worker seconds, like ``run_study``).
     self_timed: bool = False
 
 
 @dataclass(frozen=True)
 class StageSpec:
-    """One node of the stage graph: identity, wiring and compute."""
+    """One node of the stage graph: identity, wiring and compute.
+
+    ``kind`` is ``"map"`` (one artifact per project shard, resolved by
+    the graph's map phase; ``compute`` is ``None``) or ``"reduce"``
+    (one whole-corpus artifact from ``compute``).
+    """
 
     name: str
     deps: tuple[str, ...]
     params: tuple[str, ...]
     code_version: str
-    compute: Callable
+    compute: Callable | None
+    kind: str = "reduce"
 
 
 @dataclass
 class MinedProject:
-    """One entry of the ``mine`` artifact: history plus ground truth.
+    """One ``mine`` shard's artifact: history plus ground truth.
 
     Deliberately slimmer than the worker-transport
     :class:`~repro.perf.parallel.MinedHistory` — per-worker seconds,
@@ -88,109 +116,55 @@ class MinedProject:
 
 
 # ----------------------------------------------------------------------
-# stage computes
+# the per-shard analyze unit (driver-side)
 
-def compute_generate(pipe, inputs: dict) -> StageOutput:
-    """``generate``: the synthetic corpus for (seed, scale)."""
-    from ..corpus.generator import generate_corpus
-    from ..corpus.profiles import scaled_profiles
-
-    corpus = generate_corpus(
-        seed=pipe.seed, profiles=scaled_profiles(pipe.scale), jobs=pipe.jobs
-    )
-    # generation may fan out to workers, whose registry increments never
-    # reach the driver — record the corpus delta explicitly
-    delta = MetricsSnapshot(counters={"projects.generated": len(corpus)})
-    return StageOutput(payload=corpus, metrics=delta)
-
-
-def compute_mine(pipe, inputs: dict) -> StageOutput:
-    """``mine``: every project's history, in corpus order.
-
-    Fans out over a ``ProcessPoolExecutor`` when ``pipe.jobs > 1`` with
-    the same order-preserving lazy collection as ``run_study``, so the
-    artifact is identical for every jobs value.  Worker-summed mine
-    seconds and parse-cache deltas flow into the pipeline's timings;
-    detached project spans reattach under the driver's stage span.
-    """
-    from ..perf.parallel import mine_one, pool_chunksize, worker_init
-
-    corpus = inputs["generate"]
-    tracer = get_tracer()
-    recorder = get_recorder()
-    tracker = ProgressTracker("mine", len(corpus), timings=pipe.timings)
-    delta = MetricsSnapshot()
-    entries: list[MinedProject] = []
-    with ExitStack() as stack:
-        if pipe.jobs <= 1:
-            mined = map(mine_one, corpus)
-        else:
-            from concurrent.futures import ProcessPoolExecutor
-
-            executor = stack.enter_context(
-                ProcessPoolExecutor(
-                    max_workers=pipe.jobs, initializer=worker_init
-                )
-            )
-            mined = executor.map(
-                mine_one,
-                corpus,
-                chunksize=pool_chunksize(len(corpus), pipe.jobs),
-            )
-        for result in mined:
-            entries.append(
-                MinedProject(
-                    name=result.name,
-                    history=result.history,
-                    true_taxon=result.true_taxon,
-                )
-            )
-            pipe.timings.record("mine", result.seconds)
-            pipe.timings.merge_cache(result.cache)
-            delta = delta + result.metrics
-            if result.trace is not None:
-                tracer.attach(result.trace, emit=pipe.jobs > 1)
-            if result.warnings and pipe.jobs > 1:
-                # worker warnings replay here so the driver's recorder
-                # (and any --log-json sink) sees them exactly once
-                for record in result.warnings:
-                    recorder.replay(record)
-            tracker.update(result.name, result.seconds)
-    tracker.finish()
-    return StageOutput(payload=entries, metrics=delta, self_timed=True)
-
-
-def compute_analyze(pipe, inputs: dict) -> StageOutput:
-    """``analyze``: per-project measures, skips carried in-band.
+def analyze_one(mined: MinedProject) -> dict:
+    """``analyze`` one shard: ``{"project", "row"}``, skips in-band.
 
     Runs driver-side (analysis is orders of magnitude cheaper than
-    mining); the empty-history skip decision — and its warning — lives
-    here, with the exact message ``run_study`` emits.
+    mining); the empty-history skip decision — and its warning, with
+    the exact message ``run_study`` emits — lives here.  A skipped
+    project stores ``row=None`` so a warm shard replays the skip
+    without recomputing.
     """
     from ..analysis.measures import analyze_project
 
-    registry = get_metrics()
-    before = registry.snapshot()
+    try:
+        row = analyze_project(mined.history, true_taxon=mined.true_taxon)
+    except ZeroTotalError:
+        row = None
+        get_metrics().inc("projects.skipped")
+        warn(
+            "empty-history",
+            f"{mined.name}: zero total activity on one side; "
+            "project skipped",
+            project=mined.name,
+        )
+    return {"project": mined.name, "row": row}
+
+
+# ----------------------------------------------------------------------
+# reduce stage computes
+
+def compute_aggregate(pipe, inputs: dict) -> StageOutput:
+    """``aggregate``: fold the analyze shards into the corpus tables.
+
+    The first reduce barrier: consumes the per-shard ``analyze``
+    payloads *in corpus order* and folds them into the same
+    ``{"rows", "skipped"}`` shape the fused engine produces, so every
+    downstream stage — and the rendered report — is byte-identical to a
+    whole-corpus serial run.  Rows arrive one shard at a time, so peak
+    memory holds one project's history plus the accumulated measure
+    rows, never the whole corpus.
+    """
     rows = []
     skipped: list[str] = []
-    for item in inputs["mine"]:
-        try:
-            rows.append(
-                analyze_project(item.history, true_taxon=item.true_taxon)
-            )
-        except ZeroTotalError:
-            skipped.append(item.name)
-            registry.inc("projects.skipped")
-            warn(
-                "empty-history",
-                f"{item.name}: zero total activity on one side; "
-                "project skipped",
-                project=item.name,
-            )
-    return StageOutput(
-        payload={"rows": rows, "skipped": skipped},
-        metrics=registry.snapshot() - before,
-    )
+    for entry in inputs["analyze"]:
+        if entry["row"] is None:
+            skipped.append(entry["project"])
+        else:
+            rows.append(entry["row"])
+    return StageOutput(payload={"rows": rows, "skipped": skipped})
 
 
 def compute_figures(pipe, inputs: dict) -> StageOutput:
@@ -204,7 +178,7 @@ def compute_figures(pipe, inputs: dict) -> StageOutput:
         headline_numbers,
     )
 
-    rows = inputs["analyze"]["rows"]
+    rows = inputs["aggregate"]["rows"]
     figures = {
         "fig4": fig4_sync_histogram(rows),
         "fig5": fig5_duration_scatter(rows),
@@ -232,7 +206,7 @@ def compute_statistics(pipe, inputs: dict) -> StageOutput:
 
     try:
         payload = {"ok": True, "report": sec7_statistics(
-            inputs["analyze"]["rows"]
+            inputs["aggregate"]["rows"]
         )}
     except ValueError as exc:
         payload = {"ok": False, "error": str(exc)}
@@ -245,8 +219,8 @@ def compute_report(pipe, inputs: dict) -> StageOutput:
     from ..report import build_html_report, build_study_report
 
     study = StudyResult(
-        projects=list(inputs["analyze"]["rows"]),
-        skipped=list(inputs["analyze"]["skipped"]),
+        projects=list(inputs["aggregate"]["rows"]),
+        skipped=list(inputs["aggregate"]["skipped"]),
     )
     study.prime_artifacts(
         figures=inputs["figures"], statistics=inputs["statistics"]
@@ -266,21 +240,28 @@ STAGES: dict[str, StageSpec] = {
     for spec in (
         StageSpec(
             "generate", (), ("seed", "scale"),
-            GENERATE_VERSION, compute_generate,
-        ),
-        StageSpec("mine", ("generate",), (), MINE_VERSION, compute_mine),
-        StageSpec(
-            "analyze", ("mine",), (), ANALYZE_VERSION, compute_analyze,
+            GENERATE_VERSION, None, kind="map",
         ),
         StageSpec(
-            "figures", ("analyze",), (), FIGURES_VERSION, compute_figures,
+            "mine", ("generate",), (), MINE_VERSION, None, kind="map",
         ),
         StageSpec(
-            "statistics", ("analyze",), (),
+            "analyze", ("mine",), (), ANALYZE_VERSION, None, kind="map",
+        ),
+        StageSpec(
+            "aggregate", ("analyze",), (),
+            AGGREGATE_VERSION, compute_aggregate,
+        ),
+        StageSpec(
+            "figures", ("aggregate",), (),
+            FIGURES_VERSION, compute_figures,
+        ),
+        StageSpec(
+            "statistics", ("aggregate",), (),
             STATISTICS_VERSION, compute_statistics,
         ),
         StageSpec(
-            "report", ("analyze", "figures", "statistics"),
+            "report", ("aggregate", "figures", "statistics"),
             ("report_format",), REPORT_VERSION, compute_report,
         ),
     )
@@ -289,10 +270,51 @@ STAGES: dict[str, StageSpec] = {
 #: Stage names in declaration (topological) order.
 STAGE_NAMES: tuple[str, ...] = tuple(STAGES)
 
+#: The map stages, in chaining order (one artifact per project shard).
+MAP_STAGE_NAMES: tuple[str, ...] = tuple(
+    name for name, spec in STAGES.items() if spec.kind == "map"
+)
+
+#: The reduce stages, in topological order (one artifact per stage).
+REDUCE_STAGE_NAMES: tuple[str, ...] = tuple(
+    name for name, spec in STAGES.items() if spec.kind == "reduce"
+)
+
 #: The default code-version per stage (overridable per Pipeline).
 CODE_VERSIONS: dict[str, str] = {
     name: spec.code_version for name, spec in STAGES.items()
 }
+
+#: Which module's source *is* each stage's computation, for the
+#: stage-version drift guard.  ``generate`` lives in the corpus
+#: generator, ``mine`` in the worker module; everything else is the
+#: compute in this module.
+_SOURCE_MODULES: dict[str, str] = {
+    "generate": "repro.corpus.generator",
+    "mine": "repro.perf.parallel",
+    "analyze": "repro.pipeline.stages",
+    "aggregate": "repro.pipeline.stages",
+    "figures": "repro.pipeline.stages",
+    "statistics": "repro.pipeline.stages",
+    "report": "repro.pipeline.stages",
+}
+
+
+@lru_cache(maxsize=None)
+def stage_source_digest(stage: str) -> str:
+    """A digest of the source module implementing ``stage``.
+
+    Stored in every artifact's meta next to the hand-bumped
+    ``code_version``; ``Pipeline.version_drift`` compares the stored
+    digest against the current one to catch the classic staleness bug —
+    the stage's code changed but its version constant did not, so warm
+    artifacts silently replay the old computation.  Deliberately
+    coarse (whole module, not one function): a helper edit inside the
+    module *may* change the stage's bytes, and a false "please check"
+    is cheaper than a silent stale artifact.
+    """
+    module = importlib.import_module(_SOURCE_MODULES[stage])
+    return digest_text("stage-source", stage, inspect.getsource(module))
 
 
 def dependents_of(stage: str) -> set[str]:

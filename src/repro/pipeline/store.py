@@ -172,6 +172,18 @@ class ArtifactStore:
         """Whether ``key`` is present — no hit/miss accounting."""
         raise NotImplementedError
 
+    def meta_of(self, key: str) -> dict | None:
+        """The envelope meta under ``key`` without touching the payload.
+
+        Introspection only (like :meth:`contains`): no hit/miss
+        accounting, and implementations avoid materialising the payload
+        where they can — the stage-version drift guard reads metas for
+        every stage and must not deserialise whole corpus shards to do
+        it.  ``None`` when absent or unreadable.
+        """
+        artifact = self._raw_get(key)
+        return None if artifact is None else dict(artifact.meta)
+
     def delete(self, key: str) -> bool:
         """Drop ``key``; True when an entry was actually removed."""
         raise NotImplementedError
@@ -346,6 +358,24 @@ class DirStore(ArtifactStore):
         if self.root is None:
             return key in self._memory
         return key in self._memory or self._path_for(key).exists()
+
+    def meta_of(self, key: str) -> dict | None:
+        if key in self._memory:
+            return dict(self._memory[key].meta)
+        if self.root is None:
+            return None
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        envelope = read_pickle(path)
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("format") != ARTIFACT_FORMAT
+            or envelope.get("key") != key
+        ):
+            return None
+        # the payload stays opaque bytes — metas are cheap to sweep
+        return dict(envelope.get("meta") or {})
 
     def delete(self, key: str) -> bool:
         removed = self._memory.pop(key, None) is not None

@@ -27,7 +27,8 @@ ENV = {"hostname": "box-a", "platform": "Linux-6.1-x86_64", "cpu_count": 8}
 
 
 def _manifest(*, stages=None, env=ENV, projects=12, jobs=2,
-              warning_count=0, hit_rate=0.5, store_hit_rate=None):
+              warning_count=0, hit_rate=0.5, store_hit_rate=None,
+              store=None):
     manifest = {
         "format": MANIFEST_FORMAT,
         "projects": projects,
@@ -42,12 +43,21 @@ def _manifest(*, stages=None, env=ENV, projects=12, jobs=2,
             "parse_cache": {"hit_rate": hit_rate, "hits": 50, "misses": 50},
         },
     }
-    if store_hit_rate is not None:
+    if store is not None:
+        manifest["timings"]["artifact_store"] = dict(store)
+    elif store_hit_rate is not None:
         manifest["timings"]["artifact_store"] = {
             "hit_rate": store_hit_rate, "hits": 3, "recomputes": 0,
             "stages": {},
         }
     return manifest
+
+
+#: An artifact-store block from a run that never looked up a key — an
+#: empty corpus, or a code path that resolved nothing.  Its 0.0 rate is
+#: vacuous, not "everything recomputed".
+ZERO_LOOKUP_STORE = {"hit_rate": 0.0, "hits": 0, "recomputes": 0,
+                     "stages": {}}
 
 
 def _bench(*, stages=None, projects=195, jobs=1):
@@ -225,6 +235,29 @@ class TestCompareSamples:
                            _manifest(store_hit_rate=0.97))
         store = next(c for c in report.checks if c.name == "store_hit_rate")
         assert store.status == "pass"
+
+    def test_zero_lookup_candidate_skips_instead_of_failing(self):
+        # a 0/0 store block used to read as a 100% -> 0% hit-rate crash;
+        # with no lookups there is nothing to compare, so it skips
+        report = self._cmp(_manifest(store_hit_rate=1.0),
+                           _manifest(store=ZERO_LOOKUP_STORE))
+        store = next(c for c in report.checks if c.name == "store_hit_rate")
+        assert store.status == "skip"
+        assert "zero lookups" in store.message
+        assert not report.failed
+
+    def test_zero_lookup_baseline_skips_too(self):
+        report = self._cmp(_manifest(store=ZERO_LOOKUP_STORE),
+                           _manifest(store_hit_rate=1.0))
+        store = next(c for c in report.checks if c.name == "store_hit_rate")
+        assert store.status == "skip"
+        assert not report.failed
+
+    def test_zero_lookups_on_both_sides_drops_the_check(self):
+        report = self._cmp(_manifest(store=ZERO_LOOKUP_STORE),
+                           _manifest(store=ZERO_LOOKUP_STORE))
+        assert all(c.name != "store_hit_rate" for c in report.checks)
+        assert not report.failed
 
     def test_store_stats_on_one_side_only_skips(self):
         report = self._cmp(_manifest(store_hit_rate=1.0), _manifest())

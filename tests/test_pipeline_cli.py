@@ -1,4 +1,5 @@
-"""CLI surface of the stage pipeline: --store-dir, status, invalidate."""
+"""CLI surface of the sharded pipeline: --store-dir, status (with
+--shards), invalidate (stage or --project), drift warnings."""
 
 import pytest
 
@@ -6,6 +7,12 @@ from repro.cli import main
 from repro.obs.events import reset_recorder
 from repro.obs.metrics import reset_metrics
 from repro.pipeline.store import configure_store
+
+#: seed 77 at scale 32 plans 7 projects; the first is stable by
+#: construction (corpus_specs is deterministic in the seed).
+SEED_ARGS = ["--seed", "77", "--scale", "32"]
+N_PROJECTS = 7
+FIRST_PROJECT = "bitforge/scheduler-000"
 
 
 @pytest.fixture(autouse=True)
@@ -22,7 +29,7 @@ def _isolated_global_state():
 
 def _study_args(store_dir) -> list[str]:
     return [
-        "study", "--figure", "headline", "--seed", "77", "--scale", "32",
+        "study", "--figure", "headline", *SEED_ARGS,
         "--store-dir", str(store_dir),
     ]
 
@@ -49,10 +56,10 @@ class TestStoreDirStudy:
 
 class TestPipelineStatus:
     def test_cold_status_on_memory_store(self, capsys):
-        assert main(["pipeline", "status", "--seed", "77"]) == 0
+        assert main(["pipeline", "status", *SEED_ARGS]) == 0
         out = capsys.readouterr().out
         assert "store: memory" in out
-        assert out.count("cold") == 6
+        assert out.count("cold") == 7  # one row per stage
         assert "warm" not in out
 
     def test_status_reflects_a_previous_run(self, tmp_path, capsys):
@@ -61,14 +68,66 @@ class TestPipelineStatus:
         capsys.readouterr()
 
         assert main([
-            "pipeline", "status", "--seed", "77", "--scale", "32",
+            "pipeline", "status", *SEED_ARGS,
             "--store-dir", str(store_dir),
         ]) == 0
         out = capsys.readouterr().out
         assert f"store: dir at {store_dir}" in out
-        assert out.count("warm") == 5  # report not rendered by `study`
+        # six warm stages; report is not rendered by `study`
+        assert out.count("warm") == 6
+        assert f"{N_PROJECTS}/{N_PROJECTS}" in out  # full map families
         lines = [line for line in out.splitlines() if "report" in line]
         assert "cold" in lines[0]
+
+    def test_shards_flag_lists_per_project_state(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+
+        assert main([
+            "pipeline", "status", *SEED_ARGS, "--shards",
+            "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert FIRST_PROJECT in out
+        shard_lines = [
+            line for line in out.splitlines() if line.startswith("bitforge")
+        ]
+        assert shard_lines and "warm" in shard_lines[0]
+
+    def test_stale_stage_version_warns(self, tmp_path, capsys):
+        from repro.pipeline import DirStore, Pipeline
+
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+
+        # simulate drift: the figures artifact was stored by an older
+        # figures module (different source digest, same code_version)
+        pipe = Pipeline(seed=77, scale=32, store=DirStore(store_dir))
+        key = pipe.fingerprint("figures")
+        artifact = pipe.store.get(key)
+        meta = dict(artifact.meta)
+        meta["source_digest"] = "0" * 64
+        pipe.store.put(key, artifact.payload, meta=meta)
+
+        assert main([
+            "pipeline", "status", *SEED_ARGS,
+            "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stage-version-stale" in out
+        assert "figures" in out.split("stage-version-stale", 1)[1]
+
+    def test_no_drift_warning_on_clean_store(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+        assert main([
+            "pipeline", "status", *SEED_ARGS,
+            "--store-dir", str(store_dir),
+        ]) == 0
+        assert "stage-version-stale" not in capsys.readouterr().out
 
 
 class TestPipelineInvalidate:
@@ -78,17 +137,61 @@ class TestPipelineInvalidate:
         assert "unknown stage 'figments'" in err
         assert "generate" in err  # the valid names are listed
 
+    def test_unknown_project_is_a_usage_error(self, capsys):
+        assert main([
+            "pipeline", "invalidate", *SEED_ARGS,
+            "--project", "no/such-project",
+        ]) == 2
+        assert "unknown project" in capsys.readouterr().err
+
+    def test_stage_and_project_together_is_a_usage_error(self, capsys):
+        assert main([
+            "pipeline", "invalidate", "analyze", *SEED_ARGS,
+            "--project", FIRST_PROJECT,
+        ]) == 2
+        assert "not both" in capsys.readouterr().err
+
     def test_invalidate_stage_and_dependents(self, tmp_path, capsys):
         store_dir = tmp_path / "artifacts"
         assert main(_study_args(store_dir)) == 0
         capsys.readouterr()
 
         assert main([
-            "pipeline", "invalidate", "analyze", "--seed", "77",
-            "--scale", "32", "--store-dir", str(store_dir),
+            "pipeline", "invalidate", "analyze", *SEED_ARGS,
+            "--store-dir", str(store_dir),
         ]) == 0
         out = capsys.readouterr().out
-        assert "invalidated analyze: 3 artifact(s) removed" in out
+        # 7 analyze shards + aggregate/figures/statistics
+        removed = N_PROJECTS + 3
+        assert f"invalidated analyze: {removed} artifact(s) removed" in out
+
+    def test_invalidate_project(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+
+        assert main([
+            "pipeline", "invalidate", *SEED_ARGS,
+            "--project", FIRST_PROJECT,
+            "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        # 3 map shards + aggregate/figures/statistics
+        assert (
+            f"invalidated project '{FIRST_PROJECT}': "
+            "6 artifact(s) removed" in out
+        )
+
+        assert main([
+            "pipeline", "status", *SEED_ARGS, "--shards",
+            "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "partial" in out
+        shard_lines = [
+            line for line in out.splitlines() if line.startswith("bitforge")
+        ]
+        assert shard_lines and "cold" in shard_lines[0]
 
     def test_invalidate_all(self, tmp_path, capsys):
         store_dir = tmp_path / "artifacts"
@@ -96,11 +199,15 @@ class TestPipelineInvalidate:
         capsys.readouterr()
 
         assert main([
-            "pipeline", "invalidate", "--seed", "77", "--scale", "32",
+            "pipeline", "invalidate", *SEED_ARGS,
             "--store-dir", str(store_dir),
         ]) == 0
         out = capsys.readouterr().out
-        assert "invalidated all stages: 5 artifact(s) removed" in out
+        # 3 map stages x 7 shards + aggregate/figures/statistics
+        removed = 3 * N_PROJECTS + 3
+        assert (
+            f"invalidated all stages: {removed} artifact(s) removed" in out
+        )
         assert not list(store_dir.glob("objects/*/*.pkl"))
 
 
@@ -109,8 +216,7 @@ class TestStoreDirReport:
         store_dir = tmp_path / "artifacts"
         cold_path = tmp_path / "cold.md"
         warm_path = tmp_path / "warm.md"
-        base = ["report", "--seed", "77", "--scale", "32",
-                "--store-dir", str(store_dir)]
+        base = ["report", *SEED_ARGS, "--store-dir", str(store_dir)]
         assert main([*base, "--out", str(cold_path)]) == 0
         assert main([*base, "--out", str(warm_path)]) == 0
         capsys.readouterr()

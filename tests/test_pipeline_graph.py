@@ -1,4 +1,5 @@
-"""Tests for the stage graph: fingerprints, resolution, maintenance."""
+"""Tests for the sharded stage graph: fingerprints, resolution,
+maintenance, and the single-project invalidation contract."""
 
 import pytest
 
@@ -6,6 +7,8 @@ from repro.obs.events import reset_recorder
 from repro.obs.metrics import get_metrics, reset_metrics
 from repro.pipeline import (
     CODE_VERSIONS,
+    MAP_STAGE_NAMES,
+    REDUCE_STAGE_NAMES,
     STAGE_NAMES,
     STAGES,
     MemoryStore,
@@ -39,14 +42,24 @@ class TestGraphShape:
             assert set(STAGES[name].deps) <= seen
             seen.add(name)
 
+    def test_map_reduce_partition(self):
+        assert MAP_STAGE_NAMES == ("generate", "mine", "analyze")
+        assert REDUCE_STAGE_NAMES == (
+            "aggregate", "figures", "statistics", "report",
+        )
+        assert set(MAP_STAGE_NAMES) | set(REDUCE_STAGE_NAMES) == set(
+            STAGE_NAMES
+        )
+
     def test_dependents_of_generate_is_everything_downstream(self):
         assert dependents_of("generate") == {
-            "mine", "analyze", "figures", "statistics", "report",
+            "mine", "analyze", "aggregate", "figures", "statistics",
+            "report",
         }
 
     def test_dependents_of_analyze(self):
         assert dependents_of("analyze") == {
-            "figures", "statistics", "report",
+            "aggregate", "figures", "statistics", "report",
         }
 
     def test_dependents_of_a_sink_is_empty(self):
@@ -74,7 +87,7 @@ class TestFingerprints:
 
     def test_code_version_bump_rekeys_exactly_the_dependent_cone(self):
         a = fingerprints()
-        b = fingerprints(code_versions={"analyze": "2"})
+        b = fingerprints(code_versions={"analyze": "bumped"})
         dirty = {"analyze"} | dependents_of("analyze")
         for stage in STAGE_NAMES:
             if stage in dirty:
@@ -87,6 +100,30 @@ class TestFingerprints:
         # artifacts — the core of the warm-rerun guarantee
         assert fingerprints(jobs=1) == fingerprints(jobs=4)
 
+    def test_project_override_rekeys_one_shard_and_the_reduce_tail(self):
+        base = Pipeline(store=MemoryStore())
+        target = base.shards()[0].project
+        other = Pipeline(
+            store=MemoryStore(), project_overrides={target: 999_999}
+        )
+        base_shards = {s.project: s.keys for s in base.shards()}
+        other_shards = {s.project: s.keys for s in other.shards()}
+        assert base_shards.keys() == other_shards.keys()
+        for project, keys in base_shards.items():
+            if project == target:
+                assert keys != other_shards[project]
+            else:
+                assert keys == other_shards[project]
+        for stage in STAGE_NAMES:
+            assert base.fingerprint(stage) != other.fingerprint(stage)
+
+    def test_unknown_project_override_raises(self):
+        pipe = Pipeline(
+            store=MemoryStore(), project_overrides={"no/such-project": 1}
+        )
+        with pytest.raises(ValueError, match="no/such-project"):
+            pipe.shards()
+
     def test_unknown_code_version_override_is_inert(self):
         pipe = Pipeline(store=MemoryStore(), code_versions={"analyze": "9"})
         assert pipe.code_versions["analyze"] == "9"
@@ -94,20 +131,26 @@ class TestFingerprints:
 
 
 class TestResolution:
-    def test_cold_study_writes_one_artifact_per_resolved_stage(self):
+    def test_resolving_a_map_stage_directly_is_an_error(self):
+        with pytest.raises(ValueError, match="per shard"):
+            Pipeline(store=MemoryStore()).resolve("mine")
+
+    def test_cold_study_writes_shard_and_reduce_artifacts(self):
         store = MemoryStore()
         pipe = Pipeline(scale=SCALE, store=store)
         pipe.study()
-        # report is only rendered on demand
-        assert len(store) == 5
-        assert store.stats.writes == 5
+        n = len(pipe.shards())
+        # one artifact per shard per map stage, plus aggregate,
+        # figures and statistics; report is only rendered on demand
+        assert len(store) == 3 * n + 3
+        assert store.stats.writes == 3 * n + 3
         assert store.stats.hits == 0
 
     def test_study_is_memoised_per_pipeline(self):
         pipe = Pipeline(scale=SCALE, store=MemoryStore())
         assert pipe.study() is pipe.study()
 
-    def test_warm_hit_short_circuits_upstream(self):
+    def test_warm_aggregate_hit_short_circuits_the_map_phase(self):
         store = MemoryStore()
         Pipeline(scale=SCALE, store=store).study()
         reset_metrics()
@@ -115,12 +158,14 @@ class TestResolution:
         warm = Pipeline(scale=SCALE, store=store)
         warm.study()
         counters = get_metrics().snapshot().counters
-        # analyze/figures/statistics hit; generate and mine are never
-        # even looked up, let alone recomputed
+        # aggregate/figures/statistics hit; not a single shard key of
+        # generate/mine/analyze is even looked up, let alone recomputed
         assert counters.get("artifact.hit") == 3
         assert "artifact.miss" not in counters
         totals = warm.timings.artifact_totals
         assert (totals.hits, totals.recomputes) == (3, 0)
+        for stage in MAP_STAGE_NAMES:
+            assert stage not in warm.timings.artifacts
 
     def test_warm_rows_equal_cold_rows(self):
         store = MemoryStore()
@@ -134,7 +179,7 @@ class TestResolution:
         pipe = Pipeline(scale=SCALE, store=store)
         text = pipe.report()
         assert "projects analysed" in text
-        assert len(store) == 6
+        assert len(store) == 3 * len(pipe.shards()) + 4
 
         warm = Pipeline(scale=SCALE, store=store)
         assert warm.report() == text
@@ -150,10 +195,26 @@ class TestStatus:
 
         pipe.study()
         by_stage = {row["stage"]: row for row in pipe.status()}
-        for stage in ("generate", "mine", "analyze", "figures",
-                      "statistics"):
+        for stage in ("generate", "mine", "analyze", "aggregate",
+                      "figures", "statistics"):
             assert by_stage[stage]["warm"], stage
         assert not by_stage["report"]["warm"]
+
+    def test_map_rows_carry_shard_counts(self):
+        store = MemoryStore()
+        pipe = Pipeline(scale=SCALE, store=store)
+        pipe.study()
+        n = len(pipe.shards())
+        by_stage = {row["stage"]: row for row in pipe.status()}
+        for stage in MAP_STAGE_NAMES:
+            row = by_stage[stage]
+            assert row["kind"] == "map"
+            assert row["shards"] == n
+            assert row["warm_shards"] == n
+        for stage in REDUCE_STAGE_NAMES:
+            row = by_stage[stage]
+            assert row["kind"] == "reduce"
+            assert row["shards"] is None
 
     def test_rows_carry_identity(self):
         row = Pipeline(store=MemoryStore()).status()[0]
@@ -161,21 +222,45 @@ class TestStatus:
         assert row["code_version"] == CODE_VERSIONS["generate"]
         assert len(row["fingerprint"]) == 64
 
+    def test_shard_status_lists_every_project(self):
+        store = MemoryStore()
+        pipe = Pipeline(scale=SCALE, store=store)
+        pipe.study()
+        rows = pipe.shard_status()
+        assert len(rows) == len(pipe.shards())
+        assert all(
+            row["generate"] and row["mine"] and row["analyze"]
+            for row in rows
+        )
+
 
 class TestInvalidate:
     def test_unknown_stage_raises(self):
         with pytest.raises(KeyError):
             Pipeline(store=MemoryStore()).invalidate("figments")
 
+    def test_unknown_project_raises(self):
+        pipe = Pipeline(scale=SCALE, store=MemoryStore())
+        with pytest.raises(KeyError):
+            pipe.invalidate(project="no/such-project")
+
+    def test_stage_and_project_together_raise(self):
+        pipe = Pipeline(scale=SCALE, store=MemoryStore())
+        with pytest.raises(ValueError):
+            pipe.invalidate("analyze", project="x")
+
     def test_invalidate_stage_drops_exactly_the_dependent_cone(self):
         store = MemoryStore()
         pipe = Pipeline(scale=SCALE, store=store)
         pipe.study()
-        assert pipe.invalidate("analyze") == 3  # analyze+figures+statistics
+        n = len(pipe.shards())
+        # every analyze shard plus aggregate/figures/statistics
+        assert pipe.invalidate("analyze") == n + 3
 
         by_stage = {row["stage"]: row["warm"] for row in pipe.status()}
         assert by_stage["generate"] and by_stage["mine"]
         assert not by_stage["analyze"]
+        assert not by_stage["aggregate"]
         assert not by_stage["figures"]
         assert not by_stage["statistics"]
 
@@ -183,26 +268,57 @@ class TestInvalidate:
         store = MemoryStore()
         pipe = Pipeline(scale=SCALE, store=store)
         cold = pipe.study()
+        n = len(pipe.shards())
         pipe.invalidate("analyze")
 
         rerun = Pipeline(scale=SCALE, store=store)
         result = rerun.study()
         assert result.projects == cold.projects
         stats = rerun.timings.artifacts
-        assert stats["mine"].hits == 1  # mine came warm
-        assert stats["analyze"].recomputes == 1
+        assert stats["mine"].hits == n  # every mine shard came warm
+        assert stats["analyze"].recomputes == n
+
+    def test_invalidate_project_recomputes_only_its_map_cone(self):
+        # the acceptance scenario: after a cold sharded run, dropping
+        # one project recomputes exactly its generate/mine/analyze
+        # shards plus the reduce tail, and reproduces identical rows
+        store = MemoryStore()
+        pipe = Pipeline(scale=SCALE, store=store)
+        cold = pipe.study()
+        cold_text = pipe.report()
+        n = len(pipe.shards())
+        target = pipe.shards()[0].project
+        # 3 shard artifacts + aggregate/figures/statistics/report
+        assert pipe.invalidate(project=target) == 7
+
+        rerun = Pipeline(scale=SCALE, store=store)
+        result = rerun.study()
+        stats = rerun.timings.artifacts
+        for stage in MAP_STAGE_NAMES:
+            assert stats[stage].recomputes == 1, stage
+        assert stats["analyze"].hits == n - 1
+        assert stats["generate"].hits == 0
+        assert stats["mine"].hits == 0
+        for stage in ("aggregate", "figures", "statistics"):
+            assert stats[stage].recomputes == 1, stage
+        assert result.projects == cold.projects
+        assert result.skipped == cold.skipped
+        assert rerun.report() == cold_text
 
     def test_invalidate_all(self):
         store = MemoryStore()
         pipe = Pipeline(scale=SCALE, store=store)
         pipe.study()
-        assert pipe.invalidate() == 5
+        n = len(pipe.shards())
+        assert pipe.invalidate() == 3 * n + 3
         assert len(store) == 0
 
     def test_other_seeds_survive(self):
         store = MemoryStore()
-        Pipeline(scale=SCALE, seed=7, store=store).study()
+        keeper = Pipeline(scale=SCALE, seed=7, store=store)
+        keeper.study()
+        kept = len(store)
         other = Pipeline(scale=SCALE, seed=8, store=store)
         other.study()
         other.invalidate()
-        assert len(store) == 5  # seed-7 artifacts untouched
+        assert len(store) == kept  # seed-7 artifacts untouched

@@ -182,6 +182,65 @@ class TestDirStore:
         assert store.get(key) is None
         assert _codes() == ["store-corrupt"]
 
+    def test_racing_writers_never_produce_a_torn_read(self, tmp_path):
+        # two processes sharding the same corpus can race a put() on the
+        # same shard key; the atomic-rename envelope means readers see
+        # one complete payload or the other, never a mixture
+        import threading
+
+        key = "44" + "0" * 62
+        payloads = [
+            {"writer": w, "rows": [w] * 200} for w in range(2)
+        ]
+        writers = [DirStore(tmp_path), DirStore(tmp_path)]
+        start = threading.Barrier(3)
+        observed: list[object] = []
+        errors: list[BaseException] = []
+
+        def write(index: int) -> None:
+            try:
+                start.wait()
+                for _ in range(50):
+                    writers[index].put(
+                        key, payloads[index], meta={"stage": "mine"}
+                    )
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        done = threading.Event()
+
+        def read() -> None:
+            try:
+                reader = DirStore(tmp_path)
+                start.wait()
+                while not done.is_set() or not observed:
+                    artifact = reader.get(key)
+                    if artifact is not None:
+                        observed.append(artifact.payload)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(0,)),
+            threading.Thread(target=write, args=(1,)),
+            threading.Thread(target=read),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads[:2]:
+            thread.join()
+        done.set()
+        threads[2].join()
+
+        assert errors == []
+        assert observed  # the reader saw at least one complete write
+        assert all(payload in payloads for payload in observed)
+        final = DirStore(tmp_path).get(key)
+        assert final.payload in payloads
+        # no reader ever tripped the corruption path
+        assert "store-corrupt" not in _codes()
+        assert all(store.stats.corrupt == 0 for store in writers)
+
     def test_unusable_root_degrades_to_memory(self, tmp_path):
         blocker = tmp_path / "blocker"
         blocker.write_text("a file where the store dir should be")

@@ -1,18 +1,22 @@
-"""End-to-end pipeline studies: warm replays, degenerate corpora,
-corrupted stores.
+"""End-to-end pipeline studies: warm replays, fused-engine equivalence,
+degenerate corpora, corrupted stores.
 
-The acceptance contract of the stage graph: a warm-store rerun is
-byte-identical to the cold run (serial or parallel), clean stages are
-served from the store, and a damaged store entry is recomputed — never
-served.
+The acceptance contract of the sharded stage graph: a warm-store rerun
+is byte-identical to the cold run (serial or parallel) *and* to the
+fused whole-corpus engine, clean shards are served from the store, and
+a damaged store entry is recomputed — never served.
 """
 
 import pytest
 
 from repro.analysis.study import StudyResult
+from repro.corpus.generator import ProjectSpec
+from repro.corpus.profiles import profile_for
+from repro.heartbeat import Month
 from repro.obs.events import get_recorder, reset_recorder
 from repro.obs.metrics import reset_metrics
 from repro.pipeline import DirStore, MemoryStore, Pipeline
+from repro.taxa import Taxon
 from repro.vcs import (
     Commit,
     FileChange,
@@ -38,38 +42,61 @@ def _codes():
     return [record["code"] for record in get_recorder().warnings]
 
 
-def _seed_generate(pipe: Pipeline, corpus: list) -> None:
-    """Plant a synthetic ``generate`` artifact so the pipeline mines a
-    corpus the generator would never produce (empty, hollow, ...)."""
-    pipe.store.put(
-        pipe.fingerprint("generate"),
-        corpus,
-        meta={"stage": "generate", "warnings": [], "metrics": None},
-    )
-
-
-def _hollow_project(index: int):
-    """A project whose recorded DDL never defines a table — its analysis
-    raises ``ZeroTotalError`` (the empty-history skip)."""
-    repo = Repository(name=f"demo/hollow-{index}")
-    for i in range(3):
-        repo.add_commit(
-            Commit(
-                synthetic_sha(index * 10 + i), "D", "d@x", utc(2020, 1 + i),
-                "c", [FileChange("M" if i else "A", "schema.sql"),
-                      FileChange("M", "src/app.py")],
-            )
+def _hollow_plan(count: int) -> list[tuple]:
+    """An explicit shard plan of ``count`` all-skip projects."""
+    profile = profile_for(Taxon.FROZEN)
+    return [
+        (
+            ProjectSpec(
+                name=f"demo/hollow-{index}",
+                taxon=Taxon.FROZEN,
+                seed=index,
+                vendor="mysql",
+                duration_months=1,
+                start=Month(2020, 1),
+            ),
+            profile,
         )
-    repo.record_version(
-        "schema.sql", FileVersion(synthetic_sha(index * 10), utc(2020, 1), "")
-    )
+        for index in range(count)
+    ]
 
-    class _Project:
-        name = repo.name
-        repository = repo
-        true_taxon = None
 
-    return _Project()
+def _hollow_pipeline(store, count: int) -> Pipeline:
+    """A pipeline over ``count`` projects whose analyses all skip.
+
+    The plan's ``generate`` shards are planted by hand with projects
+    whose recorded DDL never defines a table, so every analysis raises
+    ``ZeroTotalError`` — the empty-history skip — while mining still
+    runs for real.
+    """
+    pipe = Pipeline(store=store, plan=_hollow_plan(count))
+    for index, shard in enumerate(pipe.shards()):
+        repo = Repository(name=shard.project)
+        for i in range(3):
+            repo.add_commit(
+                Commit(
+                    synthetic_sha(index * 10 + i), "D", "d@x",
+                    utc(2020, 1 + i), "c",
+                    [FileChange("M" if i else "A", "schema.sql"),
+                     FileChange("M", "src/app.py")],
+                )
+            )
+        repo.record_version(
+            "schema.sql",
+            FileVersion(synthetic_sha(index * 10), utc(2020, 1), ""),
+        )
+
+        class _Project:
+            name = repo.name
+            repository = repo
+            true_taxon = None
+
+        store.put(
+            shard.keys["generate"],
+            _Project(),
+            meta={"stage": "generate", "warnings": [], "metrics": None},
+        )
+    return pipe
 
 
 class TestWarmReplay:
@@ -84,6 +111,27 @@ class TestWarmReplay:
         assert warm.timings.artifact_totals.hits == 1  # report itself
         assert warm.timings.artifact_totals.recomputes == 0
 
+    def test_sharded_report_matches_the_fused_engine(self, tmp_path):
+        # the acceptance bar of the refactor: a sharded cold run, its
+        # warm replay and the whole-corpus fused engine all render the
+        # same bytes
+        from repro.analysis.study import run_study
+        from repro.corpus.generator import generate_corpus
+        from repro.corpus.profiles import scaled_profiles
+        from repro.report import build_study_report
+
+        store_dir = tmp_path / "artifacts"
+        cold = Pipeline(seed=77, scale=SCALE, store=DirStore(store_dir))
+        cold_text = cold.report()
+        warm = Pipeline(seed=77, scale=SCALE, store=DirStore(store_dir))
+        warm_text = warm.report()
+
+        fused = run_study(
+            generate_corpus(seed=77, profiles=scaled_profiles(SCALE))
+        )
+        assert cold_text == build_study_report(fused)
+        assert warm_text == cold_text
+
     def test_parallel_run_reuses_serial_artifacts(self, tmp_path):
         store_dir = tmp_path / "artifacts"
         serial = Pipeline(scale=SCALE, jobs=1, store=DirStore(store_dir))
@@ -94,7 +142,7 @@ class TestWarmReplay:
         assert parallel_study.projects == serial_study.projects
         # jobs is not a fingerprint input: every clean stage hits
         stats = parallel.timings.artifacts
-        for stage in ("analyze", "figures", "statistics"):
+        for stage in ("aggregate", "figures", "statistics"):
             assert stats[stage].hits == 1, stage
         assert parallel.timings.artifact_totals.recomputes == 0
 
@@ -110,18 +158,18 @@ class TestWarmReplay:
 
     def test_warm_run_replays_cold_warnings(self):
         store = MemoryStore()
-        corpus = [_hollow_project(1)]
-        cold = Pipeline(store=store)
-        _seed_generate(cold, corpus)
+        cold = _hollow_pipeline(store, 1)
         cold.study()
         assert _codes() == ["empty-history"]
 
         reset_recorder()
-        warm = Pipeline(store=store)
+        warm = _hollow_pipeline(store, 1)
         warm.study()
-        # the skip warning came out of the artifact meta, not a rerun
+        # the skip warning came out of the aggregate artifact meta —
+        # the shard itself was never probed
         assert _codes() == ["empty-history"]
-        assert warm.timings.artifacts["analyze"].hits == 1
+        assert warm.timings.artifacts["aggregate"].hits == 1
+        assert "analyze" not in warm.timings.artifacts
 
 
 class TestHeadlineMemo:
@@ -141,8 +189,7 @@ class TestHeadlineMemo:
 
 class TestDegenerateCorpora:
     def test_empty_corpus_studies_cleanly(self):
-        pipe = Pipeline(store=MemoryStore())
-        _seed_generate(pipe, [])
+        pipe = Pipeline(store=MemoryStore(), plan=[])
         study = pipe.study()
         assert study.projects == []
         assert study.skipped == []
@@ -150,16 +197,31 @@ class TestDegenerateCorpora:
         assert study.fig6() is not None  # no ZeroDivisionError
 
     def test_empty_corpus_report_renders(self):
-        pipe = Pipeline(store=MemoryStore())
-        _seed_generate(pipe, [])
+        pipe = Pipeline(store=MemoryStore(), plan=[])
         text = pipe.report()
         assert "0 projects analysed" in text
         # the §7 battery cannot run on nothing; the report says so
         assert "not computed" in text
 
+    def test_empty_corpus_warm_replay_is_byte_identical(self):
+        store = MemoryStore()
+        cold_text = Pipeline(store=store, plan=[]).report()
+        warm = Pipeline(store=store, plan=[])
+        assert warm.report() == cold_text
+        assert warm.timings.artifact_totals.recomputes == 0
+
+    def test_single_all_skipped_shard_still_reports(self):
+        store = MemoryStore()
+        cold = _hollow_pipeline(store, 1)
+        cold_text = cold.report()
+        assert "0 projects analysed, 1 skipped" in cold_text
+
+        warm = _hollow_pipeline(store, 1)
+        assert warm.report() == cold_text
+        assert warm.timings.artifact_totals.recomputes == 0
+
     def test_all_projects_skipped(self):
-        pipe = Pipeline(store=MemoryStore())
-        _seed_generate(pipe, [_hollow_project(i) for i in range(3)])
+        pipe = _hollow_pipeline(MemoryStore(), 3)
         study = pipe.study()
         assert study.projects == []
         assert study.skipped == [
@@ -169,19 +231,17 @@ class TestDegenerateCorpora:
         assert study.metrics.counters["projects.skipped"] == 3
 
     def test_all_skipped_report_renders(self):
-        pipe = Pipeline(store=MemoryStore())
-        _seed_generate(pipe, [_hollow_project(i) for i in range(2)])
+        pipe = _hollow_pipeline(MemoryStore(), 2)
         text = pipe.report()
         assert "0 projects analysed, 2 skipped" in text
 
     def test_statistics_error_replays_from_the_artifact(self):
         store = MemoryStore()
-        pipe = Pipeline(store=store)
-        _seed_generate(pipe, [])
+        pipe = Pipeline(store=store, plan=[])
         with pytest.raises(ValueError):
             pipe.study().statistics()
 
-        warm = Pipeline(store=store)
+        warm = Pipeline(store=store, plan=[])
         with pytest.raises(ValueError):
             warm.study().statistics()
         assert warm.timings.artifacts["statistics"].hits == 1
@@ -192,11 +252,33 @@ class TestCorruptedStore:
         path = store_dir / "objects" / key[:2] / f"{key}.pkl"
         path.write_bytes(path.read_bytes()[: path.stat().st_size // 3])
 
-    def test_corrupt_analyze_entry_recomputes_identically(self, tmp_path):
+    def test_corrupt_aggregate_recomputes_from_warm_shards(self, tmp_path):
         store_dir = tmp_path / "artifacts"
         cold = Pipeline(scale=SCALE, store=DirStore(store_dir))
         cold_study = cold.study()
-        self._corrupt_entry(store_dir, cold.fingerprint("analyze"))
+        n = len(cold.shards())
+        self._corrupt_entry(store_dir, cold.fingerprint("aggregate"))
+
+        rerun = Pipeline(scale=SCALE, store=DirStore(store_dir))
+        study = rerun.study()
+        assert "store-corrupt" in _codes()
+        assert study.projects == cold_study.projects
+        stats = rerun.timings.artifacts
+        assert stats["aggregate"].recomputes == 1
+        # the fold re-ran but every analyze shard stayed warm
+        assert stats["analyze"].hits == n
+        # downstream keys were unchanged, so figures still hit
+        assert stats["figures"].hits == 1
+
+    def test_corrupt_analyze_shard_recomputes_identically(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        cold = Pipeline(scale=SCALE, store=DirStore(store_dir))
+        cold_study = cold.study()
+        n = len(cold.shards())
+        self._corrupt_entry(store_dir, cold.shards()[0].keys["analyze"])
+        # the warm aggregate would mask the shard; drop the reduce tail
+        # so the map phase actually probes it
+        cold.invalidate("aggregate")
 
         rerun = Pipeline(scale=SCALE, store=DirStore(store_dir))
         study = rerun.study()
@@ -204,9 +286,8 @@ class TestCorruptedStore:
         assert study.projects == cold_study.projects
         stats = rerun.timings.artifacts
         assert stats["analyze"].recomputes == 1
+        assert stats["analyze"].hits == n - 1
         assert stats["mine"].hits == 1  # upstream stayed warm
-        # downstream keys were unchanged, so figures/statistics still hit
-        assert stats["figures"].hits == 1
 
     def test_corrupt_entry_never_serves_bad_bytes(self, tmp_path):
         store_dir = tmp_path / "artifacts"
