@@ -13,7 +13,7 @@ PYTHON ?= python
 JOBS ?= 1
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-smoke pipeline-smoke bench bench-parallel bench-check study clean
+.PHONY: test trace-smoke pipeline-smoke bench bench-mine bench-parallel bench-check study clean
 
 test: trace-smoke pipeline-smoke
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,13 @@ pipeline-smoke:
 bench: test
 	$(PYTHON) -m pytest benchmarks/test_perf_pipeline.py benchmarks/test_perf_study.py -q -p no:cacheprovider
 
+# mine-only microbenchmark (cold + warm serial mine over the canonical
+# corpus, BENCH_mine.json writer); compare against the committed
+# pre-incremental-engine record with
+#   make bench-check BASELINE=BENCH_mine_baseline.json CANDIDATE=BENCH_mine.json STAGE=mine
+bench-mine: test
+	$(PYTHON) -m pytest benchmarks/test_perf_mine.py -q -p no:cacheprovider
+
 # same, but through the parallel study driver
 bench-parallel: test
 	REPRO_STUDY_JOBS=4 $(PYTHON) -m pytest benchmarks/test_perf_pipeline.py benchmarks/test_perf_study.py -q -p no:cacheprovider
@@ -43,8 +50,9 @@ bench-parallel: test
 # BENCH payload to compare a real change)
 BASELINE ?= BENCH_study.json
 CANDIDATE ?= BENCH_study.json
+STAGE ?=
 bench-check:
-	$(PYTHON) -m repro bench-check $(BASELINE) $(CANDIDATE)
+	$(PYTHON) -m repro bench-check $(BASELINE) $(CANDIDATE) $(if $(STAGE),--stage $(STAGE))
 
 study:
 	$(PYTHON) -m repro study --jobs $(JOBS) --profile

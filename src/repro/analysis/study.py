@@ -17,7 +17,6 @@ per-stage wall-clock breakdown and parse-cache hit rates.
 from __future__ import annotations
 
 import time
-from contextlib import ExitStack
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Iterable
@@ -186,12 +185,8 @@ def run_study(
             distributes chunks over a ``ProcessPoolExecutor`` while
             preserving corpus order, producing identical results.
     """
-    from ..perf.parallel import (
-        MinedRow,
-        mine_and_analyze,
-        pool_chunksize,
-        worker_init,
-    )
+    from ..perf.parallel import MinedRow, mine_and_analyze, pool_chunksize
+    from ..perf.pool import warm_pool
 
     tracer = get_tracer()
     recorder = get_recorder()
@@ -212,51 +207,44 @@ def run_study(
                 "mine_analyze", len(projects), timings=timings
             )
             mined: Iterable[MinedRow]
-            with ExitStack() as stack:
-                if jobs <= 1:
-                    mined = map(mine_and_analyze, projects)
+            if jobs <= 1:
+                mined = map(mine_and_analyze, projects)
+            else:
+                # executor.map yields in corpus order as chunks
+                # complete, so lazy collection keeps results
+                # identical to the serial path while letting the
+                # heartbeat fire mid-run; the warm pool is shared
+                # with generation and kept alive for the next run
+                mined = warm_pool(jobs).map(
+                    mine_and_analyze,
+                    projects,
+                    chunksize=pool_chunksize(len(projects), jobs),
+                )
+
+            for result in mined:
+                if result.row is not None:
+                    rows.append(result.row)
                 else:
-                    from concurrent.futures import ProcessPoolExecutor
-
-                    executor = stack.enter_context(
-                        ProcessPoolExecutor(
-                            max_workers=jobs, initializer=worker_init
-                        )
-                    )
-                    # executor.map yields in corpus order as chunks
-                    # complete, so lazy collection keeps results
-                    # identical to the serial path while letting the
-                    # heartbeat fire mid-run
-                    mined = executor.map(
-                        mine_and_analyze,
-                        projects,
-                        chunksize=pool_chunksize(len(projects), jobs),
-                    )
-
-                for result in mined:
-                    if result.row is not None:
-                        rows.append(result.row)
-                    else:
-                        skipped.append(result.name)
-                    timings.record("mine", result.mine_seconds)
-                    timings.record("analyze", result.analyze_seconds)
-                    timings.merge_cache(result.cache)
-                    metrics = metrics + result.metrics
-                    # per-project span trees built in workers (or
-                    # detached in-process on the serial path) reattach
-                    # here; worker trees also replay their span-close
-                    # events, which no in-process sink could observe
-                    if result.trace is not None:
-                        tracer.attach(result.trace, emit=jobs > 1)
-                    if result.warnings:
-                        warnings.extend(result.warnings)
-                        if jobs > 1:
-                            for record in result.warnings:
-                                recorder.replay(record)
-                    tracker.update(
-                        result.name,
-                        result.mine_seconds + result.analyze_seconds,
-                    )
+                    skipped.append(result.name)
+                timings.record("mine", result.mine_seconds)
+                timings.record("analyze", result.analyze_seconds)
+                timings.merge_cache(result.cache)
+                metrics = metrics + result.metrics
+                # per-project span trees built in workers (or
+                # detached in-process on the serial path) reattach
+                # here; worker trees also replay their span-close
+                # events, which no in-process sink could observe
+                if result.trace is not None:
+                    tracer.attach(result.trace, emit=jobs > 1)
+                if result.warnings:
+                    warnings.extend(result.warnings)
+                    if jobs > 1:
+                        for record in result.warnings:
+                            recorder.replay(record)
+                tracker.update(
+                    result.name,
+                    result.mine_seconds + result.analyze_seconds,
+                )
             tracker.finish()
     metrics.fold_cache(timings.cache)
     timings.record("total", time.perf_counter() - start)

@@ -315,6 +315,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: 0.05)",
     )
     bench_check.add_argument(
+        "--stage",
+        default=None,
+        metavar="NAME",
+        help="focus the seconds comparison on one stage "
+        "(e.g. 'mine' for the mine microbenchmark record)",
+    )
+    bench_check.add_argument(
         "--report-only",
         action="store_true",
         help="print and persist the verdict but always exit 0",
@@ -808,6 +815,7 @@ def _cmd_bench_check(args) -> int:
             if args.min_seconds is not None
             else DEFAULT_MIN_SECONDS
         ),
+        stage=args.stage,
         allow_env_mismatch=args.allow_env_mismatch,
         allow_warnings=args.allow_warnings,
     )

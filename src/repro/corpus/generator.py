@@ -596,24 +596,18 @@ def generate_corpus(
         tracker = ProgressTracker("generate", len(pairs))
         projects = []
         if jobs > 1:
-            from concurrent.futures import ProcessPoolExecutor
+            from ..perf.parallel import generate_one, pool_chunksize
+            from ..perf.pool import warm_pool
 
-            from ..perf.parallel import (
+            # the pool stays warm after generation: the mine fan-out
+            # that typically follows reuses the same worker processes
+            for project in warm_pool(jobs).map(
                 generate_one,
-                pool_chunksize,
-                worker_init,
-            )
-
-            with ProcessPoolExecutor(
-                max_workers=jobs, initializer=worker_init
-            ) as executor:
-                for project in executor.map(
-                    generate_one,
-                    pairs,
-                    chunksize=pool_chunksize(len(pairs), jobs),
-                ):
-                    projects.append(project)
-                    tracker.update(project.name)
+                pairs,
+                chunksize=pool_chunksize(len(pairs), jobs),
+            ):
+                projects.append(project)
+                tracker.update(project.name)
         else:
             for spec, profile in pairs:
                 projects.append(generate_project(spec, profile))

@@ -41,6 +41,10 @@ def diff_schemas(old: Schema, new: Schema) -> SchemaDelta:
 
 def _diff_schemas(old: Schema, new: Schema) -> SchemaDelta:
     delta = SchemaDelta()
+    if old is new:
+        # incremental parsing interns identical whole versions as the
+        # very same ParseResult, so no-op transitions short-circuit
+        return delta
     changes = delta.changes
     old_index = old.key_index
     new_index = new.key_index
@@ -56,9 +60,14 @@ def _diff_schemas(old: Schema, new: Schema) -> SchemaDelta:
     for key, position in old_index.items():
         new_position = new_index.get(key)
         if new_position is not None:
-            _diff_surviving(
-                old_tables[position], new_tables[new_position], changes
-            )
+            old_table = old_tables[position]
+            new_table = new_tables[new_position]
+            if old_table is new_table:
+                # structural sharing: an unchanged statement reuses the
+                # previous version's Table object, so identity proves
+                # there is no attribute-level change to look for
+                continue
+            _diff_surviving(old_table, new_table, changes)
     return delta
 
 

@@ -11,7 +11,12 @@ from .gitrepo import (
     mine_clone,
     read_git_log,
 )
-from .history import SchemaHistory, SchemaTransition, SchemaVersion
+from .history import (
+    SchemaHistory,
+    SchemaTransition,
+    SchemaVersion,
+    parse_history_reference,
+)
 from .miner import (
     MiningError,
     ProjectHistory,
@@ -38,4 +43,5 @@ __all__ = [
     "mine_project",
     "mine_project_activity",
     "mine_schema_history",
+    "parse_history_reference",
 ]

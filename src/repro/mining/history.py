@@ -13,11 +13,12 @@ from dataclasses import dataclass, field
 from datetime import datetime
 
 from ..diff import SchemaDelta, diff_schemas, initial_delta
+from ..diff.engine import diff_schemas_reference
 from ..obs.events import warn
 from ..obs.metrics import get_metrics
 from ..perf.cache import cached_parse_schema
 from ..schema import Schema
-from ..sqlparser import ParseIssue
+from ..sqlparser import ParseIssue, parse_schema
 from ..vcs import FileVersion
 
 
@@ -120,6 +121,54 @@ class SchemaHistory:
             )
         return cls(versions=versions, transitions=transitions)
 
+    @classmethod
+    def parse_history_reference(
+        cls,
+        file_versions: list[FileVersion],
+        *,
+        dialect: str | None = None,
+    ) -> "SchemaHistory":
+        """Oracle twin of :meth:`from_file_versions`.
+
+        Parses every version with the monolithic ``parse_schema`` (no
+        caching, no fragment reuse) and diffs with the dict-building
+        ``diff_schemas_reference`` — no shared objects, no identity
+        fast paths, no metrics/warn side effects.  The incremental
+        chain must match this version-by-version and transition-by-
+        transition; the property tests in
+        ``tests/test_incremental_parse.py`` enforce it.
+        """
+        if not file_versions:
+            raise ValueError("a schema history needs at least one version")
+        versions = [
+            SchemaVersion(
+                sha=fv.sha,
+                date=fv.date,
+                schema=result.schema,
+                issues=result.issues,
+            )
+            for fv in file_versions
+            for result in (parse_schema(fv.content, dialect=dialect),)
+        ]
+        transitions = [
+            SchemaTransition(
+                index=0,
+                date=versions[0].date,
+                delta=initial_delta(versions[0].schema),
+            )
+        ]
+        for i in range(1, len(versions)):
+            transitions.append(
+                SchemaTransition(
+                    index=i,
+                    date=versions[i].date,
+                    delta=diff_schemas_reference(
+                        versions[i - 1].schema, versions[i].schema
+                    ),
+                )
+            )
+        return cls(versions=versions, transitions=transitions)
+
     @property
     def total_activity(self) -> int:
         return sum(t.activity for t in self.transitions)
@@ -144,3 +193,10 @@ class SchemaHistory:
     def has_create_table(self) -> bool:
         """Dataset elicitation rule: some version must define a table."""
         return any(len(v.schema) > 0 for v in self.versions)
+
+
+def parse_history_reference(
+    file_versions: list[FileVersion], *, dialect: str | None = None
+) -> SchemaHistory:
+    """Module-level alias for :meth:`SchemaHistory.parse_history_reference`."""
+    return SchemaHistory.parse_history_reference(file_versions, dialect=dialect)

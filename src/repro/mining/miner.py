@@ -9,6 +9,7 @@ parsed schema history, ready for the co-evolution metrics.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from ..coevolution import JointProgress
@@ -47,11 +48,23 @@ def find_ddl_path(repo: Repository) -> str:
             f"{repo.name}: multiple recorded .sql files {sorted(recorded)}; "
             "the study keeps single-DDL-file projects only"
         )
-    sql_touches: dict[str, int] = {}
-    for commit in repo.commits:
-        for change in commit.changes:
-            if change.path.lower().endswith(".sql"):
-                sql_touches[change.path] = sql_touches.get(change.path, 0) + 1
+    # one Counter pass over a flat generator; the suffix test is cached
+    # per distinct path (the same few paths repeat across thousands of
+    # commits, and str.lower() on every touch dominated this loop)
+    is_sql_cache: dict[str, bool] = {}
+
+    def is_sql(path: str) -> bool:
+        cached = is_sql_cache.get(path)
+        if cached is None:
+            cached = is_sql_cache[path] = path.lower().endswith(".sql")
+        return cached
+
+    sql_touches = Counter(
+        change.path
+        for commit in repo.commits
+        for change in commit.changes
+        if is_sql(change.path)
+    )
     if not sql_touches:
         raise MiningError(f"{repo.name}: no .sql file in history")
     best = max(sql_touches, key=lambda path: (sql_touches[path], path))

@@ -137,6 +137,11 @@ class MetricsSnapshot:
             ("parse_cache.hits", stats.hits),
             ("parse_cache.misses", stats.misses),
             ("parse_cache.disk_hits", stats.disk_hits),
+            ("parse_cache.statement_hits", stats.statement_hits),
+            ("parse_cache.statement_misses", stats.statement_misses),
+            ("parse_cache.fallback_parses", stats.fallback_parses),
+            ("parse_cache.unit_hits", stats.unit_hits),
+            ("parse_cache.unit_misses", stats.unit_misses),
         ):
             self.counters[name] = self.counters.get(name, 0) + value
         return self

@@ -8,8 +8,14 @@ Checks cover:
 * per-stage wall seconds (relative threshold, default +25 %, override
   globally with ``--max-regression`` or per stage with
   ``--threshold STAGE=FRACTION``); stages below the noise floor
-  (``min_seconds``) are skipped rather than flagged;
+  (``min_seconds``) are skipped rather than flagged; ``--stage NAME``
+  focuses the seconds comparison on one stage (the mine
+  microbenchmark's ``--stage mine``);
 * parse-cache hit rate (absolute drop threshold);
+* statement-level parse-unit reuse rate (same absolute-drop threshold)
+  whenever both records carry the incremental engine's ``statements``
+  block with nonzero unit lookups — a reuse collapse is a mine-time
+  regression even before the seconds show it;
 * artifact-store hit rate (same absolute-drop threshold) whenever both
   records carry store stats — a warm rerun that starts recomputing
   stages it used to replay is a regression even when each recompute is
@@ -91,6 +97,32 @@ class PerfSample:
         lookups = (
             self.store.get("hits", 0) or 0
         ) + (self.store.get("recomputes", 0) or 0)
+        if not lookups:
+            return None
+        return float(rate)
+
+    @property
+    def statement_reuse_rate(self) -> float | None:
+        """Statement-level parse-unit reuse, when the run recorded any.
+
+        Mirrors :attr:`store_hit_rate`: records predating the
+        incremental parse engine carry no ``statements`` block, and a
+        run with zero unit lookups (fully warm — every version answered
+        at whole-file granularity) has no meaningful rate.  Both report
+        ``None`` so the comparison skips instead of flagging a phantom
+        reuse collapse.
+        """
+        if not self.cache:
+            return None
+        statements = self.cache.get("statements")
+        if not statements:
+            return None
+        rate = statements.get("reuse_rate")
+        if rate is None:
+            return None
+        lookups = (
+            statements.get("unit_hits", 0) or 0
+        ) + (statements.get("unit_misses", 0) or 0)
         if not lookups:
             return None
         return float(rate)
@@ -224,8 +256,15 @@ def compare_samples(
     max_hit_rate_drop: float = DEFAULT_MAX_HIT_RATE_DROP,
     allow_env_mismatch: bool = False,
     allow_warnings: bool = False,
+    stage: str | None = None,
 ) -> RegressionReport:
-    """Compare two perf samples and return the full verdict."""
+    """Compare two perf samples and return the full verdict.
+
+    ``stage`` focuses the seconds comparison on one stage (``--stage
+    mine`` for the mine microbenchmark); the comparability guards and
+    the cache / statement-reuse checks still run, the other stages'
+    seconds are ignored.
+    """
     stage_thresholds = stage_thresholds or {}
     report = RegressionReport(
         baseline=baseline.source, candidate=candidate.source
@@ -267,42 +306,61 @@ def compare_samples(
         ))
 
     # -- per-stage wall seconds ----------------------------------------
-    for stage in baseline.stages:
-        if stage not in candidate.stages:
+    if stage is not None:
+        focus = [stage]
+        if stage not in baseline.stages and stage not in candidate.stages:
             checks.append(Check(
                 name=f"stage:{stage}",
+                status="fail",
+                message="focused stage missing from both sides",
+            ))
+            focus = []
+    else:
+        focus = list(baseline.stages)
+    for name in focus:
+        if name not in baseline.stages:
+            checks.append(Check(
+                name=f"stage:{name}",
+                status="skip",
+                message="stage missing from baseline",
+            ))
+            continue
+        if name not in candidate.stages:
+            checks.append(Check(
+                name=f"stage:{name}",
                 status="skip",
                 message="stage missing from candidate",
             ))
             continue
-        base = float(baseline.stages[stage])
-        cand = float(candidate.stages[stage])
+        base = float(baseline.stages[name])
+        cand = float(candidate.stages[name])
         if base < min_seconds and cand < min_seconds:
             checks.append(Check(
-                name=f"stage:{stage}",
+                name=f"stage:{name}",
                 status="skip",
                 baseline=base,
                 candidate=cand,
                 message=f"below the {min_seconds}s noise floor",
             ))
             continue
-        threshold = stage_thresholds.get(stage, max_regression)
+        threshold = stage_thresholds.get(name, max_regression)
         ratio = (cand - base) / max(base, min_seconds)
         checks.append(Check(
-            name=f"stage:{stage}",
+            name=f"stage:{name}",
             status="fail" if ratio > threshold else "pass",
             baseline=base,
             candidate=cand,
             ratio=ratio,
             threshold=threshold,
         ))
-    for stage in candidate.stages:
-        if stage not in baseline.stages:
-            checks.append(Check(
-                name=f"stage:{stage}",
-                status="skip",
-                message="stage missing from baseline",
-            ))
+    if stage is None:
+        for name in candidate.stages:
+            if name not in baseline.stages:
+                checks.append(Check(
+                    name=f"stage:{name}",
+                    status="skip",
+                    message="stage missing from baseline",
+                ))
 
     # -- parse-cache hit rate ------------------------------------------
     base_rate, cand_rate = baseline.hit_rate, candidate.hit_rate
@@ -355,6 +413,37 @@ def compare_samples(
             message=(
                 "artifact-store stats missing from one side "
                 "(or one side recorded zero lookups)"
+            ),
+        ))
+
+    # -- statement-level parse reuse -----------------------------------
+    # a reuse-rate collapse means the incremental engine stopped sharing
+    # parse work between versions — cold mine time follows it down
+    base_reuse, cand_reuse = (
+        baseline.statement_reuse_rate, candidate.statement_reuse_rate
+    )
+    if base_reuse is not None and cand_reuse is not None:
+        drop = base_reuse - cand_reuse
+        checks.append(Check(
+            name="statement_reuse",
+            status="fail" if drop > max_hit_rate_drop else "pass",
+            baseline=base_reuse,
+            candidate=cand_reuse,
+            ratio=-drop,
+            threshold=max_hit_rate_drop,
+            message=(
+                f"statement parse-unit reuse {base_reuse:.1%} -> "
+                f"{cand_reuse:.1%} "
+                f"(tolerated drop {max_hit_rate_drop:.0%})"
+            ),
+        ))
+    elif base_reuse is not None or cand_reuse is not None:
+        checks.append(Check(
+            name="statement_reuse",
+            status="skip",
+            message=(
+                "statement-reuse stats missing from one side "
+                "(pre-incremental record, or zero unit lookups)"
             ),
         ))
 

@@ -11,7 +11,11 @@ study scale:
 * :mod:`repro.perf.timing` — the per-stage wall-clock breakdown carried
   by :class:`~repro.analysis.study.StudyResult`;
 * :mod:`repro.perf.parallel` — picklable worker functions for the
-  ``ProcessPoolExecutor`` fan-out in ``run_study`` / ``generate_corpus``.
+  ``ProcessPoolExecutor`` fan-out in ``run_study`` / ``generate_corpus``;
+* :mod:`repro.perf.fragments` — the incremental statement-level parse
+  engine behind the cache's miss path (fragment + element reuse);
+* :mod:`repro.perf.pool` — the reusable warm worker pool shared by the
+  generate and mine fan-outs.
 """
 
 from .cache import (
@@ -21,6 +25,7 @@ from .cache import (
     configure_cache,
     get_cache,
 )
+from .pool import shutdown_pools, warm_pool
 from .timing import StudyTimings, stage_timer
 
 __all__ = [
@@ -30,5 +35,7 @@ __all__ = [
     "cached_parse_schema",
     "configure_cache",
     "get_cache",
+    "shutdown_pools",
     "stage_timer",
+    "warm_pool",
 ]

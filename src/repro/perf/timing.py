@@ -213,6 +213,15 @@ class StudyTimings:
             f"  parse cache: {cache.hits} hits / {cache.misses} misses "
             f"({cache.hit_rate:.0%} hit rate, {cache.disk_hits} from disk)"
         )
+        if cache.statement_lookups:
+            # the incremental engine's own block: whole-version misses
+            # above, per-statement reuse inside those misses here
+            lines.append(
+                f"  statements:  {cache.statement_hits} hits / "
+                f"{cache.statement_misses} misses "
+                f"({cache.statement_reuse_rate:.0%} parse-unit reuse, "
+                f"{cache.fallback_parses} whole-file fallbacks)"
+            )
         if self.artifacts:
             totals = self.artifact_totals
             warm = ", ".join(

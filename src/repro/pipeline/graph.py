@@ -32,7 +32,6 @@ what was reused versus recomputed, split map versus reduce.
 from __future__ import annotations
 
 import time
-from contextlib import ExitStack
 from dataclasses import replace
 
 from ..corpus.generator import DEFAULT_SEED, corpus_specs
@@ -41,8 +40,10 @@ from ..obs.events import get_recorder
 from ..obs.metrics import MetricsSnapshot, get_metrics
 from ..obs.progress import ProgressTracker
 from ..obs.trace import get_tracer
-from ..perf.parallel import ShardTask, map_shard, pool_chunksize, worker_init
+from ..perf.parallel import ShardTask, map_shard, pool_chunksize
+from ..perf.pool import warm_pool
 from ..perf.timing import StudyTimings
+from .codec import SHARD_CODECS
 from .fingerprint import family_fingerprint, stage_fingerprint
 from .shards import ShardSpec, plan_shards
 from .stages import (
@@ -303,18 +304,13 @@ class Pipeline:
             return payloads
         tracker = ProgressTracker("map", len(pending), timings=self.timings)
         tasks = [task for _, task in pending]
-        with get_tracer().span("map", shards=len(tasks)), ExitStack() as stack:
+        with get_tracer().span("map", shards=len(tasks)):
             if self.jobs <= 1:
                 results = map(map_shard, tasks)
             else:
-                from concurrent.futures import ProcessPoolExecutor
-
-                executor = stack.enter_context(
-                    ProcessPoolExecutor(
-                        max_workers=self.jobs, initializer=worker_init
-                    )
-                )
-                results = executor.map(
+                # the warm pool outlives this fan-out: the same workers
+                # (and their per-process parse caches) serve the next one
+                results = warm_pool(self.jobs).map(
                     map_shard,
                     tasks,
                     chunksize=pool_chunksize(len(tasks), self.jobs),
@@ -474,19 +470,21 @@ class Pipeline:
         self, stage: str, shard: ShardSpec, payload, *,
         seconds: float, warnings, metrics: MetricsSnapshot,
     ) -> Artifact:
-        return self.store.put(
-            shard.keys[stage],
-            payload,
-            meta={
-                "stage": stage,
-                "project": shard.project,
-                "code_version": self.code_versions[stage],
-                "source_digest": stage_source_digest(stage),
-                "seconds": round(seconds, 6),
-                "warnings": list(warnings),
-                "metrics": metrics,
-            },
-        )
+        meta = {
+            "stage": stage,
+            "project": shard.project,
+            "code_version": self.code_versions[stage],
+            "source_digest": stage_source_digest(stage),
+            "seconds": round(seconds, 6),
+            "warnings": list(warnings),
+            "metrics": metrics,
+        }
+        codec = SHARD_CODECS.get(stage)
+        if codec is not None:
+            # mine shards go to disk through the compact tuple codec
+            # (MemoryStore keeps the live object and ignores the tag)
+            meta["codec"] = codec
+        return self.store.put(shard.keys[stage], payload, meta=meta)
 
     # -- whole-study entry points --------------------------------------
     def study(self):

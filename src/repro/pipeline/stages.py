@@ -62,9 +62,11 @@ from .fingerprint import digest_text
 # changes in a way that affects its artifact bytes; the fingerprint
 # chain invalidates the stage and its dependents, nothing else.  The map
 # stages jumped to "2" with the shard refactor: their artifacts changed
-# from whole-corpus containers to per-project payloads.
+# from whole-corpus containers to per-project payloads; ``mine`` jumped
+# to "3" when its shards moved to the tuple codec and the incremental
+# parse engine landed.
 GENERATE_VERSION = "2"
-MINE_VERSION = "2"
+MINE_VERSION = "3"
 ANALYZE_VERSION = "2"
 AGGREGATE_VERSION = "1"
 FIGURES_VERSION = "1"

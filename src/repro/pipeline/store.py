@@ -327,6 +327,17 @@ class DirStore(ArtifactStore):
         except Exception:  # digest passed but unpicklable: treat as corrupt
             self._warn_corrupt(key, path, "payload does not unpickle")
             return None
+        codec = envelope.get("codec")
+        if codec is not None:
+            from .codec import decode_payload
+
+            try:
+                payload = decode_payload(codec, payload)
+            except Exception:
+                # unknown codec name or undecodable bytes: recompute,
+                # never serve a half-decoded payload
+                self._warn_corrupt(key, path, f"payload codec {codec!r}")
+                return None
         return Artifact(
             key=key, payload=payload, meta=dict(envelope.get("meta") or {})
         )
@@ -335,8 +346,14 @@ class DirStore(ArtifactStore):
         if self.root is None:
             self._memory[artifact.key] = artifact
             return
+        payload = artifact.payload
+        codec = artifact.meta.get("codec")
+        if codec is not None:
+            from .codec import encode_payload
+
+            payload = encode_payload(codec, payload)
         payload_bytes = pickle.dumps(
-            artifact.payload, protocol=pickle.HIGHEST_PROTOCOL
+            payload, protocol=pickle.HIGHEST_PROTOCOL
         )
         envelope = {
             "format": ARTIFACT_FORMAT,
@@ -345,6 +362,8 @@ class DirStore(ArtifactStore):
             "payload_sha256": hashlib.sha256(payload_bytes).hexdigest(),
             "payload": payload_bytes,
         }
+        if codec is not None:
+            envelope["codec"] = codec
         path = self._path_for(artifact.key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -5,21 +5,28 @@ from .lexer import LexError, Token, TokenType, tokenize, tokenize_reference
 from .parser import (
     ParseIssue,
     ParseResult,
+    apply_statement,
     parse_schema,
     parse_table,
     split_statements,
+    strip_copy_blocks,
 )
+from .segment import Segment, segment_statements
 
 __all__ = [
     "LexError",
     "ParseIssue",
     "ParseResult",
+    "Segment",
     "Token",
     "TokenType",
+    "apply_statement",
     "detect_dialect",
     "parse_schema",
     "parse_table",
+    "segment_statements",
     "split_statements",
+    "strip_copy_blocks",
     "tokenize",
     "tokenize_reference",
 ]

@@ -4,62 +4,102 @@ The study corpus keeps MySQL or Postgres schema files (in that order of
 preference when a project ships both).  We detect the dialect from surface
 features so the parser and re-emitter can make dialect-appropriate choices
 and so corpus statistics can report the vendor mix.
+
+Detection is expressed as bitmasks over a fixed signal table so the
+incremental parse engine can cache a mask per statement fragment and OR
+the masks of a version's fragments instead of rescanning the whole file.
+Most signal patterns are *fragment-local*: a match in the whole file
+lies entirely inside one top-level statement segment (no pattern except
+the whole-text ones below can match across a top-level ``;``), and a
+match inside a segment is a match in the whole file.  Three patterns
+cannot be localised and are evaluated on the full text each time:
+
+* ``^\\s*#`` and ``^\\s*PRAGMA`` are ``re.M`` line-anchored — a segment
+  that starts mid-line (right after a ``;``) would gain a fake
+  line-start anchor when scanned standalone;
+* the SQLite ``IF NOT EXISTS ... sqlite_`` heuristic uses ``.*`` which
+  may span a ``;`` within one line.
 """
 
 from __future__ import annotations
 
 import re
 
-_MYSQL_SIGNALS = (
-    re.compile(r"`"),                          # backtick identifiers
-    re.compile(r"\bENGINE\s*=", re.I),
-    re.compile(r"\bAUTO_INCREMENT\b", re.I),
-    re.compile(r"\bUNSIGNED\b", re.I),
-    re.compile(r"^\s*#", re.M),                # '#' comments
-    re.compile(r"\bCHARSET\s*=", re.I),
-    re.compile(r"\bENUM\s*\(", re.I),
+#: Fragment-local signals as ``(dialect, pattern)``; bit ``i`` of a
+#: signal mask corresponds to entry ``i`` of this table.
+_FRAGMENT_SIGNALS: tuple[tuple[str, re.Pattern[str]], ...] = (
+    # --- MySQL
+    ("mysql", re.compile(r"`")),                          # backtick identifiers
+    ("mysql", re.compile(r"\bENGINE\s*=", re.I)),
+    ("mysql", re.compile(r"\bAUTO_INCREMENT\b", re.I)),
+    ("mysql", re.compile(r"\bUNSIGNED\b", re.I)),
+    ("mysql", re.compile(r"\bCHARSET\s*=", re.I)),
+    ("mysql", re.compile(r"\bENUM\s*\(", re.I)),
+    # --- SQLite
+    ("sqlite", re.compile(r"\bAUTOINCREMENT\b", re.I)),   # no underscore: SQLite
+    ("sqlite", re.compile(r"\bWITHOUT\s+ROWID\b", re.I)),
+    # --- Postgres
+    ("postgres", re.compile(r"\bSERIAL\b", re.I)),
+    ("postgres", re.compile(r"\bBIGSERIAL\b", re.I)),
+    ("postgres", re.compile(r"::")),                      # cast operator
+    ("postgres", re.compile(r"\bnextval\s*\(", re.I)),
+    ("postgres", re.compile(r"\$\$")),                    # dollar quoting
+    ("postgres", re.compile(r"\bBYTEA\b", re.I)),
+    ("postgres", re.compile(r"\bTIMESTAMPTZ\b", re.I)),
+    ("postgres", re.compile(r"\bWITH\s+TIME\s+ZONE\b", re.I)),
+    ("postgres", re.compile(r"\bCREATE\s+SEQUENCE\b", re.I)),
+    ("postgres", re.compile(r"\bOWNER\s+TO\b", re.I)),
 )
 
-_SQLITE_SIGNALS = (
-    re.compile(r"\bAUTOINCREMENT\b", re.I),       # no underscore: SQLite
-    re.compile(r"\bWITHOUT\s+ROWID\b", re.I),
-    re.compile(r"^\s*PRAGMA\b", re.I | re.M),
-    re.compile(r"\bIF\s+NOT\s+EXISTS\b.*\bsqlite_", re.I),
+#: Whole-text-only signals; their bits sit above the fragment bits.
+_WHOLE_TEXT_SIGNALS: tuple[tuple[str, re.Pattern[str]], ...] = (
+    ("mysql", re.compile(r"^\s*#", re.M)),                # '#' comments
+    ("sqlite", re.compile(r"^\s*PRAGMA\b", re.I | re.M)),
+    ("sqlite", re.compile(r"\bIF\s+NOT\s+EXISTS\b.*\bsqlite_", re.I)),
 )
 
-_POSTGRES_SIGNALS = (
-    re.compile(r"\bSERIAL\b", re.I),
-    re.compile(r"\bBIGSERIAL\b", re.I),
-    re.compile(r"::"),                         # cast operator
-    re.compile(r"\bnextval\s*\(", re.I),
-    re.compile(r"\$\$"),                       # dollar quoting
-    re.compile(r"\bBYTEA\b", re.I),
-    re.compile(r"\bTIMESTAMPTZ\b", re.I),
-    re.compile(r"\bWITH\s+TIME\s+ZONE\b", re.I),
-    re.compile(r"\bCREATE\s+SEQUENCE\b", re.I),
-    re.compile(r"\bOWNER\s+TO\b", re.I),
-)
+_WHOLE_TEXT_SHIFT = len(_FRAGMENT_SIGNALS)
+
+#: Per-dialect bitmasks over the combined signal table.
+_DIALECT_BITS: dict[str, int] = {}
+for _bit, (_dialect, _) in enumerate(_FRAGMENT_SIGNALS + _WHOLE_TEXT_SIGNALS):
+    _DIALECT_BITS[_dialect] = _DIALECT_BITS.get(_dialect, 0) | (1 << _bit)
 
 
-def detect_dialect(text: str) -> str:
-    """Return ``"mysql"``, ``"postgres"``, ``"sqlite"`` or ``"generic"``.
+def fragment_signal_mask(text: str) -> int:
+    """Bitmask of the fragment-local signals present in ``text``.
 
-    Scores each dialect by the number of distinct signal patterns
-    present; ties and empty scores fall back to ``"generic"``.  SQLite
-    files appear in the wild even though the study's elicitation rules
-    keep MySQL/Postgres only, so the miner labels them correctly rather
-    than misattributing their features.
+    Callers scanning a statement fragment (rather than a whole file)
+    should pass ``" " + fragment`` so that ``\\b`` anchors at the
+    fragment's first character behave as they do in the full text,
+    where the preceding character is ``;`` or start-of-file — all
+    non-word, like the space.
+    """
+    mask = 0
+    for bit, (_, pattern) in enumerate(_FRAGMENT_SIGNALS):
+        if pattern.search(text):
+            mask |= 1 << bit
+    return mask
+
+
+def whole_text_signal_mask(text: str) -> int:
+    """Bitmask of the three signals that must see the full text."""
+    mask = 0
+    for bit, (_, pattern) in enumerate(_WHOLE_TEXT_SIGNALS):
+        if pattern.search(text):
+            mask |= 1 << (bit + _WHOLE_TEXT_SHIFT)
+    return mask
+
+
+def dialect_from_mask(mask: int) -> str:
+    """Resolve a combined signal mask to a dialect label.
+
+    Scores each dialect by the number of distinct signal bits present;
+    ties and empty scores fall back to ``"generic"``.
     """
     scores = {
-        "mysql": sum(
-            1 for pattern in _MYSQL_SIGNALS if pattern.search(text)
-        ),
-        "postgres": sum(
-            1 for pattern in _POSTGRES_SIGNALS if pattern.search(text)
-        ),
-        "sqlite": sum(
-            1 for pattern in _SQLITE_SIGNALS if pattern.search(text)
-        ),
+        dialect: (mask & bits).bit_count()
+        for dialect, bits in _DIALECT_BITS.items()
     }
     best = max(scores, key=scores.get)
     best_score = scores[best]
@@ -68,3 +108,15 @@ def detect_dialect(text: str) -> str:
     if sum(1 for s in scores.values() if s == best_score) > 1:
         return "generic"  # ambiguous tie
     return best
+
+
+def detect_dialect(text: str) -> str:
+    """Return ``"mysql"``, ``"postgres"``, ``"sqlite"`` or ``"generic"``.
+
+    SQLite files appear in the wild even though the study's elicitation
+    rules keep MySQL/Postgres only, so the miner labels them correctly
+    rather than misattributing their features.
+    """
+    return dialect_from_mask(
+        fragment_signal_mask(text) | whole_text_signal_mask(text)
+    )

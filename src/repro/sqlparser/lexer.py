@@ -20,7 +20,7 @@ the statement splitter downstream can always make progress.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+import sys
 from enum import Enum, auto
 
 
@@ -36,29 +36,75 @@ class TokenType(Enum):
     COMMA = auto()
 
 
-@dataclass(frozen=True)
+#: Memo of ``value -> sys.intern(value.upper())``.  DDL vocabulary is
+#: small (keywords plus the corpus's identifier pool), so the memo stays
+#: bounded while turning every keyword comparison in the parser into a
+#: pointer check against interned literals.
+_UPPER_MEMO: dict[str, str] = {}
+
+
+def _interned_upper(value: str) -> str:
+    cached = _UPPER_MEMO.get(value)
+    if cached is None:
+        cached = sys.intern(value.upper())
+        _UPPER_MEMO[value] = cached
+    return cached
+
+
 class Token:
     """One lexical token.
 
     ``value`` is the decoded payload (quotes stripped, escapes resolved for
-    identifiers); ``raw`` is the exact source slice.
+    identifiers); ``raw`` is the exact source slice.  Implemented with
+    ``__slots__`` (tokens are the most-allocated object on the mine hot
+    path); equality and hashing follow the ``(type, value, raw, line)``
+    tuple exactly as the former frozen dataclass did.
     """
 
-    type: TokenType
-    value: str
-    raw: str
-    line: int
+    __slots__ = ("type", "value", "raw", "line", "_upper")
+
+    def __init__(self, type: TokenType, value: str, raw: str, line: int):
+        self.type = type
+        self.value = value
+        self.raw = raw
+        self.line = line
+        # Only name-like tokens are ever keyword-compared; others
+        # resolve ``upper`` lazily through the property below.
+        if type is TokenType.WORD or type is TokenType.QUOTED:
+            self._upper = _interned_upper(value)
+        else:
+            self._upper = None
 
     @property
     def upper(self) -> str:
-        return self.value.upper()
+        cached = self._upper
+        return cached if cached is not None else self.value.upper()
 
     def is_word(self, *words: str) -> bool:
-        return self.type is TokenType.WORD and self.upper in words
+        return self.type is TokenType.WORD and self._upper in words
 
     def is_name(self) -> bool:
         """Usable as an identifier (bare word or quoted)."""
         return self.type in (TokenType.WORD, TokenType.QUOTED)
+
+    def __repr__(self) -> str:
+        return (
+            f"Token(type={self.type!r}, value={self.value!r}, "
+            f"raw={self.raw!r}, line={self.line!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.type is other.type
+            and self.value == other.value
+            and self.raw == other.raw
+            and self.line == other.line
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value, self.raw, self.line))
 
 
 class LexError(Exception):

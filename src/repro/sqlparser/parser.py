@@ -205,27 +205,41 @@ def parse_schema(text: str, *, dialect: str | None = None) -> ParseResult:
     result = ParseResult(schema=schema)
 
     for statement in split_statements(tokenize(text)):
-        result.statements_total += 1
-        stream = _TokenStream(statement)
-        head = stream.peek()
-        if head is None:
-            continue
-        try:
-            if head.is_word("CREATE"):
-                applied = _parse_create(stream, schema)
-            elif head.is_word("ALTER"):
-                applied = _parse_alter(stream, schema, result)
-            elif head.is_word("DROP"):
-                applied = _parse_drop(stream, schema, result)
-            elif head.is_word("RENAME"):
-                applied = _parse_rename(stream, schema)
-            else:
-                applied = False  # SET, INSERT, USE, COMMENT ON, ...
-            if applied:
-                result.statements_applied += 1
-        except (_StatementError, SchemaError) as exc:
-            result.issues.append(ParseIssue(head.line, str(exc)))
+        apply_statement(statement, schema, result)
     return result
+
+
+def apply_statement(
+    statement: list[Token], schema: Schema, result: ParseResult
+) -> None:
+    """Apply one statement token group to ``schema`` in place.
+
+    This is the statement-loop body of :func:`parse_schema`, exposed so
+    the incremental engine (:mod:`repro.perf.fragments`) can replay
+    cached token groups against a live schema without re-lexing.
+    Counters and diagnostics are recorded on ``result`` exactly as the
+    whole-script path does.
+    """
+    result.statements_total += 1
+    stream = _TokenStream(statement)
+    head = stream.peek()
+    if head is None:
+        return
+    try:
+        if head.is_word("CREATE"):
+            applied = _parse_create(stream, schema)
+        elif head.is_word("ALTER"):
+            applied = _parse_alter(stream, schema, result)
+        elif head.is_word("DROP"):
+            applied = _parse_drop(stream, schema, result)
+        elif head.is_word("RENAME"):
+            applied = _parse_rename(stream, schema)
+        else:
+            applied = False  # SET, INSERT, USE, COMMENT ON, ...
+        if applied:
+            result.statements_applied += 1
+    except (_StatementError, SchemaError) as exc:
+        result.issues.append(ParseIssue(head.line, str(exc)))
 
 
 def parse_table(text: str) -> Table:
@@ -338,50 +352,162 @@ def _split_body_elements(stream: _TokenStream) -> list[list[Token]]:
     return elements
 
 
+#: Body-element memo installed by the incremental engine
+#: (:mod:`repro.perf.fragments`); ``None`` means parse elements directly.
+_ACTIVE_ELEMENT_CACHE = None
+
+
+def set_element_cache(cache):
+    """Install a body-element cache; returns the previous one.
+
+    The cache must expose ``effect_for(element) -> BodyEffect``.  The
+    incremental engine scopes installation around its own parses so
+    the reference oracles always run the direct, uncached path.
+    """
+    global _ACTIVE_ELEMENT_CACHE
+    previous = _ACTIVE_ELEMENT_CACHE
+    _ACTIVE_ELEMENT_CACHE = cache
+    return previous
+
+
 def _parse_table_body(stream: _TokenStream, table: Table) -> None:
+    cache = _ACTIVE_ELEMENT_CACHE
     for element in _split_body_elements(stream):
-        item = _TokenStream(element)
-        head = item.peek()
-        if head is None:
-            continue
-        if head.is_word("PRIMARY"):
-            item.next()
-            if item.accept_word("KEY"):
-                table.primary_key = _parse_column_list(item)
-            continue
-        if head.is_word("UNIQUE"):
-            item.next()
-            item.accept_word("KEY", "INDEX")
-            _parse_index_def(item, table, unique=True)
-            continue
-        if head.is_word("KEY", "INDEX"):
-            item.next()
-            _parse_index_def(item, table)
-            continue
-        if head.is_word("FULLTEXT", "SPATIAL"):
-            kind = item.next().upper
-            item.accept_word("KEY", "INDEX")
-            _parse_index_def(item, table, kind=kind)
-            continue
-        if head.is_word("CHECK"):
-            continue
-        if head.is_word("CONSTRAINT"):
-            item.next()
-            token = item.peek()
-            if token is not None and token.is_name() and not token.is_word(
-                "PRIMARY", "UNIQUE", "FOREIGN", "CHECK"
-            ):
-                constraint_name = item.next().value
-            else:
-                constraint_name = None
-            _parse_table_constraint(item, table, constraint_name)
-            continue
-        if head.is_word("FOREIGN"):
-            _parse_table_constraint(item, table, None)
-            continue
-        if head.is_word("LIKE"):
-            continue
-        _parse_column_def(item, table)
+        if cache is None:
+            _apply_body_element(element, table)
+        else:
+            apply_body_effect(cache.effect_for(element), table)
+
+
+def _apply_body_element(element: list[Token], table: Table) -> None:
+    """Parse one CREATE TABLE body element and apply it to ``table``."""
+    item = _TokenStream(element)
+    head = item.peek()
+    if head is None:
+        return
+    if head.is_word("PRIMARY"):
+        item.next()
+        if item.accept_word("KEY"):
+            table.primary_key = _parse_column_list(item)
+        return
+    if head.is_word("UNIQUE"):
+        item.next()
+        item.accept_word("KEY", "INDEX")
+        _parse_index_def(item, table, unique=True)
+        return
+    if head.is_word("KEY", "INDEX"):
+        item.next()
+        _parse_index_def(item, table)
+        return
+    if head.is_word("FULLTEXT", "SPATIAL"):
+        kind = item.next().upper
+        item.accept_word("KEY", "INDEX")
+        _parse_index_def(item, table, kind=kind)
+        return
+    if head.is_word("CHECK"):
+        return
+    if head.is_word("CONSTRAINT"):
+        item.next()
+        token = item.peek()
+        if token is not None and token.is_name() and not token.is_word(
+            "PRIMARY", "UNIQUE", "FOREIGN", "CHECK"
+        ):
+            constraint_name = item.next().value
+        else:
+            constraint_name = None
+        _parse_table_constraint(item, table, constraint_name)
+        return
+    if head.is_word("FOREIGN"):
+        _parse_table_constraint(item, table, None)
+        return
+    if head.is_word("LIKE"):
+        return
+    _parse_column_def(item, table)
+
+
+class _UnsetPK(tuple):
+    """Falsy empty-tuple stand-in distinguishable by identity.
+
+    ``capture_body_element`` needs to know whether an element *assigned*
+    the scratch table's primary key — including an assignment of the
+    empty tuple, which CPython interns, so a plain ``()`` initial value
+    could not be told apart from an assigned ``()``.
+    """
+
+
+@dataclass(frozen=True)
+class BodyEffect:
+    """The captured, replayable effect of one CREATE TABLE body element.
+
+    Element parsing is context-free (it never reads the surrounding
+    table), so an element's effect can be captured once against a
+    scratch table and replayed onto any table.  ``primary_key`` is
+    ``None`` when the element never assigned one; ``pk_conditional``
+    marks column-level ``PRIMARY KEY`` (applied only when the table has
+    none yet) as opposed to table-level constraints (always applied).
+    A captured parse error is re-raised on every replay.
+    """
+
+    attributes: tuple[Attribute, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    indexes: tuple[Index, ...] = ()
+    primary_key: tuple[str, ...] | None = None
+    pk_conditional: bool = True
+    error: str | None = None
+    error_kind: str = ""
+
+
+def capture_body_element(element: list[Token]) -> BodyEffect:
+    """Parse one body element against a scratch table, capturing its effect."""
+    scratch = Table(name="__element__")
+    unset_pk = _UnsetPK()
+    scratch.primary_key = unset_pk
+    error: str | None = None
+    error_kind = ""
+    try:
+        _apply_body_element(element, scratch)
+    except _StatementError as exc:
+        error, error_kind = str(exc), "statement"
+    except SchemaError as exc:
+        error, error_kind = str(exc), "schema"
+    head = element[0] if element else None
+    pk_conditional = not (
+        head is not None and head.is_word("PRIMARY", "CONSTRAINT", "FOREIGN")
+    )
+    return BodyEffect(
+        attributes=tuple(scratch.attributes),
+        foreign_keys=tuple(scratch.foreign_keys),
+        indexes=tuple(scratch.indexes),
+        primary_key=(
+            None if scratch.primary_key is unset_pk
+            else tuple(scratch.primary_key)
+        ),
+        pk_conditional=pk_conditional,
+        error=error,
+        error_kind=error_kind,
+    )
+
+
+def apply_body_effect(effect: BodyEffect, table: Table) -> None:
+    """Replay a captured element effect onto ``table``.
+
+    Replay order mirrors the direct path: constraints recorded during
+    the element's scan land before the attribute append (whose
+    duplicate check may raise), and a captured parse error re-raises
+    after the element's partial effects — exactly where the direct
+    parse would have stopped.
+    """
+    table.foreign_keys.extend(effect.foreign_keys)
+    table.indexes.extend(effect.indexes)
+    for attr in effect.attributes:
+        table.add_attribute(attr)
+    if effect.primary_key is not None:
+        if not effect.pk_conditional or not table.primary_key:
+            table.primary_key = effect.primary_key
+    if effect.error is not None:
+        if effect.error_kind == "statement":
+            raise _StatementError(effect.error)
+        raise SchemaError(effect.error)
 
 
 def _parse_table_constraint(

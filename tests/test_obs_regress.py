@@ -291,6 +291,80 @@ class TestCompareSamples:
         assert statuses["stage:analyze"] == "skip"  # bench never timed it
         assert not report.failed
 
+    def test_stage_focus_ignores_other_stages(self):
+        slow = _manifest(stages={
+            "generate": 9.0, "mine": 4.0, "analyze": 0.5, "total": 14.0,
+        })
+        assert self._cmp(_manifest(), slow).failed
+        report = self._cmp(_manifest(), slow, stage="mine")
+        assert not report.failed
+        stage_checks = [c.name for c in report.checks
+                        if c.name.startswith("stage:")]
+        assert stage_checks == ["stage:mine"]
+
+    def test_stage_focus_missing_from_both_sides_fails(self):
+        report = self._cmp(_manifest(), _manifest(), stage="figures")
+        focused = next(c for c in report.checks if c.name == "stage:figures")
+        assert focused.status == "fail"
+        assert report.failed
+
+    def test_stage_focus_missing_from_one_side_skips(self):
+        with_extra = _manifest(stages={
+            "generate": 1.0, "mine": 4.0, "figures": 0.4, "total": 6.0,
+        })
+        report = self._cmp(_manifest(), with_extra, stage="figures")
+        focused = next(c for c in report.checks if c.name == "stage:figures")
+        assert focused.status == "skip"
+        assert not report.failed
+
+    def _with_statements(self, manifest, reuse_rate, *, unit_hits=100,
+                         unit_misses=10):
+        manifest = json.loads(json.dumps(manifest))
+        manifest["timings"]["parse_cache"]["statements"] = {
+            "hits": 30, "misses": 5, "fallback_parses": 0,
+            "unit_hits": unit_hits, "unit_misses": unit_misses,
+            "reuse_rate": reuse_rate,
+        }
+        return manifest
+
+    def test_statement_reuse_drop_fails(self):
+        baseline = self._with_statements(_manifest(), 0.95)
+        candidate = self._with_statements(_manifest(), 0.40)
+        report = self._cmp(baseline, candidate)
+        reuse = next(c for c in report.checks if c.name == "statement_reuse")
+        assert reuse.status == "fail"
+        assert report.failed
+
+    def test_small_statement_reuse_drop_tolerated(self):
+        baseline = self._with_statements(_manifest(), 0.95)
+        candidate = self._with_statements(_manifest(), 0.90)
+        report = self._cmp(baseline, candidate)
+        reuse = next(c for c in report.checks if c.name == "statement_reuse")
+        assert reuse.status == "pass"
+        assert not report.failed
+
+    def test_pre_incremental_baseline_skips_reuse_check(self):
+        # records written before the incremental engine carry no
+        # statements block — mirror the store_hit_rate None pattern
+        report = self._cmp(_manifest(),
+                           self._with_statements(_manifest(), 0.95))
+        reuse = next(c for c in report.checks if c.name == "statement_reuse")
+        assert reuse.status == "skip"
+        assert not report.failed
+
+    def test_zero_unit_lookups_skip_reuse_check(self):
+        baseline = self._with_statements(_manifest(), 0.95)
+        candidate = self._with_statements(_manifest(), 0.0,
+                                          unit_hits=0, unit_misses=0)
+        report = self._cmp(baseline, candidate)
+        reuse = next(c for c in report.checks if c.name == "statement_reuse")
+        assert reuse.status == "skip"
+        assert not report.failed
+
+    def test_no_statements_on_either_side_drops_the_check(self):
+        report = self._cmp(_manifest(), _manifest())
+        assert all(c.name != "statement_reuse" for c in report.checks)
+
     def test_report_shapes(self):
         report = self._cmp(_manifest(), _slowed(_manifest(), 2.0))
         verdict = report.as_dict()
@@ -346,6 +420,21 @@ class TestBenchCheckCommand:
         assert main(["bench-check", str(base), str(slow),
                      "--max-regression", "1.5",
                      "--threshold", "mine=0.5"]) == 1
+
+    def test_stage_focus_flag(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_manifest()))
+        slow_generate = tmp_path / "slow_generate.json"
+        slow_generate.write_text(json.dumps(_manifest(stages={
+            "generate": 9.0, "mine": 4.0, "analyze": 0.5, "total": 14.0,
+        })))
+        assert main(["bench-check", str(base), str(slow_generate)]) == 1
+        capsys.readouterr()  # drain the unfocused run's output
+        assert main(["bench-check", str(base), str(slow_generate),
+                     "--stage", "mine"]) == 0
+        out = capsys.readouterr().out
+        assert "stage:mine" in out
+        assert "stage:generate" not in out
 
     def test_bad_threshold_spec_exits_two(self, records, capsys):
         base, _ = records

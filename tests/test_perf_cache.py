@@ -38,9 +38,24 @@ class TestMemoryCache:
         first = cache.parse(DDL)
         second = cache.parse(DDL)
         assert first is second
-        assert cache.stats == CacheStats(hits=1, misses=1)
+        # one whole-version miss = one fresh statement fragment whose
+        # CREATE TABLE body carries two elements (two parse units)
+        assert cache.stats == CacheStats(
+            hits=1, misses=1, statement_misses=1, unit_misses=2
+        )
         assert cache.stats.hit_rate == 0.5
         assert len(cache) == 1
+
+    def test_statement_reuse_across_versions(self):
+        cache = ParseCache()
+        cache.parse(DDL + "\n" + DDL2)
+        cache.parse(DDL + "\nCREATE TABLE tags (tid INT);")
+        stats = cache.stats
+        # the shared leading statement (and the zero-unit whitespace
+        # separator segment) hit the fragment layer
+        assert stats.statement_hits == 2
+        assert stats.unit_hits == 2  # both body elements of DDL reused
+        assert 0.0 < stats.statement_reuse_rate < 1.0
 
     def test_result_matches_direct_parse(self):
         cache = ParseCache()
@@ -62,7 +77,11 @@ class TestMemoryCache:
         cache.clear()
         assert len(cache) == 0
         cache.parse(DDL)
-        assert cache.stats == CacheStats(hits=0, misses=2)
+        # fragment/element memos were dropped too, so the statement
+        # recompiles — and the monotone counters survived the clear
+        assert cache.stats == CacheStats(
+            hits=0, misses=2, statement_misses=2, unit_misses=4
+        )
 
 
 class TestDiskCache:
@@ -73,7 +92,9 @@ class TestDiskCache:
         assert cache.cache_dir is None
         result = cache.parse(DDL)
         assert cache.parse(DDL) is result
-        assert cache.stats == CacheStats(hits=1, misses=1, disk_hits=0)
+        assert cache.stats == CacheStats(
+            hits=1, misses=1, disk_hits=0, statement_misses=1, unit_misses=2
+        )
 
     def test_roundtrip_across_instances(self, tmp_path):
         writer = ParseCache(cache_dir=tmp_path)
@@ -90,7 +111,9 @@ class TestDiskCache:
         entry.write_bytes(b"not a pickle")
         reader = ParseCache(cache_dir=tmp_path)
         result = reader.parse(DDL)
-        assert reader.stats == CacheStats(hits=0, misses=1)
+        assert reader.stats == CacheStats(
+            hits=0, misses=1, statement_misses=1, unit_misses=2
+        )
         assert len(result.schema) == 1
 
     def test_wrong_object_on_disk_degrades_to_miss(self, tmp_path):
@@ -121,6 +144,22 @@ class TestStats:
         stats = CacheStats(hits=3, misses=1).as_dict()
         assert stats["hits"] == 3
         assert stats["hit_rate"] == 0.75
+
+    def test_as_dict_from_dict_roundtrip(self):
+        stats = CacheStats(
+            hits=3, misses=1, disk_hits=2, statement_hits=40,
+            statement_misses=4, fallback_parses=1, unit_hits=360,
+            unit_misses=12,
+        )
+        assert CacheStats.from_dict(stats.as_dict()) == stats
+
+    def test_from_dict_tolerates_old_records(self):
+        # pre-statement-cache payloads have no "statements" block
+        old = {"hits": 5, "misses": 2, "disk_hits": 1, "hit_rate": 0.71}
+        stats = CacheStats.from_dict(old)
+        assert stats.hits == 5
+        assert stats.statement_lookups == 0
+        assert stats.statement_reuse_rate == 0.0
 
 
 class TestGlobalCache:
