@@ -27,6 +27,7 @@ from ..mining import mine_project
 from ..obs.events import get_recorder
 from ..obs.metrics import MetricsSnapshot
 from ..obs.progress import ProgressTracker
+from ..obs.resources import get_monitor
 from ..obs.trace import get_tracer
 from ..perf.timing import StudyTimings
 from ..taxa import Taxon
@@ -198,7 +199,9 @@ def run_study(
 
     rows: list[ProjectMeasures] = []
     skipped: list[str] = []
-    with tracer.span("study", projects=len(projects), jobs=max(1, jobs)):
+    with tracer.span(
+        "study", projects=len(projects), jobs=max(1, jobs)
+    ), get_monitor().window() as window:
         with tracer.span("mine_analyze"):
             # the heartbeat: one driver-side update per collected result
             # (ETA from the live per-stage timings), emitted to the
@@ -229,6 +232,8 @@ def run_study(
                 timings.record("mine", result.mine_seconds)
                 timings.record("analyze", result.analyze_seconds)
                 timings.merge_cache(result.cache)
+                if result.resources is not None:
+                    timings.record_resource("workers", result.resources)
                 metrics = metrics + result.metrics
                 # per-project span trees built in workers (or
                 # detached in-process on the serial path) reattach
@@ -246,6 +251,7 @@ def run_study(
                     result.mine_seconds + result.analyze_seconds,
                 )
             tracker.finish()
+    timings.record_resource("driver", window.sample)
     metrics.fold_cache(timings.cache)
     timings.record("total", time.perf_counter() - start)
     return StudyResult(

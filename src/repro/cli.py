@@ -11,6 +11,8 @@ Subcommands::
                [--progress]
     repro-study report --out report.md            # Markdown study report
     repro-study pipeline status [--seed N] [--store-dir DIR] [--shards]
+               [--json]
+    repro-study pipeline explain STAGE [--project NAME] [--json]
     repro-study pipeline invalidate [STAGE | --project NAME]
     repro-study case NAME [--seed N]              # one project's diagram
     repro-study diff OLD.sql NEW.sql              # atomic changes
@@ -18,7 +20,10 @@ Subcommands::
     repro-study validate SCHEMA.sql SRC...        # query validation
     repro-study trace-view FILE [--sort X] [--min-ms N]  # render a trace
     repro-study obs export {chrome,prom,flame} FILE      # export telemetry
+    repro-study obs history [--json] [--limit N]  # run-history registry
+    repro-study obs timeline --stage mine         # cross-run trend line
     repro-study bench-check BASELINE CANDIDATE    # perf-regression check
+    repro-study bench-check CANDIDATE --against-history N  # vs registry
 
 The observability flags (available on ``generate``, ``study`` and
 ``report``) never change results: ``--trace`` writes the hierarchical
@@ -178,6 +183,37 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also list per-project shard warmth for the map stages",
     )
+    pipe_status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status rows (and drift warnings) as JSON",
+    )
+    pipe_explain = pipe_sub.add_parser(
+        "explain",
+        help="why a stage's artifact is warm, stale, or cold",
+        description=(
+            "diffs every stored fingerprint breakdown against the "
+            "current plan: a stale artifact names the component that "
+            "moved (code_version bump, params/profile digest, upstream "
+            "digest), a cold one has no prior generation to diff"
+        ),
+    )
+    pipe_explain.add_argument(
+        "stage",
+        help="stage to explain (generate, mine, analyze, aggregate, "
+        "figures, statistics, report)",
+    )
+    pipe_explain.add_argument(
+        "--project",
+        default=None,
+        help="narrow a map stage to one project's shard",
+    )
+    pipe_explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the explain records as JSON",
+    )
+    add_obs_flags(pipe_explain)
     pipe_invalidate = pipe_sub.add_parser(
         "invalidate",
         help="drop one stage's artifact and its dependents (or all)",
@@ -195,7 +231,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="invalidate one project's map shards (plus the reduce "
         "tail) instead of a whole stage",
     )
-    for pipe_cmd in (pipe_status, pipe_invalidate):
+    for pipe_cmd in (pipe_status, pipe_explain, pipe_invalidate):
         pipe_cmd.add_argument("--seed", type=int, default=None)
         pipe_cmd.add_argument(
             "--format",
@@ -281,17 +317,96 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the export to FILE instead of stdout",
     )
+    history = obs_sub.add_parser(
+        "history",
+        help="table the store's append-only run-history registry",
+        description=(
+            "every study/report run against a --store-dir appends one "
+            "record to <store>/runs/history.jsonl; this lists them"
+        ),
+    )
+    history.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the last N records",
+    )
+    history.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the records as a JSON array",
+    )
+    history.add_argument(
+        "--import",
+        dest="import_file",
+        default=None,
+        metavar="FILE",
+        help="seed one record from a run manifest or BENCH payload "
+        "(CI uses this to bootstrap --against-history from the "
+        "committed baseline)",
+    )
+    timeline = obs_sub.add_parser(
+        "timeline",
+        help="render one stage's cross-run trend from the registry",
+    )
+    timeline.add_argument(
+        "--stage",
+        default="total",
+        metavar="NAME",
+        help="stage whose seconds to plot (default: total); "
+        "'rss' plots the peak-RSS trend instead",
+    )
+    timeline.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="plot only the last N records",
+    )
+    for obs_cmd in (history, timeline):
+        obs_cmd.add_argument(
+            "--store-dir",
+            default=None,
+            metavar="DIR",
+            help="artifact store whose run registry to read "
+            "(default: REPRO_STORE_DIR)",
+        )
 
     bench_check = sub.add_parser(
         "bench-check",
         help="compare two perf records and fail on regressions",
         description=(
             "BASELINE and CANDIDATE are run manifests (--manifest) or "
-            "BENCH_study.json payloads, freely mixed"
+            "BENCH_study.json payloads, freely mixed; with "
+            "--against-history N the single positional is the candidate "
+            "and the baseline is the median of the store registry's "
+            "last N records"
         ),
     )
     bench_check.add_argument("baseline", help="baseline perf record (JSON)")
-    bench_check.add_argument("candidate", help="candidate perf record (JSON)")
+    bench_check.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        help="candidate perf record (JSON); omitted with "
+        "--against-history, where the first positional is the candidate",
+    )
+    bench_check.add_argument(
+        "--against-history",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compare against the median of the last N run-registry "
+        "records instead of a baseline file",
+    )
+    bench_check.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact store whose run registry --against-history reads "
+        "(default: REPRO_STORE_DIR)",
+    )
     bench_check.add_argument(
         "--max-regression",
         type=float,
@@ -320,6 +435,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="focus the seconds comparison on one stage "
         "(e.g. 'mine' for the mine microbenchmark record)",
+    )
+    bench_check.add_argument(
+        "--max-rss-regression",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="relative peak-RSS growth tolerated (default: 0.30)",
     )
     bench_check.add_argument(
         "--report-only",
@@ -400,17 +522,23 @@ def _get_study(args):
         # (ad-hoc corpora bypass the artifact store: their contents are
         # not derivable from a fingerprintable parameter set)
         study = run_study(load_corpus(args.corpus), jobs=jobs)
+        args._run_facts = {"study": study, "seed": None, "scale": None,
+                           "jobs": jobs}
     else:
         seed = args.seed if args.seed is not None else DEFAULT_SEED
         if session is not None:
             session.seed = seed
         scale = max(1, getattr(args, "scale", 1) or 1)
         if scale > 1:
-            from .pipeline.graph import pipeline_study
+            from .pipeline.graph import Pipeline
 
-            study = pipeline_study(seed=seed, scale=scale, jobs=jobs)
+            pipe = Pipeline(seed=seed, scale=scale, jobs=jobs)
+            study = pipe.study()
+            args._pipeline = pipe
         else:
             study = canonical_study(seed, jobs=jobs)
+        args._run_facts = {"study": study, "seed": seed, "scale": scale,
+                           "jobs": jobs}
     if session is not None:
         session.study = study
     return study
@@ -517,6 +645,9 @@ def _cmd_report(args) -> int:
         if session is not None:
             session.study = study
         text = pipe.report()
+        args._pipeline = pipe
+        args._run_facts = {"study": study, "seed": seed, "scale": scale,
+                           "jobs": jobs}
     path = Path(args.out)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(text)
@@ -572,8 +703,64 @@ def _cmd_pipeline(args) -> int:
             f"{removed} artifact(s) removed"
         )
         return 0
+    if args.pipeline_command == "explain":
+        import json
+
+        from .obs.events import provenance_event
+
+        try:
+            records = pipe.explain(
+                args.stage, project=getattr(args, "project", None)
+            )
+        except KeyError as exc:
+            print(
+                f"unknown stage or project {exc.args[0]!r} "
+                "(see pipeline status --shards)",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        session = getattr(args, "obs_session", None)
+        if session is not None and session.event_log is not None:
+            for record in records:
+                session.event_log.emit(provenance_event(record))
+        if args.json:
+            print(json.dumps(records, indent=2, default=str))
+            return 0
+        from .obs.provenance import render_explanation
+
+        states = {"warm": 0, "stale": 0, "cold": 0}
+        for record in records:
+            states[record["state"]] += 1
+            print(render_explanation(record))
+        if len(records) > 1:
+            print(
+                f"\n{len(records)} targets: {states['warm']} warm, "
+                f"{states['stale']} stale, {states['cold']} cold"
+            )
+        return 0
     store = pipe.store
     location = getattr(store, "root", None)
+    if getattr(args, "json", False):
+        import json
+
+        payload = {
+            "store": {
+                "kind": store.kind,
+                "dir": str(location) if location else None,
+            },
+            "seed": seed,
+            "scale": scale,
+            "format": args.format,
+            "stages": pipe.status(),
+            "drift": pipe.version_drift(),
+        }
+        if getattr(args, "shards", False):
+            payload["shards"] = pipe.shard_status()
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
     print(
         f"store: {store.kind}" + (f" at {location}" if location else "")
         + f" | seed {seed}, scale {scale}, format {args.format}"
@@ -740,6 +927,152 @@ def _cmd_trace_view(args) -> int:
 
 
 def _cmd_obs(args) -> int:
+    if args.obs_command == "history":
+        return _cmd_obs_history(args)
+    if args.obs_command == "timeline":
+        return _cmd_obs_timeline(args)
+    return _cmd_obs_export(args)
+
+
+def _obs_registry(args):
+    """The run registry for --store-dir / REPRO_STORE_DIR, or None."""
+    from .obs.registry import registry_for_store
+    from .pipeline.store import configure_store
+
+    if getattr(args, "store_dir", None):
+        configure_store(args.store_dir)
+    registry = registry_for_store()
+    if registry is None:
+        print(
+            "no directory artifact store configured — pass --store-dir "
+            "(or set REPRO_STORE_DIR); an in-memory store keeps no "
+            "run history",
+            file=sys.stderr,
+        )
+    return registry
+
+
+def _cmd_obs_history(args) -> int:
+    import json
+    import time as time_mod
+
+    registry = _obs_registry(args)
+    if registry is None:
+        return 2
+    if args.import_file:
+        from .obs.registry import record_from_payload
+
+        path = Path(args.import_file)
+        try:
+            payload = json.loads(path.read_text())
+            record = record_from_payload(payload, source=path.name)
+        except (OSError, ValueError) as exc:
+            print(f"obs history: {exc}", file=sys.stderr)
+            return 2
+        registry.append(record)
+        print(
+            f"imported {path.name} as run {record['run_id']} "
+            f"into {registry.path}"
+        )
+        return 0
+    records = registry.records(limit=args.limit)
+    if args.json:
+        print(json.dumps(records, indent=2, default=str))
+        return 0
+    if not records:
+        print(f"run registry {registry.path} is empty")
+        return 0
+    header = (
+        f"{'run':<13} {'when':<17} {'command':<16} {'proj':>5} "
+        f"{'jobs':>4} {'total':>8} {'cache':>6} {'store':>6} "
+        f"{'rss MiB':>8} {'warn':>5}"
+    )
+    print(f"registry: {registry.path} ({len(records)} records shown)")
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        when = time_mod.strftime(
+            "%Y-%m-%d %H:%M",
+            time_mod.localtime(record.get("recorded_at") or 0),
+        )
+        total = (record.get("stages") or {}).get("total")
+        cache = (record.get("parse_cache") or {}).get("hit_rate")
+        store_rate = (record.get("artifact_store") or {}).get("hit_rate")
+        rss = (record.get("resources") or {}).get("peak_rss_bytes")
+        print(
+            f"{record.get('run_id', '?'):<13} {when:<17} "
+            f"{str(record.get('command', '?')):<16} "
+            f"{record.get('projects') if record.get('projects') is not None else '-':>5} "
+            f"{record.get('jobs') if record.get('jobs') is not None else '-':>4} "
+            f"{f'{total:.2f}s' if total is not None else '-':>8} "
+            f"{f'{cache:.0%}' if cache is not None else '-':>6} "
+            f"{f'{store_rate:.0%}' if store_rate is not None else '-':>6} "
+            f"{f'{rss / 2**20:.0f}' if rss else '-':>8} "
+            f"{record.get('warning_count') if record.get('warning_count') is not None else '-':>5}"
+        )
+    return 0
+
+
+def _cmd_obs_timeline(args) -> int:
+    import time as time_mod
+
+    registry = _obs_registry(args)
+    if registry is None:
+        return 2
+    records = registry.records(limit=args.limit)
+    if not records:
+        print(f"run registry {registry.path} is empty")
+        return 0
+    stage = args.stage
+    if stage == "rss":
+        series = [
+            (record.get("resources") or {}).get("peak_rss_bytes")
+            for record in records
+        ]
+        unit = "MiB"
+        values = [v / 2**20 if v else None for v in series]
+    else:
+        values = [
+            (record.get("stages") or {}).get(stage) for record in records
+        ]
+        unit = "s"
+    if not any(v is not None for v in values):
+        print(
+            f"no record carries {stage!r} "
+            "(see obs history --json for the available stages)",
+            file=sys.stderr,
+        )
+        return 2
+    peak = max(v for v in values if v is not None) or 1.0
+    width = 32
+    print(
+        f"timeline: {stage} over {len(records)} run(s) "
+        f"(bar = {peak:.2f} {unit}; ! marks a >25% jump)"
+    )
+    previous = None
+    for record, value in zip(records, values):
+        when = time_mod.strftime(
+            "%m-%d %H:%M",
+            time_mod.localtime(record.get("recorded_at") or 0),
+        )
+        run_id = record.get("run_id", "?")
+        if value is None:
+            print(f"  {run_id:<13} {when:<12} {'-':>10}")
+            continue
+        bar = "#" * max(1, round(value / peak * width))
+        marker = ""
+        if previous is not None and previous > 0:
+            if (value - previous) / previous > 0.25:
+                marker = "  ! regression"
+        print(
+            f"  {run_id:<13} {when:<12} {value:>9.2f}{unit} "
+            f"{bar}{marker}"
+        )
+        previous = value
+    return 0
+
+
+def _cmd_obs_export(args) -> int:
     import json
 
     from .obs import chrome_trace, folded_stacks, prometheus_text
@@ -778,12 +1111,50 @@ def _cmd_obs(args) -> int:
 def _cmd_bench_check(args) -> int:
     import json
 
-    from .obs import compare_samples, load_sample
-    from .obs.regress import DEFAULT_MAX_REGRESSION, DEFAULT_MIN_SECONDS
+    from .obs import compare_samples, load_sample, sample_from_dict
+    from .obs.regress import (
+        DEFAULT_MAX_REGRESSION,
+        DEFAULT_MAX_RSS_REGRESSION,
+        DEFAULT_MIN_SECONDS,
+    )
 
     try:
-        baseline = load_sample(args.baseline)
-        candidate = load_sample(args.candidate)
+        if args.against_history is not None:
+            if args.candidate is not None:
+                print(
+                    "bench-check: --against-history takes one positional "
+                    "(the candidate) — the baseline comes from the "
+                    "registry",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.against_history <= 0:
+                print(
+                    "bench-check: --against-history needs N >= 1",
+                    file=sys.stderr,
+                )
+                return 2
+            registry = _obs_registry(args)
+            if registry is None:
+                return 2
+            from .obs.registry import history_baseline
+
+            records = registry.records(limit=args.against_history)
+            baseline = sample_from_dict(
+                history_baseline(records),
+                source=f"history-median[{len(records)}]@{registry.path}",
+            )
+            candidate = load_sample(args.baseline)
+        else:
+            if args.candidate is None:
+                print(
+                    "bench-check: CANDIDATE required "
+                    "(or pass --against-history N)",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline = load_sample(args.baseline)
+            candidate = load_sample(args.candidate)
     except (OSError, ValueError) as exc:
         print(f"bench-check: {exc}", file=sys.stderr)
         return 2
@@ -815,6 +1186,11 @@ def _cmd_bench_check(args) -> int:
             if args.min_seconds is not None
             else DEFAULT_MIN_SECONDS
         ),
+        max_rss_regression=(
+            args.max_rss_regression
+            if args.max_rss_regression is not None
+            else DEFAULT_MAX_RSS_REGRESSION
+        ),
         stage=args.stage,
         allow_env_mismatch=args.allow_env_mismatch,
         allow_warnings=args.allow_warnings,
@@ -845,11 +1221,54 @@ _COMMANDS = {
 }
 
 
+def _append_run_record(args, session) -> None:
+    """Append one registry record for a finished study/report run.
+
+    Runs only for successful ``study``/``report`` runs against a
+    directory store — in-memory stores keep no history, and the append
+    is best-effort: a registry failure must never fail a run that
+    already produced its results.
+    """
+    facts = getattr(args, "_run_facts", None)
+    if facts is None:
+        return
+    from .obs.registry import build_run_record, registry_for_store
+
+    registry = registry_for_store()
+    if registry is None:
+        return
+    fingerprints = None
+    pipe = getattr(args, "_pipeline", None)
+    if pipe is not None:
+        from .pipeline.stages import REDUCE_STAGE_NAMES
+
+        fingerprints = {
+            name: pipe.fingerprint(name) for name in REDUCE_STAGE_NAMES
+        }
+    try:
+        registry.append(build_run_record(
+            command=args.command,
+            study=facts["study"],
+            seed=facts["seed"],
+            scale=facts["scale"],
+            jobs=facts["jobs"],
+            manifest=(
+                session.manifest_document if session is not None else None
+            ),
+            fingerprints=fingerprints,
+        ))
+    except OSError as exc:
+        print(f"warning: run registry append failed: {exc}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     session = _configure_obs(args)
     if session is None:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
+        if code == 0 and args.command in ("study", "report"):
+            _append_run_record(args, None)
+        return code
     args.obs_session = session
     try:
         code = _COMMANDS[args.command](args)
@@ -857,6 +1276,8 @@ def main(argv: list[str] | None = None) -> int:
         session.finalize(status="error")
         raise
     session.finalize(status="ok" if code == 0 else "error")
+    if code == 0 and args.command in ("study", "report"):
+        _append_run_record(args, session)
     return code
 
 

@@ -33,11 +33,14 @@ import sys
 from pathlib import Path
 
 from .events import (
+    EVENT_SCHEMA_VERSION,
     EventLog,
     EventRecorder,
     aggregate_warnings,
     get_recorder,
+    provenance_event,
     reset_recorder,
+    resource_event,
     run_event,
     span_event,
     validate_event,
@@ -67,6 +70,20 @@ from .progress import (
     render_progress_line,
     reset_progress,
 )
+from .provenance import (
+    PROVENANCE_FORMAT,
+    diff_components,
+    explain_target,
+    render_explanation,
+)
+from .registry import (
+    REGISTRY_FORMAT,
+    RunRegistry,
+    build_run_record,
+    history_baseline,
+    record_from_payload,
+    registry_for_store,
+)
 from .regress import (
     Check,
     PerfSample,
@@ -74,6 +91,13 @@ from .regress import (
     compare_samples,
     load_sample,
     sample_from_dict,
+)
+from .resources import (
+    ResourceMonitor,
+    ResourceSample,
+    get_monitor,
+    peak_rss_bytes,
+    process_sample,
 )
 from .trace import (
     NULL_SPAN,
@@ -86,6 +110,9 @@ from .trace import (
 )
 
 __all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "PROVENANCE_FORMAT",
+    "REGISTRY_FORMAT",
     "Check",
     "EventLog",
     "EventRecorder",
@@ -98,26 +125,41 @@ __all__ = [
     "ProgressChannel",
     "ProgressTracker",
     "RegressionReport",
+    "ResourceMonitor",
+    "ResourceSample",
+    "RunRegistry",
     "Span",
     "Tracer",
     "aggregate_warnings",
     "build_manifest",
+    "build_run_record",
     "chrome_trace",
     "compare_samples",
     "configure_tracing",
+    "diff_components",
+    "explain_target",
     "folded_stacks",
     "get_metrics",
+    "get_monitor",
     "get_progress",
     "get_recorder",
     "get_tracer",
+    "history_baseline",
     "load_sample",
+    "peak_rss_bytes",
+    "process_sample",
     "progress_event",
     "prometheus_text",
+    "provenance_event",
+    "record_from_payload",
+    "registry_for_store",
+    "render_explanation",
     "render_progress_line",
     "render_trace",
     "reset_metrics",
     "reset_progress",
     "reset_recorder",
+    "resource_event",
     "run_event",
     "runtime_environment",
     "sample_from_dict",
@@ -160,6 +202,10 @@ class ObsSession:
         self.study = None
         self.corpus_size: int | None = None
         self.finalized = False
+        #: The built manifest document (set by finalize when
+        #: ``--manifest`` was given) — the registry append reuses it
+        #: for the record's manifest digest.
+        self.manifest_document: dict | None = None
 
         reset_metrics()
         recorder = reset_recorder()
@@ -205,11 +251,20 @@ class ObsSession:
                 },
             )
             write_manifest(manifest, self.manifest_path)
+            self.manifest_document = manifest
         channel = get_progress()
         channel.close_line()
         channel.sink = None
         channel.stream = None
         if self.event_log is not None:
+            if self.study is not None:
+                resources = getattr(
+                    self.study.timings, "resources", None
+                ) or {}
+                for scope in sorted(resources):
+                    self.event_log.emit(
+                        resource_event(scope, resources[scope])
+                    )
             self.event_log.emit(run_event(self.command, status))
             get_recorder().sink = None
             tracer.on_close = None

@@ -21,7 +21,21 @@ Four event kinds exist:
     :mod:`repro.obs.progress`) — projects done/total, percent, the
     stage ETA and the slowest projects so far;
 ``run``
-    one closing marker per CLI run with the command and exit status.
+    one closing marker per CLI run with the command and exit status;
+``resource``
+    one record per telemetry scope (driver, workers, stage) at run end
+    with the scope's peak RSS and CPU seconds;
+``provenance``
+    one record per ``pipeline explain`` target with its warm / stale /
+    cold state and cause labels.
+
+Events added after the first schema generation (``resource``,
+``provenance``) carry an explicit ``schema`` field
+(:data:`EVENT_SCHEMA_VERSION`).  The validator extends the same
+courtesy forward: an *unknown* kind is tolerated — not an error —
+when the record is well-formed (object with a string ``event``, a
+numeric ``ts`` and an integer ``schema``), so tomorrow's events don't
+break today's consumers.
 
 Warnings are also collected in the process-local
 :class:`EventRecorder` so the run manifest can surface them after the
@@ -38,6 +52,12 @@ import time
 from pathlib import Path
 
 from .metrics import get_metrics
+
+#: The event-log schema generation.  Version 1 had no ``schema`` field
+#: (span/warning/progress/run only); version 2 added the ``resource``
+#: and ``provenance`` kinds, each carrying this number so consumers can
+#: gate on it.
+EVENT_SCHEMA_VERSION = 2
 
 #: Required fields (and their JSON types) per event kind.
 EVENT_FIELDS: dict[str, dict[str, tuple]] = {
@@ -72,6 +92,27 @@ EVENT_FIELDS: dict[str, dict[str, tuple]] = {
         "command": (str,),
         "status": (str,),
     },
+    "resource": {
+        "event": (str,),
+        "ts": (int, float),
+        "schema": (int,),
+        "scope": (str,),
+        "peak_rss_bytes": (int,),
+        "cpu_seconds": (int, float),
+    },
+    "provenance": {
+        "event": (str,),
+        "ts": (int, float),
+        "schema": (int,),
+        "stage": (str,),
+        "state": (str,),
+        "causes": (list,),
+    },
+}
+
+#: Optional fields (per kind) the validator accepts but never requires.
+EVENT_OPTIONAL_FIELDS: dict[str, dict[str, tuple]] = {
+    "provenance": {"project": (str, type(None))},
 }
 
 _STATUS_VALUES = ("ok", "error")
@@ -97,6 +138,33 @@ def run_event(command: str, status: str) -> dict:
         "command": command,
         "status": status,
     }
+
+
+def resource_event(scope: str, sample: dict) -> dict:
+    """One telemetry scope's footprint record (emitted at run end)."""
+    return {
+        "event": "resource",
+        "ts": round(time.time(), 6),
+        "schema": EVENT_SCHEMA_VERSION,
+        "scope": scope,
+        "peak_rss_bytes": int(sample.get("peak_rss_bytes") or 0),
+        "cpu_seconds": float(sample.get("cpu_seconds") or 0.0),
+    }
+
+
+def provenance_event(record: dict) -> dict:
+    """One explain target's state record (emitted by pipeline explain)."""
+    event = {
+        "event": "provenance",
+        "ts": round(time.time(), 6),
+        "schema": EVENT_SCHEMA_VERSION,
+        "stage": record["stage"],
+        "state": record["state"],
+        "causes": [cause["label"] for cause in record.get("causes", [])],
+    }
+    if record.get("project"):
+        event["project"] = record["project"]
+    return event
 
 
 # ----------------------------------------------------------------------
@@ -220,13 +288,32 @@ class EventLog:
 # validation
 
 def validate_event(record) -> list[str]:
-    """Validate one decoded event record; returns a list of problems."""
+    """Validate one decoded event record; returns a list of problems.
+
+    Known kinds validate strictly against :data:`EVENT_FIELDS`.  An
+    unknown kind is *forward-compatible* — accepted without error —
+    when it self-identifies as a later schema generation: a string
+    ``event``, numeric ``ts`` and an integer ``schema`` field.  Unknown
+    kinds without those credentials stay errors (a typo'd kind must
+    not pass as "the future").
+    """
     if not isinstance(record, dict):
         return ["record is not a JSON object"]
     kind = record.get("event")
     spec = EVENT_FIELDS.get(kind) if isinstance(kind, str) else None
     if spec is None:
-        return [f"unknown event kind {kind!r}"]
+        if (
+            isinstance(kind, str)
+            and isinstance(record.get("ts"), (int, float))
+            and isinstance(record.get("schema"), int)
+            and not isinstance(record.get("schema"), bool)
+        ):
+            return []
+        return [
+            f"unknown event kind {kind!r} "
+            "(no schema field to claim forward compatibility)"
+        ]
+    optional = EVENT_OPTIONAL_FIELDS.get(kind, {})
     errors = []
     for name, types in spec.items():
         if name not in record:
@@ -237,8 +324,13 @@ def validate_event(record) -> list[str]:
                 f"expected {'/'.join(t.__name__ for t in types)}"
             )
     for name in record:
-        if name not in spec:
-            errors.append(f"unexpected field {name!r}")
+        if name in spec:
+            continue
+        if name in optional:
+            if not isinstance(record[name], optional[name]):
+                errors.append(f"optional field {name!r} has wrong type")
+            continue
+        errors.append(f"unexpected field {name!r}")
     if "status" in spec and record.get("status") not in _STATUS_VALUES:
         errors.append(f"status {record.get('status')!r} not in ok/error")
     if isinstance(record.get("seconds"), (int, float)):

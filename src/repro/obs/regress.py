@@ -54,6 +54,11 @@ DEFAULT_MIN_SECONDS = 0.05
 #: Default tolerated absolute parse-cache hit-rate drop.
 DEFAULT_MAX_HIT_RATE_DROP = 0.10
 
+#: Default relative peak-RSS growth threshold (+30 %).  Looser than the
+#: seconds threshold: RSS folds allocator and GC noise on top of real
+#: footprint, so a tight bound would flag phantom drift.
+DEFAULT_MAX_RSS_REGRESSION = 0.30
+
 #: Environment keys that must agree for an apples-to-apples comparison.
 ENVIRONMENT_KEYS = ("hostname", "platform", "cpu_count")
 
@@ -71,6 +76,15 @@ class PerfSample:
     warning_count: int | None
     environment: dict | None
     store: dict | None = None
+    resources: dict | None = None
+
+    @property
+    def peak_rss_bytes(self) -> int | None:
+        """The run's headline peak RSS, when telemetry recorded one."""
+        if not self.resources:
+            return None
+        peak = self.resources.get("peak_rss_bytes")
+        return int(peak) if peak else None
 
     @property
     def hit_rate(self) -> float | None:
@@ -144,6 +158,7 @@ def sample_from_dict(data: dict, *, source: str = "<dict>") -> PerfSample:
             warning_count=data.get("warning_count"),
             environment=data.get("environment"),
             store=timings.get("artifact_store"),
+            resources=timings.get("resources"),
         )
     if "stages" in data:
         return PerfSample(
@@ -156,6 +171,7 @@ def sample_from_dict(data: dict, *, source: str = "<dict>") -> PerfSample:
             warning_count=data.get("warning_count"),
             environment=data.get("environment"),
             store=data.get("artifact_store"),
+            resources=data.get("resources"),
         )
     raise ValueError(
         f"{source}: neither a run manifest nor a BENCH_study.json payload"
@@ -254,6 +270,7 @@ def compare_samples(
     stage_thresholds: dict[str, float] | None = None,
     min_seconds: float = DEFAULT_MIN_SECONDS,
     max_hit_rate_drop: float = DEFAULT_MAX_HIT_RATE_DROP,
+    max_rss_regression: float = DEFAULT_MAX_RSS_REGRESSION,
     allow_env_mismatch: bool = False,
     allow_warnings: bool = False,
     stage: str | None = None,
@@ -444,6 +461,35 @@ def compare_samples(
             message=(
                 "statement-reuse stats missing from one side "
                 "(pre-incremental record, or zero unit lookups)"
+            ),
+        ))
+
+    # -- peak RSS drift -------------------------------------------------
+    # the memory-budget guard (ROADMAP item 2): a run whose footprint
+    # grows past the threshold fails even when its seconds look fine
+    base_rss, cand_rss = baseline.peak_rss_bytes, candidate.peak_rss_bytes
+    if base_rss and cand_rss:
+        ratio = (cand_rss - base_rss) / base_rss
+        checks.append(Check(
+            name="peak_rss",
+            status="fail" if ratio > max_rss_regression else "pass",
+            baseline=float(base_rss),
+            candidate=float(cand_rss),
+            ratio=ratio,
+            threshold=max_rss_regression,
+            message=(
+                f"peak RSS {base_rss / 2**20:.0f} MiB -> "
+                f"{cand_rss / 2**20:.0f} MiB {ratio:+.1%} "
+                f"(limit +{max_rss_regression:.0%})"
+            ),
+        ))
+    elif base_rss or cand_rss:
+        checks.append(Check(
+            name="peak_rss",
+            status="skip",
+            message=(
+                "resource telemetry missing from one side "
+                "(pre-telemetry record)"
             ),
         ))
 

@@ -32,6 +32,7 @@ from ..heartbeat import ZeroTotalError
 from ..mining import mine_project
 from ..obs.events import get_recorder, warn
 from ..obs.metrics import MetricsSnapshot, get_metrics
+from ..obs.resources import cpu_times, peak_rss_bytes
 from ..obs.trace import get_tracer
 from .cache import CacheStats, get_cache
 
@@ -55,10 +56,20 @@ class MinedRow:
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
     warnings: list[dict] = field(default_factory=list)
     trace: dict | None = None
+    #: The worker process's lifetime footprint at result time
+    #: (``None`` on the in-process serial path, where the driver's own
+    #: sampler window already covers the work).
+    resources: dict | None = None
 
     @property
     def skipped(self) -> bool:
         return self.row is None
+
+
+#: CPU clock at :func:`worker_init` time; ``None`` means this process
+#: is the driver (serial path), whose footprint the driver's own
+#: sampler windows already cover — workers alone ship samples back.
+_worker_cpu_baseline: tuple[float, float] | None = None
 
 
 def worker_init() -> None:
@@ -71,9 +82,38 @@ def worker_init() -> None:
     descriptor and once when the driver replays it at attach time.
     Workers therefore run sink-less: their spans and warnings travel
     back inside the :class:`MinedRow` and the driver alone emits them.
+
+    Also marks the worker's CPU baseline so shipped resource samples
+    report the worker's *work*, not its import/fork overhead, and so
+    the serial path (where this initializer never runs) ships no
+    sample at all.
     """
     get_tracer().on_close = None
     get_recorder().sink = None
+    global _worker_cpu_baseline
+    _worker_cpu_baseline = cpu_times()
+
+
+def _worker_sample() -> dict | None:
+    """This worker's footprint for the driver, ``None`` on the driver.
+
+    A pool worker is a single-purpose process, so its lifetime peak RSS
+    *is* its work's peak — no sampler window needs to cross the pickle
+    boundary.  CPU seconds are measured from the :func:`worker_init`
+    baseline.
+    """
+    if _worker_cpu_baseline is None:
+        return None
+    user, system = cpu_times()
+    return {
+        "peak_rss_bytes": peak_rss_bytes(),
+        "cpu_seconds": round(
+            max(0.0, user - _worker_cpu_baseline[0])
+            + max(0.0, system - _worker_cpu_baseline[1]),
+            6,
+        ),
+        "pid": os.getpid(),
+    }
 
 
 def mine_and_analyze(project: GeneratedProject) -> MinedRow:
@@ -128,6 +168,7 @@ def mine_and_analyze(project: GeneratedProject) -> MinedRow:
         metrics=metrics.snapshot() - metrics_before,
         warnings=recorder.since(warn_mark),
         trace=span.to_dict() if tracer.enabled else None,
+        resources=_worker_sample(),
     )
 
 
@@ -150,6 +191,7 @@ class MinedHistory:
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
     warnings: list[dict] = field(default_factory=list)
     trace: dict | None = None
+    resources: dict | None = None
 
 
 def mine_one(project: GeneratedProject) -> MinedHistory:
@@ -191,6 +233,7 @@ def mine_one(project: GeneratedProject) -> MinedHistory:
         metrics=metrics.snapshot() - metrics_before,
         warnings=recorder.since(warn_mark),
         trace=span.to_dict() if tracer.enabled else None,
+        resources=_worker_sample(),
     )
 
 

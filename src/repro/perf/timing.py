@@ -51,12 +51,21 @@ class ArtifactStats:
 
 @dataclass
 class StudyTimings:
-    """Stage → seconds, plus parallelism and parse-cache counters."""
+    """Stage → seconds, plus parallelism and parse-cache counters.
+
+    ``resources`` maps a scope name — a stage, ``"driver"`` for the
+    whole run, ``"workers"`` for the pool processes — to its
+    ``{"peak_rss_bytes", "cpu_seconds"}`` footprint, recorded by the
+    :mod:`repro.obs.resources` sampler.  Empty when telemetry is off or
+    the platform exposes no RSS source; consumers must treat the block
+    as optional.
+    """
 
     stages: dict[str, float] = field(default_factory=dict)
     jobs: int = 1
     cache: CacheStats = field(default_factory=CacheStats)
     artifacts: dict[str, ArtifactStats] = field(default_factory=dict)
+    resources: dict[str, dict] = field(default_factory=dict)
 
     def record(self, stage: str, seconds: float) -> None:
         """Accumulate ``seconds`` into ``stage``.
@@ -76,6 +85,37 @@ class StudyTimings:
         one owner, so the owner *sets* it.
         """
         self.stages["total"] = seconds
+
+    def record_resource(self, scope: str, sample) -> None:
+        """Fold one resource sample into ``scope``.
+
+        ``sample`` is a :class:`~repro.obs.resources.ResourceSample` or
+        an equivalent ``{"peak_rss_bytes", "cpu_seconds"}`` dict.
+        Peaks fold by ``max`` (a scope's footprint is its high-water
+        mark across however many windows fed it), CPU seconds sum —
+        mirroring the seconds semantics of :meth:`record`.  All-zero
+        samples (no readable RSS source) are dropped so the telemetry
+        block stays absent rather than asserting a zero-byte run.
+        """
+        if hasattr(sample, "as_dict"):
+            sample = sample.as_dict()
+        peak = int(sample.get("peak_rss_bytes") or 0)
+        cpu = float(sample.get("cpu_seconds") or 0.0)
+        if peak <= 0 and cpu <= 0.0:
+            return
+        current = self.resources.get(scope)
+        if current is None:
+            self.resources[scope] = {
+                "peak_rss_bytes": peak,
+                "cpu_seconds": round(cpu, 6),
+            }
+        else:
+            current["peak_rss_bytes"] = max(
+                current["peak_rss_bytes"], peak
+            )
+            current["cpu_seconds"] = round(
+                current["cpu_seconds"] + cpu, 6
+            )
 
     def record_artifact(self, stage: str, *, hit: bool) -> None:
         """Count one store outcome (hit or recompute) for ``stage``."""
@@ -110,6 +150,8 @@ class StudyTimings:
         for stage, stats in other.artifacts.items():
             current = self.artifacts.get(stage, ArtifactStats())
             self.artifacts[stage] = current + stats
+        for scope, sample in other.resources.items():
+            self.record_resource(scope, sample)
         return self
 
     def eta_seconds(
@@ -196,6 +238,19 @@ class StudyTimings:
                 "map": map_stats.as_dict(),
                 "reduce": reduce_stats.as_dict(),
             }
+        if self.resources:
+            # headline peak first (what bench-check's drift guard
+            # reads), then the per-scope breakdown
+            payload["resources"] = {
+                "peak_rss_bytes": max(
+                    entry["peak_rss_bytes"]
+                    for entry in self.resources.values()
+                ),
+                "scopes": {
+                    name: dict(self.resources[name])
+                    for name in sorted(self.resources)
+                },
+            }
         return payload
 
     def render(self) -> str:
@@ -232,6 +287,12 @@ class StudyTimings:
                 f"  artifact store: {totals.hits} hits / "
                 f"{totals.recomputes} recomputes (warm: {warm})"
             )
+        if self.resources:
+            parts = ", ".join(
+                f"{name} {self.resources[name]['peak_rss_bytes'] / 2**20:.0f} MiB"
+                for name in sorted(self.resources)
+            )
+            lines.append(f"  peak RSS: {parts}")
         return "\n".join(lines)
 
 

@@ -39,6 +39,8 @@ from ..corpus.profiles import scaled_profiles
 from ..obs.events import get_recorder
 from ..obs.metrics import MetricsSnapshot, get_metrics
 from ..obs.progress import ProgressTracker
+from ..obs.provenance import PROVENANCE_FORMAT, explain_target
+from ..obs.resources import get_monitor
 from ..obs.trace import get_tracer
 from ..perf.parallel import ShardTask, map_shard, pool_chunksize
 from ..perf.pool import warm_pool
@@ -208,10 +210,11 @@ class Pipeline:
         mark = recorder.mark()
         with get_tracer().span(
             f"stage:{stage}", artifact="recompute", fingerprint=key[:12]
-        ):
+        ), get_monitor().window() as window:
             start = time.perf_counter()
             output = spec.compute(self, inputs)
             seconds = time.perf_counter() - start
+        self.timings.record_resource(stage, window.sample)
         if not output.self_timed:
             self.timings.record(stage, seconds)
         window = recorder.since(mark)
@@ -249,11 +252,14 @@ class Pipeline:
         self._map_delta = MetricsSnapshot()
         with get_tracer().span(
             f"stage:{stage}", artifact="recompute", fingerprint=key[:12]
-        ):
+        ), get_monitor().window() as window:
             payloads = self._map_phase()
             fold_start = time.perf_counter()
             output = compute_aggregate(self, {"analyze": payloads})
             seconds = time.perf_counter() - fold_start
+        # the window spans map + fold: the map phase is where the
+        # driver's footprint actually peaks (shard payloads in flight)
+        self.timings.record_resource(stage, window.sample)
         self.timings.record(stage, seconds)
         window = recorder.since(mark)
         self.warnings.extend(window)
@@ -343,6 +349,10 @@ class Pipeline:
         mined = result.mined
         self.timings.record("mine", mined.seconds)
         self.timings.merge_cache(mined.cache)
+        if mined.resources is not None:
+            # worker peaks fold by max into one "workers" scope: the
+            # pool's footprint is its worst process, not their sum
+            self.timings.record_resource("workers", mined.resources)
         self._map_delta = self._map_delta + mined.metrics
         if mined.trace is not None:
             tracer.attach(mined.trace, emit=self.jobs > 1)
@@ -413,6 +423,81 @@ class Pipeline:
             self._map_delta = self._map_delta + delta
         return artifact
 
+    # -- provenance ----------------------------------------------------
+    def _reduce_provenance(self, stage: str) -> dict:
+        """The current plan's fingerprint breakdown for a reduce stage."""
+        spec = STAGES[stage]
+        return {
+            "format": PROVENANCE_FORMAT,
+            "stage": stage,
+            "kind": "reduce",
+            "code_version": self.code_versions[stage],
+            "params": dict(self.params_for(stage)),
+            "upstream": {
+                dep: self.fingerprint(dep) for dep in spec.deps
+            },
+            "source_digest": stage_source_digest(stage),
+        }
+
+    def _shard_provenance(self, stage: str, shard: ShardSpec) -> dict:
+        """One shard's breakdown: identity params + map-cone upstream."""
+        return {
+            "format": PROVENANCE_FORMAT,
+            "stage": stage,
+            "kind": "map",
+            "project": shard.project,
+            "code_version": self.code_versions[stage],
+            # only generate folds the identity into its params; the
+            # downstream cone inherits it through the upstream chain
+            "params": (
+                dict(shard.identity) if stage == "generate" else {}
+            ),
+            "upstream": shard.upstream(stage),
+            "source_digest": stage_source_digest(stage),
+        }
+
+    def explain(
+        self, stage: str, *, project: str | None = None
+    ) -> list[dict]:
+        """Why each target of ``stage`` is warm, stale, or cold.
+
+        Reduce stages yield one record; map stages one per shard
+        (narrowed to one project with ``project``).  Each record diffs
+        the stored breakdown of the best-matching prior artifact
+        against the current plan — see
+        :func:`repro.obs.provenance.explain_target`.
+        """
+        if stage not in STAGES:
+            raise KeyError(stage)
+        if STAGES[stage].kind == "map":
+            shards = self.shards()
+            if project is not None:
+                shards = [s for s in shards if s.project == project]
+                if not shards:
+                    raise KeyError(project)
+            return [
+                explain_target(
+                    self.store,
+                    stage,
+                    shard.keys[stage],
+                    self._shard_provenance(stage, shard),
+                    project=shard.project,
+                )
+                for shard in shards
+            ]
+        if project is not None:
+            raise ValueError(
+                f"reduce stage {stage!r} has no per-project shards"
+            )
+        return [
+            explain_target(
+                self.store,
+                stage,
+                self.fingerprint(stage),
+                self._reduce_provenance(stage),
+            )
+        ]
+
     # -- store plumbing ------------------------------------------------
     def _consume_hit(
         self, stage: str, key: str, artifact: Artifact, load_seconds: float
@@ -460,6 +545,7 @@ class Pipeline:
                 "params": self.params_for(stage),
                 "code_version": self.code_versions[stage],
                 "source_digest": stage_source_digest(stage),
+                "provenance": self._reduce_provenance(stage),
                 "seconds": round(seconds, 6),
                 "warnings": list(warnings),
                 "metrics": metrics,
@@ -475,6 +561,7 @@ class Pipeline:
             "project": shard.project,
             "code_version": self.code_versions[stage],
             "source_digest": stage_source_digest(stage),
+            "provenance": self._shard_provenance(stage, shard),
             "seconds": round(seconds, 6),
             "warnings": list(warnings),
             "metrics": metrics,
@@ -503,10 +590,11 @@ class Pipeline:
         start = time.perf_counter()
         with tracer.span(
             "pipeline", seed=self.seed, scale=self.scale, jobs=self.jobs
-        ):
+        ), get_monitor().window() as window:
             aggregate = self.resolve("aggregate")
             figures = self.resolve("figures")
             statistics = self.resolve("statistics")
+        self.timings.record_resource("driver", window.sample)
         self.metrics.fold_cache(self.timings.cache)
         self.timings.record_wall(time.perf_counter() - start)
         result = StudyResult(

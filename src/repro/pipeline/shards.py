@@ -63,9 +63,21 @@ class ShardSpec:
     spec: ProjectSpec = field(compare=False)
     profile: TaxonProfile = field(compare=False)
     keys: dict = field(compare=False)
+    #: The identity params the ``generate`` key folds (project name +
+    #: spec/profile digests) — kept on the shard so provenance records
+    #: can name *which* digest moved when a shard re-keys.
+    identity: dict = field(compare=False, default_factory=dict)
 
     def key(self, stage: str) -> str:
         return self.keys[stage]
+
+    def upstream(self, stage: str) -> dict[str, str]:
+        """The stage's upstream keys within this shard's map cone."""
+        i = SHARD_STAGES.index(stage)
+        if i == 0:
+            return {}
+        previous = SHARD_STAGES[i - 1]
+        return {previous: self.keys[previous]}
 
 
 def plan_shards(
@@ -106,6 +118,7 @@ def plan_shards(
                     "mine": mine_key,
                     "analyze": analyze_key,
                 },
+                identity=identity,
             )
         )
     return shards

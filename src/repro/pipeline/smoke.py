@@ -20,7 +20,14 @@ with ``jobs=4`` — and checks the incremental-study contract end to end:
 7. **incremental**: mutating one project's seed against the warm store
    recomputes exactly that project's generate/mine/analyze shards plus
    the reduce tail — every other shard serves warm — and a second run
-   of the same mutation replays fully warm.
+   of the same mutation replays fully warm;
+8. **provenance explain** attributes each recompute to its true cause:
+   a warm plan explains all-warm, a project override blames the
+   upstream generate digest (on mine) and the identity params (on
+   generate), and a stage version bump blames ``code_version``;
+9. the **run registry** accepts one record per run and folds a
+   median-of-history baseline that ``bench-check --against-history``
+   can consume.
 
 Exit status 0 on success, 1 with a diagnosis on the first violation.
 """
@@ -218,6 +225,79 @@ def main() -> int:
             "re-running the mutated corpus recomputed a clean stage",
         )
 
+        # 8. provenance explain names the true recompute cause
+        explained = retouched.explain("mine")
+        check(
+            all(r["state"] == "warm" for r in explained),
+            "a fully warm plan should explain every mine shard warm",
+        )
+        probe = pipeline(
+            project_overrides={target: SMOKE_SEED + 1000}
+        )
+        (mine_rec,) = probe.explain("mine", project=target)
+        check(
+            mine_rec["state"] == "stale"
+            and [c["component"] for c in mine_rec["causes"]]
+            == ["upstream.generate"],
+            "a project override should blame exactly the upstream "
+            f"generate digest on its mine shard, got {mine_rec}",
+        )
+        (gen_rec,) = probe.explain("generate", project=target)
+        check(
+            gen_rec["state"] == "stale"
+            and gen_rec["causes"]
+            and all(
+                c["component"].startswith("params.")
+                for c in gen_rec["causes"]
+            ),
+            "a project override should blame the identity params on "
+            f"its generate shard, got {gen_rec}",
+        )
+        bump = pipeline(code_versions={"mine": "smoke"})
+        bump_records = bump.explain("mine")
+        check(
+            bump_records
+            and all(
+                r["state"] == "stale"
+                and [c["component"] for c in r["causes"]]
+                == ["code_version"]
+                for r in bump_records
+            ),
+            "a mine version bump should blame code_version on every "
+            "mine shard",
+        )
+
+        # 9. the run registry accumulates records and folds a baseline
+        from ..obs.registry import (
+            RunRegistry,
+            build_run_record,
+            history_baseline,
+        )
+        from ..obs.regress import sample_from_dict
+
+        registry = RunRegistry(store_dir)
+        for run in (cold, warm, retouched):
+            registry.append(build_run_record(
+                command="smoke", study=run.study(),
+                seed=SMOKE_SEED, scale=SMOKE_SCALE,
+            ))
+        check(
+            len(registry) == 3,
+            f"registry holds {len(registry)} records, expected 3",
+        )
+        baseline = sample_from_dict(
+            history_baseline(registry.records(limit=3)),
+            source="history-median[3]",
+        )
+        check(
+            baseline.stages.get("total", 0) > 0,
+            "the median-of-history baseline lost the total stage row",
+        )
+        check(
+            (baseline.peak_rss_bytes or 0) > 0,
+            "the median-of-history baseline lost the peak-RSS figure",
+        )
+
     reset_recorder()
     reset_metrics()
     if failures:
@@ -230,7 +310,9 @@ def main() -> int:
         f"warm serial and jobs={SMOKE_JOBS} replays byte-identical with a "
         "100% hit rate and zero shard probes; version bump and reseed "
         "invalidate exactly their cones; a one-project mutation recomputes "
-        "one shard per map stage plus the reduce tail"
+        "one shard per map stage plus the reduce tail; explain attributes "
+        "override/version-bump/identity causes correctly; the run registry "
+        "folds a 3-record median baseline"
     )
     return 0
 

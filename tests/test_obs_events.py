@@ -11,11 +11,14 @@ import json
 import pytest
 
 from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
     EventLog,
     EventRecorder,
     aggregate_warnings,
     get_recorder,
+    provenance_event,
     reset_recorder,
+    resource_event,
     run_event,
     span_event,
     validate_event,
@@ -111,10 +114,83 @@ class TestEventShapes:
         assert validate_event(record) == []
 
 
+class TestSchemaV2Events:
+    def test_resource_event_validates(self):
+        record = resource_event(
+            "workers", {"peak_rss_bytes": 123 * 2**20, "cpu_seconds": 4.5}
+        )
+        assert record["schema"] == EVENT_SCHEMA_VERSION
+        assert record["scope"] == "workers"
+        assert record["peak_rss_bytes"] == 123 * 2**20
+        assert validate_event(record) == []
+
+    def test_resource_event_tolerates_missing_fields(self):
+        record = resource_event("driver", {})
+        assert record["peak_rss_bytes"] == 0
+        assert record["cpu_seconds"] == 0.0
+        assert validate_event(record) == []
+
+    def test_provenance_event_validates(self):
+        record = provenance_event({
+            "stage": "mine",
+            "project": "a/b",
+            "state": "stale",
+            "causes": [{"component": "code_version",
+                        "label": "code_version bumped 2→3"}],
+        })
+        assert record["schema"] == EVENT_SCHEMA_VERSION
+        assert record["causes"] == ["code_version bumped 2→3"]
+        assert record["project"] == "a/b"
+        assert validate_event(record) == []
+
+    def test_provenance_event_omits_a_missing_project(self):
+        record = provenance_event(
+            {"stage": "aggregate", "state": "warm", "causes": []}
+        )
+        assert "project" not in record
+        assert validate_event(record) == []
+
+
+class TestForwardCompatibility:
+    """Satellite 2: unknown-but-well-formed event kinds must pass."""
+
+    def test_unknown_kind_with_schema_field_is_tolerated(self):
+        assert validate_event(
+            {"event": "gc-pause", "ts": 1.0, "schema": 3,
+             "pause_ms": 12.5}
+        ) == []
+
+    def test_unknown_kind_without_schema_stays_an_error(self):
+        problems = validate_event({"event": "gc-pause", "ts": 1.0})
+        assert problems and "unknown event kind" in problems[0]
+
+    def test_boolean_schema_does_not_count(self):
+        # bool is an int subclass; a True schema is not a version claim
+        assert validate_event(
+            {"event": "gc-pause", "ts": 1.0, "schema": True}
+        ) != []
+
+    def test_non_numeric_ts_does_not_count(self):
+        assert validate_event(
+            {"event": "gc-pause", "ts": "noon", "schema": 3}
+        ) != []
+
+    def test_log_with_a_future_event_validates_clean(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit(run_event("study", "ok"))
+            log.emit({"event": "from-the-future", "ts": 1.0,
+                      "schema": EVENT_SCHEMA_VERSION + 1, "extra": [1]})
+        count, problems = validate_event_log(path)
+        assert count == 2
+        assert problems == []
+
+
 class TestValidator:
     def test_unknown_kind(self):
         assert validate_event({"event": "mystery"}) == [
-            "unknown event kind 'mystery'"
+            "unknown event kind 'mystery' "
+            "(no schema field to claim forward compatibility)"
         ]
         assert validate_event({"no": "event"})[0].startswith("unknown")
         assert validate_event("not an object") == [

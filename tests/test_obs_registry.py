@@ -1,0 +1,356 @@
+"""The run-history registry: record shape, the tolerant reader, the
+median baseline, and the CLI loop (study runs append → ``obs history``
+/ ``obs timeline`` read → ``bench-check --against-history`` compares)."""
+
+import json
+
+import pytest
+
+from repro.obs.events import reset_recorder
+from repro.obs.metrics import reset_metrics
+from repro.obs.registry import (
+    REGISTRY_FORMAT,
+    RunRegistry,
+    build_run_record,
+    history_baseline,
+    manifest_digest,
+    record_from_payload,
+    registry_for_store,
+)
+from repro.obs.regress import sample_from_dict
+from repro.pipeline import DirStore, MemoryStore, Pipeline
+from repro.pipeline.store import configure_store
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_state():
+    reset_recorder()
+    reset_metrics()
+    yield
+    configure_store(None)
+    reset_recorder()
+    reset_metrics()
+
+
+def bench_shaped(total=2.0, rss=100 * 2**20, **extra) -> dict:
+    record = {
+        "format": REGISTRY_FORMAT,
+        "run_id": "abc123",
+        "recorded_at": 1700000000.0,
+        "command": "study",
+        "projects": 7,
+        "jobs": 1,
+        "warning_count": 0,
+        "stages": {"total": total, "mine": total / 2},
+        "parse_cache": {"hit_rate": 0.5},
+        "resources": {"peak_rss_bytes": rss},
+        "environment": {"hostname": "h", "platform": "p", "cpu_count": 4},
+    }
+    record.update(extra)
+    return record
+
+
+class TestManifestDigest:
+    def test_stable_and_order_independent(self):
+        a = {"x": 1, "y": {"z": 2}}
+        b = {"y": {"z": 2}, "x": 1}
+        assert manifest_digest(a) == manifest_digest(b)
+        assert len(manifest_digest(a)) == 64
+
+    def test_content_sensitive(self):
+        assert manifest_digest({"x": 1}) != manifest_digest({"x": 2})
+
+
+class TestRunRegistry:
+    def test_append_creates_the_registry_lazily(self, tmp_path):
+        registry = RunRegistry(tmp_path / "store")
+        assert not registry.path.exists()
+        registry.append(bench_shaped())
+        assert registry.path.exists()
+        assert registry.path == tmp_path / "store" / "runs" / "history.jsonl"
+        assert len(registry) == 1
+
+    def test_records_preserve_append_order_and_limit(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for i in range(5):
+            registry.append(bench_shaped(run_id=f"run-{i}"))
+        ids = [r["run_id"] for r in registry.records()]
+        assert ids == [f"run-{i}" for i in range(5)]
+        assert [
+            r["run_id"] for r in registry.records(limit=2)
+        ] == ["run-3", "run-4"]
+
+    def test_reader_skips_torn_and_foreign_lines(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.append(bench_shaped(run_id="good"))
+        with open(registry.path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": \n')
+            handle.write('{"no_stages": true}\n')
+            handle.write("\n")
+        registry.append(bench_shaped(run_id="later"))
+        assert [r["run_id"] for r in registry.records()] == [
+            "good", "later",
+        ]
+
+    def test_missing_registry_reads_empty(self, tmp_path):
+        assert RunRegistry(tmp_path / "nowhere").records() == []
+
+    def test_registry_for_store(self, tmp_path):
+        assert registry_for_store(MemoryStore()) is None
+        registry = registry_for_store(DirStore(tmp_path / "s"))
+        assert registry is not None
+        assert registry.root == tmp_path / "s"
+
+
+class TestBuildRunRecord:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return Pipeline(scale=32, seed=77, store=MemoryStore()).study()
+
+    def test_record_is_bench_shaped(self, study):
+        record = build_run_record(
+            command="study", study=study, seed=77, scale=32, jobs=1,
+        )
+        assert record["format"] == REGISTRY_FORMAT
+        assert record["projects"] == len(study.projects)
+        assert "total" in record["stages"]
+        assert record["environment"]["hostname"]
+        # the registry's whole point: sample_from_dict needs no
+        # special case for a registry record
+        sample = sample_from_dict(record, source="registry")
+        assert sample.kind == "bench"
+        assert sample.stages == record["stages"]
+        assert sample.peak_rss_bytes == (
+            record.get("resources", {}).get("peak_rss_bytes")
+        )
+
+    def test_manifest_digest_and_fingerprints_land(self, study):
+        manifest = {"format": "x", "environment": {"hostname": "h"}}
+        record = build_run_record(
+            command="study", study=study, manifest=manifest,
+            fingerprints={"aggregate": "f" * 64},
+        )
+        assert record["manifest_digest"] == manifest_digest(manifest)
+        assert record["environment"] == {"hostname": "h"}
+        assert record["fingerprints"] == {"aggregate": "f" * 64}
+
+    def test_run_ids_differ_across_commands(self, study):
+        a = build_run_record(command="study", study=study)
+        b = build_run_record(command="report", study=study)
+        assert a["run_id"] != b["run_id"]
+
+
+class TestRecordFromPayload:
+    def test_from_a_bench_payload(self):
+        payload = {
+            "projects": 7, "jobs": 2, "warning_count": 1,
+            "stages": {"total": 3.0},
+            "parse_cache": {"hit_rate": 0.9},
+            "resources": {"peak_rss_bytes": 1},
+        }
+        record = record_from_payload(payload, source="BENCH_study.json")
+        assert record["command"] == "import:BENCH_study.json"
+        assert record["stages"] == {"total": 3.0}
+        assert record["resources"] == {"peak_rss_bytes": 1}
+        assert sample_from_dict(record).kind == "bench"
+
+    def test_from_a_manifest_payload(self):
+        payload = {
+            "projects": 7,
+            "skipped": ["a/b"],
+            "timings": {"jobs": 4, "stages": {"total": 1.0}},
+        }
+        record = record_from_payload(payload, source="m.json")
+        assert record["stages"] == {"total": 1.0}
+        assert record["jobs"] == 4
+        assert record["skipped"] == 1
+
+    def test_rejects_a_stageless_payload(self):
+        with pytest.raises(ValueError, match="no stages block"):
+            record_from_payload({"hello": 1}, source="x.json")
+
+
+class TestHistoryBaseline:
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            history_baseline([])
+
+    def test_median_over_numbers_nested_in_blocks(self):
+        records = [
+            bench_shaped(total=1.0, rss=100),
+            bench_shaped(total=9.0, rss=300),
+            bench_shaped(total=2.0, rss=200),
+        ]
+        merged = history_baseline(records)
+        assert merged["stages"]["total"] == 2.0
+        assert merged["resources"]["peak_rss_bytes"] == 200
+        assert merged["command"] == "history-median[3]"
+
+    def test_identity_fields_pin_to_the_latest_record(self):
+        records = [
+            bench_shaped(run_id="old", recorded_at=1.0),
+            bench_shaped(run_id="new", recorded_at=2.0),
+        ]
+        merged = history_baseline(records)
+        assert merged["run_id"] == "new"
+        assert merged["recorded_at"] == 2.0
+
+    def test_missing_blocks_median_over_the_present_ones(self):
+        sparse = bench_shaped()
+        del sparse["resources"]
+        records = [
+            bench_shaped(rss=100), sparse, bench_shaped(rss=300),
+        ]
+        merged = history_baseline(records)
+        assert merged["resources"]["peak_rss_bytes"] == 200
+
+    def test_baseline_feeds_bench_check(self):
+        merged = history_baseline([bench_shaped(), bench_shaped()])
+        sample = sample_from_dict(merged, source="median")
+        assert sample.stages["total"] == 2.0
+        assert sample.peak_rss_bytes == 100 * 2**20
+
+
+class TestRegistryCli:
+    """Three study runs → three records → history / timeline /
+    against-history, end to end through ``repro.cli.main``."""
+
+    SEED_ARGS = ["--seed", "77", "--scale", "32"]
+
+    @pytest.fixture(scope="class")
+    def run_dir(self, tmp_path_factory):
+        from repro.cli import main
+
+        root = tmp_path_factory.mktemp("registry-cli")
+        store_dir = root / "artifacts"
+        manifest = root / "candidate.json"
+        base = ["study", *self.SEED_ARGS, "--store-dir", str(store_dir)]
+        assert main(base) == 0  # cold
+        assert main(base) == 0  # warm
+        assert main([*base, "--manifest", str(manifest)]) == 0  # warm
+        configure_store(None)
+        reset_recorder()
+        reset_metrics()
+        return root
+
+    def test_each_study_run_appends_one_record(self, run_dir):
+        registry = RunRegistry(run_dir / "artifacts")
+        records = registry.records()
+        assert len(records) == 3
+        assert all(r["command"] == "study" for r in records)
+        assert all(r["projects"] == 7 for r in records)
+        # the cold run missed, the warm reruns replayed everything
+        assert records[0]["artifact_store"]["hit_rate"] == 0.0
+        assert records[-1]["artifact_store"]["hit_rate"] == 1.0
+        assert all(
+            r["resources"]["peak_rss_bytes"] > 0 for r in records
+        )
+        assert all("aggregate" in r["fingerprints"] for r in records)
+
+    def test_history_table(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main([
+            "obs", "history",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 records shown" in out
+        assert out.count("study") >= 3
+        assert "100%" in out  # the warm store hit rate
+
+    def test_history_json(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main([
+            "obs", "history", "--json", "--limit", "2",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert all(r["format"] == REGISTRY_FORMAT for r in records)
+
+    def test_history_import_seeds_a_record(self, run_dir, capsys):
+        from repro.cli import main
+
+        payload = bench_shaped()
+        seed_file = run_dir / "seed.json"
+        seed_file.write_text(json.dumps(payload))
+        store_dir = run_dir / "imported-store"
+        assert main([
+            "obs", "history", "--import", str(seed_file),
+            "--store-dir", str(store_dir),
+        ]) == 0
+        assert "imported seed.json as run" in capsys.readouterr().out
+        records = RunRegistry(store_dir).records()
+        assert len(records) == 1
+        assert records[0]["command"] == "import:seed.json"
+
+    def test_timeline_total(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main([
+            "obs", "timeline", "--stage", "total",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "timeline: total over 3 run(s)" in out
+        assert "#" in out  # the bars
+
+    def test_timeline_rss(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main([
+            "obs", "timeline", "--stage", "rss",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MiB" in out
+
+    def test_timeline_unknown_stage_is_an_error(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main([
+            "obs", "timeline", "--stage", "figments",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 2
+        assert "no record carries" in capsys.readouterr().err
+
+    def test_no_store_dir_is_an_error(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        assert main(["obs", "history"]) == 2
+        assert "no directory artifact store" in capsys.readouterr().err
+
+    def test_bench_check_against_history(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main([
+            "bench-check", str(run_dir / "candidate.json"),
+            "--against-history", "3",
+            "--store-dir", str(run_dir / "artifacts"),
+            "--report-only",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "history-median[3]" in out
+        assert "peak_rss" in out
+        assert "verdict:" in out
+
+    def test_against_history_refuses_two_positionals(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main([
+            "bench-check", "a.json", "b.json", "--against-history", "3",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 2
+        assert "one positional" in capsys.readouterr().err
+
+    def test_against_history_needs_a_positive_n(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main([
+            "bench-check", "a.json", "--against-history", "0",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 2
+        assert "N >= 1" in capsys.readouterr().err

@@ -130,6 +130,179 @@ class TestPipelineStatus:
         assert "stage-version-stale" not in capsys.readouterr().out
 
 
+class TestPipelineStatusJson:
+    def test_json_payload_shape(self, tmp_path, capsys):
+        import json
+
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+
+        assert main([
+            "pipeline", "status", "--json", *SEED_ARGS,
+            "--store-dir", str(store_dir),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"]["kind"] == "dir"
+        assert payload["store"]["dir"] == str(store_dir)
+        assert payload["seed"] == 77 and payload["scale"] == 32
+        assert len(payload["stages"]) == 7
+        by_stage = {row["stage"]: row for row in payload["stages"]}
+        assert by_stage["aggregate"]["warm"] is True
+        assert by_stage["report"]["warm"] is False
+        assert payload["drift"] == []
+        assert "shards" not in payload
+
+    def test_json_with_shards(self, capsys):
+        import json
+
+        assert main([
+            "pipeline", "status", "--json", "--shards", *SEED_ARGS,
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["shards"]) == N_PROJECTS
+        assert payload["shards"][0]["project"] == FIRST_PROJECT
+
+
+class TestPipelineExplain:
+    def test_cold_store_explains_cold(self, capsys):
+        assert main(["pipeline", "explain", "aggregate", *SEED_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate: cold — no prior artifact" in out
+
+    def test_warm_store_explains_warm(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+        assert main([
+            "pipeline", "explain", "mine", *SEED_ARGS,
+            "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("warm") == N_PROJECTS + 1  # rows + summary
+        assert f"{N_PROJECTS} targets: {N_PROJECTS} warm" in out
+
+    def test_param_edit_explains_stale_with_the_cause(
+        self, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "artifacts"
+        assert main([
+            "report", *SEED_ARGS, "--store-dir", str(store_dir),
+            "--out", str(tmp_path / "r.md"),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "pipeline", "explain", "report", *SEED_ARGS,
+            "--format", "html", "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "report: stale" in out
+        assert "params.report_format changed (markdown→html)" in out
+
+    def test_json_records(self, tmp_path, capsys):
+        import json
+
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+        assert main([
+            "pipeline", "explain", "statistics", "--json", *SEED_ARGS,
+            "--store-dir", str(store_dir),
+        ]) == 0
+        (record,) = json.loads(capsys.readouterr().out)
+        assert record["stage"] == "statistics"
+        assert record["state"] == "warm"
+        assert len(record["key"]) == 64
+
+    def test_explain_emits_provenance_events(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.events import validate_event_log
+
+        store_dir = tmp_path / "artifacts"
+        log_path = tmp_path / "events.jsonl"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+        assert main([
+            "pipeline", "explain", "aggregate", *SEED_ARGS,
+            "--store-dir", str(store_dir),
+            "--log-json", str(log_path),
+        ]) == 0
+        records = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        kinds = [r["event"] for r in records]
+        assert "provenance" in kinds
+        prov = next(r for r in records if r["event"] == "provenance")
+        assert prov["stage"] == "aggregate"
+        assert prov["state"] == "warm"
+        count, problems = validate_event_log(log_path)
+        assert count == len(records) and problems == []
+
+    def test_unknown_stage_is_a_usage_error(self, capsys):
+        assert main(["pipeline", "explain", "figments"]) == 2
+        assert "unknown stage or project" in capsys.readouterr().err
+
+    def test_unknown_project_is_a_usage_error(self, capsys):
+        assert main([
+            "pipeline", "explain", "mine", *SEED_ARGS,
+            "--project", "no/such-project",
+        ]) == 2
+        assert "unknown stage or project" in capsys.readouterr().err
+
+    def test_project_on_a_reduce_stage_is_a_usage_error(self, capsys):
+        assert main([
+            "pipeline", "explain", "aggregate", *SEED_ARGS,
+            "--project", FIRST_PROJECT,
+        ]) == 2
+        assert "per-project" in capsys.readouterr().err
+
+
+class TestCrossProcessReplay:
+    """Satellite 3: a warm run served from a store written by a
+    *different process* replays that run's warnings and metrics."""
+
+    def test_warm_run_replays_the_foreign_cold_run(self, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        store_dir = tmp_path / "artifacts"
+        manifest = tmp_path / "cold.json"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_STORE_DIR", None)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "study", *SEED_ARGS,
+             "--store-dir", str(store_dir), "--manifest", str(manifest)],
+            capture_output=True, text=True, env=env, cwd=tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        cold = json.loads(manifest.read_text())
+
+        from repro.pipeline import DirStore, Pipeline
+
+        pipe = Pipeline(seed=77, scale=32, store=DirStore(store_dir))
+        study = pipe.study()
+        # nothing recomputed: the foreign artifacts answered everything
+        assert study.timings.artifact_totals.recomputes == 0
+        # the cold process's warnings replay one-for-one
+        assert len(study.warnings) == cold["warning_count"]
+        # ... and so do its metrics: the mining counters below were
+        # only ever computed in the writer process
+        counters = study.metrics.counters
+        cold_counters = cold["metrics"]["counters"]
+        mining = [c for c in cold_counters if c.startswith("changes.")]
+        assert mining
+        for counter in mining:
+            assert counters.get(counter) == cold_counters[counter], counter
+        assert counters.get("artifact.hit") == 3
+
+
 class TestPipelineInvalidate:
     def test_unknown_stage_is_a_usage_error(self, capsys):
         assert main(["pipeline", "invalidate", "figments"]) == 2
