@@ -13,14 +13,21 @@ PYTHON ?= python
 JOBS ?= 1
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-smoke pipeline-smoke bench bench-mine bench-parallel bench-check study clean
+.PHONY: test trace-smoke pipeline-smoke serve-smoke bench bench-mine bench-parallel bench-check study clean
 
-test: trace-smoke pipeline-smoke
+test: trace-smoke pipeline-smoke serve-smoke
 	$(PYTHON) -m pytest -x -q
 
 # small traced study + event-schema validation + manifest round-trip
 trace-smoke:
 	$(PYTHON) -m repro.obs.smoke
+
+# live-telemetry endpoint gate: a --serve 0 study probed over HTTP
+# (/healthz, /metrics against the Prometheus grammar, /status, /runs,
+# first-N SSE envelopes + ring replay) and proven byte-identical to an
+# unserved run, with a clean port release on shutdown
+serve-smoke:
+	$(PYTHON) -m repro.obs.serve_smoke
 
 # cold -> warm artifact-store replay: byte-identical reports (serial and
 # jobs=4), every clean stage served from the store, invalidation cones,

@@ -20,8 +20,10 @@ Subcommands::
     repro-study validate SCHEMA.sql SRC...        # query validation
     repro-study trace-view FILE [--sort X] [--min-ms N]  # render a trace
     repro-study obs export {chrome,prom,flame} FILE      # export telemetry
-    repro-study obs history [--json] [--limit N]  # run-history registry
+    repro-study obs history [--json] [--limit N] [--since ISO]
     repro-study obs timeline --stage mine         # cross-run trend line
+    repro-study obs serve --store-dir DIR [--port N]     # telemetry HTTP
+    repro-study obs top --url http://...          # live terminal dashboard
     repro-study bench-check BASELINE CANDIDATE    # perf-regression check
     repro-study bench-check CANDIDATE --against-history N  # vs registry
 
@@ -37,6 +39,13 @@ host environment, stage timings, metric snapshot and warnings, and
 trace-event JSON for Perfetto, Prometheus text exposition, flamegraph
 folded stacks); ``bench-check`` compares two run manifests or
 ``BENCH_study.json`` payloads and fails on perf regressions.
+
+Live telemetry: ``repro-study study --serve [PORT]`` binds a loopback
+HTTP server next to the run (``/healthz``, ``/metrics``, ``/events``
+SSE, ``/runs``, ``/status``) that observes the telemetry bus without
+changing any result; ``obs serve`` runs the same server standalone over
+a store, and ``obs top`` renders the event stream as a terminal
+dashboard.
 
 Also runnable as ``python -m repro``.
 """
@@ -139,6 +148,24 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-stage timing breakdown and cache hit rates",
     )
+    study.add_argument(
+        "--serve",
+        nargs="?",
+        const=0,
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live telemetry over HTTP while the run executes "
+        "(/healthz /metrics /events /runs /status on 127.0.0.1; "
+        "PORT 0 or omitted picks an ephemeral port, announced on "
+        "stderr); never changes results",
+    )
+    study.add_argument(
+        "--serve-linger",
+        action="store_true",
+        help="with --serve: keep serving after the run finishes, "
+        "until interrupted",
+    )
     add_perf_flags(study)
     add_obs_flags(study)
     add_scale_flag(study)
@@ -187,6 +214,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the status rows (and drift warnings) as JSON",
+    )
+    pipe_status.add_argument(
+        "--fail-on-stale",
+        action="store_true",
+        help="exit nonzero when any stage's stored source digest "
+        "disagrees with the code (version drift) — the CI guard "
+        "against un-bumped stage versions",
     )
     pipe_explain = pipe_sub.add_parser(
         "explain",
@@ -333,6 +367,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="show only the last N records",
     )
     history.add_argument(
+        "--since",
+        default=None,
+        metavar="ISO",
+        help="show only records recorded at or after this ISO 8601 "
+        "date/time (e.g. 2026-08-01 or 2026-08-01T12:00)",
+    )
+    history.add_argument(
         "--json",
         action="store_true",
         help="emit the records as a JSON array",
@@ -364,7 +405,95 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="plot only the last N records",
     )
-    for obs_cmd in (history, timeline):
+    serve = obs_sub.add_parser(
+        "serve",
+        help="serve live telemetry and store state over HTTP",
+        description=(
+            "binds a loopback ThreadingHTTPServer exposing /healthz, "
+            "/metrics (Prometheus), /events (SSE over the telemetry "
+            "bus, Last-Event-ID replay), /runs (registry history) and "
+            "/status (stage warm/stale/cold via provenance); serves "
+            "until interrupted"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bind port (default: 0 = ephemeral, announced on stderr)",
+    )
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument(
+        "--format",
+        default="markdown",
+        choices=["markdown", "html"],
+        help="report format the /status report stage is keyed on",
+    )
+    add_scale_flag(serve)
+    top = obs_sub.add_parser(
+        "top",
+        help="live terminal dashboard over a served event stream",
+        description=(
+            "consumes the /events SSE feed of a --serve run (or the "
+            "in-process bus with --attach) and renders per-stage "
+            "progress bars, ETA, cache-reuse rates, peak RSS and "
+            "warning counts"
+        ),
+    )
+    top.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="base URL of a serving run (e.g. http://127.0.0.1:8437)",
+    )
+    top.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="server host when --url is not given",
+    )
+    top.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="server port when --url is not given",
+    )
+    top.add_argument(
+        "--attach",
+        action="store_true",
+        help="read the in-process telemetry bus instead of HTTP "
+        "(embedding and tests)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="minimum seconds between redraws (default: 0.5)",
+    )
+    top.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N envelopes (default: run until the stream "
+        "ends)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="print frames as blocks instead of clearing the screen "
+        "(forced when stdout is not a terminal)",
+    )
+    for obs_cmd in (history, timeline, serve):
         obs_cmd.add_argument(
             "--store-dir",
             default=None,
@@ -760,6 +889,8 @@ def _cmd_pipeline(args) -> int:
         if getattr(args, "shards", False):
             payload["shards"] = pipe.shard_status()
         print(json.dumps(payload, indent=2, default=str))
+        if getattr(args, "fail_on_stale", False) and payload["drift"]:
+            return 1
         return 0
     print(
         f"store: {store.kind}" + (f" at {location}" if location else "")
@@ -790,7 +921,8 @@ def _cmd_pipeline(args) -> int:
             f"{row['code_version']:<4} {shard_text:>7} "
             f"{size_text:>12}  {row['fingerprint'][:16]}"
         )
-    for drift in pipe.version_drift():
+    drift_entries = pipe.version_drift()
+    for drift in drift_entries:
         from .obs.events import warn
 
         message = (
@@ -816,6 +948,8 @@ def _cmd_pipeline(args) -> int:
                     for stage in ("generate", "mine", "analyze")
                 ).rstrip()
             )
+    if getattr(args, "fail_on_stale", False) and drift_entries:
+        return 1
     return 0
 
 
@@ -931,6 +1065,10 @@ def _cmd_obs(args) -> int:
         return _cmd_obs_history(args)
     if args.obs_command == "timeline":
         return _cmd_obs_timeline(args)
+    if args.obs_command == "serve":
+        return _cmd_obs_serve(args)
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
     return _cmd_obs_export(args)
 
 
@@ -975,13 +1113,33 @@ def _cmd_obs_history(args) -> int:
             f"into {registry.path}"
         )
         return 0
-    records = registry.records(limit=args.limit)
+    records = registry.records()
+    if args.since:
+        try:
+            from datetime import datetime
+
+            cutoff = datetime.fromisoformat(args.since).timestamp()
+        except ValueError:
+            print(
+                f"obs history: --since {args.since!r} is not an ISO "
+                "8601 date/time (e.g. 2026-08-01 or 2026-08-01T12:00)",
+                file=sys.stderr,
+            )
+            return 2
+        records = [
+            record for record in records
+            if (record.get("recorded_at") or 0) >= cutoff
+        ]
+    if args.limit:
+        records = records[-args.limit:]
     if args.json:
         print(json.dumps(records, indent=2, default=str))
         return 0
     if not records:
         print(f"run registry {registry.path} is empty")
         return 0
+    # fixed column widths, over-long values clamped: the table must
+    # line up no matter what command strings land in the registry
     header = (
         f"{'run':<13} {'when':<17} {'command':<16} {'proj':>5} "
         f"{'jobs':>4} {'total':>8} {'cache':>6} {'store':>6} "
@@ -1000,8 +1158,8 @@ def _cmd_obs_history(args) -> int:
         store_rate = (record.get("artifact_store") or {}).get("hit_rate")
         rss = (record.get("resources") or {}).get("peak_rss_bytes")
         print(
-            f"{record.get('run_id', '?'):<13} {when:<17} "
-            f"{str(record.get('command', '?')):<16} "
+            f"{str(record.get('run_id', '?'))[:13]:<13} {when:<17} "
+            f"{str(record.get('command', '?'))[:16]:<16} "
             f"{record.get('projects') if record.get('projects') is not None else '-':>5} "
             f"{record.get('jobs') if record.get('jobs') is not None else '-':>4} "
             f"{f'{total:.2f}s' if total is not None else '-':>8} "
@@ -1014,7 +1172,7 @@ def _cmd_obs_history(args) -> int:
 
 
 def _cmd_obs_timeline(args) -> int:
-    import time as time_mod
+    from .obs.registry import render_timeline
 
     registry = _obs_registry(args)
     if registry is None:
@@ -1023,52 +1181,69 @@ def _cmd_obs_timeline(args) -> int:
     if not records:
         print(f"run registry {registry.path} is empty")
         return 0
-    stage = args.stage
-    if stage == "rss":
-        series = [
-            (record.get("resources") or {}).get("peak_rss_bytes")
-            for record in records
-        ]
-        unit = "MiB"
-        values = [v / 2**20 if v else None for v in series]
+    try:
+        print(render_timeline(records, args.stage))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_obs_serve(args) -> int:
+    from .corpus import DEFAULT_SEED
+    from .obs.server import ObservabilityServer
+    from .pipeline.graph import Pipeline
+    from .pipeline.store import configure_store
+
+    if args.store_dir:
+        configure_store(args.store_dir)
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    scale = max(1, args.scale or 1)
+
+    def factory() -> Pipeline:
+        return Pipeline(seed=seed, scale=scale, report_format=args.format)
+
+    server = ObservabilityServer(
+        host=args.host, port=args.port, pipeline_factory=factory
+    ).start()
+    print(
+        f"observability server listening on {server.url} "
+        "(/healthz /metrics /events /runs /status; Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    server.wait()
+    return 0
+
+
+def _cmd_obs_top(args) -> int:
+    from .obs.top import bus_envelopes, run_top, url_envelopes
+
+    if args.attach:
+        source = bus_envelopes()
+    elif args.url or args.port is not None:
+        url = args.url or f"http://{args.host}:{args.port}"
+        source = url_envelopes(url, limit=args.max_events)
     else:
-        values = [
-            (record.get("stages") or {}).get(stage) for record in records
-        ]
-        unit = "s"
-    if not any(v is not None for v in values):
         print(
-            f"no record carries {stage!r} "
-            "(see obs history --json for the available stages)",
+            "obs top: pass --url (or --port) of a serving run, "
+            "or --attach for the in-process bus",
             file=sys.stderr,
         )
         return 2
-    peak = max(v for v in values if v is not None) or 1.0
-    width = 32
-    print(
-        f"timeline: {stage} over {len(records)} run(s) "
-        f"(bar = {peak:.2f} {unit}; ! marks a >25% jump)"
-    )
-    previous = None
-    for record, value in zip(records, values):
-        when = time_mod.strftime(
-            "%m-%d %H:%M",
-            time_mod.localtime(record.get("recorded_at") or 0),
+    try:
+        run_top(
+            source,
+            out=sys.stdout,
+            interval=args.interval,
+            max_events=args.max_events,
+            plain=args.plain or not sys.stdout.isatty(),
         )
-        run_id = record.get("run_id", "?")
-        if value is None:
-            print(f"  {run_id:<13} {when:<12} {'-':>10}")
-            continue
-        bar = "#" * max(1, round(value / peak * width))
-        marker = ""
-        if previous is not None and previous > 0:
-            if (value - previous) / previous > 0.25:
-                marker = "  ! regression"
-        print(
-            f"  {run_id:<13} {when:<12} {value:>9.2f}{unit} "
-            f"{bar}{marker}"
-        )
-        previous = value
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(f"obs top: cannot read the event stream: {exc}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1261,23 +1436,78 @@ def _append_run_record(args, session) -> None:
         print(f"warning: run registry append failed: {exc}", file=sys.stderr)
 
 
+def _start_server(args):
+    """Start the --serve observability server, if requested.
+
+    Runs before the command (and before the ObsSession opens), so SSE
+    clients can connect from the first published envelope; the bound
+    port is announced on stderr because ``--serve`` without a port
+    picks an ephemeral one.
+    """
+    port = getattr(args, "serve", None)
+    if port is None:
+        return None
+    from .obs.server import ObservabilityServer
+
+    def factory():
+        from .corpus import DEFAULT_SEED
+        from .pipeline.graph import Pipeline
+
+        seed = getattr(args, "seed", None)
+        return Pipeline(
+            seed=seed if seed is not None else DEFAULT_SEED,
+            scale=max(1, getattr(args, "scale", 1) or 1),
+            report_format=getattr(args, "format", "markdown"),
+        )
+
+    server = ObservabilityServer(
+        port=port, pipeline_factory=factory
+    ).start()
+    print(
+        f"observability server listening on {server.url}",
+        file=sys.stderr,
+    )
+    return server
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    server = _start_server(args)
     session = _configure_obs(args)
-    if session is None:
-        code = _COMMANDS[args.command](args)
-        if code == 0 and args.command in ("study", "report"):
-            _append_run_record(args, None)
-        return code
-    args.obs_session = session
+    if session is not None:
+        session.server = server
+        args.obs_session = session
     try:
         code = _COMMANDS[args.command](args)
     except BaseException:
-        session.finalize(status="error")
+        if session is not None:
+            session.finalize(status="error")
+        if server is not None:
+            server.stop()
         raise
-    session.finalize(status="ok" if code == 0 else "error")
+    if session is not None:
+        session.finalize(status="ok" if code == 0 else "error")
     if code == 0 and args.command in ("study", "report"):
         _append_run_record(args, session)
+    if server is not None:
+        if session is None:
+            # no ObsSession to publish the closing run marker — do it
+            # here so SSE consumers (obs top) still see the run end
+            from .obs.bus import get_bus
+            from .obs.events import run_event
+
+            get_bus().publish(
+                "run",
+                run_event(args.command, "ok" if code == 0 else "error"),
+            )
+        if getattr(args, "serve_linger", False) and code == 0:
+            print(
+                f"run finished — still serving on {server.url} "
+                "(Ctrl-C to stop)",
+                file=sys.stderr,
+            )
+            server.wait()
+        server.stop()
     return code
 
 

@@ -32,6 +32,14 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+from .bus import (
+    BUS_KINDS,
+    BUS_SCHEMA_VERSION,
+    Subscription,
+    TelemetryBus,
+    get_bus,
+    reset_bus,
+)
 from .events import (
     EVENT_SCHEMA_VERSION,
     EventLog,
@@ -110,10 +118,14 @@ from .trace import (
 )
 
 __all__ = [
+    "BUS_KINDS",
+    "BUS_SCHEMA_VERSION",
     "EVENT_SCHEMA_VERSION",
     "PROVENANCE_FORMAT",
     "REGISTRY_FORMAT",
     "Check",
+    "Subscription",
+    "TelemetryBus",
     "EventLog",
     "EventRecorder",
     "HistogramData",
@@ -139,6 +151,7 @@ __all__ = [
     "diff_components",
     "explain_target",
     "folded_stacks",
+    "get_bus",
     "get_metrics",
     "get_monitor",
     "get_progress",
@@ -156,6 +169,7 @@ __all__ = [
     "render_explanation",
     "render_progress_line",
     "render_trace",
+    "reset_bus",
     "reset_metrics",
     "reset_progress",
     "reset_recorder",
@@ -206,27 +220,41 @@ class ObsSession:
         #: ``--manifest`` was given) — the registry append reuses it
         #: for the record's manifest digest.
         self.manifest_document: dict | None = None
+        #: The attached observability server (``--serve``), if any —
+        #: finalize records its summary in the manifest ``server``
+        #: block.
+        self.server = None
 
         reset_metrics()
-        recorder = reset_recorder()
+        reset_recorder()
         channel = reset_progress()
         self._tracing_enabled = bool(self.trace_path or self.log_path)
         tracer = (
             configure_tracing(True) if self._tracing_enabled else get_tracer()
         )
+        # NOTE: the telemetry bus is deliberately *not* reset here — a
+        # server started before the session (``--serve``) may already
+        # hold subscriptions.  The session only adds (and later
+        # removes) its own event-log sink.
         self.event_log: EventLog | None = None
+        self._log_sink = None
         if self.log_path:
             self.event_log = EventLog(self.log_path)
-            tracer.on_close = self._on_span_close
-            recorder.sink = self.event_log.emit
-            # progress heartbeats always land in the event log; the
-            # --progress flag only adds the live stderr line below
-            channel.sink = self.event_log.emit
+            # span closes, warnings, heartbeats, resource samples and
+            # the run marker all travel the bus; the event log is one
+            # of its sinks, filtered to the JSONL event kinds so
+            # bus-only kinds (artifact probes, metrics snapshots)
+            # never change the log's bytes
+            tracer.publish = True
+            self._log_sink = get_bus().add_sink(
+                self._emit_envelope,
+                kinds=("span", "warning", "progress", "resource", "run"),
+            )
         if progress:
             channel.stream = sys.stderr
 
-    def _on_span_close(self, span) -> None:
-        self.event_log.emit(span_event(span))
+    def _emit_envelope(self, envelope: dict) -> None:
+        self.event_log.emit(envelope["data"])
 
     def finalize(self, status: str = "ok") -> None:
         """Write all requested artifacts and unhook the globals."""
@@ -249,6 +277,11 @@ class ObsSession:
                     "trace": self.trace_path,
                     "events": self.log_path,
                 },
+                server=(
+                    self.server.summary()
+                    if self.server is not None
+                    else None
+                ),
             )
             write_manifest(manifest, self.manifest_path)
             self.manifest_document = manifest
@@ -256,18 +289,24 @@ class ObsSession:
         channel.close_line()
         channel.sink = None
         channel.stream = None
+        # the closing records ride the bus so live SSE consumers see
+        # the run end even when no --log-json file is open; the event
+        # log (when open) receives them through its bus sink
+        bus = get_bus()
+        if self.study is not None:
+            resources = getattr(
+                self.study.timings, "resources", None
+            ) or {}
+            for scope in sorted(resources):
+                bus.publish("resource", resource_event(scope, resources[scope]))
+        bus.publish("run", run_event(self.command, status))
         if self.event_log is not None:
-            if self.study is not None:
-                resources = getattr(
-                    self.study.timings, "resources", None
-                ) or {}
-                for scope in sorted(resources):
-                    self.event_log.emit(
-                        resource_event(scope, resources[scope])
-                    )
-            self.event_log.emit(run_event(self.command, status))
             get_recorder().sink = None
             tracer.on_close = None
+            tracer.publish = False
             self.event_log.close()
+        if self._log_sink is not None:
+            bus.remove_sink(self._log_sink)
+            self._log_sink = None
         if self._tracing_enabled:
             configure_tracing(False)

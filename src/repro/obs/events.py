@@ -51,6 +51,7 @@ import json
 import time
 from pathlib import Path
 
+from .bus import publish as bus_publish
 from .metrics import get_metrics
 
 #: The event-log schema generation.  Version 1 had no ``schema`` field
@@ -198,6 +199,9 @@ class EventRecorder:
     def _deliver(self, record: dict) -> None:
         self.warnings.append(record)
         get_metrics().inc(f"warnings.{record['code']}")
+        # every warning rides the telemetry bus; the --log-json event
+        # log (a bus sink) and any live SSE client both see it there
+        bus_publish("warning", record)
         if self.sink is not None:
             self.sink(record)
 

@@ -47,12 +47,17 @@ def build_manifest(
     corpus_size: int | None = None,
     warnings: list[dict] | None = None,
     outputs: dict | None = None,
+    server: dict | None = None,
 ) -> dict:
     """Assemble the manifest document for one run.
 
     ``study`` (a :class:`~repro.analysis.study.StudyResult`) contributes
     project counts, stage timings and the metrics snapshot when the run
     produced one; corpus-only runs pass ``corpus_size`` instead.
+    ``server`` is the attached observability server's summary (bound
+    URL, request/SSE counters, bus stats) when the run was served —
+    the only manifest block that differs between a served and an
+    unserved run.
     """
     from .. import __version__
     from ..perf.cache import CACHE_DIR_ENV, get_cache
@@ -106,6 +111,8 @@ def build_manifest(
     warnings = warnings if warnings is not None else []
     manifest["warnings"] = aggregate_warnings(warnings)
     manifest["warning_count"] = len(warnings)
+    if server:
+        manifest["server"] = server
     if outputs:
         manifest["outputs"] = {
             key: str(value) for key, value in outputs.items() if value

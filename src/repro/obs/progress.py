@@ -34,6 +34,8 @@ from __future__ import annotations
 import os
 import time
 
+from .bus import get_bus
+
 #: Environment variable overriding the heartbeat interval (seconds).
 PROGRESS_INTERVAL_ENV = "REPRO_PROGRESS_INTERVAL"
 
@@ -128,11 +130,26 @@ class ProgressChannel:
 
     @property
     def active(self) -> bool:
-        """Whether anything is listening (trackers no-op otherwise)."""
-        return self.sink is not None or self.stream is not None
+        """Whether anything is listening (trackers no-op otherwise).
+
+        A consumer on the telemetry bus — the ``--log-json`` sink, an
+        SSE client of ``repro obs serve`` attaching mid-run, the ``obs
+        top`` dashboard — counts as listening, so heartbeats start
+        flowing the moment someone subscribes.
+        """
+        if self.sink is not None or self.stream is not None:
+            return True
+        return get_bus().active
 
     def deliver(self, record: dict) -> None:
-        """Fan one progress record out to the sink and the stream."""
+        """Publish one progress record; fan out to sink and stream.
+
+        The bus carries the record to every subscribed consumer
+        (including the event log, registered there as a sink); the
+        legacy ``sink`` attribute and the TTY ``stream`` stay for
+        direct wiring.
+        """
+        get_bus().publish("progress", record)
         if self.sink is not None:
             self.sink(record)
         if self.stream is not None:

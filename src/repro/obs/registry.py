@@ -192,6 +192,73 @@ def record_from_payload(payload: dict, *, source: str = "import") -> dict:
     return record
 
 
+def timeline_values(
+    records: list[dict], stage: str
+) -> tuple[list, str]:
+    """One stage's value per record (``None`` where absent), plus unit.
+
+    ``stage`` names a stage-seconds series from the ``stages`` block;
+    the special name ``rss`` plots the peak-RSS trend in MiB instead.
+    """
+    if stage == "rss":
+        series = [
+            (record.get("resources") or {}).get("peak_rss_bytes")
+            for record in records
+        ]
+        return [v / 2**20 if v else None for v in series], "MiB"
+    return [
+        (record.get("stages") or {}).get(stage) for record in records
+    ], "s"
+
+
+def render_timeline(
+    records: list[dict], stage: str = "total", *, width: int = 32
+) -> str:
+    """Render one stage's cross-run trend as text bars.
+
+    Degenerate histories render rather than crash: a single record
+    plots one bar with no regression marker, an all-equal series plots
+    full-width bars, and an all-zero series pins the bar scale to 1 so
+    the bar arithmetic never divides by zero.  Raises ``ValueError``
+    when the registry is empty or no record carries ``stage`` — the
+    callers' error paths, never a partial plot.
+    """
+    if not records:
+        raise ValueError("run registry is empty — nothing to plot")
+    values, unit = timeline_values(records, stage)
+    if not any(v is not None for v in values):
+        raise ValueError(
+            f"no record carries {stage!r} "
+            "(see obs history --json for the available stages)"
+        )
+    peak = max(v for v in values if v is not None) or 1.0
+    lines = [
+        f"timeline: {stage} over {len(records)} run(s) "
+        f"(bar = {peak:.2f} {unit}; ! marks a >25% jump)"
+    ]
+    previous = None
+    for record, value in zip(records, values):
+        when = time.strftime(
+            "%m-%d %H:%M",
+            time.localtime(record.get("recorded_at") or 0),
+        )
+        run_id = str(record.get("run_id", "?"))[:13]
+        if value is None:
+            lines.append(f"  {run_id:<13} {when:<12} {'-':>10}")
+            continue
+        bar = "#" * max(1, round(value / peak * width))
+        marker = ""
+        if previous is not None and previous > 0:
+            if (value - previous) / previous > 0.25:
+                marker = "  ! regression"
+        lines.append(
+            f"  {run_id:<13} {when:<12} {value:>9.2f}{unit} "
+            f"{bar}{marker}"
+        )
+        previous = value
+    return "\n".join(lines)
+
+
 def _median_merge(values: list):
     """Element-wise median over parallel JSON fragments.
 

@@ -97,8 +97,7 @@ class Span:
         if tracer is not None:
             if tracer._stack and tracer._stack[-1] is self:
                 tracer._stack.pop()
-            if tracer.on_close is not None:
-                tracer.on_close(self)
+            tracer._notify_close(self)
         return False
 
     # -- attributes ----------------------------------------------------
@@ -154,10 +153,25 @@ class Tracer:
         self.enabled = enabled
         self.roots: list[Span] = []
         self._stack: list[Span] = []
-        #: Optional callable invoked with each span as it closes (the
-        #: structured event log registers here).  Worker processes never
-        #: set a sink; their spans are emitted by the driver on attach.
+        #: Optional callable invoked with each span as it closes
+        #: (direct wiring for tests and ad-hoc consumers).
         self.on_close = None
+        #: When true, every span close is also published on the
+        #: telemetry bus as a ``span`` event — the path the event log
+        #: and live SSE consumers observe.  Set by ``ObsSession`` on
+        #: the driver; ``worker_init`` clears it in pool workers, whose
+        #: spans are republished by the driver at attach time.
+        self.publish = False
+
+    def _notify_close(self, span: "Span") -> None:
+        """Deliver one span close to the bus and/or the direct sink."""
+        if self.publish:
+            from .bus import get_bus
+            from .events import span_event
+
+            get_bus().publish("span", span_event(span))
+        if self.on_close is not None:
+            self.on_close(span)
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes):
@@ -180,11 +194,11 @@ class Tracer:
     def attach(self, data: dict | None, *, emit: bool = False) -> Span | None:
         """Re-attach a serialised span tree under the innermost open span.
 
-        ``emit=True`` replays the tree's span-close events into
-        :attr:`on_close` — used when the tree was built in a worker
-        process whose closes no sink could observe.  In-process
-        (serial-path) trees already emitted at close time and must be
-        attached with ``emit=False``.
+        ``emit=True`` replays the tree's span-close events — onto the
+        telemetry bus and into :attr:`on_close` — used when the tree
+        was built in a worker process whose closes no driver-side
+        consumer could observe.  In-process (serial-path) trees already
+        emitted at close time and must be attached with ``emit=False``.
         """
         if not self.enabled or data is None:
             return None
@@ -193,9 +207,9 @@ class Tracer:
             self._stack[-1].children.append(span)
         else:
             self.roots.append(span)
-        if emit and self.on_close is not None:
+        if emit and (self.publish or self.on_close is not None):
             for closed in span.walk():
-                self.on_close(closed)
+                self._notify_close(closed)
         return span
 
     # ------------------------------------------------------------------

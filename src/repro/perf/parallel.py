@@ -18,6 +18,7 @@ identical results.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from dataclasses import dataclass, field
 
@@ -30,6 +31,7 @@ from ..corpus.generator import (
 from ..corpus.profiles import TaxonProfile
 from ..heartbeat import ZeroTotalError
 from ..mining import mine_project
+from ..obs.bus import reset_bus
 from ..obs.events import get_recorder, warn
 from ..obs.metrics import MetricsSnapshot, get_metrics
 from ..obs.resources import cpu_times, peak_rss_bytes
@@ -82,14 +84,28 @@ def worker_init() -> None:
     descriptor and once when the driver replays it at attach time.
     Workers therefore run sink-less: their spans and warnings travel
     back inside the :class:`MinedRow` and the driver alone emits them.
+    The telemetry bus is reset for the same reason — a forked worker
+    inherits the driver's bus *with* its event-log sink attached, and
+    publishing through it would write through the duplicated file
+    descriptor.  Workers publish into a fresh, consumer-less bus.
 
     Also marks the worker's CPU baseline so shipped resource samples
     report the worker's *work*, not its import/fork overhead, and so
     the serial path (where this initializer never runs) ships no
     sample at all.
     """
-    get_tracer().on_close = None
+    tracer = get_tracer()
+    tracer.on_close = None
+    tracer.publish = False
     get_recorder().sink = None
+    reset_bus()
+    # a worker forked while --serve is up inherits the listening
+    # socket fd; left open, the kernel keeps accepting on the port
+    # after the driver shuts the server down (guarded import: a no-op
+    # unless the driver loaded the server module)
+    server_mod = sys.modules.get("repro.obs.server")
+    if server_mod is not None:
+        server_mod.close_inherited_sockets()
     global _worker_cpu_baseline
     _worker_cpu_baseline = cpu_times()
 

@@ -36,6 +36,7 @@ from dataclasses import replace
 
 from ..corpus.generator import DEFAULT_SEED, corpus_specs
 from ..corpus.profiles import scaled_profiles
+from ..obs.bus import get_bus
 from ..obs.events import get_recorder
 from ..obs.metrics import MetricsSnapshot, get_metrics
 from ..obs.progress import ProgressTracker
@@ -324,6 +325,7 @@ class Pipeline:
             for (i, _), result in zip(pending, results):
                 payloads[i] = self._finish_shard(shards[i], result)
                 tracker.update(result.name, result.mined.seconds)
+                self._publish_metrics()
         tracker.finish()
         return payloads
 
@@ -415,6 +417,9 @@ class Pipeline:
         )
         self.timings.record_artifact(stage, hit=True)
         self.timings.record(stage, load_seconds)
+        self._publish_artifact(
+            stage, "hit", project=shard.project, key=key
+        )
         recorder = get_recorder()
         for record in artifact.meta.get("warnings") or ():
             recorder.replay(record)
@@ -498,6 +503,64 @@ class Pipeline:
             )
         ]
 
+    # -- live telemetry ------------------------------------------------
+    def _publish_artifact(
+        self,
+        stage: str,
+        outcome: str,
+        *,
+        project: str | None = None,
+        key: str | None = None,
+    ) -> None:
+        """One ``artifact`` bus event per store hit / recompute.
+
+        Gated on live consumers: with nothing subscribed (no server, no
+        dashboard, no event log) this is one attribute check, so the
+        unobserved hot path stays unobserved.  These events never reach
+        the JSONL event log — its bus sink filters them out — so log
+        bytes are unchanged by serving.
+        """
+        bus = get_bus()
+        if not bus.active:
+            return
+        data: dict = {
+            "event": "artifact",
+            "ts": round(time.time(), 6),
+            "stage": stage,
+            "outcome": outcome,
+        }
+        if project is not None:
+            data["project"] = project
+        if key is not None:
+            data["fingerprint"] = key[:16]
+        bus.publish("artifact", data)
+
+    def _publish_metrics(self) -> None:
+        """A cumulative counter snapshot for live rate displays.
+
+        Published after each shard completes (and once at study end) so
+        ``repro obs top`` can show parse-cache and statement-reuse
+        rates while the run is still going.  Same gating as
+        :meth:`_publish_artifact`.
+        """
+        bus = get_bus()
+        if not bus.active:
+            return
+        counters = dict(
+            MetricsSnapshot().fold_cache(self.timings.cache).counters
+        )
+        for name in ("artifact.hit", "artifact.miss"):
+            if self.metrics.counters.get(name):
+                counters[name] = self.metrics.counters[name]
+        bus.publish(
+            "metrics",
+            {
+                "event": "metrics",
+                "ts": round(time.time(), 6),
+                "counters": counters,
+            },
+        )
+
     # -- store plumbing ------------------------------------------------
     def _consume_hit(
         self, stage: str, key: str, artifact: Artifact, load_seconds: float
@@ -507,6 +570,7 @@ class Pipeline:
         self.metrics = self.metrics + MetricsSnapshot(
             counters={"artifact.hit": 1}
         )
+        self._publish_artifact(stage, "hit", key=key)
         self.timings.record_artifact(stage, hit=True)
         # the honest cost of a hit: just the load
         self.timings.record(stage, load_seconds)
@@ -537,6 +601,7 @@ class Pipeline:
         self, stage: str, key: str, payload, *,
         seconds: float, warnings, metrics: MetricsSnapshot,
     ) -> Artifact:
+        self._publish_artifact(stage, "recompute", key=key)
         return self.store.put(
             key,
             payload,
@@ -556,6 +621,10 @@ class Pipeline:
         self, stage: str, shard: ShardSpec, payload, *,
         seconds: float, warnings, metrics: MetricsSnapshot,
     ) -> Artifact:
+        self._publish_artifact(
+            stage, "recompute",
+            project=shard.project, key=shard.keys[stage],
+        )
         meta = {
             "stage": stage,
             "project": shard.project,
@@ -597,6 +666,7 @@ class Pipeline:
         self.timings.record_resource("driver", window.sample)
         self.metrics.fold_cache(self.timings.cache)
         self.timings.record_wall(time.perf_counter() - start)
+        self._publish_metrics()
         result = StudyResult(
             projects=list(aggregate.payload["rows"]),
             skipped=list(aggregate.payload["skipped"]),

@@ -16,6 +16,8 @@ from repro.obs.registry import (
     manifest_digest,
     record_from_payload,
     registry_for_store,
+    render_timeline,
+    timeline_values,
 )
 from repro.obs.regress import sample_from_dict
 from repro.pipeline import DirStore, MemoryStore, Pipeline
@@ -211,6 +213,74 @@ class TestHistoryBaseline:
         assert sample.peak_rss_bytes == 100 * 2**20
 
 
+class TestTimelineDegenerateHistories:
+    """render_timeline on the histories that used to crash plotters:
+    empty, single-record, all-equal, all-zero, and sparse series."""
+
+    def test_empty_registry_raises_not_renders(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            render_timeline([], "total")
+
+    def test_unknown_stage_raises_with_a_hint(self):
+        with pytest.raises(ValueError, match="no record carries"):
+            render_timeline([bench_shaped()], "figments")
+
+    def test_single_record_plots_one_bar_without_a_marker(self):
+        out = render_timeline([bench_shaped(total=2.0)], "total")
+        assert "timeline: total over 1 run(s)" in out
+        assert "#" in out
+        assert "! regression" not in out
+
+    def test_all_equal_series_plots_full_width_bars(self):
+        records = [bench_shaped(total=3.0) for _ in range(3)]
+        out = render_timeline(records, "total", width=8)
+        bars = [
+            line for line in out.splitlines() if line.endswith("#" * 8)
+        ]
+        assert len(bars) == 3
+        assert "! regression" not in out
+
+    def test_all_zero_series_never_divides_by_zero(self):
+        records = [bench_shaped(total=0.0) for _ in range(2)]
+        out = render_timeline(records, "total")
+        assert "over 2 run(s)" in out
+
+    def test_sparse_series_renders_a_dash_for_missing_values(self):
+        gap = bench_shaped()
+        del gap["stages"]
+        out = render_timeline(
+            [bench_shaped(total=1.0), gap, bench_shaped(total=1.5)],
+            "total",
+        )
+        dash_lines = [
+            line for line in out.splitlines() if line.rstrip().endswith("-")
+        ]
+        assert len(dash_lines) == 1
+
+    def test_regression_marker_on_a_big_jump(self):
+        records = [bench_shaped(total=1.0), bench_shaped(total=2.0)]
+        assert "! regression" in render_timeline(records, "total")
+        gentle = [bench_shaped(total=1.0), bench_shaped(total=1.2)]
+        assert "! regression" not in render_timeline(gentle, "total")
+
+    def test_long_run_ids_are_clamped_to_the_column(self):
+        record = bench_shaped(run_id="a" * 40)
+        out = render_timeline([record], "total")
+        assert "a" * 13 in out
+        assert "a" * 14 not in out
+
+    def test_timeline_values_rss_converts_to_mib(self):
+        records = [bench_shaped(rss=64 * 2**20)]
+        values, unit = timeline_values(records, "rss")
+        assert unit == "MiB"
+        assert values == [64.0]
+
+    def test_timeline_values_stage_passes_seconds_through(self):
+        values, unit = timeline_values([bench_shaped(total=2.0)], "total")
+        assert unit == "s"
+        assert values == [2.0]
+
+
 class TestRegistryCli:
     """Three study runs → three records → history / timeline /
     against-history, end to end through ``repro.cli.main``."""
@@ -269,6 +339,55 @@ class TestRegistryCli:
         records = json.loads(capsys.readouterr().out)
         assert len(records) == 2
         assert all(r["format"] == REGISTRY_FORMAT for r in records)
+
+    def test_history_since_filters_by_recorded_at(self, run_dir, capsys):
+        from repro.cli import main
+
+        # every real run recorded after this cutoff: all three shown
+        assert main([
+            "obs", "history", "--json", "--since", "2020-01-01",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 3
+        # a far-future cutoff filters everything out
+        assert main([
+            "obs", "history", "--since", "2999-01-01",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_history_since_rejects_non_iso_input(self, run_dir, capsys):
+        from repro.cli import main
+
+        assert main([
+            "obs", "history", "--since", "last tuesday",
+            "--store-dir", str(run_dir / "artifacts"),
+        ]) == 2
+        assert "not an ISO 8601" in capsys.readouterr().err
+
+    def test_history_table_columns_stay_aligned(self, run_dir, capsys):
+        from repro.cli import main
+
+        # a record with pathological field widths must not shear the
+        # table: run ids and commands are clamped to their columns
+        store_dir = run_dir / "aligned-store"
+        registry = RunRegistry(store_dir)
+        registry.append(bench_shaped())
+        registry.append(bench_shaped(
+            run_id="f" * 64,
+            command="bench-import-with-a-very-long-name",
+        ))
+        assert main([
+            "obs", "history",
+            "--store-dir", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        rows = [
+            line for line in out.splitlines()
+            if line and not line.startswith(("registry:", "run ", "-"))
+        ]
+        assert len({len(row) for row in rows}) == 1
+        assert "f" * 14 not in out
 
     def test_history_import_seeds_a_record(self, run_dir, capsys):
         from repro.cli import main

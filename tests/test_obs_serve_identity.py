@@ -1,0 +1,153 @@
+"""Serving is observation only: a --serve run changes no artifact.
+
+The contract the whole observability layer hangs on: a study run with
+the HTTP server attached (and a live SSE-style subscriber draining the
+bus) produces a byte-identical measures CSV, an equivalent event log
+(same records modulo wall-clock fields), the same artifact-store keys,
+and the same manifest modulo the new ``server`` block — serial and
+with ``--jobs 4``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bus import get_bus, reset_bus
+from repro.obs.events import reset_recorder
+from repro.obs.metrics import reset_metrics
+from repro.pipeline.store import configure_store
+
+SEED_ARGS = ["--seed", "77", "--scale", "32"]
+
+#: Wall-clock / scheduling fields stripped before event comparison.
+VOLATILE_EVENT_FIELDS = (
+    "ts", "seconds", "eta_seconds", "slowest", "peak_rss_bytes",
+    "cpu_seconds",
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_global_state(monkeypatch):
+    # deterministic heartbeat count: emit on every completion
+    monkeypatch.setenv("REPRO_PROGRESS_INTERVAL", "0")
+    reset_bus()
+    reset_recorder()
+    reset_metrics()
+    yield
+    configure_store(None)
+    reset_bus()
+    reset_recorder()
+    reset_metrics()
+
+
+def _run(tmp_path, tag, *, jobs, serve):
+    out = tmp_path / tag
+    out.mkdir()
+    argv = [
+        "study", "--figure", "headline", *SEED_ARGS,
+        "--jobs", str(jobs),
+        "--store-dir", str(out / "store"),
+        "--csv", str(out / "measures.csv"),
+        "--log-json", str(out / "events.jsonl"),
+        "--manifest", str(out / "manifest.json"),
+    ]
+    subscription = None
+    if serve:
+        argv += ["--serve", "0"]
+        # a live consumer on the bus makes the gated publishes
+        # (artifact probes, metrics snapshots) actually fire — the
+        # worst case for log/artifact identity
+        subscription = get_bus().subscribe(capacity=100_000)
+    assert main(argv) == 0
+    drained = subscription.drain() if subscription else []
+    if subscription:
+        subscription.close()
+    return out, drained
+
+
+def _normalized_events(path):
+    records = []
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        for field in VOLATILE_EVENT_FIELDS:
+            record.pop(field, None)
+        attributes = record.get("attributes")
+        if attributes:
+            attributes.pop("worker", None)  # pool pids vary per run
+        records.append(record)
+    return records
+
+
+def _normalized_manifest(path):
+    manifest = json.loads(path.read_text())
+    for field in ("created_at", "timings", "outputs", "server"):
+        manifest.pop(field, None)
+    for block in ("cache", "store"):
+        manifest[block].pop("dir", None)
+        manifest[block].pop("env", None)
+    metrics = manifest.get("metrics") or {}
+    metrics.pop("histograms", None)  # carry observed seconds
+    metrics.pop("gauges", None)
+    return manifest
+
+
+def _store_keys(out):
+    return sorted(
+        p.name for p in (out / "store").glob("objects/*/*")
+    )
+
+
+def _compare(tmp_path, *, jobs, ordered):
+    unserved, _ = _run(tmp_path, f"unserved-{jobs}", jobs=jobs,
+                       serve=False)
+    reset_bus()
+    reset_recorder()
+    reset_metrics()
+    configure_store(None)
+    served, drained = _run(tmp_path, f"served-{jobs}", jobs=jobs,
+                           serve=True)
+
+    # the subscriber saw the run, including the bus-only kinds
+    kinds = {envelope["kind"] for envelope in drained}
+    assert "progress" in kinds
+    assert "artifact" in kinds
+    assert "metrics" in kinds
+    assert "run" in kinds
+
+    # results: byte identity
+    assert (
+        (served / "measures.csv").read_bytes()
+        == (unserved / "measures.csv").read_bytes()
+    )
+    # artifact store: same content-addressed keys
+    assert _store_keys(served) == _store_keys(unserved)
+    # event log: same records modulo wall-clock fields (order too, on
+    # the serial path; parallel completion order is scheduling-defined)
+    served_events = _normalized_events(served / "events.jsonl")
+    unserved_events = _normalized_events(unserved / "events.jsonl")
+    if not ordered:
+        key = lambda r: json.dumps(r, sort_keys=True)  # noqa: E731
+        served_events = sorted(served_events, key=key)
+        unserved_events = sorted(unserved_events, key=key)
+    assert served_events == unserved_events
+    # bus-only kinds must never leak into the JSONL log
+    assert not any(
+        record.get("event") in ("artifact", "metrics")
+        for record in served_events
+    )
+    # manifest: identical modulo the server block (and wall-clock)
+    served_manifest = json.loads((served / "manifest.json").read_text())
+    assert served_manifest["server"]["url"].startswith("http://127.0.0.1:")
+    assert (
+        _normalized_manifest(served / "manifest.json")
+        == _normalized_manifest(unserved / "manifest.json")
+    )
+
+
+class TestServedRunIsByteIdentical:
+    def test_serial(self, tmp_path):
+        _compare(tmp_path, jobs=1, ordered=True)
+
+    def test_jobs_4(self, tmp_path):
+        _compare(tmp_path, jobs=4, ordered=False)

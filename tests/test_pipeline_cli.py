@@ -130,6 +130,69 @@ class TestPipelineStatus:
         assert "stage-version-stale" not in capsys.readouterr().out
 
 
+class TestFailOnStale:
+    """--fail-on-stale turns the drift warning into a CI gate."""
+
+    def _drift_the_figures_stage(self, store_dir):
+        from repro.pipeline import DirStore, Pipeline
+
+        pipe = Pipeline(seed=77, scale=32, store=DirStore(store_dir))
+        key = pipe.fingerprint("figures")
+        artifact = pipe.store.get(key)
+        meta = dict(artifact.meta)
+        meta["source_digest"] = "0" * 64
+        pipe.store.put(key, artifact.payload, meta=meta)
+
+    def test_clean_store_still_exits_zero(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+        assert main([
+            "pipeline", "status", *SEED_ARGS, "--fail-on-stale",
+            "--store-dir", str(store_dir),
+        ]) == 0
+
+    def test_drift_exits_nonzero_but_still_reports(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+        self._drift_the_figures_stage(store_dir)
+        assert main([
+            "pipeline", "status", *SEED_ARGS, "--fail-on-stale",
+            "--store-dir", str(store_dir),
+        ]) == 1
+        # the full status table and the warning still print: the gate
+        # changes the exit code, never the diagnostics
+        out = capsys.readouterr().out
+        assert "stage-version-stale" in out
+        assert "aggregate" in out
+
+    def test_drift_exits_nonzero_in_json_mode(self, tmp_path, capsys):
+        import json
+
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+        self._drift_the_figures_stage(store_dir)
+        assert main([
+            "pipeline", "status", "--json", *SEED_ARGS, "--fail-on-stale",
+            "--store-dir", str(store_dir),
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["drift"][0]["stage"] == "figures"
+
+    def test_without_the_flag_drift_stays_advisory(self, tmp_path, capsys):
+        store_dir = tmp_path / "artifacts"
+        assert main(_study_args(store_dir)) == 0
+        capsys.readouterr()
+        self._drift_the_figures_stage(store_dir)
+        assert main([
+            "pipeline", "status", *SEED_ARGS,
+            "--store-dir", str(store_dir),
+        ]) == 0
+        assert "stage-version-stale" in capsys.readouterr().out
+
+
 class TestPipelineStatusJson:
     def test_json_payload_shape(self, tmp_path, capsys):
         import json
