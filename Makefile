@@ -13,7 +13,7 @@ PYTHON ?= python
 JOBS ?= 1
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-smoke pipeline-smoke serve-smoke bench bench-mine bench-parallel bench-check study clean
+.PHONY: test trace-smoke pipeline-smoke serve-smoke scale-smoke bench bench-mine bench-parallel bench-scale bench-check study clean
 
 test: trace-smoke pipeline-smoke serve-smoke
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +36,14 @@ serve-smoke:
 pipeline-smoke:
 	$(PYTHON) -m repro.pipeline.smoke
 
+# bounded-memory gate: a 2000-project study under --limit-memory 512
+# (driver peak RSS asserted from the manifest-visible timings, the
+# backpressure window proven bounded, the aggregate spill proven used)
+# plus a byte-identical warm rerun; dial with
+# REPRO_SCALE_SMOKE_PROJECTS / REPRO_SCALE_SMOKE_LIMIT_MB
+scale-smoke:
+	$(PYTHON) -m repro.pipeline.scale_smoke
+
 # perf benchmarks (pytest-benchmark harness + BENCH_study.json writer);
 # the `test` prerequisite is the overwrite guard.
 bench: test
@@ -51,6 +59,12 @@ bench-mine: test
 # same, but through the parallel study driver
 bench-parallel: test
 	REPRO_STUDY_JOBS=4 $(PYTHON) -m pytest benchmarks/test_perf_pipeline.py benchmarks/test_perf_study.py -q -p no:cacheprovider
+
+# bounded-memory scaling benchmark (capped cold studies over growing
+# corpora, BENCH_scale.json writer); compare records with
+#   make bench-check BASELINE=BENCH_scale.json CANDIDATE=<fresh record>
+bench-scale: test
+	$(PYTHON) -m pytest benchmarks/test_perf_scale.py -q -p no:cacheprovider
 
 # perf-regression watchdog: self-comparison of the committed benchmark
 # record must always pass (override CANDIDATE with a fresh manifest or

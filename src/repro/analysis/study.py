@@ -174,6 +174,64 @@ class StudyResult:
         return [p for p in self.projects if p.taxon is taxon]
 
 
+class StudyAccumulator:
+    """Fold-style collection of worker results: ``update``/``finalize``.
+
+    One :class:`~repro.perf.parallel.MinedRow` at a time: rows and skips
+    accumulate, stage seconds / cache deltas / worker resource samples
+    fold into the run's :class:`~repro.perf.timing.StudyTimings`, the
+    metrics delta sums, worker span trees reattach under the driver's
+    dispatching span, and worker warnings replay through the driver
+    recorder.  Extracted from ``run_study``'s collection loop so the
+    streaming pipeline can fold results as the backpressured window
+    releases them — identical observability, never a corpus-wide list.
+    """
+
+    def __init__(self, timings: StudyTimings, *, jobs: int = 1):
+        self.timings = timings
+        self.jobs = jobs
+        self.rows: list[ProjectMeasures] = []
+        self.skipped: list[str] = []
+        self.metrics = MetricsSnapshot()
+        self.warnings: list[dict] = []
+        self._tracer = get_tracer()
+        self._recorder = get_recorder()
+
+    def update(self, result) -> None:
+        """Fold one worker result (a ``MinedRow``), corpus order."""
+        if result.row is not None:
+            self.rows.append(result.row)
+        else:
+            self.skipped.append(result.name)
+        self.timings.record("mine", result.mine_seconds)
+        self.timings.record("analyze", result.analyze_seconds)
+        self.timings.merge_cache(result.cache)
+        if result.resources is not None:
+            self.timings.record_resource("workers", result.resources)
+        self.metrics = self.metrics + result.metrics
+        # per-project span trees built in workers (or detached
+        # in-process on the serial path) reattach here; worker trees
+        # also replay their span-close events, which no in-process
+        # sink could observe
+        if result.trace is not None:
+            self._tracer.attach(result.trace, emit=self.jobs > 1)
+        if result.warnings:
+            self.warnings.extend(result.warnings)
+            if self.jobs > 1:
+                for record in result.warnings:
+                    self._recorder.replay(record)
+
+    def finalize(self) -> StudyResult:
+        self.metrics.fold_cache(self.timings.cache)
+        return StudyResult(
+            projects=self.rows,
+            skipped=self.skipped,
+            timings=self.timings,
+            metrics=self.metrics,
+            warnings=self.warnings,
+        )
+
+
 def run_study(
     corpus: Iterable[GeneratedProject], *, jobs: int = 1
 ) -> StudyResult:
@@ -190,15 +248,11 @@ def run_study(
     from ..perf.pool import warm_pool
 
     tracer = get_tracer()
-    recorder = get_recorder()
     projects = list(corpus)
     timings = StudyTimings(jobs=max(1, jobs))
-    metrics = MetricsSnapshot()
-    warnings: list[dict] = []
     start = time.perf_counter()
 
-    rows: list[ProjectMeasures] = []
-    skipped: list[str] = []
+    acc = StudyAccumulator(timings, jobs=jobs)
     with tracer.span(
         "study", projects=len(projects), jobs=max(1, jobs)
     ), get_monitor().window() as window:
@@ -225,42 +279,15 @@ def run_study(
                 )
 
             for result in mined:
-                if result.row is not None:
-                    rows.append(result.row)
-                else:
-                    skipped.append(result.name)
-                timings.record("mine", result.mine_seconds)
-                timings.record("analyze", result.analyze_seconds)
-                timings.merge_cache(result.cache)
-                if result.resources is not None:
-                    timings.record_resource("workers", result.resources)
-                metrics = metrics + result.metrics
-                # per-project span trees built in workers (or
-                # detached in-process on the serial path) reattach
-                # here; worker trees also replay their span-close
-                # events, which no in-process sink could observe
-                if result.trace is not None:
-                    tracer.attach(result.trace, emit=jobs > 1)
-                if result.warnings:
-                    warnings.extend(result.warnings)
-                    if jobs > 1:
-                        for record in result.warnings:
-                            recorder.replay(record)
+                acc.update(result)
                 tracker.update(
                     result.name,
                     result.mine_seconds + result.analyze_seconds,
                 )
             tracker.finish()
     timings.record_resource("driver", window.sample)
-    metrics.fold_cache(timings.cache)
     timings.record("total", time.perf_counter() - start)
-    return StudyResult(
-        projects=rows,
-        skipped=skipped,
-        timings=timings,
-        metrics=metrics,
-        warnings=warnings,
-    )
+    return acc.finalize()
 
 
 @lru_cache(maxsize=4)

@@ -122,6 +122,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "count/N projects, at least one) — micro-studies for CI "
             "and smoke runs; ignored with --corpus",
         )
+        command.add_argument(
+            "--projects",
+            type=int,
+            default=None,
+            metavar="N",
+            help="absolute corpus size: re-size the canonical taxa mix "
+            "to exactly N synthetic projects (10k-100k scale-out runs; "
+            "the corpus streams, it is never held whole); overrides "
+            "--scale, ignored with --corpus",
+        )
 
     generate = sub.add_parser(
         "generate", help="generate a corpus and save it to disk"
@@ -166,6 +176,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --serve: keep serving after the run finishes, "
         "until interrupted",
     )
+    study.add_argument(
+        "--limit-memory",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="cap driver RSS at MB MiB: the streaming map loop warns "
+        "and shrinks its fan-out window at 80%% of the cap, fails the "
+        "run (exit 3) if the cap is crossed, and spills aggregate "
+        "partials to disk; results stay byte-identical",
+    )
     add_perf_flags(study)
     add_obs_flags(study)
     add_scale_flag(study)
@@ -209,6 +229,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shards",
         action="store_true",
         help="also list per-project shard warmth for the map stages",
+    )
+    pipe_status.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --shards: show at most N shard rows (default: a "
+        "50-row page for large corpora; pass 0 for the full list)",
+    )
+    pipe_status.add_argument(
+        "--offset",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --shards: skip the first N shard rows (pagination)",
     )
     pipe_status.add_argument(
         "--json",
@@ -658,10 +693,18 @@ def _get_study(args):
         if session is not None:
             session.seed = seed
         scale = max(1, getattr(args, "scale", 1) or 1)
-        if scale > 1:
+        projects = getattr(args, "projects", None)
+        limit_memory = getattr(args, "limit_memory", None)
+        if scale > 1 or projects is not None or limit_memory is not None:
             from .pipeline.graph import Pipeline
 
-            pipe = Pipeline(seed=seed, scale=scale, jobs=jobs)
+            pipe = Pipeline(
+                seed=seed,
+                scale=scale,
+                jobs=jobs,
+                projects=projects,
+                limit_memory_mb=limit_memory,
+            )
             study = pipe.study()
             args._pipeline = pipe
         else:
@@ -684,7 +727,14 @@ def _cmd_generate(args) -> int:
         session.seed = seed
         session.jobs = jobs
     scale = max(1, getattr(args, "scale", 1) or 1)
-    if scale > 1:
+    projects = getattr(args, "projects", None)
+    if projects is not None:
+        from .corpus.profiles import sized_profiles
+
+        corpus = generate_corpus(
+            seed=seed, profiles=sized_profiles(projects), jobs=jobs
+        )
+    elif scale > 1:
         from .corpus import scaled_profiles
 
         corpus = generate_corpus(
@@ -793,7 +843,8 @@ def _cmd_pipeline(args) -> int:
     seed = args.seed if args.seed is not None else DEFAULT_SEED
     scale = max(1, getattr(args, "scale", 1) or 1)
     pipe = Pipeline(
-        seed=seed, scale=scale, jobs=jobs, report_format=args.format
+        seed=seed, scale=scale, jobs=jobs, report_format=args.format,
+        projects=getattr(args, "projects", None),
     )
     if args.pipeline_command == "invalidate":
         stage = args.stage
@@ -872,6 +923,18 @@ def _cmd_pipeline(args) -> int:
         return 0
     store = pipe.store
     location = getattr(store, "root", None)
+    # pagination for the O(N) shard listing: an explicit --limit wins
+    # (0 means everything), otherwise large corpora default to one
+    # 50-row page so a 50k-shard store never dumps megabytes
+    shard_total = pipe.n_projects()
+    limit = getattr(args, "limit", None)
+    offset = max(0, getattr(args, "offset", 0) or 0)
+    if limit is None:
+        page = None if shard_total <= 200 else 50
+    elif limit <= 0:
+        page = None
+    else:
+        page = limit
     if getattr(args, "json", False):
         import json
 
@@ -887,7 +950,9 @@ def _cmd_pipeline(args) -> int:
             "drift": pipe.version_drift(),
         }
         if getattr(args, "shards", False):
-            payload["shards"] = pipe.shard_status()
+            payload["shards"] = pipe.shard_status(limit=page, offset=offset)
+            payload["shard_total"] = shard_total
+            payload["shard_offset"] = offset
         print(json.dumps(payload, indent=2, default=str))
         if getattr(args, "fail_on_stale", False) and payload["drift"]:
             return 1
@@ -940,13 +1005,21 @@ def _cmd_pipeline(args) -> int:
         )
         print(shard_header)
         print("-" * len(shard_header))
-        for row in pipe.shard_status():
+        rows = pipe.shard_status(limit=page, offset=offset)
+        for row in rows:
             print(
                 f"{row['project']:<24} "
                 + " ".join(
                     f"{'warm' if row[stage] else 'cold':<9}"
                     for stage in ("generate", "mine", "analyze")
                 ).rstrip()
+            )
+        if page is not None or offset:
+            first = offset + 1 if rows else offset
+            print(
+                f"showing shards {first}-{offset + len(rows)} of "
+                f"{shard_total} (page with --limit/--offset; "
+                "--limit 0 lists all)"
             )
     if getattr(args, "fail_on_stale", False) and drift_entries:
         return 1
@@ -1479,11 +1552,19 @@ def main(argv: list[str] | None = None) -> int:
         args.obs_session = session
     try:
         code = _COMMANDS[args.command](args)
-    except BaseException:
+    except BaseException as exc:
         if session is not None:
             session.finalize(status="error")
         if server is not None:
             server.stop()
+        from .obs.resources import MemoryLimitExceeded
+
+        if isinstance(exc, MemoryLimitExceeded):
+            # a bounded-memory run that could not stay bounded: a
+            # distinct exit code so scripts can tell "cap breached"
+            # from argument errors (2) and crashes (traceback)
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
         raise
     if session is not None:
         session.finalize(status="ok" if code == 0 else "error")

@@ -524,6 +524,48 @@ def _materialise(
 DEFAULT_SEED = 195_2023
 
 
+def iter_corpus_specs(
+    seed: int = DEFAULT_SEED,
+    profiles: tuple[TaxonProfile, ...] = CANONICAL_PROFILES,
+    blank_projects: int = 2,
+):
+    """Stream the corpus plan one ``(spec, profile)`` pair at a time.
+
+    The streaming twin of :func:`corpus_specs`: it draws from the
+    corpus RNG in exactly the same order (durations, start months,
+    names, per-project seeds, vendors), so the *i*-th yielded pair is
+    identical to ``corpus_specs(...)[i]`` — but nothing is held: a
+    100k-project plan never exists as a list.  The sharded pipeline's
+    streaming map phase plans and releases one shard at a time off this
+    generator.
+    """
+    rng = random.Random(seed)
+    by_taxon: dict[Taxon, TaxonProfile] = {}
+    for profile in profiles:
+        by_taxon.setdefault(profile.taxon, profile)
+    index = 0
+    blanks_left = blank_projects
+    for profile in profiles:
+        for _ in range(profile.count):
+            duration = profile.sample_duration(rng)
+            if blanks_left > 0 and profile.taxon in (
+                Taxon.FROZEN, Taxon.ALMOST_FROZEN
+            ):
+                duration = 1
+                blanks_left -= 1
+            start = Month(2008 + rng.randint(0, 9), rng.randint(1, 12))
+            spec = ProjectSpec(
+                name=names.project_name(rng, index),
+                taxon=profile.taxon,
+                seed=rng.randrange(2 ** 62),
+                vendor=rng.choice(("mysql", "mysql", "postgres")),
+                duration_months=duration,
+                start=start,
+            )
+            yield (spec, by_taxon[spec.taxon])
+            index += 1
+
+
 def corpus_specs(
     seed: int = DEFAULT_SEED,
     profiles: tuple[TaxonProfile, ...] = CANONICAL_PROFILES,
@@ -536,36 +578,13 @@ def corpus_specs(
     per-project seeds, durations, vendors), but realises nothing.  The
     sharded pipeline plans its per-project artifacts from this list
     without generating a single commit; ``generate_corpus`` realises the
-    same list, so the two agree project for project.
+    same list, so the two agree project for project.  (The list form of
+    :func:`iter_corpus_specs`, which streams the same pairs for plans
+    too large to materialise.)
     """
-    rng = random.Random(seed)
-    specs: list[ProjectSpec] = []
-    index = 0
-    blanks_left = blank_projects
-    for profile in profiles:
-        for _ in range(profile.count):
-            duration = profile.sample_duration(rng)
-            if blanks_left > 0 and profile.taxon in (
-                Taxon.FROZEN, Taxon.ALMOST_FROZEN
-            ):
-                duration = 1
-                blanks_left -= 1
-            start = Month(2008 + rng.randint(0, 9), rng.randint(1, 12))
-            specs.append(
-                ProjectSpec(
-                    name=names.project_name(rng, index),
-                    taxon=profile.taxon,
-                    seed=rng.randrange(2 ** 62),
-                    vendor=rng.choice(("mysql", "mysql", "postgres")),
-                    duration_months=duration,
-                    start=start,
-                )
-            )
-            index += 1
-    by_taxon: dict[Taxon, TaxonProfile] = {}
-    for profile in profiles:
-        by_taxon.setdefault(profile.taxon, profile)
-    return [(spec, by_taxon[spec.taxon]) for spec in specs]
+    return list(iter_corpus_specs(
+        seed=seed, profiles=profiles, blank_projects=blank_projects
+    ))
 
 
 def generate_corpus(

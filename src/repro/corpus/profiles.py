@@ -261,3 +261,52 @@ def scaled_profiles(scale: int) -> tuple[TaxonProfile, ...]:
 
 CANONICAL_SIZE = sum(p.count for p in CANONICAL_PROFILES)
 assert CANONICAL_SIZE == 195, CANONICAL_SIZE
+
+
+def sized_profiles(total: int) -> tuple[TaxonProfile, ...]:
+    """The canonical taxa mix re-sized to exactly ``total`` projects.
+
+    The scale-out knob (``--projects N``): counts are allocated
+    proportionally to the canonical composition by largest remainder,
+    every taxon keeps at least one project, and the counts always sum
+    to ``total`` exactly — so a 10k-project corpus carries the same
+    17% FROZEN / 32% ALMOST FROZEN / ... mix as the canonical 195.
+    Deterministic: the same ``total`` always yields the same counts
+    (ties break in canonical declaration order).
+    """
+    from dataclasses import replace
+
+    if total == CANONICAL_SIZE:
+        return CANONICAL_PROFILES
+    if total < len(CANONICAL_PROFILES):
+        raise ValueError(
+            f"--projects needs at least {len(CANONICAL_PROFILES)} "
+            f"(one per taxon), got {total}"
+        )
+    quotas = [
+        profile.count * total / CANONICAL_SIZE
+        for profile in CANONICAL_PROFILES
+    ]
+    counts = [max(1, int(quota)) for quota in quotas]
+    # largest-remainder top-up (or trim, when the >=1 floors oversubscribed)
+    while sum(counts) < total:
+        i = max(
+            range(len(counts)),
+            key=lambda j: (quotas[j] - counts[j], -j),
+        )
+        counts[i] += 1
+    while sum(counts) > total:
+        i = min(
+            (j for j in range(len(counts)) if counts[j] > 1),
+            key=lambda j: (quotas[j] - counts[j], -j),
+        )
+        counts[i] -= 1
+    return tuple(
+        replace(profile, count=count)
+        for profile, count in zip(CANONICAL_PROFILES, counts)
+    )
+
+
+def corpus_size(profiles: tuple[TaxonProfile, ...]) -> int:
+    """How many projects a profile set plans, without sampling any."""
+    return sum(profile.count for profile in profiles)

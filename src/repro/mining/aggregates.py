@@ -150,6 +150,87 @@ class HistoryAggregates:
         return out
 
 
+class AggregateAccumulator:
+    """Fold-style corpus aggregation: ``update(shard)`` / ``finalize()``.
+
+    The streaming reduce unit behind the pipeline's ``aggregate`` stage:
+    each ``analyze`` shard payload (``{"project", "row"}``) is folded as
+    soon as the map phase releases it, so the driver never holds the
+    corpus-wide payload list — only the accumulated measure rows.
+
+    With a ``spill_dir`` even the accumulated rows stay bounded: every
+    ``spill_batch`` rows are pickled to a numbered partial file and
+    dropped from memory, and :meth:`finalize` merges the partials back
+    *in fold order*.  The pickle round-trip preserves dataclass value
+    equality, so a spilled aggregate is byte-identical to an in-memory
+    one all the way through the rendered report.  Skip names are a few
+    bytes each and always stay in memory.
+    """
+
+    def __init__(self, *, spill_dir: str | None = None,
+                 spill_batch: int = 1024):
+        self.spill_dir = spill_dir
+        self.spill_batch = max(1, spill_batch)
+        self.rows: list = []
+        self.skipped: list[str] = []
+        self.folded = 0
+        self.spilled_batches = 0
+        self.spilled_rows = 0
+
+    def update(self, entry: dict) -> None:
+        """Fold one ``analyze`` shard payload (corpus order required)."""
+        self.folded += 1
+        if entry["row"] is None:
+            self.skipped.append(entry["project"])
+            return
+        self.rows.append(entry["row"])
+        if self.spill_dir is not None and len(self.rows) >= self.spill_batch:
+            self._spill()
+
+    def _spill(self) -> None:
+        import os
+        import pickle
+
+        path = os.path.join(
+            self.spill_dir, f"aggregate-{self.spilled_batches:06d}.pkl"
+        )
+        with open(path, "wb") as handle:
+            pickle.dump(self.rows, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self.spilled_batches += 1
+        self.spilled_rows += len(self.rows)
+        self.rows = []
+
+    def finalize(self) -> dict:
+        """The fused-engine payload shape: ``{"rows", "skipped"}``.
+
+        Spilled partials merge back in spill order (each partial is
+        itself in fold order), then the in-memory tail — the exact row
+        order a non-spilling fold would have produced.
+        """
+        if self.spilled_batches == 0:
+            return {"rows": self.rows, "skipped": self.skipped}
+        import os
+        import pickle
+
+        rows: list = []
+        for batch in range(self.spilled_batches):
+            path = os.path.join(
+                self.spill_dir, f"aggregate-{batch:06d}.pkl"
+            )
+            with open(path, "rb") as handle:
+                rows.extend(pickle.load(handle))
+            os.unlink(path)
+        rows.extend(self.rows)
+        return {"rows": rows, "skipped": self.skipped}
+
+    def stats(self) -> dict:
+        return {
+            "folded": self.folded,
+            "spilled_batches": self.spilled_batches,
+            "spilled_rows": self.spilled_rows,
+        }
+
+
 #: Change kinds that represent structural growth (for growth/restructure
 #: style analyses in the spirit of [37]).
 GROWTH_KINDS = frozenset({ChangeKind.BORN_WITH_TABLE, ChangeKind.INJECTED})

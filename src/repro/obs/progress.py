@@ -193,6 +193,7 @@ class ProgressTracker:
         channel: ProgressChannel | None = None,
         timings=None,
         clock=time.monotonic,
+        parallelism: int | None = None,
     ):
         self.stage = stage
         self.total = total
@@ -200,6 +201,11 @@ class ProgressTracker:
         self.timings = timings
         self.done = 0
         self.slowest: list[tuple[float, str]] = []
+        #: Effective fan-out width for the ETA divisor.  ``None`` means
+        #: fully submitted (the historical behaviour: divide by jobs);
+        #: a backpressured map sets it to the in-flight window so the
+        #: ETA never assumes more parallelism than the window allows.
+        self.parallelism = parallelism
         self._clock = clock
         self._started = clock()
         self._last_emit: float | None = None
@@ -209,13 +215,19 @@ class ProgressTracker:
     def active(self) -> bool:
         return self.channel.active
 
+    def set_parallelism(self, width: int | None) -> None:
+        """Update the effective fan-out width (window auto-shrink hook)."""
+        self.parallelism = width
+
     def eta_seconds(self) -> float:
         """Estimated wall seconds to finish the remaining units."""
         remaining = self.total - self.done
         if self.done <= 0 or remaining <= 0:
             return 0.0
         if self.timings is not None:
-            eta = self.timings.eta_seconds(self.done, self.total)
+            eta = self.timings.eta_seconds(
+                self.done, self.total, parallelism=self.parallelism
+            )
             if eta is not None:
                 return eta
         elapsed = self._clock() - self._started

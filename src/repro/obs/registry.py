@@ -138,7 +138,7 @@ def build_run_record(
             else runtime_environment()
         ),
     }
-    for block in ("artifact_store", "resources"):
+    for block in ("artifact_store", "resources", "streaming"):
         if timings.get(block):
             record[block] = timings[block]
     if fingerprints:
@@ -186,7 +186,7 @@ def record_from_payload(payload: dict, *, source: str = "import") -> dict:
         "warning_count": payload.get("warning_count"),
         "environment": payload.get("environment"),
     }
-    for block in ("artifact_store", "resources"):
+    for block in ("artifact_store", "resources", "streaming"):
         if timings.get(block):
             record[block] = timings[block]
     return record

@@ -77,6 +77,10 @@ class PerfSample:
     environment: dict | None
     store: dict | None = None
     resources: dict | None = None
+    #: Streaming-execution counters (window / spill / watchdog blocks);
+    #: ``None`` on records written before the streaming engine landed —
+    #: every consumer must None-skip, like ``store`` and ``resources``.
+    streaming: dict | None = None
 
     @property
     def peak_rss_bytes(self) -> int | None:
@@ -85,6 +89,21 @@ class PerfSample:
             return None
         peak = self.resources.get("peak_rss_bytes")
         return int(peak) if peak else None
+
+    @property
+    def rss_per_project(self) -> float | None:
+        """Peak RSS bytes per corpus project — the bounded-memory yard.
+
+        The scale-out guard: a streaming run's footprint should stay
+        roughly flat as the corpus grows, so *per-project* RSS must
+        fall (or at least not balloon) with N.  ``None`` whenever
+        either ingredient is missing, so pre-telemetry records and
+        corpus-less bench payloads skip instead of failing.
+        """
+        peak = self.peak_rss_bytes
+        if peak is None or not self.projects:
+            return None
+        return peak / self.projects
 
     @property
     def hit_rate(self) -> float | None:
@@ -159,6 +178,7 @@ def sample_from_dict(data: dict, *, source: str = "<dict>") -> PerfSample:
             environment=data.get("environment"),
             store=timings.get("artifact_store"),
             resources=timings.get("resources"),
+            streaming=timings.get("streaming") or data.get("streaming"),
         )
     if "stages" in data:
         return PerfSample(
@@ -172,6 +192,7 @@ def sample_from_dict(data: dict, *, source: str = "<dict>") -> PerfSample:
             environment=data.get("environment"),
             store=data.get("artifact_store"),
             resources=data.get("resources"),
+            streaming=data.get("streaming"),
         )
     raise ValueError(
         f"{source}: neither a run manifest nor a BENCH_study.json payload"
@@ -490,6 +511,40 @@ def compare_samples(
             message=(
                 "resource telemetry missing from one side "
                 "(pre-telemetry record)"
+            ),
+        ))
+
+    # -- peak RSS per project -------------------------------------------
+    # the streaming-scale guard: with equal corpora this mirrors
+    # peak_rss, but across BENCH_scale.json records it catches the
+    # O(corpus) driver-footprint regression the absolute check cannot
+    # see (a 10k-project record has no same-size baseline to diff)
+    base_ppp, cand_ppp = (
+        baseline.rss_per_project, candidate.rss_per_project
+    )
+    if base_ppp is not None and cand_ppp is not None:
+        ratio = (cand_ppp - base_ppp) / base_ppp
+        checks.append(Check(
+            name="rss_per_project",
+            status="fail" if ratio > max_rss_regression else "pass",
+            baseline=base_ppp,
+            candidate=cand_ppp,
+            ratio=ratio,
+            threshold=max_rss_regression,
+            message=(
+                f"peak RSS/project {base_ppp / 2**10:.0f} KiB -> "
+                f"{cand_ppp / 2**10:.0f} KiB {ratio:+.1%} "
+                f"(limit +{max_rss_regression:.0%})"
+            ),
+        ))
+    elif base_ppp is not None or cand_ppp is not None:
+        checks.append(Check(
+            name="rss_per_project",
+            status="skip",
+            message=(
+                "RSS-per-project undefined on one side (no resource "
+                "telemetry or no corpus size recorded) — skipping, "
+                "pre-streaming records stay comparable"
             ),
         ))
 

@@ -236,3 +236,81 @@ def get_monitor() -> ResourceMonitor:
     if _active is None:
         _active = ResourceMonitor()
     return _active
+
+
+class MemoryLimitExceeded(RuntimeError):
+    """``--limit-memory`` was breached: driver RSS crossed the cap."""
+
+    def __init__(self, rss_bytes: int, limit_bytes: int):
+        self.rss_bytes = rss_bytes
+        self.limit_bytes = limit_bytes
+        super().__init__(
+            f"driver RSS {rss_bytes / 2**20:.0f} MiB exceeded "
+            f"--limit-memory {limit_bytes / 2**20:.0f} MiB"
+        )
+
+
+class MemoryWatchdog:
+    """Warn-then-fail enforcement of a driver memory cap.
+
+    The streaming map loop calls :meth:`check` once per folded shard.
+    Crossing ``warn_fraction`` of the cap records one ``memory-pressure``
+    warning and flips the watchdog into the ``"pressure"`` state — the
+    loop's cue to shrink its in-flight window.  Crossing the cap itself
+    raises :class:`MemoryLimitExceeded`: a bounded-memory run that
+    cannot stay bounded should fail loudly, not swap quietly.
+
+    The probe is injectable for tests (defaults to
+    :func:`current_rss_bytes`); a platform where RSS is unreadable
+    probes ``0`` forever and the watchdog never trips.
+    """
+
+    def __init__(
+        self,
+        limit_bytes: int,
+        *,
+        warn_fraction: float = 0.8,
+        probe=current_rss_bytes,
+    ):
+        self.limit_bytes = limit_bytes
+        self.warn_bytes = int(limit_bytes * warn_fraction)
+        self.probe = probe
+        self.peak_seen = 0
+        self.warned = False
+        self.checks = 0
+
+    def check(self) -> str:
+        """Probe once; return ``"ok"`` or ``"pressure"``, raise on breach."""
+        self.checks += 1
+        rss = self.probe()
+        if rss > self.peak_seen:
+            self.peak_seen = rss
+        if rss >= self.limit_bytes:
+            raise MemoryLimitExceeded(rss, self.limit_bytes)
+        if rss >= self.warn_bytes:
+            if not self.warned:
+                self.warned = True
+                # function-level import: events imports nothing from
+                # here, but keeping resources import-light avoids any
+                # future cycle through the obs package
+                from .events import warn
+
+                warn(
+                    "memory-pressure",
+                    f"driver RSS {rss / 2**20:.0f} MiB is above "
+                    f"{int(self.warn_bytes / 2**20)} MiB "
+                    f"({self.limit_bytes / 2**20:.0f} MiB cap); "
+                    "shrinking the fan-out window",
+                    rss_bytes=rss,
+                    limit_bytes=self.limit_bytes,
+                )
+            return "pressure"
+        return "ok"
+
+    def as_dict(self) -> dict:
+        return {
+            "limit_bytes": self.limit_bytes,
+            "peak_seen_bytes": self.peak_seen,
+            "checks": self.checks,
+            "pressure": self.warned,
+        }

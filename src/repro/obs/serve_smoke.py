@@ -101,7 +101,20 @@ def _normalized_manifest(path: Path) -> dict:
     metrics = manifest.get("metrics") or {}
     metrics.pop("histograms", None)
     metrics.pop("gauges", None)
+    _fold_parse_cache_split(metrics.get("counters") or {})
     return manifest
+
+
+def _fold_parse_cache_split(counters: dict) -> None:
+    """Replace the parse-cache hit/miss split with its total.
+
+    The split depends on which worker mined which project (fragment
+    reuse is per-worker); only the totals are scheduling-invariant.
+    """
+    for prefix in ("", "statement_", "unit_"):
+        hits = counters.pop(f"parse_cache.{prefix}hits", 0)
+        misses = counters.pop(f"parse_cache.{prefix}misses", 0)
+        counters[f"parse_cache.{prefix}lookups"] = hits + misses
 
 
 def _store_keys(out: Path) -> list[str]:
@@ -150,8 +163,11 @@ def main() -> int:  # noqa: C901 — one linear smoke script
             original_start = server_mod.ObservabilityServer.start
 
             def capturing_start(self):
+                # publish only after the bind: a probe that races the
+                # capture must find a listening socket
+                result = original_start(self)
                 captured["server"] = self
-                return original_start(self)
+                return result
 
             server_mod.ObservabilityServer.start = capturing_start
             announce = io.StringIO()

@@ -340,3 +340,92 @@ def pool_chunksize(n_items: int, jobs: int) -> int:
     if jobs <= 1:
         return max(1, n_items)
     return max(1, n_items // (jobs * 4))
+
+
+@dataclass
+class WindowStats:
+    """What one :func:`window_map` drive actually did.
+
+    ``max_in_flight`` is the high-water mark of simultaneously
+    submitted-but-undrained tasks — the memory bound the window
+    enforces.  ``shrinks`` counts the times a callable ``window``
+    returned a smaller limit than the previous check (the memory
+    watchdog's auto-shrink leaves its trail here).
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    max_in_flight: int = 0
+    shrinks: int = 0
+    _last_limit: int | None = field(default=None, repr=False)
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "max_in_flight": self.max_in_flight,
+            "shrinks": self.shrinks,
+        }
+
+
+def window_map(fn, items, *, executor=None, window=2, stats=None):
+    """Backpressured fan-out: map ``fn`` over tasks, a window at a time.
+
+    ``items`` yields ``(tag, kind, value)`` triples in corpus order:
+
+    - ``kind == "ready"`` — ``value`` is already a result (a warm shard
+      payload); it flows through untouched, in order.
+    - ``kind == "task"`` — ``value`` is an argument for ``fn``.  With an
+      ``executor`` it is submitted; serially it is evaluated lazily at
+      drain time.  Either way at most ``window`` tasks are in flight at
+      once — the producer is *not* advanced while the window is full,
+      so planning, submission and result memory are all bounded.
+
+    Yields ``(tag, result)`` strictly in item order (the reduce fold
+    must see corpus order to stay byte-identical with the fused
+    engine).  ``window`` may be a callable returning the current limit —
+    the memory watchdog shrinks it under pressure; a limit drop takes
+    effect at the next admission check, draining the surplus before any
+    new submission.
+    """
+    from collections import deque
+
+    if stats is None:
+        stats = WindowStats()
+    limit = window if callable(window) else (lambda: window)
+    pending: deque = deque()
+
+    def drain():
+        tag, kind, value = pending.popleft()
+        if kind == "task":
+            stats.completed += 1
+            if executor is None:
+                return tag, fn(value)
+            return tag, value.result()
+        return tag, value
+
+    def current_limit() -> int:
+        now = max(1, int(limit()))
+        if stats._last_limit is not None and now < stats._last_limit:
+            stats.shrinks += 1
+        stats._last_limit = now
+        return now
+
+    for item in items:
+        tag, kind, value = item
+        if kind == "task":
+            if executor is not None:
+                value = executor.submit(fn, value)
+            stats.submitted += 1
+        pending.append((tag, kind, value))
+        in_flight = sum(1 for _, k, _v in pending if k == "task")
+        stats.max_in_flight = max(stats.max_in_flight, in_flight)
+        # ready fronts drain for free (order-preserving, keeps warm
+        # payloads from piling up behind an in-flight task); a full
+        # window blocks on the front task before admitting more work
+        while pending and (
+            pending[0][1] == "ready" or len(pending) >= current_limit()
+        ):
+            yield drain()
+    while pending:
+        yield drain()

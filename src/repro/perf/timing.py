@@ -66,6 +66,10 @@ class StudyTimings:
     cache: CacheStats = field(default_factory=CacheStats)
     artifacts: dict[str, ArtifactStats] = field(default_factory=dict)
     resources: dict[str, dict] = field(default_factory=dict)
+    #: Streaming-execution counters (backpressure window, spill stats,
+    #: watchdog state) — optional like ``resources``; absent on fused
+    #: runs and on records written before the streaming engine landed.
+    streaming: dict[str, object] = field(default_factory=dict)
 
     def record(self, stage: str, seconds: float) -> None:
         """Accumulate ``seconds`` into ``stage``.
@@ -117,6 +121,15 @@ class StudyTimings:
                 current["cpu_seconds"] + cpu, 6
             )
 
+    def record_streaming(self, key: str, value) -> None:
+        """Record one streaming-execution counter block (assignment).
+
+        ``key`` names the block (``"window"``, ``"aggregate_spill"``,
+        ``"memory_watchdog"``); the owner sets it once at the end of the
+        phase it describes, like :meth:`record_wall`.
+        """
+        self.streaming[key] = value
+
     def record_artifact(self, stage: str, *, hit: bool) -> None:
         """Count one store outcome (hit or recompute) for ``stage``."""
         current = self.artifacts.get(stage, ArtifactStats())
@@ -159,13 +172,19 @@ class StudyTimings:
         done: int,
         total: int,
         stages: tuple[str, ...] = ("mine", "analyze"),
+        *,
+        parallelism: int | None = None,
     ) -> float | None:
         """Estimated wall seconds left after ``done`` of ``total`` items.
 
         Uses the summed worker seconds recorded for ``stages`` so far
-        (mean per completed item, divided by ``jobs`` to approximate
-        wall clock under the fan-out).  Returns ``None`` when the
-        stages carry no seconds yet — callers fall back to wall-clock
+        (mean per completed item, divided by the *effective* parallelism
+        to approximate wall clock under the fan-out).  ``parallelism``
+        caps that divisor: a backpressured map runs at most its
+        in-flight window wide, so with ``jobs=8`` but a window of 2 the
+        honest divisor is 2, not 8 — without the cap a windowed run's
+        ETA reads 4× too optimistic.  Returns ``None`` when the stages
+        carry no seconds yet — callers fall back to wall-clock
         extrapolation — and ``0.0`` once nothing remains.
         """
         if done <= 0 or total <= done:
@@ -173,7 +192,10 @@ class StudyTimings:
         worked = sum(self.stages.get(stage, 0.0) for stage in stages)
         if worked <= 0.0:
             return None
-        return worked / done * (total - done) / max(1, self.jobs)
+        effective = max(1, self.jobs)
+        if parallelism is not None:
+            effective = max(1, min(effective, parallelism))
+        return worked / done * (total - done) / effective
 
     @contextmanager
     def timed(self, stage: str):
@@ -251,6 +273,10 @@ class StudyTimings:
                     for name in sorted(self.resources)
                 },
             }
+        if self.streaming:
+            payload["streaming"] = {
+                key: self.streaming[key] for key in sorted(self.streaming)
+            }
         return payload
 
     def render(self) -> str:
@@ -293,6 +319,13 @@ class StudyTimings:
                 for name in sorted(self.resources)
             )
             lines.append(f"  peak RSS: {parts}")
+        window = self.streaming.get("window")
+        if window:
+            lines.append(
+                f"  streaming:   window {window.get('max_in_flight', 0)} "
+                f"in flight, {window.get('submitted', 0)} submitted, "
+                f"{window.get('shrinks', 0)} shrinks"
+            )
         return "\n".join(lines)
 
 

@@ -31,24 +31,32 @@ what was reused versus recomputed, split map versus reduce.
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import replace
 
-from ..corpus.generator import DEFAULT_SEED, corpus_specs
-from ..corpus.profiles import scaled_profiles
+from ..corpus.generator import DEFAULT_SEED, corpus_specs, iter_corpus_specs
+from ..corpus.profiles import corpus_size, scaled_profiles, sized_profiles
 from ..obs.bus import get_bus
 from ..obs.events import get_recorder
 from ..obs.metrics import MetricsSnapshot, get_metrics
 from ..obs.progress import ProgressTracker
 from ..obs.provenance import PROVENANCE_FORMAT, explain_target
-from ..obs.resources import get_monitor
+from ..obs.resources import MemoryWatchdog, get_monitor
 from ..obs.trace import get_tracer
-from ..perf.parallel import ShardTask, map_shard, pool_chunksize
+from ..perf.cache import get_cache
+from ..perf.parallel import (
+    ShardResult,
+    ShardTask,
+    WindowStats,
+    map_shard,
+    window_map,
+)
 from ..perf.pool import warm_pool
 from ..perf.timing import StudyTimings
 from .codec import SHARD_CODECS
 from .fingerprint import family_fingerprint, stage_fingerprint
-from .shards import ShardSpec, plan_shards
+from .shards import ShardSpec, iter_shards, plan_shards
 from .stages import (
     CODE_VERSIONS,
     MAP_STAGE_NAMES,
@@ -92,9 +100,23 @@ class Pipeline:
         code_versions: dict[str, str] | None = None,
         project_overrides: dict[str, int] | None = None,
         plan: list[tuple] | None = None,
+        projects: int | None = None,
+        limit_memory_mb: int | None = None,
+        window: int | None = None,
     ):
         self.seed = seed
         self.scale = scale
+        #: Scale-out knob: an absolute corpus size (``--projects N``,
+        #: the canonical taxa mix re-sized); ``None`` keeps the
+        #: ``scale`` divisor semantics.
+        self.projects = projects
+        #: Driver memory cap in MiB (``--limit-memory``): enforced by a
+        #: warn-then-fail watchdog in the streaming map loop, and turns
+        #: on the aggregate accumulator's disk spill.
+        self.limit_memory_mb = limit_memory_mb
+        #: In-flight window for the backpressured fan-out; ``None``
+        #: derives ``max(2, 2 * jobs)``.
+        self.window = window
         self.jobs = max(1, jobs)
         self.report_format = report_format
         self.store = store if store is not None else get_store()
@@ -103,6 +125,9 @@ class Pipeline:
         self.timings = StudyTimings(jobs=self.jobs)
         self.metrics = MetricsSnapshot()
         self.warnings: list[dict] = []
+        #: Where the aggregate accumulator spills row batches; set for
+        #: the duration of a bounded-memory aggregate recompute.
+        self.spill_dir: str | None = None
         self._plan = plan
         self._shards: list[ShardSpec] | None = None
         self._fingerprints: dict[str, str] = {}
@@ -111,6 +136,43 @@ class Pipeline:
         self._study = None
 
     # -- planning ------------------------------------------------------
+    def _profiles(self):
+        """The corpus composition this pipeline samples from."""
+        if self.projects is not None:
+            return sized_profiles(self.projects)
+        return scaled_profiles(self.scale)
+
+    def n_projects(self) -> int:
+        """How many projects the plan covers — O(1), nothing sampled."""
+        if self._shards is not None:
+            return len(self._shards)
+        if self._plan is not None:
+            return len(self._plan)
+        return corpus_size(self._profiles())
+
+    def iter_shards(self):
+        """Stream the shard plan in corpus order, one spec at a time.
+
+        The streaming twin of :meth:`shards`: on the default sampling
+        path nothing is memoised — specs stream off
+        :func:`~repro.corpus.generator.iter_corpus_specs` and each
+        :class:`ShardSpec` is released after its consumer folds it, so
+        a 100k-project plan never exists as a list.  Injected plans and
+        override re-seeding fall back to the memoised list (they hold
+        the pairs anyway).
+        """
+        if (
+            self._shards is not None
+            or self._plan is not None
+            or self.project_overrides
+        ):
+            yield from self.shards()
+            return
+        yield from iter_shards(
+            iter_corpus_specs(seed=self.seed, profiles=self._profiles()),
+            self.code_versions,
+        )
+
     def shards(self) -> list[ShardSpec]:
         """The per-project shard plan, in corpus order (memoised).
 
@@ -123,7 +185,7 @@ class Pipeline:
                 list(self._plan)
                 if self._plan is not None
                 else corpus_specs(
-                    seed=self.seed, profiles=scaled_profiles(self.scale)
+                    seed=self.seed, profiles=self._profiles()
                 )
             )
             if self.project_overrides:
@@ -165,9 +227,8 @@ class Pipeline:
         if cached is None:
             spec = STAGES[stage]
             if spec.kind == "map":
-                cached = family_fingerprint(
-                    stage, [shard.keys[stage] for shard in self.shards()]
-                )
+                self._ensure_map_fingerprints()
+                cached = self._fingerprints[stage]
             else:
                 cached = stage_fingerprint(
                     stage,
@@ -177,6 +238,27 @@ class Pipeline:
                 )
             self._fingerprints[stage] = cached
         return cached
+
+    def _ensure_map_fingerprints(self) -> None:
+        """Family fingerprints for all map stages in one streaming pass.
+
+        The family digest needs every shard key, so this is the one
+        place planning must visit the whole corpus — but it retains
+        only the key strings (all three stages per pass), never the
+        specs, keeping the footprint a few dozen bytes per project.
+        """
+        if all(stage in self._fingerprints for stage in MAP_STAGE_NAMES):
+            return
+        keys: dict[str, list[str]] = {
+            stage: [] for stage in MAP_STAGE_NAMES
+        }
+        for shard in self.iter_shards():
+            for stage in MAP_STAGE_NAMES:
+                keys[stage].append(shard.keys[stage])
+        for stage in MAP_STAGE_NAMES:
+            self._fingerprints[stage] = family_fingerprint(
+                stage, keys[stage]
+            )
 
     # -- resolution ----------------------------------------------------
     def resolve(self, stage: str) -> Artifact:
@@ -229,13 +311,20 @@ class Pipeline:
         return artifact
 
     def _resolve_aggregate(self) -> Artifact:
-        """Resolve ``aggregate``: warm hit, or map phase + fold.
+        """Resolve ``aggregate``: warm hit, or streaming map + fold.
 
         On a miss the recorder is marked *before* the map phase, so the
         stored meta window spans every shard warning — replayed warm
         ones and freshly raised ones alike — and a later warm aggregate
         hit replays the full map phase's warnings and metrics without
         touching a single shard key.
+
+        The fold *consumes the map generator*: each shard's ``analyze``
+        payload streams into the aggregate accumulator and is released,
+        so driver memory holds the in-flight window plus the
+        accumulated rows, never the corpus.  The recorded ``aggregate``
+        seconds stay fold-only (producer time is measured out), keeping
+        the stage breakdown comparable with pre-streaming records.
         """
         from .stages import compute_aggregate
 
@@ -251,17 +340,44 @@ class Pipeline:
         recorder = get_recorder()
         mark = recorder.mark()
         self._map_delta = MetricsSnapshot()
-        with get_tracer().span(
-            f"stage:{stage}", artifact="recompute", fingerprint=key[:12]
-        ), get_monitor().window() as window:
-            payloads = self._map_phase()
-            fold_start = time.perf_counter()
-            output = compute_aggregate(self, {"analyze": payloads})
-            seconds = time.perf_counter() - fold_start
+        produced = [0.0]
+
+        def timed_payloads():
+            source = self._iter_map_payloads()
+            while True:
+                tick = time.perf_counter()
+                try:
+                    payload = next(source)
+                except StopIteration:
+                    produced[0] += time.perf_counter() - tick
+                    return
+                produced[0] += time.perf_counter() - tick
+                yield payload
+
+        spill = None
+        if self.limit_memory_mb:
+            spill = tempfile.TemporaryDirectory(prefix="repro-spill-")
+        try:
+            if spill is not None:
+                self.spill_dir = spill.name
+            with get_tracer().span(
+                f"stage:{stage}", artifact="recompute", fingerprint=key[:12]
+            ), get_monitor().window() as window:
+                fold_start = time.perf_counter()
+                output = compute_aggregate(
+                    self, {"analyze": timed_payloads()}
+                )
+                seconds = (
+                    time.perf_counter() - fold_start - produced[0]
+                )
+        finally:
+            self.spill_dir = None
+            if spill is not None:
+                spill.cleanup()
         # the window spans map + fold: the map phase is where the
         # driver's footprint actually peaks (shard payloads in flight)
         self.timings.record_resource(stage, window.sample)
-        self.timings.record(stage, seconds)
+        self.timings.record(stage, max(0.0, seconds))
         window = recorder.since(mark)
         self.warnings.extend(window)
         metrics_out = self._map_delta + output.metrics
@@ -273,61 +389,124 @@ class Pipeline:
         self._resolved[stage] = artifact
         return artifact
 
-    def _map_phase(self) -> list[dict]:
-        """Resolve every shard's ``analyze`` payload, warmest path first.
+    def map_window(self) -> int:
+        """The fan-out's initial in-flight window (the memory bound)."""
+        if self.window is not None:
+            return max(1, self.window)
+        return max(2, 2 * self.jobs)
+
+    def _iter_map_payloads(self):
+        """Stream every shard's ``analyze`` payload, warmest path first.
 
         Per shard: a warm ``analyze`` artifact wins outright (its
         ``mine``/``generate`` keys are never probed); a warm ``mine``
         artifact re-analyzes driver-side; otherwise the shard joins the
-        fan-out — carrying its warm ``generate`` payload if one exists,
-        generating in the worker if not.  Only the fan-out batch crosses
-        the process boundary, so a one-project edit ships one task.
+        backpressured fan-out — carrying its warm ``generate`` payload
+        if one exists, generating in the worker if not.  The fan-out
+        runs through :func:`~repro.perf.parallel.window_map`, so at
+        most :meth:`map_window` shards are in flight at once, the
+        planner is not advanced while the window is full, and each
+        payload is yielded — then released — in corpus order, exactly
+        the order the fused engine folds.
+
+        Under ``--limit-memory`` a
+        :class:`~repro.obs.resources.MemoryWatchdog` probes the driver
+        RSS after every fold: crossing the warn line halves the window
+        (floor 1) and drops the parse cache's in-memory layers — pure
+        memoisation, so releasing them costs re-parses, never bytes —
+        while crossing the cap raises
+        :class:`~repro.obs.resources.MemoryLimitExceeded`.  On the
+        serial path the parse cache is the one driver-side structure
+        that grows with corpus size, so the release is what keeps RSS
+        roughly flat as N climbs.
         """
-        shards = self.shards()
-        payloads: list = [None] * len(shards)
-        pending: list[tuple[int, ShardTask]] = []
-        for i, shard in enumerate(shards):
-            warm_analyze = self._load_shard("analyze", shard)
-            if warm_analyze is not None:
-                payloads[i] = warm_analyze.payload
-                continue
-            warm_mine = self._load_shard("mine", shard)
-            if warm_mine is not None:
-                payloads[i] = self._analyze_shard(shard, warm_mine.payload)
-                continue
-            warm_generate = self._load_shard("generate", shard)
-            pending.append((
-                i,
-                ShardTask(
-                    spec=shard.spec,
-                    profile=shard.profile,
-                    project=(
-                        None if warm_generate is None
-                        else warm_generate.payload
+        total = self.n_projects()
+        stats = WindowStats()
+        limit = [self.map_window()]
+        cache_clears = 0
+        watchdog = None
+        if self.limit_memory_mb:
+            watchdog = MemoryWatchdog(self.limit_memory_mb * 2 ** 20)
+        tracker = ProgressTracker(
+            "map", total, timings=self.timings,
+            parallelism=min(self.jobs, limit[0]),
+        )
+        executor = warm_pool(self.jobs) if self.jobs > 1 else None
+
+        def planned():
+            for shard in self.iter_shards():
+                warm_analyze = self._load_shard("analyze", shard)
+                if warm_analyze is not None:
+                    yield (shard, "ready", ("analyze", warm_analyze.payload))
+                    continue
+                warm_mine = self._load_shard("mine", shard)
+                if warm_mine is not None:
+                    yield (shard, "ready", ("mine", warm_mine.payload))
+                    continue
+                warm_generate = self._load_shard("generate", shard)
+                yield (
+                    shard,
+                    "task",
+                    ShardTask(
+                        spec=shard.spec,
+                        profile=shard.profile,
+                        project=(
+                            None if warm_generate is None
+                            else warm_generate.payload
+                        ),
                     ),
-                ),
-            ))
-        if not pending:
-            return payloads
-        tracker = ProgressTracker("map", len(pending), timings=self.timings)
-        tasks = [task for _, task in pending]
-        with get_tracer().span("map", shards=len(tasks)):
-            if self.jobs <= 1:
-                results = map(map_shard, tasks)
-            else:
-                # the warm pool outlives this fan-out: the same workers
-                # (and their per-process parse caches) serve the next one
-                results = warm_pool(self.jobs).map(
-                    map_shard,
-                    tasks,
-                    chunksize=pool_chunksize(len(tasks), self.jobs),
                 )
-            for (i, _), result in zip(pending, results):
-                payloads[i] = self._finish_shard(shards[i], result)
-                tracker.update(result.name, result.mined.seconds)
-                self._publish_metrics()
-        tracker.finish()
-        return payloads
+
+        try:
+            with get_tracer().span("map", shards=total):
+                for shard, value in window_map(
+                    map_shard,
+                    planned(),
+                    executor=executor,
+                    window=lambda: limit[0],
+                    stats=stats,
+                ):
+                    if isinstance(value, ShardResult):
+                        payload = self._finish_shard(shard, value)
+                        tracker.update(value.name, value.mined.seconds)
+                        self._publish_metrics()
+                    else:
+                        kind, warm = value
+                        if kind == "analyze":
+                            payload = warm
+                        else:
+                            payload = self._analyze_shard(shard, warm)
+                        tracker.update(shard.project)
+                    if watchdog is not None:
+                        if watchdog.check() == "pressure":
+                            if limit[0] > 1:
+                                limit[0] = max(1, limit[0] // 2)
+                                tracker.set_parallelism(
+                                    min(self.jobs, limit[0])
+                                )
+                            cache = get_cache()
+                            if len(cache):
+                                # shards are mined whole, so a clear
+                                # between folds never splits a
+                                # project's cross-version reuse
+                                cache.clear()
+                                cache_clears += 1
+                    yield payload
+            tracker.finish()
+        finally:
+            self.timings.record_streaming(
+                "window",
+                {
+                    "initial": self.map_window(),
+                    "final": limit[0],
+                    **stats.as_dict(),
+                },
+            )
+            if watchdog is not None:
+                self.timings.record_streaming(
+                    "memory_watchdog",
+                    {**watchdog.as_dict(), "cache_clears": cache_clears},
+                )
 
     def _finish_shard(self, shard: ShardSpec, result) -> dict:
         """Store one fan-out result's artifacts and analyze the shard."""
@@ -739,18 +918,32 @@ class Pipeline:
                 )
         return rows
 
-    def shard_status(self) -> list[dict]:
-        """Per-project warmth: one row per shard, one flag per map stage."""
-        return [
-            {
-                "project": shard.project,
-                **{
-                    stage: self.store.contains(shard.keys[stage])
-                    for stage in MAP_STAGE_NAMES
-                },
-            }
-            for shard in self.shards()
-        ]
+    def shard_status(
+        self, *, limit: int | None = None, offset: int = 0
+    ) -> list[dict]:
+        """Per-project warmth: one row per shard, one flag per map stage.
+
+        ``limit``/``offset`` paginate over the *streamed* plan — a
+        50k-shard store answers a one-page status probe without
+        planning (or printing) 50k rows.  The defaults keep the full
+        listing for small corpora and existing callers.
+        """
+        rows: list[dict] = []
+        for shard in self.iter_shards():
+            if shard.index < offset:
+                continue
+            if limit is not None and len(rows) >= limit:
+                break
+            rows.append(
+                {
+                    "project": shard.project,
+                    **{
+                        stage: self.store.contains(shard.keys[stage])
+                        for stage in MAP_STAGE_NAMES
+                    },
+                }
+            )
+        return rows
 
     def version_drift(self) -> list[dict]:
         """Stages whose stored source digest disagrees with the code.
@@ -848,6 +1041,8 @@ def pipeline_study(
     store: ArtifactStore | None = None,
     code_versions: dict[str, str] | None = None,
     project_overrides: dict[str, int] | None = None,
+    projects: int | None = None,
+    limit_memory_mb: int | None = None,
 ):
     """One-call stage-graph study (the pipeline twin of ``run_study``)."""
     return Pipeline(
@@ -857,4 +1052,6 @@ def pipeline_study(
         store=store,
         code_versions=code_versions,
         project_overrides=project_overrides,
+        projects=projects,
+        limit_memory_mb=limit_memory_mb,
     ).study()

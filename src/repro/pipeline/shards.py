@@ -80,48 +80,70 @@ class ShardSpec:
         return {previous: self.keys[previous]}
 
 
+def plan_shard(
+    index: int,
+    spec: ProjectSpec,
+    profile: TaxonProfile,
+    code_versions: dict[str, str],
+) -> ShardSpec:
+    """Plan one project's :class:`ShardSpec` (the per-shard unit).
+
+    Each shard is planned from its own identity alone, so planning
+    streams: the pipeline can plan, execute and release one shard at a
+    time without ever holding the whole plan.
+    """
+    identity = {
+        "project": spec.name,
+        "spec": spec_digest(spec),
+        "profile": profile_digest(profile),
+    }
+    generate_key = stage_fingerprint(
+        "generate", code_versions["generate"], identity, {}
+    )
+    mine_key = stage_fingerprint(
+        "mine", code_versions["mine"], {}, {"generate": generate_key}
+    )
+    analyze_key = stage_fingerprint(
+        "analyze", code_versions["analyze"], {}, {"mine": mine_key}
+    )
+    return ShardSpec(
+        index=index,
+        project=spec.name,
+        spec=spec,
+        profile=profile,
+        keys={
+            "generate": generate_key,
+            "mine": mine_key,
+            "analyze": analyze_key,
+        },
+        identity=identity,
+    )
+
+
+def iter_shards(pairs, code_versions: dict[str, str]):
+    """Stream one :class:`ShardSpec` per ``(spec, profile)`` pair.
+
+    ``pairs`` may be any iterable — in the streaming pipeline it is the
+    :func:`~repro.corpus.generator.iter_corpus_specs` generator, so a
+    100k-project plan is never held whole.  Shards keep corpus order
+    (the reduce stages fold rows in corpus order, matching the fused
+    engine byte for byte); the *family* fingerprint over shard keys
+    sorts internally, so ordering here is presentation, not addressing.
+    """
+    for index, (spec, profile) in enumerate(pairs):
+        yield plan_shard(index, spec, profile, code_versions)
+
+
 def plan_shards(
     pairs: list[tuple[ProjectSpec, TaxonProfile]],
     code_versions: dict[str, str],
 ) -> list[ShardSpec]:
     """Plan one :class:`ShardSpec` per ``(spec, profile)`` pair.
 
-    Shards keep corpus order (the reduce stages fold rows in corpus
-    order, matching the fused engine byte for byte); the *family*
-    fingerprint over these keys sorts internally, so ordering here is
-    presentation, not addressing.
+    The list form of :func:`iter_shards`, for callers that hold the
+    whole plan anyway (status tables, invalidation, tests).
     """
-    shards: list[ShardSpec] = []
-    for index, (spec, profile) in enumerate(pairs):
-        identity = {
-            "project": spec.name,
-            "spec": spec_digest(spec),
-            "profile": profile_digest(profile),
-        }
-        generate_key = stage_fingerprint(
-            "generate", code_versions["generate"], identity, {}
-        )
-        mine_key = stage_fingerprint(
-            "mine", code_versions["mine"], {}, {"generate": generate_key}
-        )
-        analyze_key = stage_fingerprint(
-            "analyze", code_versions["analyze"], {}, {"mine": mine_key}
-        )
-        shards.append(
-            ShardSpec(
-                index=index,
-                project=spec.name,
-                spec=spec,
-                profile=profile,
-                keys={
-                    "generate": generate_key,
-                    "mine": mine_key,
-                    "analyze": analyze_key,
-                },
-                identity=identity,
-            )
-        )
-    return shards
+    return list(iter_shards(pairs, code_versions))
 
 
 def shard_batches(items: list, count: int) -> list[list]:

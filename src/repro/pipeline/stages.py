@@ -152,21 +152,28 @@ def compute_aggregate(pipe, inputs: dict) -> StageOutput:
     """``aggregate``: fold the analyze shards into the corpus tables.
 
     The first reduce barrier: consumes the per-shard ``analyze``
-    payloads *in corpus order* and folds them into the same
+    payloads *in corpus order* — ``inputs["analyze"]`` may be the
+    streaming map generator, each payload released after its fold — and
+    folds them through an
+    :class:`~repro.mining.aggregates.AggregateAccumulator` into the same
     ``{"rows", "skipped"}`` shape the fused engine produces, so every
     downstream stage — and the rendered report — is byte-identical to a
-    whole-corpus serial run.  Rows arrive one shard at a time, so peak
-    memory holds one project's history plus the accumulated measure
-    rows, never the whole corpus.
+    whole-corpus serial run.  Under ``--limit-memory`` the pipeline
+    hands the accumulator a spill directory, bounding even the
+    accumulated rows; the spilled fold is byte-identical too.
     """
-    rows = []
-    skipped: list[str] = []
+    from ..mining.aggregates import AggregateAccumulator
+
+    acc = AggregateAccumulator(
+        spill_dir=getattr(pipe, "spill_dir", None),
+    )
     for entry in inputs["analyze"]:
-        if entry["row"] is None:
-            skipped.append(entry["project"])
-        else:
-            rows.append(entry["row"])
-    return StageOutput(payload={"rows": rows, "skipped": skipped})
+        acc.update(entry)
+    spill = acc.stats()
+    timings = getattr(pipe, "timings", None)
+    if spill["spilled_batches"] and timings is not None:
+        timings.record_streaming("aggregate_spill", spill)
+    return StageOutput(payload=acc.finalize())
 
 
 def compute_figures(pipe, inputs: dict) -> StageOutput:

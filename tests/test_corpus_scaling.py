@@ -1,0 +1,107 @@
+"""Corpus scale-out: `sized_profiles` allocation and large-N RNG identity.
+
+The ``--projects N`` knob re-sizes the canonical 195-project taxa mix
+to an absolute corpus size; the streaming sampler
+(`iter_corpus_specs`) must draw the *same* spec sequence as the
+materialised `corpus_specs` list at any N, and per-project generation
+must stay deterministic from the spec alone — spot-checked at the
+corners of a 10 000-project corpus, because a shard's content address
+is derived from its spec and a drifting draw order would silently
+re-key every downstream artifact.
+"""
+
+import pytest
+
+from repro.corpus.generator import (
+    corpus_specs,
+    generate_project,
+    iter_corpus_specs,
+)
+from repro.corpus.profiles import (
+    CANONICAL_PROFILES,
+    CANONICAL_SIZE,
+    corpus_size,
+    sized_profiles,
+)
+
+
+class TestSizedProfiles:
+    @pytest.mark.parametrize(
+        "total", [6, 7, 33, 195, 1000, 2000, 10_000, 100_000]
+    )
+    def test_counts_sum_exactly_with_every_taxon_kept(self, total):
+        profiles = sized_profiles(total)
+        assert corpus_size(profiles) == total
+        assert len(profiles) == len(CANONICAL_PROFILES)
+        assert all(p.count >= 1 for p in profiles)
+        # the taxa keep their canonical order and everything but the
+        # counts is untouched
+        for sized, canonical in zip(profiles, CANONICAL_PROFILES):
+            assert sized.taxon is canonical.taxon
+
+    def test_canonical_size_passes_through_unchanged(self):
+        assert sized_profiles(CANONICAL_SIZE) is CANONICAL_PROFILES
+
+    def test_proportions_track_the_canonical_mix(self):
+        profiles = sized_profiles(10_000)
+        for sized, canonical in zip(profiles, CANONICAL_PROFILES):
+            expected = 10_000 * canonical.count / CANONICAL_SIZE
+            assert sized.count == pytest.approx(expected, abs=1)
+
+    def test_too_small_corpus_is_refused(self):
+        with pytest.raises(ValueError):
+            sized_profiles(len(CANONICAL_PROFILES) - 1)
+        with pytest.raises(ValueError):
+            sized_profiles(0)
+
+
+class TestLargeCorpusRngIdentity:
+    N = 10_000
+    SPOT_INDEXES = (0, 4999, 9999)
+
+    @pytest.fixture(scope="class")
+    def specs_10k(self):
+        return corpus_specs(profiles=sized_profiles(self.N))
+
+    def test_streaming_sampler_matches_the_list(self, specs_10k):
+        assert len(specs_10k) == self.N
+        for i, (pair, expected) in enumerate(
+            zip(
+                iter_corpus_specs(profiles=sized_profiles(self.N)),
+                specs_10k,
+            )
+        ):
+            assert pair == expected, f"spec sequence diverged at {i}"
+
+    def test_resampling_is_deterministic(self, specs_10k):
+        again = corpus_specs(profiles=sized_profiles(self.N))
+        for i in self.SPOT_INDEXES:
+            assert again[i] == specs_10k[i]
+
+    def test_names_and_seeds_are_unique(self, specs_10k):
+        names = [spec.name for spec, _ in specs_10k]
+        assert len(set(names)) == self.N
+        seeds = [spec.seed for spec, _ in specs_10k]
+        assert len(set(seeds)) == self.N
+
+    def test_spot_projects_generate_identically(self, specs_10k):
+        """Generation is a pure function of the spec at any index."""
+        for i in self.SPOT_INDEXES:
+            spec, profile = specs_10k[i]
+            first = generate_project(spec, profile)
+            second = generate_project(spec, profile)
+            assert first.repository.commits == second.repository.commits, (
+                f"project {i} ({spec.name}) generated differing histories"
+            )
+
+    def test_different_sizes_share_no_draw_sequence(self):
+        """Corpus size is part of the sampled identity.
+
+        The single-RNG sampler draws sequentially, so different N
+        produce different spec sequences (and therefore different
+        shard families) even at a shared seed — a 1000-project study
+        is its own corpus, not a prefix of the 2000-project one.
+        """
+        small = corpus_specs(profiles=sized_profiles(1000))
+        large = corpus_specs(profiles=sized_profiles(2000))
+        assert [s for s, _ in small] != [s for s, _ in large[:1000]]

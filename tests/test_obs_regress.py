@@ -469,3 +469,110 @@ class TestBenchCheckCommand:
         assert bench.exists(), "BENCH_study.json missing from the repo root"
         assert main(["bench-check", str(bench), str(bench)]) == 0
         assert "verdict: PASS" in capsys.readouterr().out
+
+
+def _check_by_name(report, name):
+    return next((c for c in report.checks if c.name == name), None)
+
+
+class TestStreamingCounterTolerance:
+    """History and bench comparisons across the streaming format bump.
+
+    Records written before the streaming engine carry no ``streaming``
+    block, no ``resources`` telemetry, and sometimes no corpus size —
+    every derived check (peak RSS per project, the streaming counters
+    themselves) must None-skip against them instead of failing, so an
+    old baseline stays usable.
+    """
+
+    def _with_telemetry(self, *, projects=200, peak=100 * 2**20,
+                        streaming=True):
+        manifest = _manifest(projects=projects)
+        manifest["timings"]["resources"] = {
+            "peak_rss_bytes": peak,
+            "scopes": {"driver": {"peak_rss_bytes": peak,
+                                  "cpu_seconds": 1.0}},
+        }
+        if streaming:
+            manifest["timings"]["streaming"] = {
+                "window": {"initial": 2, "final": 2, "submitted": projects,
+                           "completed": projects, "max_in_flight": 2,
+                           "shrinks": 0},
+            }
+        return manifest
+
+    def test_sample_normalises_streaming_from_both_shapes(self):
+        manifest = sample_from_dict(self._with_telemetry())
+        assert manifest.streaming is not None
+        assert manifest.rss_per_project == pytest.approx(
+            100 * 2**20 / 200
+        )
+        bench = sample_from_dict({
+            "stages": {"total": 1.0},
+            "projects": 100,
+            "resources": {"peak_rss_bytes": 50 * 2**20},
+            "streaming": {"window": {"submitted": 100}},
+        })
+        assert bench.kind == "bench"
+        assert bench.streaming == {"window": {"submitted": 100}}
+        assert bench.rss_per_project == pytest.approx(50 * 2**20 / 100)
+
+    def test_pre_streaming_record_none_skips_rss_per_project(self):
+        old = sample_from_dict(_manifest(projects=200))  # no telemetry
+        new = sample_from_dict(self._with_telemetry())
+        assert old.streaming is None
+        assert old.rss_per_project is None
+        report = compare_samples(old, new)
+        check = _check_by_name(report, "rss_per_project")
+        assert check is not None and check.status == "skip"
+        assert "pre-streaming" in check.message
+        assert not report.failed
+
+    def test_rss_per_project_regression_fails(self):
+        base = sample_from_dict(self._with_telemetry(peak=100 * 2**20))
+        worse = sample_from_dict(self._with_telemetry(peak=150 * 2**20))
+        report = compare_samples(base, worse)
+        check = _check_by_name(report, "rss_per_project")
+        assert check is not None and check.status == "fail"
+        assert compare_samples(base, base).failed is False
+
+    def test_missing_corpus_size_none_skips(self):
+        sized = sample_from_dict(self._with_telemetry())
+        unsized = self._with_telemetry()
+        del unsized["projects"]
+        unsized_sample = sample_from_dict(unsized)
+        assert unsized_sample.rss_per_project is None
+        report = compare_samples(sized, unsized_sample)
+        check = _check_by_name(report, "rss_per_project")
+        assert check is not None and check.status == "skip"
+        # peak_rss itself still compares: both sides carry telemetry
+        peak = _check_by_name(report, "peak_rss")
+        assert peak is not None and peak.status == "pass"
+
+    def test_history_median_tolerates_mixed_records(self):
+        """A registry mixing pre- and post-streaming records folds."""
+        from repro.obs.registry import history_baseline
+
+        old_record = {
+            "format": "repro-run-registry-v1",
+            "run_id": "aaa", "recorded_at": 1.0, "projects": 200,
+            "jobs": 2, "warning_count": 0, "environment": dict(ENV),
+            "stages": {"mine": 4.0, "total": 6.0},
+            "parse_cache": {"hit_rate": 0.5},
+        }
+        new_record = {
+            **old_record,
+            "run_id": "bbb", "recorded_at": 2.0,
+            "resources": {"peak_rss_bytes": 100 * 2**20},
+            "streaming": {
+                "window": {"submitted": 200, "max_in_flight": 2},
+            },
+        }
+        baseline = history_baseline([old_record, new_record])
+        sample = sample_from_dict(baseline, source="history")
+        assert sample.streaming == new_record["streaming"]
+        candidate = sample_from_dict(self._with_telemetry())
+        report = compare_samples(sample, candidate)
+        names = {c.name: c.status for c in report.checks}
+        assert names.get("rss_per_project") in ("pass", "skip")
+        assert not report.failed

@@ -89,6 +89,14 @@ def _normalized_manifest(path):
     metrics = manifest.get("metrics") or {}
     metrics.pop("histograms", None)  # carry observed seconds
     metrics.pop("gauges", None)
+    counters = metrics.get("counters") or {}
+    # the parse-cache hit/miss *split* depends on which worker mined
+    # which project (fragment reuse is per-worker); the totals are
+    # scheduling-invariant, so compare those
+    for prefix in ("", "statement_", "unit_"):
+        hits = counters.pop(f"parse_cache.{prefix}hits", 0)
+        misses = counters.pop(f"parse_cache.{prefix}misses", 0)
+        counters[f"parse_cache.{prefix}lookups"] = hits + misses
     return manifest
 
 
