@@ -13,9 +13,9 @@ PYTHON ?= python
 JOBS ?= 1
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-smoke pipeline-smoke serve-smoke scale-smoke bench bench-mine bench-parallel bench-scale bench-check study clean
+.PHONY: test trace-smoke pipeline-smoke sqlite-smoke serve-smoke scale-smoke bench bench-mine bench-parallel bench-scale bench-check study clean
 
-test: trace-smoke pipeline-smoke serve-smoke
+test: trace-smoke pipeline-smoke sqlite-smoke serve-smoke
 	$(PYTHON) -m pytest -x -q
 
 # small traced study + event-schema validation + manifest round-trip
@@ -35,6 +35,13 @@ serve-smoke:
 # store recomputes exactly its map shards plus the reduce tail
 pipeline-smoke:
 	$(PYTHON) -m repro.pipeline.smoke
+
+# workload gate: a --dialect sqlite micro-study runs the full DAG cold
+# and replays byte-identical warm (serial and jobs=4), keys disjoint
+# from the canonical study in the same store, with explain attributing
+# the workload switch to params.dialect
+sqlite-smoke:
+	$(PYTHON) -m repro.pipeline.sqlite_smoke
 
 # bounded-memory gate: a 2000-project study under --limit-memory 512
 # (driver peak RSS asserted from the manifest-visible timings, the

@@ -133,6 +133,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "--scale, ignored with --corpus",
         )
 
+    def add_dialect_flag(command) -> None:
+        from .workload import registered_workloads
+
+        command.add_argument(
+            "--dialect",
+            default=None,
+            choices=sorted(registered_workloads()),
+            help="run under a registered workload (vendor mix, history "
+            "source, shard-key dialect component); omitted or "
+            "'default' keeps the canonical mysql/postgres corpus and "
+            "its store keys byte-identical",
+        )
+
     generate = sub.add_parser(
         "generate", help="generate a corpus and save it to disk"
     )
@@ -141,6 +154,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_perf_flags(generate)
     add_obs_flags(generate)
     add_scale_flag(generate)
+    add_dialect_flag(generate)
 
     study = sub.add_parser("study", help="run the full study")
     study.add_argument("--seed", type=int, default=None)
@@ -189,6 +203,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_perf_flags(study)
     add_obs_flags(study)
     add_scale_flag(study)
+    add_dialect_flag(study)
 
     report = sub.add_parser(
         "report", help="write a full Markdown study report"
@@ -207,6 +222,7 @@ def _build_parser() -> argparse.ArgumentParser:
     add_perf_flags(report)
     add_obs_flags(report)
     add_scale_flag(report)
+    add_dialect_flag(report)
 
     pipeline = sub.add_parser(
         "pipeline",
@@ -310,6 +326,7 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         add_perf_flags(pipe_cmd)
         add_scale_flag(pipe_cmd)
+        add_dialect_flag(pipe_cmd)
 
     case = sub.add_parser("case", help="show one project's joint progress")
     case.add_argument("name", help="project name (or a unique substring)")
@@ -670,6 +687,17 @@ def _configure_obs(args):
     )
 
 
+def _dialect_of(args) -> str | None:
+    """The run's workload dialect, with the default normalised to None.
+
+    ``None`` keeps every canonical store key (and registry record)
+    byte-identical to the pre-workload layout — ``--dialect default``
+    must not re-key a warm canonical store.
+    """
+    dialect = getattr(args, "dialect", None)
+    return None if dialect in (None, "default") else dialect
+
+
 def _get_study(args):
     from .analysis import canonical_study, run_study
     from .corpus import DEFAULT_SEED
@@ -687,7 +715,7 @@ def _get_study(args):
         # not derivable from a fingerprintable parameter set)
         study = run_study(load_corpus(args.corpus), jobs=jobs)
         args._run_facts = {"study": study, "seed": None, "scale": None,
-                           "jobs": jobs}
+                           "jobs": jobs, "dialect": None}
     else:
         seed = args.seed if args.seed is not None else DEFAULT_SEED
         if session is not None:
@@ -695,7 +723,11 @@ def _get_study(args):
         scale = max(1, getattr(args, "scale", 1) or 1)
         projects = getattr(args, "projects", None)
         limit_memory = getattr(args, "limit_memory", None)
-        if scale > 1 or projects is not None or limit_memory is not None:
+        dialect = _dialect_of(args)
+        # non-default workloads always resolve through the pipeline —
+        # that is where the (dialect, source) pair lives in shard keys
+        if (scale > 1 or projects is not None
+                or limit_memory is not None or dialect):
             from .pipeline.graph import Pipeline
 
             pipe = Pipeline(
@@ -704,13 +736,14 @@ def _get_study(args):
                 jobs=jobs,
                 projects=projects,
                 limit_memory_mb=limit_memory,
+                dialect=dialect,
             )
             study = pipe.study()
             args._pipeline = pipe
         else:
             study = canonical_study(seed, jobs=jobs)
         args._run_facts = {"study": study, "seed": seed, "scale": scale,
-                           "jobs": jobs}
+                           "jobs": jobs, "dialect": dialect}
     if session is not None:
         session.study = study
     return study
@@ -728,24 +761,34 @@ def _cmd_generate(args) -> int:
         session.jobs = jobs
     scale = max(1, getattr(args, "scale", 1) or 1)
     projects = getattr(args, "projects", None)
+    dialect = _dialect_of(args)
     if projects is not None:
         from .corpus.profiles import sized_profiles
 
         corpus = generate_corpus(
-            seed=seed, profiles=sized_profiles(projects), jobs=jobs
+            seed=seed, profiles=sized_profiles(projects), jobs=jobs,
+            dialect=dialect,
         )
     elif scale > 1:
         from .corpus import scaled_profiles
 
         corpus = generate_corpus(
-            seed=seed, profiles=scaled_profiles(scale), jobs=jobs
+            seed=seed, profiles=scaled_profiles(scale), jobs=jobs,
+            dialect=dialect,
         )
     else:
-        corpus = generate_corpus(seed=seed, jobs=jobs)
+        corpus = generate_corpus(seed=seed, jobs=jobs, dialect=dialect)
     if session is not None:
         session.corpus_size = len(corpus)
     root = save_corpus(corpus, args.out)
     print(f"wrote {len(corpus)} projects to {root}")
+    if dialect:
+        from .report import render_vendor_mix
+
+        print(
+            f"workload {dialect}: "
+            + render_vendor_mix([p.spec.vendor for p in corpus])
+        )
     return 0
 
 
@@ -813,12 +856,14 @@ def _cmd_report(args) -> int:
         jobs = _configure_perf(args)
         seed = args.seed if args.seed is not None else DEFAULT_SEED
         scale = max(1, getattr(args, "scale", 1) or 1)
+        dialect = _dialect_of(args)
         session = getattr(args, "obs_session", None)
         if session is not None:
             session.jobs = jobs
             session.seed = seed
         pipe = Pipeline(
-            seed=seed, scale=scale, jobs=jobs, report_format=args.format
+            seed=seed, scale=scale, jobs=jobs, report_format=args.format,
+            dialect=dialect,
         )
         study = pipe.study()
         if session is not None:
@@ -826,7 +871,7 @@ def _cmd_report(args) -> int:
         text = pipe.report()
         args._pipeline = pipe
         args._run_facts = {"study": study, "seed": seed, "scale": scale,
-                           "jobs": jobs}
+                           "jobs": jobs, "dialect": dialect}
     path = Path(args.out)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(text)
@@ -842,9 +887,11 @@ def _cmd_pipeline(args) -> int:
     jobs = _configure_perf(args)
     seed = args.seed if args.seed is not None else DEFAULT_SEED
     scale = max(1, getattr(args, "scale", 1) or 1)
+    dialect = _dialect_of(args)
     pipe = Pipeline(
         seed=seed, scale=scale, jobs=jobs, report_format=args.format,
         projects=getattr(args, "projects", None),
+        dialect=dialect,
     )
     if args.pipeline_command == "invalidate":
         stage = args.stage
@@ -946,6 +993,7 @@ def _cmd_pipeline(args) -> int:
             "seed": seed,
             "scale": scale,
             "format": args.format,
+            "dialect": dialect or "default",
             "stages": pipe.status(),
             "drift": pipe.version_drift(),
         }
@@ -960,6 +1008,7 @@ def _cmd_pipeline(args) -> int:
     print(
         f"store: {store.kind}" + (f" at {location}" if location else "")
         + f" | seed {seed}, scale {scale}, format {args.format}"
+        + (f", dialect {dialect}" if dialect else "")
     )
     header = (
         f"{'stage':<12} {'kind':<7} {'state':<8} {'ver':<4} "
@@ -1214,9 +1263,9 @@ def _cmd_obs_history(args) -> int:
     # fixed column widths, over-long values clamped: the table must
     # line up no matter what command strings land in the registry
     header = (
-        f"{'run':<13} {'when':<17} {'command':<16} {'proj':>5} "
-        f"{'jobs':>4} {'total':>8} {'cache':>6} {'store':>6} "
-        f"{'rss MiB':>8} {'warn':>5}"
+        f"{'run':<13} {'when':<17} {'command':<16} {'dialect':<8} "
+        f"{'proj':>5} {'jobs':>4} {'total':>8} {'cache':>6} "
+        f"{'store':>6} {'rss MiB':>8} {'warn':>5}"
     )
     print(f"registry: {registry.path} ({len(records)} records shown)")
     print(header)
@@ -1230,9 +1279,12 @@ def _cmd_obs_history(args) -> int:
         cache = (record.get("parse_cache") or {}).get("hit_rate")
         store_rate = (record.get("artifact_store") or {}).get("hit_rate")
         rss = (record.get("resources") or {}).get("peak_rss_bytes")
+        # pre-dialect records simply lack the key — render '-' so old
+        # registries keep tabling without a migration
         print(
             f"{str(record.get('run_id', '?'))[:13]:<13} {when:<17} "
             f"{str(record.get('command', '?'))[:16]:<16} "
+            f"{str(record.get('dialect') or '-')[:8]:<8} "
             f"{record.get('projects') if record.get('projects') is not None else '-':>5} "
             f"{record.get('jobs') if record.get('jobs') is not None else '-':>4} "
             f"{f'{total:.2f}s' if total is not None else '-':>8} "
@@ -1500,6 +1552,7 @@ def _append_run_record(args, session) -> None:
             seed=facts["seed"],
             scale=facts["scale"],
             jobs=facts["jobs"],
+            dialect=facts.get("dialect"),
             manifest=(
                 session.manifest_document if session is not None else None
             ),

@@ -240,37 +240,84 @@ def _intra_table_op(
 def emit_ddl(schema: Schema, vendor: str) -> str:
     """Serialise a schema with vendor-specific surface syntax.
 
-    MySQL flavour: backtick-quoted identifiers and an ENGINE clause.
-    Postgres flavour: a SET header and unquoted lower-case identifiers.
-    Both re-parse to the same logical schema — the vendor noise exists
-    to exercise the mining pipeline the way real dumps do.
+    The surface conventions come from the dialect registry
+    (:class:`~repro.sqlparser.dialect.EmitterConventions`): MySQL gets
+    backtick-quoted identifiers and an ENGINE clause, Postgres a SET
+    header, SQLite a PRAGMA preamble, type-affinity column spellings
+    and rowid-table conventions (an inline ``INTEGER PRIMARY KEY
+    AUTOINCREMENT`` while the key sits on the integer id; a table-level
+    key plus ``WITHOUT ROWID`` once it has moved).  Every flavour
+    re-parses to the same logical schema — the vendor noise exists to
+    exercise the mining pipeline the way real dumps do.
     """
-    statements: list[str] = []
-    if vendor == "postgres":
-        statements.append("SET client_encoding = 'UTF8';")
+    conventions = _conventions(vendor)
+    statements: list[str] = list(conventions.preamble)
     for table in schema.tables:
+        inline_pk = _inline_pk_attr(table, conventions)
         lines: list[str] = []
         for attr in table.attributes:
-            name = _ident(attr.name, vendor)
-            line = f"  {name} {attr.data_type.render_sql()}"
+            name = conventions.quote(attr.name)
+            line = f"  {name} {_render_type(attr.data_type, conventions)}"
             if not attr.nullable:
                 line += " NOT NULL"
             if attr.default is not None:
                 line += f" DEFAULT {attr.default}"
+            if inline_pk is not None and attr.key == inline_pk:
+                line += " PRIMARY KEY AUTOINCREMENT"
             lines.append(line)
-        if table.primary_key:
-            cols = ", ".join(_ident(c, vendor) for c in table.primary_key)
+        suffix = conventions.table_suffix
+        if table.primary_key and inline_pk is None:
+            cols = ", ".join(
+                conventions.quote(c) for c in table.primary_key
+            )
             lines.append(f"  PRIMARY KEY ({cols})")
+            if conventions.rowid_tables:
+                suffix = " WITHOUT ROWID"
         body = ",\n".join(lines)
-        suffix = " ENGINE=InnoDB DEFAULT CHARSET=utf8" if vendor == "mysql" else ""
         statements.append(
-            f"CREATE TABLE {_ident(table.name, vendor)} (\n{body}\n){suffix};"
+            f"CREATE TABLE {conventions.quote(table.name)} "
+            f"(\n{body}\n){suffix};"
         )
     header = f"-- generated schema ({vendor} dialect)\n\n"
     return header + "\n\n".join(statements) + "\n"
 
 
-def _ident(name: str, vendor: str) -> str:
-    if vendor == "mysql":
-        return f"`{name}`"
-    return name
+def _conventions(vendor: str):
+    """The vendor's emitter conventions (generic fallback: bare SQL)."""
+    from ..sqlparser.dialect import EmitterConventions, get_dialect
+
+    try:
+        return get_dialect(vendor).emitter
+    except KeyError:
+        return EmitterConventions()
+
+
+def _render_type(data_type, conventions) -> str:
+    """Render a column type in the dialect's preferred spelling."""
+    spelled = conventions.type_name(data_type.family)
+    if spelled is None:
+        return data_type.render_sql()
+    rendered = data_type.render_sql()
+    original = data_type.family.upper()
+    if rendered.startswith(original):
+        return spelled + rendered[len(original):]
+    return spelled
+
+
+def _inline_pk_attr(table: Table, conventions) -> str | None:
+    """The attribute key carrying an inline rowid primary key, if any.
+
+    SQLite convention: a single-column primary key on an
+    INTEGER-affinity column renders inline (``INTEGER PRIMARY KEY
+    AUTOINCREMENT``); any other key shape renders table-level and the
+    table becomes ``WITHOUT ROWID``.
+    """
+    if not conventions.rowid_tables or len(table.primary_key) != 1:
+        return None
+    pk_key = next(iter(table.pk_keys()))
+    for attr in table.attributes:
+        if attr.key == pk_key:
+            if conventions.type_name(attr.data_type.family) == "INTEGER":
+                return attr.key
+            return None
+    return None

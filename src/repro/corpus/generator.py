@@ -528,6 +528,7 @@ def iter_corpus_specs(
     seed: int = DEFAULT_SEED,
     profiles: tuple[TaxonProfile, ...] = CANONICAL_PROFILES,
     blank_projects: int = 2,
+    dialect: str | None = None,
 ):
     """Stream the corpus plan one ``(spec, profile)`` pair at a time.
 
@@ -538,7 +539,16 @@ def iter_corpus_specs(
     100k-project plan never exists as a list.  The sharded pipeline's
     streaming map phase plans and releases one shard at a time off this
     generator.
+
+    ``dialect`` selects the workload whose ``vendor_mix`` each
+    project's vendor is drawn from; every workload's mix has the
+    canonical length, so the RNG stream — and with it every other
+    sampled property — is identical across workloads.  ``None`` keeps
+    the paper's MySQL/Postgres mix bit-for-bit.
     """
+    from ..workload import get_workload
+
+    vendor_mix = get_workload(dialect).vendor_mix
     rng = random.Random(seed)
     by_taxon: dict[Taxon, TaxonProfile] = {}
     for profile in profiles:
@@ -558,7 +568,7 @@ def iter_corpus_specs(
                 name=names.project_name(rng, index),
                 taxon=profile.taxon,
                 seed=rng.randrange(2 ** 62),
-                vendor=rng.choice(("mysql", "mysql", "postgres")),
+                vendor=rng.choice(vendor_mix),
                 duration_months=duration,
                 start=start,
             )
@@ -570,6 +580,7 @@ def corpus_specs(
     seed: int = DEFAULT_SEED,
     profiles: tuple[TaxonProfile, ...] = CANONICAL_PROFILES,
     blank_projects: int = 2,
+    dialect: str | None = None,
 ) -> list[tuple[ProjectSpec, TaxonProfile]]:
     """Sample the corpus plan: one ``(spec, profile)`` pair per project.
 
@@ -583,7 +594,10 @@ def corpus_specs(
     too large to materialise.)
     """
     return list(iter_corpus_specs(
-        seed=seed, profiles=profiles, blank_projects=blank_projects
+        seed=seed,
+        profiles=profiles,
+        blank_projects=blank_projects,
+        dialect=dialect,
     ))
 
 
@@ -593,6 +607,7 @@ def generate_corpus(
     profiles: tuple[TaxonProfile, ...] = CANONICAL_PROFILES,
     blank_projects: int = 2,
     jobs: int = 1,
+    dialect: str | None = None,
 ) -> list[GeneratedProject]:
     """Generate the canonical corpus (195 projects by default).
 
@@ -605,7 +620,10 @@ def generate_corpus(
     to the serial path regardless of worker scheduling.
     """
     pairs = corpus_specs(
-        seed=seed, profiles=profiles, blank_projects=blank_projects
+        seed=seed,
+        profiles=profiles,
+        blank_projects=blank_projects,
+        dialect=dialect,
     )
     tracer = get_tracer()
     with tracer.span("generate", projects=len(pairs), jobs=max(1, jobs)):

@@ -39,6 +39,15 @@ SET row_security = off;
 
 """
 
+_SQLITE_HEADER = """\
+-- SQLite dump (sqlite3 .dump)
+PRAGMA foreign_keys=OFF;
+BEGIN TRANSACTION;
+
+"""
+
+_SQLITE_FOOTER = "COMMIT;\n"
+
 _SEED_VALUES = ("'alpha'", "'beta'", "1", "0", "NULL", "'x''y'")
 
 
@@ -56,7 +65,9 @@ def inject_noise(
     """Decorate a DDL text with vendor dump noise.
 
     The decoration is purely additive (headers, comments, data seeds,
-    LOCK wrappers) — the logical schema of the result is identical.
+    LOCK/transaction wrappers) — the logical schema of the result is
+    identical.  The MySQL and Postgres draw sequences are untouched by
+    the SQLite branch: each vendor consumes the RNG exactly as before.
     """
     tables = table_names_in(ddl_text)
     parts: list[str] = []
@@ -67,12 +78,16 @@ def inject_noise(
                 database=f"app_{rng.randint(1, 99)}",
             )
         )
+    elif vendor == "sqlite":
+        parts.append(_SQLITE_HEADER)
     else:
         parts.append(_POSTGRES_HEADER)
     parts.append(ddl_text)
 
     if tables and rng.random() < 0.8:
         parts.append("\n" + _data_seed(rng.choice(tables), rng, vendor))
+    if vendor == "sqlite":
+        parts.append("\n" + _SQLITE_FOOTER)
     if rng.random() < 0.5:
         parts.append(
             f"\n-- Dump completed on 20{rng.randint(10, 22)}-"

@@ -25,18 +25,32 @@ from .miner import (
     mine_project_activity,
     mine_schema_history,
 )
+from .sources import (
+    HistorySource,
+    SingleFileDDLSource,
+    SqliteSource,
+    get_source,
+    register_source,
+    registered_sources,
+)
 
 __all__ = [
     "GitCommandError",
     "HistoryAggregates",
     "SizeSnapshot",
     "growth_vs_restructuring",
+    "HistorySource",
     "MiningError",
     "ProjectHistory",
     "SchemaHistory",
     "SchemaTransition",
     "SchemaVersion",
+    "SingleFileDDLSource",
+    "SqliteSource",
     "find_ddl_path",
+    "get_source",
+    "register_source",
+    "registered_sources",
     "load_repository",
     "mine_clone",
     "read_git_log",

@@ -93,17 +93,21 @@ def mine_project_activity(repo: Repository) -> Heartbeat:
 
 
 def mine_schema_history(
-    repo: Repository, ddl_path: str | None = None
+    repo: Repository,
+    ddl_path: str | None = None,
+    *,
+    source: str = "ddl",
 ) -> tuple[str, SchemaHistory]:
-    """Parse and diff the version sequence of the project's DDL file."""
-    path = ddl_path or find_ddl_path(repo)
-    versions = repo.versions_of(path)
-    if not versions:
-        raise MiningError(
-            f"{repo.name}: no recorded contents for {path!r} "
-            "(real clones need `git show` extraction first)"
-        )
-    return path, SchemaHistory.from_file_versions(versions)
+    """Parse and diff the version sequence of the project's schema file.
+
+    Delegates to the named :class:`~repro.mining.sources.HistorySource`
+    — the path-finding policy, version enumeration and dialect hint are
+    all source-level decisions now; the default ``"ddl"`` source is the
+    paper's single-file-DDL behaviour, unchanged.
+    """
+    from .sources import get_source
+
+    return get_source(source).mine_schema_history(repo, path=ddl_path)
 
 
 @dataclass
@@ -135,11 +139,19 @@ class ProjectHistory:
 
 
 def mine_project(
-    repo: Repository, *, ddl_path: str | None = None
+    repo: Repository,
+    *,
+    ddl_path: str | None = None,
+    source: str = "ddl",
 ) -> ProjectHistory:
-    """Run the full extraction pipeline on one repository."""
+    """Run the full extraction pipeline on one repository.
+
+    ``source`` names the :class:`~repro.mining.sources.HistorySource`
+    policy the schema half mines through (the workload's source half);
+    the project-activity heartbeat is source-independent.
+    """
     project_heartbeat = mine_project_activity(repo)
-    path, schema_history = mine_schema_history(repo, ddl_path)
+    path, schema_history = mine_schema_history(repo, ddl_path, source=source)
     schema_events = schema_history.activity_events()
     first_event_month = Month.of(schema_events[0][0])
     last_event_month = Month.of(schema_events[-1][0])

@@ -19,6 +19,12 @@ digest.
   generate digest changed", "params.profile digest changed");
 * **cold** — no prior generation exists to diff against.
 
+Workloads surface here through the shard identity: a non-default
+``--dialect`` adds a ``dialect`` key to the ``generate`` params, so
+switching workloads over a warm store explains as ``params.dialect
+added (sqlite)`` (plus the spec digest moved by the vendor draw) —
+the (dialect, source) pair is attributable, never an opaque re-key.
+
 This module is deliberately pipeline-free: it compares plain dicts and
 scans a store object handed to it, so it can audit any store —
 including one written by another process — without importing the

@@ -106,10 +106,17 @@ def build_run_record(
     seed: int | None = None,
     scale: int | None = None,
     jobs: int | None = None,
+    dialect: str | None = None,
     manifest: dict | None = None,
     fingerprints: dict | None = None,
 ) -> dict:
-    """One registry record for a finished study/report run."""
+    """One registry record for a finished study/report run.
+
+    ``dialect`` is recorded only for non-default workloads, so
+    canonical records — and every record written before workloads
+    existed — are shape-identical; readers fall back with
+    ``record.get("dialect")``.
+    """
     from .manifest import runtime_environment
 
     timings = study.timings.as_dict()
@@ -138,6 +145,8 @@ def build_run_record(
             else runtime_environment()
         ),
     }
+    if dialect is not None:
+        record["dialect"] = dialect
     for block in ("artifact_store", "resources", "streaming"):
         if timings.get(block):
             record[block] = timings[block]
@@ -186,6 +195,8 @@ def record_from_payload(payload: dict, *, source: str = "import") -> dict:
         "warning_count": payload.get("warning_count"),
         "environment": payload.get("environment"),
     }
+    if payload.get("dialect"):
+        record["dialect"] = payload["dialect"]
     for block in ("artifact_store", "resources", "streaming"):
         if timings.get(block):
             record[block] = timings[block]
@@ -306,8 +317,13 @@ def history_baseline(records: list[dict]) -> dict:
     merged = _median_merge(list(records))
     merged["format"] = REGISTRY_FORMAT
     merged["command"] = f"history-median[{len(records)}]"
-    # medians of identity fields are meaningless — pin the latest
+    # medians of identity fields are meaningless — pin the latest;
+    # `dialect` rides along via .get() so pre-dialect records (which
+    # simply lack the key) never fail the merge
     latest = records[-1]
-    for key in ("run_id", "recorded_at", "environment", "manifest_digest"):
+    for key in (
+        "run_id", "recorded_at", "environment", "manifest_digest",
+        "dialect",
+    ):
         merged[key] = latest.get(key)
     return merged

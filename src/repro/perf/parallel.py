@@ -210,7 +210,9 @@ class MinedHistory:
     resources: dict | None = None
 
 
-def mine_one(project: GeneratedProject) -> MinedHistory:
+def mine_one(
+    project: GeneratedProject, *, source: str = "ddl"
+) -> MinedHistory:
     """The per-project unit of the pipeline's ``mine`` stage.
 
     Mirrors :func:`mine_and_analyze` up to (and excluding) analysis:
@@ -218,7 +220,9 @@ def mine_one(project: GeneratedProject) -> MinedHistory:
     ``projects.mined`` and ``changes.*`` counters, the same cache /
     metrics / warning deltas shipped back to the driver.  Analysis —
     and the empty-history skip decision it makes — happens driver-side
-    in the ``analyze`` stage.
+    in the ``analyze`` stage.  ``source`` names the
+    :class:`~repro.mining.sources.HistorySource` the schema half mines
+    through (the workload's source half; ``"ddl"`` is canonical).
     """
     tracer = get_tracer()
     metrics = get_metrics()
@@ -231,7 +235,7 @@ def mine_one(project: GeneratedProject) -> MinedHistory:
     ) as span:
         start = time.perf_counter()
         with tracer.span("mine") as mine_span:
-            history = mine_project(project.repository)
+            history = mine_project(project.repository, source=source)
             mine_span.set(
                 versions=history.schema_history.commit_count,
                 months=history.duration_months,
@@ -260,12 +264,15 @@ class ShardTask:
     ``project`` carries a warm ``generate`` artifact payload when only
     the mine work is cold; ``None`` means the worker generates first.
     ``spec``/``profile`` are always present — they are the shard's
-    identity, and generation needs them.
+    identity, and generation needs them.  ``source`` names the history
+    source the mine half runs through (the workload's source half;
+    the default keeps canonical tasks pickle-compatible).
     """
 
     spec: ProjectSpec
     profile: TaxonProfile
     project: GeneratedProject | None = None
+    source: str = "ddl"
 
 
 @dataclass
@@ -305,7 +312,7 @@ def map_shard(task: ShardTask) -> ShardResult:
         generated = project
     return ShardResult(
         name=task.spec.name,
-        mined=mine_one(project),
+        mined=mine_one(project, source=task.source),
         generated=generated,
         generate_seconds=generate_seconds,
     )

@@ -54,6 +54,7 @@ from ..perf.parallel import (
 )
 from ..perf.pool import warm_pool
 from ..perf.timing import StudyTimings
+from ..workload import get_workload
 from .codec import SHARD_CODECS
 from .fingerprint import family_fingerprint, stage_fingerprint
 from .shards import ShardSpec, iter_shards, plan_shards
@@ -103,9 +104,19 @@ class Pipeline:
         projects: int | None = None,
         limit_memory_mb: int | None = None,
         window: int | None = None,
+        dialect: str | None = None,
     ):
         self.seed = seed
         self.scale = scale
+        #: The workload's dialect (``--dialect``); ``None`` is the
+        #: canonical MySQL/Postgres workload, whose shard keys and
+        #: artifacts predate — and must stay byte-identical to — the
+        #: workload interface.  Non-default dialects re-key the whole
+        #: map family (vendor in ``spec_digest`` + the ``dialect``
+        #: identity component), and the reduce tail re-keys with it
+        #: through the family fingerprints, zero reduce changes needed.
+        self.dialect = dialect
+        self.workload = get_workload(dialect)
         #: Scale-out knob: an absolute corpus size (``--projects N``,
         #: the canonical taxa mix re-sized); ``None`` keeps the
         #: ``scale`` divisor semantics.
@@ -169,8 +180,13 @@ class Pipeline:
             yield from self.shards()
             return
         yield from iter_shards(
-            iter_corpus_specs(seed=self.seed, profiles=self._profiles()),
+            iter_corpus_specs(
+                seed=self.seed,
+                profiles=self._profiles(),
+                dialect=self.dialect,
+            ),
             self.code_versions,
+            self.dialect,
         )
 
     def shards(self) -> list[ShardSpec]:
@@ -185,7 +201,9 @@ class Pipeline:
                 list(self._plan)
                 if self._plan is not None
                 else corpus_specs(
-                    seed=self.seed, profiles=self._profiles()
+                    seed=self.seed,
+                    profiles=self._profiles(),
+                    dialect=self.dialect,
                 )
             )
             if self.project_overrides:
@@ -208,7 +226,9 @@ class Pipeline:
                     )
                     for spec, profile in pairs
                 ]
-            self._shards = plan_shards(pairs, self.code_versions)
+            self._shards = plan_shards(
+                pairs, self.code_versions, self.dialect
+            )
         return self._shards
 
     # -- keys ----------------------------------------------------------
@@ -454,6 +474,7 @@ class Pipeline:
                             None if warm_generate is None
                             else warm_generate.payload
                         ),
+                        source=self.workload.source,
                     ),
                 )
 
@@ -781,20 +802,22 @@ class Pipeline:
         seconds: float, warnings, metrics: MetricsSnapshot,
     ) -> Artifact:
         self._publish_artifact(stage, "recompute", key=key)
-        return self.store.put(
-            key,
-            payload,
-            meta={
-                "stage": stage,
-                "params": self.params_for(stage),
-                "code_version": self.code_versions[stage],
-                "source_digest": stage_source_digest(stage),
-                "provenance": self._reduce_provenance(stage),
-                "seconds": round(seconds, 6),
-                "warnings": list(warnings),
-                "metrics": metrics,
-            },
-        )
+        meta = {
+            "stage": stage,
+            "params": self.params_for(stage),
+            "code_version": self.code_versions[stage],
+            "source_digest": stage_source_digest(stage),
+            "provenance": self._reduce_provenance(stage),
+            "seconds": round(seconds, 6),
+            "warnings": list(warnings),
+            "metrics": metrics,
+        }
+        if self.dialect is not None:
+            # non-default workloads stamp their (dialect, source) pair;
+            # canonical meta stays byte-compatible with old stores
+            meta["dialect"] = self.dialect
+            meta["source"] = self.workload.source
+        return self.store.put(key, payload, meta=meta)
 
     def _store_shard(
         self, stage: str, shard: ShardSpec, payload, *,
@@ -814,6 +837,9 @@ class Pipeline:
             "warnings": list(warnings),
             "metrics": metrics,
         }
+        if self.dialect is not None:
+            meta["dialect"] = self.dialect
+            meta["source"] = self.workload.source
         codec = SHARD_CODECS.get(stage)
         if codec is not None:
             # mine shards go to disk through the compact tuple codec
@@ -1043,6 +1069,7 @@ def pipeline_study(
     project_overrides: dict[str, int] | None = None,
     projects: int | None = None,
     limit_memory_mb: int | None = None,
+    dialect: str | None = None,
 ):
     """One-call stage-graph study (the pipeline twin of ``run_study``)."""
     return Pipeline(
@@ -1054,4 +1081,5 @@ def pipeline_study(
         project_overrides=project_overrides,
         projects=projects,
         limit_memory_mb=limit_memory_mb,
+        dialect=dialect,
     ).study()

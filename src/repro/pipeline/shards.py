@@ -85,18 +85,29 @@ def plan_shard(
     spec: ProjectSpec,
     profile: TaxonProfile,
     code_versions: dict[str, str],
+    dialect: str | None = None,
 ) -> ShardSpec:
     """Plan one project's :class:`ShardSpec` (the per-shard unit).
 
     Each shard is planned from its own identity alone, so planning
     streams: the pipeline can plan, execute and release one shard at a
     time without ever holding the whole plan.
+
+    ``dialect`` is the workload's shard-identity component: non-default
+    workloads fold it into the ``generate`` key's params (so ``pipeline
+    explain`` attributes a workload switch to ``params.dialect``), on
+    top of the vendor already folded through ``spec_digest``.  The
+    default workload passes ``None`` and the identity — and with it
+    every canonical store key — is byte-identical to the pre-workload
+    layout.
     """
     identity = {
         "project": spec.name,
         "spec": spec_digest(spec),
         "profile": profile_digest(profile),
     }
+    if dialect is not None:
+        identity["dialect"] = dialect
     generate_key = stage_fingerprint(
         "generate", code_versions["generate"], identity, {}
     )
@@ -120,7 +131,7 @@ def plan_shard(
     )
 
 
-def iter_shards(pairs, code_versions: dict[str, str]):
+def iter_shards(pairs, code_versions: dict[str, str], dialect: str | None = None):
     """Stream one :class:`ShardSpec` per ``(spec, profile)`` pair.
 
     ``pairs`` may be any iterable — in the streaming pipeline it is the
@@ -131,19 +142,20 @@ def iter_shards(pairs, code_versions: dict[str, str]):
     sorts internally, so ordering here is presentation, not addressing.
     """
     for index, (spec, profile) in enumerate(pairs):
-        yield plan_shard(index, spec, profile, code_versions)
+        yield plan_shard(index, spec, profile, code_versions, dialect)
 
 
 def plan_shards(
     pairs: list[tuple[ProjectSpec, TaxonProfile]],
     code_versions: dict[str, str],
+    dialect: str | None = None,
 ) -> list[ShardSpec]:
     """Plan one :class:`ShardSpec` per ``(spec, profile)`` pair.
 
     The list form of :func:`iter_shards`, for callers that hold the
     whole plan anyway (status tables, invalidation, tests).
     """
-    return list(iter_shards(pairs, code_versions))
+    return list(iter_shards(pairs, code_versions, dialect))
 
 
 def shard_batches(items: list, count: int) -> list[list]:

@@ -10,7 +10,7 @@ from .figures import (
     render_statistics,
 )
 from .html import build_html_report, write_html_report
-from .markdown import build_study_report, md_table
+from .markdown import build_study_report, md_table, render_vendor_mix
 from .svg import PALETTE, svg_bar_chart, svg_line_chart, svg_scatter
 from .svgfigures import (
     svg_fig4,
@@ -52,5 +52,6 @@ __all__ = [
     "render_joint_progress",
     "render_statistics",
     "render_table",
+    "render_vendor_mix",
     "scatter_chart",
 ]

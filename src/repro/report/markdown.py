@@ -31,6 +31,25 @@ def _pct(value: float) -> str:
     return f"{value:.0%}"
 
 
+def render_vendor_mix(vendors: Sequence[str]) -> str:
+    """One line summarising a corpus's per-project vendor draw.
+
+    Used by ``repro generate`` to announce which dialects a workload's
+    ``vendor_mix`` actually produced — deliberately *not* part of
+    :func:`build_study_report`, whose canonical bytes are pinned by the
+    report-stage fingerprint.
+    """
+    counts: dict[str, int] = {}
+    for vendor in vendors:
+        counts[vendor] = counts.get(vendor, 0) + 1
+    total = len(vendors)
+    parts = [
+        f"{name} {count}/{total}"
+        for name, count in sorted(counts.items())
+    ]
+    return "vendor mix: " + (", ".join(parts) if parts else "empty corpus")
+
+
 def build_study_report(study: StudyResult, *, title: str | None = None) -> str:
     """The full study as one Markdown document."""
     sections: list[str] = []

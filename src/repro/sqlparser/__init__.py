@@ -1,6 +1,13 @@
-"""From-scratch SQL DDL parsing (MySQL / PostgreSQL dialects)."""
+"""From-scratch SQL DDL parsing with a pluggable dialect registry."""
 
-from .dialect import detect_dialect
+from .dialect import (
+    Dialect,
+    EmitterConventions,
+    detect_dialect,
+    get_dialect,
+    register_dialect,
+    registered_dialects,
+)
 from .lexer import LexError, Token, TokenType, tokenize, tokenize_reference
 from .parser import (
     ParseIssue,
@@ -14,6 +21,8 @@ from .parser import (
 from .segment import Segment, segment_statements
 
 __all__ = [
+    "Dialect",
+    "EmitterConventions",
     "LexError",
     "ParseIssue",
     "ParseResult",
@@ -22,6 +31,9 @@ __all__ = [
     "TokenType",
     "apply_statement",
     "detect_dialect",
+    "get_dialect",
+    "register_dialect",
+    "registered_dialects",
     "parse_schema",
     "parse_table",
     "segment_statements",

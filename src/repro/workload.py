@@ -1,0 +1,91 @@
+"""Workloads: the pluggable (dialect, source) pairs the study runs on.
+
+A workload names a *scenario family*: which dialect the corpus
+generator emits (:data:`vendor_mix`, drawn per project from the corpus
+RNG), which :class:`~repro.mining.sources.HistorySource` mines the
+generated repositories, and whether the pair participates in shard
+identity.  The canonical study — the paper's MySQL/Postgres single-file
+DDL histories — is itself just the default workload; ``--dialect
+sqlite`` selects the embedded-database workload, and new families
+register here without touching the reduce stages (their fingerprints
+chain over shard keys alone, so a new workload re-keys its own shard
+family and nothing else).
+
+The default workload deliberately has ``identity=None``: canonical
+shard keys predate the workload interface and must stay byte-identical,
+so only non-default workloads contribute a ``dialect`` component to the
+shard identity (and thereby to ``pipeline explain``'s ``params.dialect``
+attribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One (dialect, source) scenario family.
+
+    ``vendor_mix`` is the tuple the corpus RNG draws each project's
+    vendor from — kept the same length as the canonical mix so every
+    workload consumes the corpus RNG identically and the sampled
+    per-project properties (names, seeds, durations) line up across
+    workloads.  ``dialect_hint`` is passed to the schema-history parser
+    (``None`` means detect from surface features, the canonical
+    behaviour).  ``identity`` is the shard-identity component (``None``
+    for the default workload: legacy keys stay untouched).
+    """
+
+    name: str
+    vendor_mix: tuple[str, ...]
+    source: str
+    dialect_hint: str | None = None
+    identity: str | None = None
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload) -> Workload:
+    """Register (or replace) a workload under its name."""
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(dialect: str | None) -> Workload:
+    """Resolve a ``--dialect`` value (``None`` = canonical default)."""
+    name = dialect or "default"
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload dialect {name!r}; "
+            f"registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def registered_workloads() -> tuple[str, ...]:
+    """All registered workload names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+#: The paper's canonical workload: MySQL-leaning vendor mix, single-file
+#: DDL source, no identity component (pre-workload shard keys).
+DEFAULT_WORKLOAD = register_workload(Workload(
+    name="default",
+    vendor_mix=("mysql", "mysql", "postgres"),
+    source="ddl",
+    dialect_hint=None,
+    identity=None,
+))
+
+#: The embedded-database workload: every project emits SQLite-dialect
+#: histories and mines through the sqlite-flavoured source.
+SQLITE_WORKLOAD = register_workload(Workload(
+    name="sqlite",
+    vendor_mix=("sqlite", "sqlite", "sqlite"),
+    source="sqlite",
+    dialect_hint="sqlite",
+    identity="sqlite",
+))

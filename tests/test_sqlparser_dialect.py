@@ -1,6 +1,15 @@
-"""Unit tests for dialect detection."""
+"""Unit tests for dialect detection and the dialect plugin registry."""
 
-from repro.sqlparser import detect_dialect, parse_schema
+import re
+
+from repro.sqlparser import (
+    Dialect,
+    detect_dialect,
+    get_dialect,
+    parse_schema,
+    register_dialect,
+    registered_dialects,
+)
 
 
 class TestDetectDialect:
@@ -80,3 +89,70 @@ class TestSqliteDetection:
         table = result.schema.table("log")
         assert table.attribute("id").auto_increment
         assert table.primary_key == ("id",)
+
+    def test_if_not_exists_heuristic_is_statement_bounded(self):
+        # regression: the old `.*` bridged an IF NOT EXISTS in one
+        # statement with a sqlite_ reference in the *next* statement on
+        # the same line, mis-voting this mixed line as sqlite
+        text = (
+            "CREATE TABLE IF NOT EXISTS users (id INT); "
+            "INSERT INTO sqlite_sequence VALUES ('users', 1);"
+        )
+        assert detect_dialect(text) == "generic"
+
+    def test_if_not_exists_system_table_still_votes(self):
+        text = (
+            "CREATE TABLE IF NOT EXISTS sqlite_stat1 "
+            "(tbl TEXT, idx TEXT, stat TEXT);"
+        )
+        assert detect_dialect(text) == "sqlite"
+
+    def test_bounded_heuristic_agrees_with_fragment_scan(self):
+        # fragment-local contract: OR of per-segment masks must equal
+        # the whole-text fragment mask, even around the regression text
+        from repro.sqlparser.dialect import fragment_signal_mask
+        from repro.sqlparser.segment import segment_statements
+
+        text = (
+            "CREATE TABLE IF NOT EXISTS users (id INT); "
+            "INSERT INTO sqlite_sequence VALUES ('users', 1);\n"
+            "CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT);"
+        )
+        segments = segment_statements(text)
+        assert segments is not None
+        combined = 0
+        for segment in segments:
+            combined |= fragment_signal_mask(" " + segment.text)
+        assert combined == fragment_signal_mask(" " + text)
+
+
+class TestDialectRegistry:
+    def test_builtins_registered_in_order(self):
+        assert registered_dialects() == ("mysql", "sqlite", "postgres")
+
+    def test_get_dialect_exposes_conventions(self):
+        sqlite = get_dialect("sqlite")
+        assert sqlite.emitter.rowid_tables
+        assert sqlite.emitter.type_name("int") == "INTEGER"
+        assert "AUTOINCREMENT" in sqlite.keywords
+        mysql = get_dialect("mysql")
+        assert mysql.emitter.quote("t") == "`t`"
+
+    def test_register_custom_dialect_round_trip(self):
+        import repro.sqlparser.dialect as dialect_mod
+
+        saved = dict(dialect_mod._REGISTRY)
+        try:
+            register_dialect(Dialect(
+                name="duckdb",
+                fragment_signals=(re.compile(r"\bHUGEINT\b", re.I),),
+            ))
+            assert "duckdb" in registered_dialects()
+            assert detect_dialect("CREATE TABLE t (x HUGEINT);") == "duckdb"
+            # existing dialects keep detecting after the table rebuild
+            assert detect_dialect("CREATE TABLE `t` (a int);") == "mysql"
+        finally:
+            dialect_mod._REGISTRY.clear()
+            dialect_mod._REGISTRY.update(saved)
+            dialect_mod._rebuild_signal_tables()
+        assert "duckdb" not in registered_dialects()
